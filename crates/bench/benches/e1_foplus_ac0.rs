@@ -1,0 +1,23 @@
+//! E1 (Theorem 4.1): FO+ evaluation over integer-defined inputs — the
+//! uniform-AC⁰ claim's empirical shape: per-size timings of a fixed FO+
+//! query as the standard encoding grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::prelude::*;
+use dco_bench::workloads::interval_db;
+
+fn bench(c: &mut Criterion) {
+    let f = parse_formula("exists y . (S(y) & y <= x & x <= y + 1)").unwrap();
+    let mut group = c.benchmark_group("e1_foplus_integer_inputs");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 16] {
+        let db = interval_db(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| eval_linear(db, &f).expect("FO+ evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2 (Theorem 4.2): the EF-game witnesses for connectivity and parity —
+//! timing the game solver on the witness pairs, and the Datalog¬ engine
+//! that separates them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::datalog::programs::cardinality_is_even;
+use dco::ef::ef_equivalent;
+use dco::ef::structure::generators::{cycle, linear_order, two_cycles};
+use dco_bench::workloads::point_set;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ef_witnesses");
+    group.sample_size(10);
+    for r in [1usize, 2] {
+        let m = (1 << r) - 1;
+        let a = linear_order(m);
+        let b = linear_order(m + 1);
+        group.bench_with_input(BenchmarkId::new("parity", r), &r, |bch, &r| {
+            bch.iter(|| assert!(ef_equivalent(&a, &b, r)))
+        });
+    }
+    let one = cycle(10);
+    let two = two_cycles(5, 5);
+    group.bench_function("connectivity_c10_vs_c5c5_r2", |b| {
+        b.iter(|| assert!(ef_equivalent(&one, &two, 2)))
+    });
+    group.bench_function("datalog_parity_n6", |b| {
+        let s = point_set(6);
+        b.iter(|| assert!(cardinality_is_even(&s).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E3 (Theorem 4.3): region connectivity — cell decomposition + union-find
+//! vs the Datalog¬ back-end on the staircase family, plus the EF
+//! equivalence of the encodings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::ef::{ef_equivalent, encode_binary};
+use dco::geo::instances::{broken_staircase, staircase};
+use dco::geo::{component_count, is_connected_via_datalog};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_region_connectivity");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let good = staircase(n);
+        group.bench_with_input(BenchmarkId::new("unionfind", n), &good, |b, g| {
+            b.iter(|| assert_eq!(component_count(g), 1))
+        });
+    }
+    let good = staircase(3);
+    let bad = broken_staircase(3, 1);
+    group.bench_function("datalog_backend_n3", |b| {
+        b.iter(|| {
+            assert!(is_connected_via_datalog(&good));
+            assert!(!is_connected_via_datalog(&bad));
+        })
+    });
+    group.bench_function("ef_on_encodings_r1_n4", |b| {
+        let eg = encode_binary(staircase(4).relation()).unwrap();
+        let eb = encode_binary(broken_staircase(4, 1).relation()).unwrap();
+        b.iter(|| assert!(ef_equivalent(&eg, &eb, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

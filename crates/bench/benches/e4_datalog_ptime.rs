@@ -1,0 +1,26 @@
+//! E4 (Theorem 4.4): inflationary Datalog¬ = PTIME — polynomial scaling of
+//! the closed-form fixpoint on transitive closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::prelude::*;
+use dco_bench::workloads::path_graph;
+
+fn bench(c: &mut Criterion) {
+    let program = parse_program(
+        "tc(x, y) :- e(x, y).\n\
+         tc(x, y) :- tc(x, z), e(z, y).\n",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("e4_datalog_tc");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let db = path_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| run_datalog(&program, db).expect("fixpoint"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

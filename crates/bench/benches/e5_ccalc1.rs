@@ -1,0 +1,63 @@
+//! E5 (Theorem 5.2): PTIME ⊆ C-CALC₁ ⊆ PSPACE — reachability via one set
+//! variable (exponential enumeration) vs the Datalog¬ fixpoint
+//! (polynomial) on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::complex::{CCalc, CFormula, RatTerm, SetRef};
+use dco::prelude::*;
+use dco_bench::workloads::path_graph;
+
+fn reach(a: i64, b: i64) -> CFormula {
+    use CFormula as F;
+    let closed = F::ForallRat(
+        "u".into(),
+        Box::new(F::ForallRat(
+            "v".into(),
+            Box::new(CFormula::implies(
+                F::And(vec![
+                    F::MemTuple(vec![RatTerm::var("u")], SetRef::Var("S".into())),
+                    F::Pred("e".into(), vec![RatTerm::var("u"), RatTerm::var("v")]),
+                ]),
+                F::MemTuple(vec![RatTerm::var("v")], SetRef::Var("S".into())),
+            )),
+        )),
+    );
+    F::ForallSet(
+        "S".into(),
+        1,
+        Box::new(CFormula::implies(
+            F::And(vec![
+                F::MemTuple(vec![RatTerm::cst(rat(a as i128, 1))], SetRef::Var("S".into())),
+                closed,
+            ]),
+            F::MemTuple(vec![RatTerm::cst(rat(b as i128, 1))], SetRef::Var("S".into())),
+        )),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let program = parse_program(
+        "tc(x, y) :- e(x, y).\n\
+         tc(x, y) :- tc(x, z), e(z, y).\n",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("e5_ccalc1_vs_datalog");
+    group.sample_size(10);
+    for n in [2usize, 3] {
+        let db = path_graph(n);
+        let f = reach(1, n as i64);
+        group.bench_with_input(BenchmarkId::new("ccalc1", n), &db, |b, db| {
+            b.iter(|| {
+                let mut ev = CCalc::new(db);
+                assert!(ev.eval_sentence(&f).unwrap());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("datalog", n), &db, |b, db| {
+            b.iter(|| run_datalog(&program, db).expect("fixpoint"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

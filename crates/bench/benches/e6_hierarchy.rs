@@ -1,0 +1,74 @@
+//! E6 (Theorems 5.3–5.5): the set-height hierarchy — evaluation cost of a
+//! height-1 sentence as the cell count grows (the 2^#cells enumeration),
+//! and a height-2 sentence at the only feasible scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::complex::{CCalc, CFormula, RatTerm, SetRef};
+use dco::prelude::*;
+
+fn db_with_constants(m: usize) -> Database {
+    let s = GeneralizedRelation::from_points(
+        1,
+        (0..m).map(|i| vec![rat(i as i128, 1)]).collect::<Vec<_>>(),
+    );
+    Database::new(Schema::new().with("s", 1)).with("s", s)
+}
+
+fn exact_set_sentence() -> CFormula {
+    use CFormula as F;
+    F::ExistsSet(
+        "S".into(),
+        1,
+        Box::new(F::ForallRat(
+            "x".into(),
+            Box::new(F::And(vec![
+                CFormula::implies(
+                    F::MemTuple(vec![RatTerm::var("x")], SetRef::Var("S".into())),
+                    F::Pred("s".into(), vec![RatTerm::var("x")]),
+                ),
+                CFormula::implies(
+                    F::Pred("s".into(), vec![RatTerm::var("x")]),
+                    F::MemTuple(vec![RatTerm::var("x")], SetRef::Var("S".into())),
+                ),
+            ])),
+        )),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_set_height_hierarchy");
+    group.sample_size(10);
+    let f = exact_set_sentence();
+    for m in [1usize, 2, 3] {
+        let db = db_with_constants(m);
+        group.bench_with_input(BenchmarkId::new("height1", m), &db, |b, db| {
+            b.iter(|| {
+                let mut ev = CCalc::new(db);
+                assert!(ev.eval_sentence(&f).unwrap());
+            })
+        });
+    }
+    // height 2 at the single feasible scale (1 constant → 3 cells → 2^8
+    // families)
+    use CFormula as F;
+    let h2 = F::ExistsSetSet(
+        "T".into(),
+        1,
+        Box::new(F::ExistsSet(
+            "S".into(),
+            1,
+            Box::new(F::MemSet(SetRef::Var("S".into()), "T".into())),
+        )),
+    );
+    let db = db_with_constants(1);
+    group.bench_function("height2_m1", |b| {
+        b.iter(|| {
+            let mut ev = CCalc::new(&db);
+            assert!(ev.eval_sentence(&h2).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

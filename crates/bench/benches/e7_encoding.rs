@@ -1,0 +1,33 @@
+//! E7 (§2): the compact "four constants + flag" box encoding vs the
+//! generic DNF representation — compression and round-trip cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::encoding::compress;
+use dco::geo::region::Region;
+use dco_bench::workloads::box_db;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_box_encoding");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let db = box_db(n);
+        let rel = db.get("R").unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("compress", n), &rel, |b, rel| {
+            b.iter(|| {
+                let c = compress(rel);
+                assert_eq!(c.boxes.len(), n);
+            })
+        });
+    }
+    let fig = Region::paper_figure();
+    group.bench_function("paper_figure_roundtrip", |b| {
+        b.iter(|| {
+            let c = compress(fig.relation());
+            assert!(c.to_relation().equivalent(fig.relation()));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

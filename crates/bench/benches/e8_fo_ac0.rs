@@ -1,0 +1,22 @@
+//! E8 (\[KKR90\], §4): closed-form FO evaluation — near-linear scaling of a
+//! fixed FO query with the standard-encoding size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::prelude::*;
+use dco_bench::workloads::interval_db;
+
+fn bench(c: &mut Criterion) {
+    let f = parse_formula("exists y . (S(y) & y < x)").unwrap();
+    let mut group = c.benchmark_group("e8_fo_closed_form");
+    group.sample_size(10);
+    for n in [2usize, 8, 32, 64] {
+        let db = interval_db(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| eval_fo(db, &f).expect("FO evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

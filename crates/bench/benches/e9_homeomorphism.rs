@@ -1,0 +1,31 @@
+//! E9 (§4): the integer-only homeomorphism — integerization cost and the
+//! agreement check between rational-side and integer-side answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dco::encoding::integerize;
+use dco::prelude::*;
+use dco_bench::workloads::{interval_db, seventhify};
+
+fn bench(c: &mut Criterion) {
+    let f = parse_formula("exists y . (S(y) & y < x)").unwrap();
+    let mut group = c.benchmark_group("e9_integer_homeomorphism");
+    group.sample_size(10);
+    for n in [2usize, 8, 32] {
+        let db = seventhify(&interval_db(n));
+        group.bench_with_input(BenchmarkId::new("integerize", n), &db, |b, db| {
+            b.iter(|| integerize(db))
+        });
+        group.bench_with_input(BenchmarkId::new("query_both_sides", n), &db, |b, db| {
+            b.iter(|| {
+                let (idb, map) = integerize(db);
+                let qr = eval_fo(db, &f).unwrap().relation;
+                let qi = eval_fo(&idb, &f).unwrap().relation;
+                assert!(map.to_automorphism().apply_relation(&qr).equivalent(&qi));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Print every experiment table (E1–E9) from live runs.
+//!
+//! Usage:
+//!   experiments            # run everything at default scales
+//!   experiments e4 e5      # run selected experiments
+//!   experiments --quick    # smaller scales (CI-friendly)
+
+use dco_bench::experiments as ex;
+use dco_bench::experiments::print_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    let small: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 32] };
+    let tiny: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
+    let e4_sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 24] };
+
+    if want("e1") {
+        print_table(
+            "E1  Theorem 4.1 — FO+ over integer-defined inputs (AC0 shape)",
+            &ex::e1(small),
+        );
+    }
+    if want("e2") {
+        print_table(
+            "E2  Theorem 4.2 — connectivity & parity not in FO+ (EF witnesses)",
+            &ex::e2(if quick { 2 } else { 3 }),
+        );
+    }
+    if want("e3") {
+        print_table(
+            "E3  Theorem 4.3 — region connectivity not linear (EF on encodings)",
+            &ex::e3(if quick { 1 } else { 2 }),
+        );
+    }
+    if want("e4") {
+        print_table(
+            "E4  Theorem 4.4 — inflationary Datalog¬ = PTIME (fixpoint scaling)",
+            &ex::e4(e4_sizes),
+        );
+    }
+    if want("e5") {
+        print_table(
+            "E5  Theorem 5.2 — PTIME ⊆ C-CALC1 ⊆ PSPACE (TC, both engines)",
+            &ex::e5(tiny),
+        );
+    }
+    if want("e6") {
+        print_table(
+            "E6  Theorems 5.3–5.5 — the set-height hierarchy H_i",
+            &ex::e6(if quick { 3 } else { 5 }),
+        );
+    }
+    if want("e7") {
+        print_table(
+            "E7  §2 — compact 'four constants + flag' box encoding",
+            &ex::e7(small),
+        );
+    }
+    if want("e8") {
+        print_table(
+            "E8  [KKR90]/§4 — FO closed-form evaluation (AC0 shape)",
+            &ex::e8(small),
+        );
+    }
+    if want("e9") {
+        print_table(
+            "E9  §4 — integer-only homeomorphism is harmless",
+            &ex::e9(if quick { &[2, 4] } else { &[2, 4, 8, 16] }),
+        );
+    }
+}

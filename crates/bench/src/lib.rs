@@ -1,0 +1,14 @@
+//! # dco-bench — the experiment harness
+//!
+//! One module per experiment (E1–E9), each reproducing a claim of
+//! *Dense-Order Constraint Databases* (Grumbach & Su, PODS 1995). The
+//! `experiments` binary prints every table recorded in `EXPERIMENTS.md`;
+//! the Criterion benches under `benches/` wrap the same workloads for
+//! statistically robust timing.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workloads;
+
+pub use experiments::ExperimentRow;

@@ -1,0 +1,96 @@
+//! Smoke tests for the experiment harness: every experiment runs at tiny
+//! scale and its rows satisfy the qualitative claims that EXPERIMENTS.md
+//! records (monotone growth, agreement flags, lossless round-trips).
+
+use dco_bench::experiments as ex;
+
+fn col<'a>(row: &'a ex::ExperimentRow, name: &str) -> &'a str {
+    row.values
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("column {name} missing in {row:?}"))
+}
+
+#[test]
+fn e1_scaling_monotone() {
+    let rows = ex::e1(&[2, 4]);
+    assert_eq!(rows.len(), 2);
+    let s0: usize = col(&rows[0], "enc bytes").parse().unwrap();
+    let s1: usize = col(&rows[1], "enc bytes").parse().unwrap();
+    assert!(s1 > s0);
+    let o0: usize = col(&rows[0], "output atoms").parse().unwrap();
+    let o1: usize = col(&rows[1], "output atoms").parse().unwrap();
+    assert!(o1 > o0);
+}
+
+#[test]
+fn e2_witnesses_exist_and_separate() {
+    let rows = ex::e2(2);
+    assert!(rows.len() >= 3);
+    for row in &rows {
+        assert_eq!(col(row, "EF-equiv"), "yes", "{row:?}");
+        assert_eq!(col(row, "engine separates"), "true", "{row:?}");
+    }
+}
+
+#[test]
+fn e3_rank_one_witness() {
+    let rows = ex::e3(1);
+    assert_eq!(col(&rows[0], "EF-equiv"), "yes");
+    assert_eq!(col(&rows[0], "components"), "1 vs 2");
+    assert_eq!(col(&rows[0], "datalog agrees"), "true");
+}
+
+#[test]
+fn e4_stages_grow_linearly() {
+    let rows = ex::e4(&[4, 8]);
+    let s0: usize = col(&rows[0], "stages").parse().unwrap();
+    let s1: usize = col(&rows[1], "stages").parse().unwrap();
+    assert_eq!(s0, 4);
+    assert_eq!(s1, 8);
+}
+
+#[test]
+fn e5_engines_agree_and_candidates_double_per_vertex() {
+    let rows = ex::e5(&[2, 3]);
+    let c0: u64 = col(&rows[0], "C-CALC1 candidates").parse().unwrap();
+    let c1: u64 = col(&rows[1], "C-CALC1 candidates").parse().unwrap();
+    // each extra path vertex adds 2 one-cells → ×4 candidates
+    assert_eq!(c1, c0 * 4);
+    assert_eq!(col(&rows[0], "reach(1,n)"), "true");
+}
+
+#[test]
+fn e6_hierarchy_cells() {
+    let rows = ex::e6(2);
+    assert_eq!(col(&rows[0], "1-cells"), "3");
+    assert_eq!(col(&rows[1], "1-cells"), "5");
+}
+
+#[test]
+fn e7_lossless() {
+    let rows = ex::e7(&[2]);
+    for row in &rows {
+        assert_eq!(col(row, "roundtrip ok"), "true", "{row:?}");
+        assert_eq!(col(row, "residual"), "0", "{row:?}");
+    }
+}
+
+#[test]
+fn e8_output_closed_form() {
+    let rows = ex::e8(&[2, 4]);
+    for row in &rows {
+        let bytes: usize = col(row, "output enc bytes").parse().unwrap();
+        assert!(bytes > 0);
+    }
+}
+
+#[test]
+fn e9_agreement() {
+    let rows = ex::e9(&[2, 4]);
+    for row in &rows {
+        assert_eq!(col(row, "integer twin ok"), "true");
+        assert_eq!(col(row, "answers agree"), "true");
+    }
+}

@@ -1,0 +1,58 @@
+//! # dco — Dense-Order Constraint Databases
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *Dense-Order Constraint Databases* (Stéphane Grumbach and Jianwen Su,
+//! PODS 1995): infinite databases finitely represented by dense-order
+//! constraints over the rationals, with the full query-language stack the
+//! paper studies.
+//!
+//! | Layer | Crate | Paper section |
+//! |---|---|---|
+//! | Rationals, generalized relations, QE, cells, algebra | [`core`] | §2–§3 |
+//! | Formula AST and parser | [`logic`] | §4 |
+//! | FO evaluation (closed form, AC⁰ data complexity) | [`fo`] | §4 |
+//! | FO+ with linear constraints (Fourier–Motzkin) | [`linear`] | §4, Thm 4.1–4.3 |
+//! | Inflationary Datalog¬ (= PTIME, Thm 4.4) | [`datalog`] | §4 |
+//! | Complex objects and C-CALC | [`complex`] | §5 |
+//! | EF games for the inexpressibility results | [`ef`] | Thm 4.2–4.3 |
+//! | Standard encodings, integer homeomorphism | [`encoding`] | §3–§4 |
+//! | Regions, topology, region connectivity | [`geo`] | §2, Thm 4.3 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dco::prelude::*;
+//!
+//! // The paper's running example: a triangle as one generalized tuple.
+//! let triangle = GeneralizedRelation::from_raw(2, vec![
+//!     RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+//!     RawAtom::new(Term::var(0), RawOp::Ge, Term::cst(rat(0, 1))),
+//!     RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+//! ]);
+//! let db = Database::new(Schema::new().with("R", 2)).with("R", triangle);
+//!
+//! // FO query, evaluated bottom-up in closed form:
+//! let q = dco::fo::eval_str(&db, "exists y . (R(x, y) & x < y)").unwrap();
+//! assert!(q.relation.contains_point(&[rat(3, 1)]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dco_complex as complex;
+pub use dco_core as core;
+pub use dco_datalog as datalog;
+pub use dco_ef as ef;
+pub use dco_encoding as encoding;
+pub use dco_fo as fo;
+pub use dco_geo as geo;
+pub use dco_linear as linear;
+pub use dco_logic as logic;
+
+/// One-stop import surface for applications.
+pub mod prelude {
+    pub use dco_core::prelude::*;
+    pub use dco_datalog::{parse_program, run as run_datalog};
+    pub use dco_fo::{eval as eval_fo, eval_str as eval_fo_str};
+    pub use dco_linear::{eval_linear, eval_linear_str};
+    pub use dco_logic::{parse_formula, Formula};
+}

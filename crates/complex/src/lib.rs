@@ -1,0 +1,27 @@
+//! # dco-complex — complex constraint objects and C-CALC (§5)
+//!
+//! Section 5 of *Dense-Order Constraint Databases* (Grumbach & Su, PODS
+//! 1995) lifts constraint databases to **complex objects**: values built
+//! from finitely representable pointsets by tuple and set constructs, with
+//! the calculus **C-CALC** quantifying over sets under an *active-domain
+//! semantics* (set variables range over finitely many c-objects determined
+//! by the input — unions of cells, in the spirit of \[Col75, KY85\]).
+//!
+//! The headline results this crate makes executable:
+//!
+//! * **Theorem 5.2** `PTIME ⊆ C-CALC₁ ⊆ PSPACE` — transitive reachability
+//!   (PTIME) written with one set variable evaluates correctly, at
+//!   `2^#cells` enumeration cost (experiment E5);
+//! * **Theorems 5.3–5.5** — the set-height hierarchy: each extra level of
+//!   set nesting exponentiates the active domain (experiment E6 measures
+//!   `#cells`, `2^#cells`, `2^(2^#cells)` directly).
+
+#![warn(missing_docs)]
+
+pub mod ccalc;
+pub mod fixpoint;
+pub mod range;
+pub mod types;
+
+pub use ccalc::{CCalc, CCalcConfig, CCalcError, CCalcStats, CFormula, RatTerm, SetRef};
+pub use types::{CType, CValue, CanonicalSet};

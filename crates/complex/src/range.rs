@@ -1,0 +1,230 @@
+//! Range restriction (§5's closing discussion).
+//!
+//! "This approach, called 'range restriction', uses syntactic conditions on
+//! formulas to ensure that set values assigned to set variables are only
+//! from the input database. The range restriction rules are defined similar
+//! to that for classical complex objects in \[GV91\]. For example, one rule
+//! states that if R(x₁, …, x_n) is an atomic formula, then x₁, …, x_n are
+//! range restricted."
+//!
+//! We implement a conservative checker in that spirit: a variable is
+//! *restricted* in a formula if every model-relevant occurrence route binds
+//! it to the input — positively through a predicate atom, an equality with
+//! a constant or an already-restricted variable, or membership in a
+//! restricted set variable. Quantified set variables are restricted when
+//! they occur (somewhere positive) as `… ∈ S` comparisons against input-
+//! derived tuples or in a `S = {comprehension over restricted vars}`.
+//! The checker is sound (never accepts an unrestricted formula), not
+//! complete — exactly the nature of syntactic range restriction.
+
+use crate::ccalc::{CFormula, RatTerm};
+use std::collections::BTreeSet;
+
+/// Conservative test: are all free rational variables of `vars` restricted
+/// by positive occurrences inside `f`?
+pub fn rat_vars_restricted(f: &CFormula, vars: &[String]) -> bool {
+    let restricted = positive_restricted(f);
+    vars.iter().all(|v| restricted.contains(v))
+}
+
+/// Is the formula range-restricted as a whole: every quantified rational
+/// variable is restricted inside its scope (set quantifiers are always
+/// "restricted" under active-domain semantics — their range is finite by
+/// construction, which is the §5 alternative to syntactic restriction).
+pub fn is_range_restricted(f: &CFormula) -> bool {
+    match f {
+        CFormula::True
+        | CFormula::False
+        | CFormula::Compare(..)
+        | CFormula::Pred(..)
+        | CFormula::MemTuple(..)
+        | CFormula::MemSet(..)
+        | CFormula::SetEq(..) => true,
+        CFormula::Not(g) => is_range_restricted(g),
+        CFormula::And(gs) | CFormula::Or(gs) => gs.iter().all(is_range_restricted),
+        CFormula::ExistsRat(x, g) => {
+            positive_restricted(g).contains(x) && is_range_restricted(g)
+        }
+        CFormula::ForallRat(x, g) => {
+            // ∀x φ ≡ ¬∃x ¬φ: restriction is checked on the negation's
+            // positive occurrences; conservatively require x restricted in
+            // the *negated* body's positive part.
+            positive_restricted(&CFormula::Not(Box::new((**g).clone()))).contains(x)
+                && is_range_restricted(g)
+        }
+        CFormula::ExistsSet(_, _, g)
+        | CFormula::ForallSet(_, _, g)
+        | CFormula::ExistsSetSet(_, _, g)
+        | CFormula::ForallSetSet(_, _, g) => is_range_restricted(g),
+    }
+}
+
+/// The set of rational variables restricted by positive occurrences.
+fn positive_restricted(f: &CFormula) -> BTreeSet<String> {
+    // fixpoint over equality propagation
+    let mut restricted = BTreeSet::new();
+    loop {
+        let before = restricted.len();
+        collect(f, true, &mut restricted);
+        if restricted.len() == before {
+            return restricted;
+        }
+    }
+}
+
+fn collect(f: &CFormula, positive: bool, out: &mut BTreeSet<String>) {
+    match f {
+        CFormula::True | CFormula::False => {}
+        CFormula::Compare(l, op, r) => {
+            if !positive {
+                return;
+            }
+            // x = constant restricts x; x = y propagates.
+            if *op == dco_core::prelude::RawOp::Eq {
+                match (l, r) {
+                    (RatTerm::Var(v), RatTerm::Const(_))
+                    | (RatTerm::Const(_), RatTerm::Var(v)) => {
+                        out.insert(v.clone());
+                    }
+                    (RatTerm::Var(a), RatTerm::Var(b)) => {
+                        if out.contains(a) {
+                            out.insert(b.clone());
+                        }
+                        if out.contains(b) {
+                            out.insert(a.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        CFormula::Pred(_, args) | CFormula::MemTuple(args, _) => {
+            if positive {
+                for a in args {
+                    if let RatTerm::Var(v) = a {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+        CFormula::MemSet(..) | CFormula::SetEq(..) => {}
+        CFormula::Not(g) => collect(g, !positive, out),
+        CFormula::And(gs) => {
+            for g in gs {
+                collect(g, positive, out);
+            }
+        }
+        CFormula::Or(gs) => {
+            // a variable is restricted by a disjunction only if every
+            // disjunct restricts it — compute intersection.
+            if !positive {
+                for g in gs {
+                    collect(g, positive, out);
+                }
+                return;
+            }
+            let mut per: Vec<BTreeSet<String>> = Vec::new();
+            for g in gs {
+                let mut s = out.clone();
+                collect(g, positive, &mut s);
+                per.push(s);
+            }
+            if let Some(first) = per.first() {
+                let inter = per.iter().skip(1).fold(first.clone(), |acc, s| {
+                    acc.intersection(s).cloned().collect()
+                });
+                out.extend(inter);
+            }
+        }
+        CFormula::ExistsRat(x, g) | CFormula::ForallRat(x, g) => {
+            // bound variable: occurrences inside don't restrict the outer x
+            let mut inner = out.clone();
+            inner.remove(x);
+            collect(g, positive, &mut inner);
+            inner.remove(x);
+            out.extend(inner);
+        }
+        CFormula::ExistsSet(_, _, g)
+        | CFormula::ForallSet(_, _, g)
+        | CFormula::ExistsSetSet(_, _, g)
+        | CFormula::ForallSetSet(_, _, g) => collect(g, positive, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccalc::SetRef;
+    use dco_core::prelude::{rat, RawOp};
+    use CFormula as F;
+
+    fn pred_x() -> CFormula {
+        F::Pred("s".into(), vec![RatTerm::var("x")])
+    }
+
+    #[test]
+    fn predicate_restricts_its_variables() {
+        assert!(rat_vars_restricted(&pred_x(), &["x".to_string()]));
+        assert!(!rat_vars_restricted(&pred_x(), &["y".to_string()]));
+    }
+
+    #[test]
+    fn constant_equality_restricts() {
+        let f = F::Compare(RatTerm::var("x"), RawOp::Eq, RatTerm::cst(rat(3, 1)));
+        assert!(rat_vars_restricted(&f, &["x".to_string()]));
+        // inequality does not
+        let g = F::Compare(RatTerm::var("x"), RawOp::Lt, RatTerm::cst(rat(3, 1)));
+        assert!(!rat_vars_restricted(&g, &["x".to_string()]));
+    }
+
+    #[test]
+    fn equality_propagates() {
+        let f = F::And(vec![
+            pred_x(),
+            F::Compare(RatTerm::var("x"), RawOp::Eq, RatTerm::var("y")),
+        ]);
+        assert!(rat_vars_restricted(&f, &["y".to_string()]));
+    }
+
+    #[test]
+    fn disjunction_needs_both_branches() {
+        let both = F::Or(vec![pred_x(), F::Pred("t".into(), vec![RatTerm::var("x")])]);
+        assert!(rat_vars_restricted(&both, &["x".to_string()]));
+        let one = F::Or(vec![pred_x(), F::True]);
+        assert!(!rat_vars_restricted(&one, &["x".to_string()]));
+    }
+
+    #[test]
+    fn negation_blocks_restriction() {
+        let f = F::Not(Box::new(pred_x()));
+        assert!(!rat_vars_restricted(&f, &["x".to_string()]));
+    }
+
+    #[test]
+    fn quantified_formulas() {
+        // ∃x (s(x) ∧ x < y): x restricted, whole formula restricted iff...
+        let f = F::ExistsRat(
+            "x".into(),
+            Box::new(F::And(vec![
+                pred_x(),
+                F::Compare(RatTerm::var("x"), RawOp::Lt, RatTerm::var("y")),
+            ])),
+        );
+        assert!(is_range_restricted(&f));
+        // ∃x (x < 3) is NOT range-restricted (x ranges over an infinite set)
+        let g = F::ExistsRat(
+            "x".into(),
+            Box::new(F::Compare(RatTerm::var("x"), RawOp::Lt, RatTerm::cst(rat(3, 1)))),
+        );
+        assert!(!is_range_restricted(&g));
+    }
+
+    #[test]
+    fn membership_restricts() {
+        let f = F::ExistsRat(
+            "x".into(),
+            Box::new(F::MemTuple(vec![RatTerm::var("x")], SetRef::Var("S".into()))),
+        );
+        assert!(is_range_restricted(&f));
+    }
+}

@@ -1,0 +1,255 @@
+//! Types and values for complex constraint objects (§5).
+//!
+//! "Complex constraint objects are composed from finitely representable
+//! sets by the tuple and set constructs." The type grammar is
+//!
+//! ```text
+//! τ ::= Q | ⟨τ₁, …, τ_k⟩ | {τ}
+//! ```
+//!
+//! and the *set-height* of a type — the maximal number of set constructs on
+//! a root-to-leaf path \[HS91\] — stratifies the calculus into `C-CALC_i`
+//! (Theorems 5.2–5.4). Values mirror the grammar:
+//!
+//! * a `{⟨Q,…,Q⟩}`-typed value is a finitely representable (possibly
+//!   infinite) pointset, stored in **canonical cell form** over a fixed
+//!   ambient constant set so values compare and hash structurally;
+//! * a value of a type with set-height ≥ 2 is a *finite* set of values
+//!   (the paper's active-domain semantics makes every such range finite).
+
+use dco_core::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A complex-object type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CType {
+    /// The base type of rationals.
+    Rat,
+    /// A tuple type.
+    Tuple(Vec<CType>),
+    /// A set type.
+    Set(Box<CType>),
+}
+
+impl CType {
+    /// A set of flat k-tuples, `{⟨Q, …, Q⟩}` — the type of classical
+    /// finitely representable relations.
+    pub fn relation(k: u32) -> CType {
+        CType::Set(Box::new(CType::Tuple(vec![CType::Rat; k as usize])))
+    }
+
+    /// The set-height: maximal number of set constructs on a path.
+    pub fn set_height(&self) -> usize {
+        match self {
+            CType::Rat => 0,
+            CType::Tuple(ts) => ts.iter().map(CType::set_height).max().unwrap_or(0),
+            CType::Set(t) => 1 + t.set_height(),
+        }
+    }
+
+    /// Is this type "flat": a (tuple of) rationals?
+    pub fn is_flat(&self) -> bool {
+        self.set_height() == 0
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Rat => write!(f, "Q"),
+            CType::Tuple(ts) => {
+                let parts: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+                write!(f, "<{}>", parts.join(", "))
+            }
+            CType::Set(t) => write!(f, "{{{t}}}"),
+        }
+    }
+}
+
+/// A finitely representable pointset in canonical cell form over an ambient
+/// constant set: the arity plus the sorted set of member cell indices.
+/// Two `CanonicalSet`s over the same ambient space are equal iff they
+/// denote the same pointset — the structural equality §5's set semantics
+/// needs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CanonicalSet {
+    arity: u32,
+    cells: BTreeSet<usize>,
+}
+
+impl CanonicalSet {
+    /// The empty set of k-tuples.
+    pub fn empty(arity: u32) -> CanonicalSet {
+        CanonicalSet { arity, cells: BTreeSet::new() }
+    }
+
+    /// From explicit member cell indices.
+    pub fn from_cells(arity: u32, cells: BTreeSet<usize>) -> CanonicalSet {
+        CanonicalSet { arity, cells }
+    }
+
+    /// Canonicalize a relation over the given ambient space (which must
+    /// cover its constants).
+    pub fn from_relation(space: &CellSpace, rel: &GeneralizedRelation) -> CanonicalSet {
+        let form = space.canonicalize(rel);
+        CanonicalSet { arity: rel.arity(), cells: form.members().clone() }
+    }
+
+    /// Realize as a generalized relation.
+    pub fn to_relation(&self, space: &CellSpace) -> GeneralizedRelation {
+        let all = space.enumerate();
+        GeneralizedRelation::from_tuples(
+            self.arity,
+            self.cells.iter().map(|&i| space.to_tuple(&all[i])),
+        )
+    }
+
+    /// Arity of the member tuples.
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// Member cell indices.
+    pub fn cells(&self) -> &BTreeSet<usize> {
+        &self.cells
+    }
+
+    /// Does the set contain the cell of the given point (w.r.t. the space)?
+    pub fn contains_point(&self, space: &CellSpace, point: &[Rational]) -> bool {
+        let cell = space.locate(point);
+        match space.index_of(&cell) {
+            Some(i) => self.cells.contains(&i),
+            // a point outside the space's cell structure (uses constants the
+            // space doesn't know) can never be in a set definable over it
+            None => false,
+        }
+    }
+}
+
+/// A complex-object value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CValue {
+    /// A rational.
+    Rat(Rational),
+    /// A tuple of values.
+    Tuple(Vec<CValue>),
+    /// A finitely representable set of flat tuples (set-height 1 over a
+    /// flat element type), in canonical cell form.
+    Rel(CanonicalSet),
+    /// A finite set of nested values (set-height ≥ 2).
+    Fin(BTreeSet<CValue>),
+}
+
+impl CValue {
+    /// Type-check the value against a type (structural).
+    pub fn has_type(&self, ty: &CType) -> bool {
+        match (self, ty) {
+            (CValue::Rat(_), CType::Rat) => true,
+            (CValue::Tuple(vs), CType::Tuple(ts)) => {
+                vs.len() == ts.len() && vs.iter().zip(ts).all(|(v, t)| v.has_type(t))
+            }
+            (CValue::Rel(r), CType::Set(inner)) => match &**inner {
+                CType::Tuple(ts) => {
+                    ts.len() == r.arity() as usize && ts.iter().all(|t| *t == CType::Rat)
+                }
+                CType::Rat => r.arity() == 1,
+                _ => false,
+            },
+            (CValue::Fin(vs), CType::Set(inner)) => vs.iter().all(|v| v.has_type(inner)),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CValue::Rat(r) => write!(f, "{r}"),
+            CValue::Tuple(vs) => {
+                let parts: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                write!(f, "<{}>", parts.join(", "))
+            }
+            CValue::Rel(r) => write!(f, "{{|{} cells, arity {}|}}", r.cells().len(), r.arity()),
+            CValue::Fin(vs) => {
+                let parts: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                write!(f, "{{{}}}", parts.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_heights() {
+        assert_eq!(CType::Rat.set_height(), 0);
+        assert_eq!(CType::relation(2).set_height(), 1);
+        assert_eq!(CType::Set(Box::new(CType::relation(1))).set_height(), 2);
+        let mixed = CType::Tuple(vec![CType::Rat, CType::relation(3)]);
+        assert_eq!(mixed.set_height(), 1);
+    }
+
+    #[test]
+    fn canonical_set_equality_is_semantic() {
+        let space = CellSpace::new(1, vec![rat(0, 1), rat(10, 1)]);
+        let a = GeneralizedRelation::from_raw(
+            1,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        );
+        // same set, different syntax: [0,10] = [0,10] ∪ {0}
+        let b = a.union(&GeneralizedRelation::from_points(1, vec![vec![rat(0, 1)]]));
+        let ca = CanonicalSet::from_relation(&space, &a);
+        let cb = CanonicalSet::from_relation(&space, &b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn canonical_set_membership() {
+        let space = CellSpace::new(1, vec![rat(0, 1), rat(10, 1)]);
+        let a = GeneralizedRelation::from_raw(
+            1,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Lt, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(10, 1))),
+            ],
+        );
+        let c = CanonicalSet::from_relation(&space, &a);
+        assert!(c.contains_point(&space, &[rat(5, 1)]));
+        assert!(!c.contains_point(&space, &[rat(0, 1)]));
+        assert!(!c.contains_point(&space, &[rat(11, 1)]));
+    }
+
+    #[test]
+    fn roundtrip_realization() {
+        let space = CellSpace::new(1, vec![rat(0, 1)]);
+        let a = GeneralizedRelation::from_raw(
+            1,
+            vec![RawAtom::new(Term::cst(rat(0, 1)), RawOp::Lt, Term::var(0))],
+        );
+        let c = CanonicalSet::from_relation(&space, &a);
+        let back = c.to_relation(&space);
+        assert!(back.equivalent(&a));
+    }
+
+    #[test]
+    fn typing() {
+        let v = CValue::Tuple(vec![CValue::Rat(rat(1, 1)), CValue::Rat(rat(2, 1))]);
+        assert!(v.has_type(&CType::Tuple(vec![CType::Rat, CType::Rat])));
+        assert!(!v.has_type(&CType::Rat));
+        let space = CellSpace::new(1, vec![]);
+        let r = CValue::Rel(CanonicalSet::from_relation(
+            &space,
+            &GeneralizedRelation::universe(1),
+        ));
+        assert!(r.has_type(&CType::relation(1)));
+        assert!(r.has_type(&CType::Set(Box::new(CType::Rat))));
+        let nested = CValue::Fin([r.clone()].into_iter().collect());
+        assert!(nested.has_type(&CType::Set(Box::new(CType::relation(1)))));
+    }
+}

@@ -1,0 +1,452 @@
+//! Order automorphisms of `(Q, ≤)` and genericity checking.
+//!
+//! Definition 3.1 of the paper defines a query as a partial recursive mapping
+//! **closed under automorphisms of Q**: if `π` is an order automorphism, then
+//! `Q(π(D)) = π(Q(D))`. This is the dense-order analogue of the classical
+//! genericity criterion of Chandra and Harel \[CH80\], and the paper notes it
+//! coincides with invariance under *monotone homeomorphisms* of the rational
+//! line.
+//!
+//! We realize a rich, easily-sampled family of automorphisms: piecewise
+//! linear monotone bijections determined by finitely many anchor pairs
+//! `(aᵢ ↦ bᵢ)` with both sequences strictly increasing, extended linearly
+//! between anchors and by translation outside. Every such map is an order
+//! automorphism of Q, and the family is rich enough to move any finite
+//! constant set anywhere order-compatibly — which is exactly what the
+//! genericity tests need.
+
+use crate::rational::Rational;
+use crate::relation::GeneralizedRelation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A piecewise-linear order automorphism of Q.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Automorphism {
+    /// Anchor pairs `(a, b)`: strictly increasing in both coordinates.
+    anchors: Vec<(Rational, Rational)>,
+}
+
+/// Error constructing an automorphism from invalid anchors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutomorphismError(pub String);
+
+impl fmt::Display for AutomorphismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid automorphism: {}", self.0)
+    }
+}
+
+impl std::error::Error for AutomorphismError {}
+
+impl Automorphism {
+    /// The identity.
+    pub fn identity() -> Automorphism {
+        Automorphism { anchors: Vec::new() }
+    }
+
+    /// Build from anchor pairs; both coordinate sequences must be strictly
+    /// increasing once sorted by the first coordinate.
+    pub fn from_anchors(
+        mut anchors: Vec<(Rational, Rational)>,
+    ) -> Result<Automorphism, AutomorphismError> {
+        anchors.sort_by(|x, y| x.0.cmp(&y.0));
+        for w in anchors.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(AutomorphismError(format!("duplicate anchor source {}", w[0].0)));
+            }
+            if w[0].1 >= w[1].1 {
+                return Err(AutomorphismError(format!(
+                    "anchor targets not increasing: {} ↦ {}, {} ↦ {}",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                )));
+            }
+        }
+        Ok(Automorphism { anchors })
+    }
+
+    /// Translation `x ↦ x + d`.
+    pub fn translation(d: Rational) -> Automorphism {
+        // encoded as two anchors to keep a single representation
+        Automorphism {
+            anchors: vec![
+                (Rational::ZERO, d),
+                (Rational::ONE, &Rational::ONE + &d),
+            ],
+        }
+    }
+
+    /// Scaling `x ↦ s·x` for `s > 0`.
+    pub fn scaling(s: Rational) -> Automorphism {
+        assert!(s.is_positive(), "scaling factor must be positive");
+        Automorphism {
+            anchors: vec![(Rational::ZERO, Rational::ZERO), (Rational::ONE, s)],
+        }
+    }
+
+    /// Apply to a rational.
+    pub fn apply(&self, x: &Rational) -> Rational {
+        if self.anchors.is_empty() {
+            return *x;
+        }
+        let first = &self.anchors[0];
+        let last = &self.anchors[self.anchors.len() - 1];
+        if *x <= first.0 {
+            // translate with the leading segment's slope 1 offset
+            return &first.1 + &(x - &first.0);
+        }
+        if *x >= last.0 {
+            return &last.1 + &(x - &last.0);
+        }
+        // find the segment containing x
+        let i = self
+            .anchors
+            .partition_point(|(a, _)| a < x);
+        let (a1, b1) = &self.anchors[i - 1];
+        let (a2, b2) = &self.anchors[i];
+        if x == a2 {
+            return *b2;
+        }
+        // linear interpolation: b1 + (x-a1) * (b2-b1)/(a2-a1)
+        let slope = &(b2 - b1) / &(a2 - a1);
+        b1 + &(&(x - a1) * &slope)
+    }
+
+    /// The inverse automorphism.
+    pub fn inverse(&self) -> Automorphism {
+        Automorphism {
+            anchors: self.anchors.iter().map(|(a, b)| (*b, *a)).collect(),
+        }
+    }
+
+    /// Composition: `(self ∘ other)(x) = self(other(x))`.
+    ///
+    /// The composite is again piecewise linear; its breakpoints are the
+    /// anchors of `other` together with the preimages (under `other`) of the
+    /// anchors of `self`.
+    pub fn compose(&self, other: &Automorphism) -> Automorphism {
+        let inv = other.inverse();
+        let mut sources: Vec<Rational> = other.anchors.iter().map(|(a, _)| *a).collect();
+        sources.extend(self.anchors.iter().map(|(a, _)| inv.apply(a)));
+        sources.sort();
+        sources.dedup();
+        let anchors = sources
+            .into_iter()
+            .map(|a| {
+                let mid = other.apply(&a);
+                (a, self.apply(&mid))
+            })
+            .collect();
+        Automorphism { anchors }
+    }
+
+    /// Image of a generalized relation (maps every constant).
+    pub fn apply_relation(&self, rel: &GeneralizedRelation) -> GeneralizedRelation {
+        rel.map_consts(&|c| self.apply(c))
+    }
+
+    /// Image of a point.
+    pub fn apply_point(&self, p: &[Rational]) -> Vec<Rational> {
+        p.iter().map(|x| self.apply(x)).collect()
+    }
+
+    /// Like [`Automorphism::random_over`], but the automorphism **fixes**
+    /// every constant in `fixed` pointwise. Needed to test genericity of
+    /// queries that mention constants: such a query commutes only with
+    /// automorphisms fixing its constants (C-genericity).
+    pub fn random_over_fixing(
+        consts: &[Rational],
+        fixed: &[Rational],
+        rng: &mut impl rand_like::RngLike,
+    ) -> Automorphism {
+        use std::collections::BTreeSet;
+        let fixed_set: BTreeSet<Rational> = fixed.iter().copied().collect();
+        let sorted: Vec<Rational> = consts
+            .iter()
+            .chain(fixed.iter())
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if fixed_set.is_empty() {
+            return Automorphism::random_over(&sorted, rng);
+        }
+        let n = sorted.len();
+        let mut targets: Vec<Option<Rational>> = sorted
+            .iter()
+            .map(|c| if fixed_set.contains(c) { Some(*c) } else { None })
+            .collect();
+        let pinned: Vec<usize> = (0..n).filter(|&i| targets[i].is_some()).collect();
+        let first = pinned[0];
+        let last = *pinned.last().expect("nonempty");
+        // Free prefix: walk left from the first pinned target.
+        let mut cur = targets[first].expect("pinned");
+        for i in (0..first).rev() {
+            let jump = Rational::new((rng.next_u32() % 7 + 1) as i128, (rng.next_u32() % 5 + 1) as i128)
+                .expect("valid jump");
+            cur = &cur - &jump;
+            targets[i] = Some(cur);
+        }
+        // Free suffix: walk right from the last pinned target.
+        let mut cur = targets[last].expect("pinned");
+        for t in targets.iter_mut().take(n).skip(last + 1) {
+            let jump = Rational::new((rng.next_u32() % 7 + 1) as i128, (rng.next_u32() % 5 + 1) as i128)
+                .expect("valid jump");
+            cur = &cur + &jump;
+            *t = Some(cur);
+        }
+        // Free runs between consecutive pinned indices: spread within the
+        // open target interval, with a jitter below half the spacing.
+        for w in pinned.windows(2) {
+            let (p, q) = (w[0], w[1]);
+            let k = q - p - 1;
+            if k == 0 {
+                continue;
+            }
+            let a = targets[p].expect("pinned");
+            let b = targets[q].expect("pinned");
+            let gap = &b - &a;
+            let spacing = &gap / &Rational::from_int(k as i64 + 1);
+            for (j, t) in targets.iter_mut().take(q).skip(p + 1).enumerate() {
+                let base = &a + &(&spacing * &Rational::from_int(j as i64 + 1));
+                let jitter = &spacing
+                    * &Rational::new((rng.next_u32() % 50) as i128, 101).expect("valid");
+                *t = Some(&base + &jitter);
+            }
+        }
+        let anchors: Vec<(Rational, Rational)> = sorted
+            .into_iter()
+            .zip(targets.into_iter().map(|t| t.expect("all assigned")))
+            .collect();
+        Automorphism::from_anchors(anchors).expect("anchors are strictly increasing")
+    }
+
+    /// Sample a random automorphism that moves the given set of "interesting"
+    /// constants to new rational positions while preserving their order —
+    /// the workhorse of genericity property tests.
+    pub fn random_over(
+        consts: &[Rational],
+        rng: &mut impl rand_like::RngLike,
+    ) -> Automorphism {
+        let mut sorted: Vec<Rational> = consts.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        // choose strictly increasing random images
+        let mut targets = Vec::with_capacity(sorted.len());
+        let mut prev: Option<Rational> = None;
+        for _ in &sorted {
+            let jump_num = (rng.next_u32() % 7 + 1) as i128;
+            let jump_den = (rng.next_u32() % 5 + 1) as i128;
+            let jump = Rational::new(jump_num, jump_den).expect("valid jump");
+            let next = match &prev {
+                None => {
+                    let start = (rng.next_u32() % 21) as i64 - 10;
+                    Rational::from_int(start)
+                }
+                Some(p) => p + &jump,
+            };
+            targets.push(next);
+            prev = Some(next);
+        }
+        Automorphism::from_anchors(sorted.into_iter().zip(targets).collect())
+            .expect("constructed anchors are strictly increasing")
+    }
+}
+
+/// Minimal RNG abstraction so `dco-core` stays dependency-free in its public
+/// API while tests and callers can plug `rand`.
+pub mod rand_like {
+    /// Anything that can produce `u32`s; implemented for a tiny xorshift and
+    /// easily adapted to `rand::RngCore`.
+    pub trait RngLike {
+        /// Next pseudo-random u32.
+        fn next_u32(&mut self) -> u32;
+    }
+
+    /// A deterministic xorshift32 — good enough for choosing test anchors.
+    #[derive(Clone, Debug)]
+    pub struct XorShift32 {
+        state: u32,
+    }
+
+    impl XorShift32 {
+        /// Seeded constructor; zero seeds are bumped.
+        pub fn new(seed: u32) -> XorShift32 {
+            XorShift32 { state: if seed == 0 { 0x9E3779B9 } else { seed } }
+        }
+    }
+
+    impl RngLike for XorShift32 {
+        fn next_u32(&mut self) -> u32 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            self.state = x;
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_like::{RngLike, XorShift32};
+    use super::*;
+    use crate::atom::{RawAtom, RawOp, Term};
+    use crate::rational::rat;
+
+    #[test]
+    fn identity_fixes_everything() {
+        let id = Automorphism::identity();
+        for x in [rat(0, 1), rat(-5, 3), rat(7, 2)] {
+            assert_eq!(id.apply(&x), x);
+        }
+    }
+
+    #[test]
+    fn translation_and_scaling() {
+        let t = Automorphism::translation(rat(3, 1));
+        assert_eq!(t.apply(&rat(1, 1)), rat(4, 1));
+        assert_eq!(t.apply(&rat(-10, 1)), rat(-7, 1));
+        let s = Automorphism::scaling(rat(2, 1));
+        assert_eq!(s.apply(&rat(1, 2)), rat(1, 1));
+        assert_eq!(s.apply(&rat(1, 1)), rat(2, 1));
+        // outside anchor range the map continues with slope 1 — still an
+        // automorphism, just not global scaling; monotonicity is what counts.
+        assert!(s.apply(&rat(-3, 1)) < s.apply(&rat(-2, 1)));
+    }
+
+    #[test]
+    fn piecewise_interpolation() {
+        let f = Automorphism::from_anchors(vec![
+            (rat(0, 1), rat(0, 1)),
+            (rat(1, 1), rat(10, 1)),
+            (rat(2, 1), rat(11, 1)),
+        ])
+        .unwrap();
+        assert_eq!(f.apply(&rat(1, 2)), rat(5, 1));
+        assert_eq!(f.apply(&rat(3, 2)), rat(21, 2));
+        assert_eq!(f.apply(&rat(1, 1)), rat(10, 1));
+    }
+
+    #[test]
+    fn monotone_everywhere() {
+        let f = Automorphism::from_anchors(vec![
+            (rat(-1, 1), rat(5, 1)),
+            (rat(0, 1), rat(6, 1)),
+            (rat(1, 2), rat(100, 1)),
+        ])
+        .unwrap();
+        let probes = [
+            rat(-10, 1),
+            rat(-1, 1),
+            rat(-1, 2),
+            rat(0, 1),
+            rat(1, 4),
+            rat(1, 2),
+            rat(5, 1),
+        ];
+        for w in probes.windows(2) {
+            assert!(f.apply(&w[0]) < f.apply(&w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = Automorphism::from_anchors(vec![
+            (rat(0, 1), rat(-3, 1)),
+            (rat(1, 1), rat(0, 1)),
+            (rat(3, 1), rat(1, 2)),
+        ])
+        .unwrap();
+        let g = f.inverse();
+        for x in [rat(0, 1), rat(1, 2), rat(2, 1), rat(-7, 1), rat(10, 1)] {
+            assert_eq!(g.apply(&f.apply(&x)), x);
+            assert_eq!(f.apply(&g.apply(&x)), x);
+        }
+    }
+
+    #[test]
+    fn compose_matches_pointwise() {
+        let f = Automorphism::translation(rat(1, 1));
+        let g = Automorphism::scaling(rat(2, 1));
+        let fg = f.compose(&g);
+        for x in [rat(0, 1), rat(1, 2), rat(-3, 1), rat(5, 1)] {
+            assert_eq!(fg.apply(&x), f.apply(&g.apply(&x)));
+        }
+    }
+
+    #[test]
+    fn invalid_anchors_rejected() {
+        assert!(Automorphism::from_anchors(vec![
+            (rat(0, 1), rat(1, 1)),
+            (rat(1, 1), rat(0, 1)),
+        ])
+        .is_err());
+        assert!(Automorphism::from_anchors(vec![
+            (rat(0, 1), rat(1, 1)),
+            (rat(0, 1), rat(2, 1)),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn relation_image_membership_transfers() {
+        // R = [0, 10]; π piecewise; x ∈ R ⟺ π(x) ∈ π(R)
+        let rel = GeneralizedRelation::from_raw(
+            1,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        );
+        let f = Automorphism::from_anchors(vec![
+            (rat(0, 1), rat(100, 1)),
+            (rat(10, 1), rat(101, 1)),
+        ])
+        .unwrap();
+        let img = f.apply_relation(&rel);
+        for x in [rat(0, 1), rat(5, 1), rat(10, 1), rat(-1, 1), rat(11, 1)] {
+            assert_eq!(rel.contains_point(&[x]), img.contains_point(&[f.apply(&x)]));
+        }
+    }
+
+    #[test]
+    fn random_over_fixing_pins_constants() {
+        let mut rng = XorShift32::new(11);
+        let consts = [rat(-1, 1), rat(0, 1), rat(3, 1), rat(7, 1), rat(10, 1)];
+        let fixed = [rat(0, 1), rat(7, 1)];
+        for _ in 0..20 {
+            let f = Automorphism::random_over_fixing(&consts, &fixed, &mut rng);
+            assert_eq!(f.apply(&rat(0, 1)), rat(0, 1));
+            assert_eq!(f.apply(&rat(7, 1)), rat(7, 1));
+            for w in consts.windows(2) {
+                assert!(f.apply(&w[0]) < f.apply(&w[1]));
+            }
+            // free constants between fixed ones stay between them
+            let img = f.apply(&rat(3, 1));
+            assert!(rat(0, 1) < img && img < rat(7, 1));
+        }
+    }
+
+    #[test]
+    fn random_over_preserves_order() {
+        let mut rng = XorShift32::new(42);
+        let consts = [rat(-1, 1), rat(0, 1), rat(1, 2), rat(7, 1)];
+        for _ in 0..20 {
+            let f = Automorphism::random_over(&consts, &mut rng);
+            for w in consts.windows(2) {
+                assert!(f.apply(&w[0]) < f.apply(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift32::new(7);
+        let mut b = XorShift32::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! One-dimensional canonical interval sets.
+//!
+//! Unary dense-order relations are exactly finite unions of points and open
+//! intervals with rational (or infinite) endpoints — the paper's §2 notes the
+//! motivating special case that planar dense-order relations decompose into
+//! rectangles "representable by four constants along with a flag". The 1-D
+//! analogue here is the canonical sorted list of disjoint, non-adjacent
+//! intervals, which gives O(n log n) normalization and linear-time boolean
+//! operations — a fast path the generic DNF machinery can't match.
+
+use crate::atom::{CompOp, RawAtom, RawOp, Term, Var};
+use crate::rational::Rational;
+use crate::relation::GeneralizedRelation;
+use crate::tuple::GeneralizedTuple;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An endpoint of an interval: −∞, a rational (open or closed), or +∞.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Bound {
+    /// Unbounded below/above.
+    Unbounded,
+    /// Endpoint excluded.
+    Open(Rational),
+    /// Endpoint included.
+    Closed(Rational),
+}
+
+/// A nonempty interval of Q.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: Bound,
+    /// Upper bound.
+    pub hi: Bound,
+}
+
+impl Interval {
+    /// The whole line.
+    pub fn all() -> Interval {
+        Interval { lo: Bound::Unbounded, hi: Bound::Unbounded }
+    }
+
+    /// A single point.
+    pub fn point(p: Rational) -> Interval {
+        Interval { lo: Bound::Closed(p), hi: Bound::Closed(p) }
+    }
+
+    /// A closed interval `[a, b]`; panics if `a > b`.
+    pub fn closed(a: Rational, b: Rational) -> Interval {
+        assert!(a <= b, "empty closed interval");
+        Interval { lo: Bound::Closed(a), hi: Bound::Closed(b) }
+    }
+
+    /// An open interval `(a, b)`; panics if `a >= b`.
+    pub fn open(a: Rational, b: Rational) -> Interval {
+        assert!(a < b, "empty open interval");
+        Interval { lo: Bound::Open(a), hi: Bound::Open(b) }
+    }
+
+    /// Is the interval nonempty? (Constructors enforce this, but boolean
+    /// operations build candidates that need checking.)
+    fn valid(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+            (Bound::Closed(a), Bound::Closed(b)) => a <= b,
+            (Bound::Closed(a), Bound::Open(b))
+            | (Bound::Open(a), Bound::Closed(b))
+            | (Bound::Open(a), Bound::Open(b)) => a < b,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &Rational) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Open(a) => a < x,
+            Bound::Closed(a) => a <= x,
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Open(b) => x < b,
+            Bound::Closed(b) => x <= b,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Key for sorting intervals by lower endpoint.
+    fn lo_key(&self) -> (i8, Rational, i8) {
+        match self.lo {
+            Bound::Unbounded => (-1, Rational::ZERO, 0),
+            Bound::Closed(a) => (0, a, 0),
+            Bound::Open(a) => (0, a, 1),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.lo, &self.hi) {
+            (Bound::Closed(a), Bound::Closed(b)) if a == b => write!(f, "{{{}}}", a),
+            _ => {
+                match &self.lo {
+                    Bound::Unbounded => write!(f, "(-inf, ")?,
+                    Bound::Open(a) => write!(f, "({}, ", a)?,
+                    Bound::Closed(a) => write!(f, "[{}, ", a)?,
+                }
+                match &self.hi {
+                    Bound::Unbounded => write!(f, "inf)"),
+                    Bound::Open(b) => write!(f, "{})", b),
+                    Bound::Closed(b) => write!(f, "{}]", b),
+                }
+            }
+        }
+    }
+}
+
+/// A canonical finite union of intervals: sorted, disjoint, and non-mergeable
+/// (no two stored intervals are adjacent or overlapping).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet { intervals: Vec::new() }
+    }
+
+    /// The whole line.
+    pub fn all() -> IntervalSet {
+        IntervalSet { intervals: vec![Interval::all()] }
+    }
+
+    /// Build from arbitrary intervals, normalizing.
+    pub fn from_intervals(intervals: impl IntoIterator<Item = Interval>) -> IntervalSet {
+        let mut v: Vec<Interval> = intervals.into_iter().filter(|i| i.valid()).collect();
+        v.sort_by(|a, b| a.lo_key().cmp(&b.lo_key()));
+        let mut out: Vec<Interval> = Vec::new();
+        for iv in v {
+            match out.last_mut() {
+                Some(last) if touches_or_overlaps(last, &iv) => {
+                    *last = hull(last, &iv);
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// The canonical intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Membership.
+    pub fn contains(&self, x: &Rational) -> bool {
+        self.intervals.iter().any(|i| i.contains(x))
+    }
+
+    /// Union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(
+            self.intervals.iter().chain(other.intervals.iter()).copied(),
+        )
+    }
+
+    /// Complement.
+    pub fn complement(&self) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut lo = Bound::Unbounded;
+        for iv in &self.intervals {
+            // gap before iv
+            let hi = match iv.lo {
+                Bound::Unbounded => None,
+                Bound::Open(a) => Some(Bound::Closed(a)),
+                Bound::Closed(a) => Some(Bound::Open(a)),
+            };
+            if let Some(hi) = hi {
+                let gap = Interval { lo, hi };
+                if gap.valid() {
+                    out.push(gap);
+                }
+            }
+            lo = match iv.hi {
+                Bound::Unbounded => return IntervalSet { intervals: out },
+                Bound::Open(b) => Bound::Closed(b),
+                Bound::Closed(b) => Bound::Open(b),
+            };
+        }
+        out.push(Interval { lo, hi: Bound::Unbounded });
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Intersection (via De Morgan — still linear-ish at these sizes).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        self.complement().union(&other.complement()).complement()
+    }
+
+    /// Difference.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        self.intersect(&other.complement())
+    }
+
+    /// Convert to a unary generalized relation.
+    pub fn to_relation(&self) -> GeneralizedRelation {
+        let mut rel = GeneralizedRelation::empty(1);
+        for iv in &self.intervals {
+            let mut raws = Vec::new();
+            match iv.lo {
+                Bound::Unbounded => {}
+                Bound::Open(a) => raws.push(RawAtom::new(Term::cst(a), RawOp::Lt, Term::var(0))),
+                Bound::Closed(a) => raws.push(RawAtom::new(Term::cst(a), RawOp::Le, Term::var(0))),
+            }
+            match iv.hi {
+                Bound::Unbounded => {}
+                Bound::Open(b) => raws.push(RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(b))),
+                Bound::Closed(b) => raws.push(RawAtom::new(Term::var(0), RawOp::Le, Term::cst(b))),
+            }
+            for t in GeneralizedTuple::from_raw(1, raws) {
+                rel.insert(t);
+            }
+        }
+        rel
+    }
+
+    /// Convert a unary generalized relation to canonical interval form.
+    ///
+    /// Each satisfiable tuple of a unary relation denotes one interval;
+    /// we extract its bounds by inspecting the (simplified) constraints.
+    pub fn from_relation(rel: &GeneralizedRelation) -> IntervalSet {
+        assert_eq!(rel.arity(), 1, "interval sets are unary");
+        let mut intervals = Vec::new();
+        for t in rel.tuples() {
+            let t = t.simplify();
+            let mut lo = Bound::Unbounded;
+            let mut hi = Bound::Unbounded;
+            for a in t.atoms() {
+                let (x_on_left, c) = match (a.lhs(), a.rhs()) {
+                    (Term::Var(Var(0)), Term::Const(c)) => (true, c),
+                    (Term::Const(c), Term::Var(Var(0))) => (false, c),
+                    _ => unreachable!("unary tuple has only var-const atoms"),
+                };
+                match (a.op(), x_on_left) {
+                    (CompOp::Eq, _) => {
+                        lo = tighten_lo(lo, Bound::Closed(c));
+                        hi = tighten_hi(hi, Bound::Closed(c));
+                    }
+                    (CompOp::Lt, true) => hi = tighten_hi(hi, Bound::Open(c)),
+                    (CompOp::Le, true) => hi = tighten_hi(hi, Bound::Closed(c)),
+                    (CompOp::Lt, false) => lo = tighten_lo(lo, Bound::Open(c)),
+                    (CompOp::Le, false) => lo = tighten_lo(lo, Bound::Closed(c)),
+                }
+            }
+            let iv = Interval { lo, hi };
+            if iv.valid() {
+                intervals.push(iv);
+            }
+        }
+        IntervalSet::from_intervals(intervals)
+    }
+}
+
+fn tighten_lo(cur: Bound, new: Bound) -> Bound {
+    match (cur, new) {
+        (Bound::Unbounded, n) => n,
+        (c, Bound::Unbounded) => c,
+        (Bound::Open(a), Bound::Open(b)) => Bound::Open(a.max(b)),
+        (Bound::Closed(a), Bound::Closed(b)) => Bound::Closed(a.max(b)),
+        (Bound::Open(a), Bound::Closed(b)) | (Bound::Closed(b), Bound::Open(a)) => {
+            if a >= b {
+                Bound::Open(a)
+            } else {
+                Bound::Closed(b)
+            }
+        }
+    }
+}
+
+fn tighten_hi(cur: Bound, new: Bound) -> Bound {
+    match (cur, new) {
+        (Bound::Unbounded, n) => n,
+        (c, Bound::Unbounded) => c,
+        (Bound::Open(a), Bound::Open(b)) => Bound::Open(a.min(b)),
+        (Bound::Closed(a), Bound::Closed(b)) => Bound::Closed(a.min(b)),
+        (Bound::Open(a), Bound::Closed(b)) | (Bound::Closed(b), Bound::Open(a)) => {
+            if a <= b {
+                Bound::Open(a)
+            } else {
+                Bound::Closed(b)
+            }
+        }
+    }
+}
+
+/// Do two intervals (first sorted before second by `lo`) overlap or touch so
+/// that their union is a single interval?
+fn touches_or_overlaps(a: &Interval, b: &Interval) -> bool {
+    // b.lo vs a.hi
+    match (&a.hi, &b.lo) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+        (Bound::Closed(x), Bound::Closed(y)) => y <= x || y == x,
+        (Bound::Closed(x), Bound::Open(y)) => y <= x,
+        (Bound::Open(x), Bound::Closed(y)) => y <= x,
+        // (a, x) and (x, b) do NOT merge: x is missing.
+        (Bound::Open(x), Bound::Open(y)) => y < x,
+    }
+}
+
+/// Union hull of two overlapping/touching intervals (a sorted before b).
+fn hull(a: &Interval, b: &Interval) -> Interval {
+    let hi = match (&a.hi, &b.hi) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => Bound::Unbounded,
+        (Bound::Closed(x), Bound::Closed(y)) => Bound::Closed(*x.max(y)),
+        (Bound::Open(x), Bound::Open(y)) => Bound::Open(*x.max(y)),
+        (Bound::Closed(x), Bound::Open(y)) => {
+            if y > x {
+                Bound::Open(*y)
+            } else {
+                Bound::Closed(*x)
+            }
+        }
+        (Bound::Open(x), Bound::Closed(y)) => {
+            if y >= x {
+                Bound::Closed(*y)
+            } else {
+                Bound::Open(*x)
+            }
+        }
+    };
+    Interval { lo: a.lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    #[test]
+    fn membership() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::closed(rat(0, 1), rat(1, 1)),
+            Interval::open(rat(2, 1), rat(3, 1)),
+        ]);
+        assert!(s.contains(&rat(0, 1)));
+        assert!(s.contains(&rat(1, 2)));
+        assert!(!s.contains(&rat(2, 1)));
+        assert!(s.contains(&rat(5, 2)));
+        assert!(!s.contains(&rat(3, 1)));
+    }
+
+    #[test]
+    fn normalization_merges_overlaps() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::closed(rat(0, 1), rat(2, 1)),
+            Interval::closed(rat(1, 1), rat(3, 1)),
+        ]);
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.contains(&rat(3, 1)));
+    }
+
+    #[test]
+    fn adjacent_closed_open_merges() {
+        // [0,1] ∪ (1,2) = [0,2)
+        let s = IntervalSet::from_intervals(vec![
+            Interval::closed(rat(0, 1), rat(1, 1)),
+            Interval::open(rat(1, 1), rat(2, 1)),
+        ]);
+        assert_eq!(s.intervals().len(), 1);
+        assert!(s.contains(&rat(1, 1)));
+        assert!(!s.contains(&rat(2, 1)));
+    }
+
+    #[test]
+    fn adjacent_open_open_does_not_merge() {
+        // (0,1) ∪ (1,2) stays two intervals: 1 is missing
+        let s = IntervalSet::from_intervals(vec![
+            Interval::open(rat(0, 1), rat(1, 1)),
+            Interval::open(rat(1, 1), rat(2, 1)),
+        ]);
+        assert_eq!(s.intervals().len(), 2);
+        assert!(!s.contains(&rat(1, 1)));
+        // adding the point merges everything
+        let s2 = s.union(&IntervalSet::from_intervals(vec![Interval::point(rat(1, 1))]));
+        assert_eq!(s2.intervals().len(), 1);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::closed(rat(0, 1), rat(1, 1)),
+            Interval::point(rat(5, 1)),
+            Interval { lo: Bound::Open(rat(7, 1)), hi: Bound::Unbounded },
+        ]);
+        let c = s.complement();
+        assert!(!c.contains(&rat(0, 1)));
+        assert!(c.contains(&rat(-1, 1)));
+        assert!(c.contains(&rat(2, 1)));
+        assert!(!c.contains(&rat(5, 1)));
+        assert!(c.contains(&rat(7, 1)));
+        assert!(!c.contains(&rat(8, 1)));
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    fn intersect_difference() {
+        let a = IntervalSet::from_intervals(vec![Interval::closed(rat(0, 1), rat(10, 1))]);
+        let b = IntervalSet::from_intervals(vec![Interval::closed(rat(5, 1), rat(15, 1))]);
+        let i = a.intersect(&b);
+        assert!(i.contains(&rat(7, 1)));
+        assert!(!i.contains(&rat(1, 1)));
+        let d = a.difference(&b);
+        assert!(d.contains(&rat(1, 1)));
+        assert!(!d.contains(&rat(5, 1)));
+    }
+
+    #[test]
+    fn relation_roundtrip() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::open(rat(0, 1), rat(1, 1)),
+            Interval::point(rat(3, 1)),
+            Interval { lo: Bound::Unbounded, hi: Bound::Open(rat(-5, 1)) },
+        ]);
+        let rel = s.to_relation();
+        let back = IntervalSet::from_relation(&rel);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn relation_with_contradictory_bounds_is_empty_interval() {
+        use crate::atom::{RawAtom, RawOp};
+        // x < 0 ∧ x > 1 — unsat, filtered by relation construction
+        let rel = GeneralizedRelation::from_raw(
+            1,
+            vec![
+                RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(0, 1))),
+                RawAtom::new(Term::var(0), RawOp::Gt, Term::cst(rat(1, 1))),
+            ],
+        );
+        assert!(IntervalSet::from_relation(&rel).is_empty());
+    }
+
+    #[test]
+    fn all_and_empty() {
+        assert!(IntervalSet::all().contains(&rat(42, 1)));
+        assert!(IntervalSet::all().complement().is_empty());
+        assert!(IntervalSet::empty().complement().contains(&rat(0, 1)));
+    }
+}

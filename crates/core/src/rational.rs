@@ -1,0 +1,415 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The dense-order theory `Th(Q, <)` is the backbone of the paper; every
+//! constant appearing in a constraint is a rational number. We implement a
+//! small exact rational type rather than pulling in a bignum dependency:
+//! dense-order quantifier elimination never *creates* new constants, and the
+//! linear (FO+) layer only combines constants through Fourier–Motzkin steps,
+//! so `i128` numerators/denominators are ample for every workload in the
+//! experiment suite. All arithmetic is overflow-checked; an overflow is
+//! reported as an error rather than wrapping silently.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// The normal form is maintained by every constructor, so structural equality
+/// coincides with numeric equality and the derived `Hash` is consistent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "(i128, i128)", into = "(i128, i128)")]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Error raised when rational arithmetic overflows `i128` or divides by zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArithmeticError(pub &'static str);
+
+impl fmt::Display for ArithmeticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rational arithmetic error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArithmeticError {}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct a rational from a numerator and denominator.
+    ///
+    /// Returns an error if `den == 0` or normalization overflows.
+    pub fn new(num: i128, den: i128) -> Result<Rational, ArithmeticError> {
+        if den == 0 {
+            return Err(ArithmeticError("zero denominator"));
+        }
+        let g = gcd(num, den);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if d < 0 {
+            n = n.checked_neg().ok_or(ArithmeticError("negation overflow"))?;
+            d = d.checked_neg().ok_or(ArithmeticError("negation overflow"))?;
+        }
+        Ok(Rational { num: n, den: d })
+    }
+
+    /// Construct a rational from an integer.
+    pub const fn from_int(n: i64) -> Rational {
+        Rational { num: n as i128, den: 1 }
+    }
+
+    /// The numerator of the normal form (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the normal form (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Rational) -> Result<Rational, ArithmeticError> {
+        // a/b + c/d = (a*d + c*b) / (b*d); reduce via gcd of denominators first
+        // to keep intermediates small (standard trick, see Knuth TAOCP 4.5.1).
+        let g = gcd(self.den, rhs.den);
+        let bd = self.den / g;
+        let dd = rhs.den / g;
+        let n1 = self.num.checked_mul(dd).ok_or(ArithmeticError("add overflow"))?;
+        let n2 = rhs.num.checked_mul(bd).ok_or(ArithmeticError("add overflow"))?;
+        let num = n1.checked_add(n2).ok_or(ArithmeticError("add overflow"))?;
+        let den = self
+            .den
+            .checked_mul(dd)
+            .ok_or(ArithmeticError("add overflow"))?;
+        Rational::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Rational) -> Result<Rational, ArithmeticError> {
+        self.checked_add(&rhs.checked_neg()?)
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(&self, rhs: &Rational) -> Result<Rational, ArithmeticError> {
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or(ArithmeticError("mul overflow"))?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or(ArithmeticError("mul overflow"))?;
+        Rational::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, rhs: &Rational) -> Result<Rational, ArithmeticError> {
+        if rhs.is_zero() {
+            return Err(ArithmeticError("division by zero"));
+        }
+        self.checked_mul(&Rational { num: rhs.den, den: rhs.num }.canonicalized())
+    }
+
+    /// Checked negation.
+    pub fn checked_neg(&self) -> Result<Rational, ArithmeticError> {
+        Ok(Rational {
+            num: self.num.checked_neg().ok_or(ArithmeticError("negation overflow"))?,
+            den: self.den,
+        })
+    }
+
+    fn canonicalized(self) -> Rational {
+        if self.den < 0 {
+            Rational { num: -self.num, den: -self.den }
+        } else {
+            self
+        }
+    }
+
+    /// The exact midpoint of `self` and `other`; exists for any pair by
+    /// density of Q. This is how sample points inside open cells are chosen.
+    pub fn midpoint(&self, other: &Rational) -> Result<Rational, ArithmeticError> {
+        self.checked_add(other)?
+            .checked_div(&Rational::from_int(2))
+    }
+
+    /// The reciprocal, failing on zero.
+    pub fn recip(&self) -> Result<Rational, ArithmeticError> {
+        if self.is_zero() {
+            return Err(ArithmeticError("reciprocal of zero"));
+        }
+        Ok(Rational { num: self.den, den: self.num }.canonicalized())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Approximate value as `f64` (for reporting only; never used in logic).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d <=> a*d vs c*b (denominators positive).
+        // i128 overflow is possible in principle; fall back to a widening
+        // comparison via f64 only if exact multiplication overflows would be
+        // wrong, so instead use checked mul and a gcd-reduced retry.
+        let lhs = self.num.checked_mul(other.den);
+        let rhs = other.num.checked_mul(self.den);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => {
+                // Reduce cross terms: compare (a/g1)*(d/g2) vs (c/g2)*(b/g1)
+                let g1 = gcd(self.num, self.den).max(1);
+                let g2 = gcd(other.num, other.den).max(1);
+                let l = (self.num / g1) as f64 / (self.den / g1) as f64;
+                let r = (other.num / g2) as f64 / (other.den / g2) as f64;
+                l.partial_cmp(&r).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+macro_rules! panicking_op {
+    ($trait_:ident, $method:ident, $checked:ident) => {
+        impl $trait_ for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$checked(&rhs).expect("rational arithmetic overflow")
+            }
+        }
+        impl<'a> $trait_<&'a Rational> for &'a Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &'a Rational) -> Rational {
+                self.$checked(rhs).expect("rational arithmetic overflow")
+            }
+        }
+    };
+}
+
+panicking_op!(Add, add, checked_add);
+panicking_op!(Sub, sub, checked_sub);
+panicking_op!(Mul, mul, checked_mul);
+panicking_op!(Div, div, checked_div);
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.checked_neg().expect("rational negation overflow")
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Rational {
+        Rational::from_int(n as i64)
+    }
+}
+
+impl TryFrom<(i128, i128)> for Rational {
+    type Error = ArithmeticError;
+    fn try_from(v: (i128, i128)) -> Result<Rational, ArithmeticError> {
+        Rational::new(v.0, v.1)
+    }
+}
+
+impl From<Rational> for (i128, i128) {
+    fn from(r: Rational) -> (i128, i128) {
+        (r.num, r.den)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+/// Parse error for the textual rational syntax `[-]digits[/digits]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(pub String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+    fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
+        let bad = || ParseRationalError(s.to_string());
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n.trim().parse().map_err(|_| bad())?;
+            let d: i128 = d.trim().parse().map_err(|_| bad())?;
+            Rational::new(n, d).map_err(|_| bad())
+        } else if let Some((int, frac)) = s.split_once('.') {
+            // Decimal literal, e.g. "1.25".
+            let neg = int.trim_start().starts_with('-');
+            let int: i128 = int.trim().parse().map_err(|_| bad())?;
+            let frac = frac.trim();
+            if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let scale = 10i128.checked_pow(frac.len() as u32).ok_or_else(bad)?;
+            let frac_num: i128 = frac.parse().map_err(|_| bad())?;
+            let whole = int.checked_mul(scale).ok_or_else(bad)?;
+            let num = if neg {
+                whole.checked_sub(frac_num).ok_or_else(bad)?
+            } else {
+                whole.checked_add(frac_num).ok_or_else(bad)?
+            };
+            Rational::new(num, scale).map_err(|_| bad())
+        } else {
+            let n: i128 = s.trim().parse().map_err(|_| bad())?;
+            Ok(Rational { num: n, den: 1 })
+        }
+    }
+}
+
+/// Convenience constructor used throughout tests and examples: `rat(1, 2)`.
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den).expect("invalid rational")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_form() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 5), Rational::ZERO);
+        assert_eq!(rat(0, -5).denom(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(Rational::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), rat(2, 1));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 1) > rat(13, 2));
+        let mut v = vec![rat(3, 1), rat(1, 2), rat(-5, 3), rat(0, 1)];
+        v.sort();
+        assert_eq!(v, vec![rat(-5, 3), rat(0, 1), rat(1, 2), rat(3, 1)]);
+    }
+
+    #[test]
+    fn midpoint_is_strictly_between() {
+        let m = rat(1, 3).midpoint(&rat(1, 2)).unwrap();
+        assert!(rat(1, 3) < m && m < rat(1, 2));
+        assert_eq!(m, rat(5, 12));
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("3".parse::<Rational>().unwrap(), rat(3, 1));
+        assert_eq!("-3/6".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert_eq!("1.25".parse::<Rational>().unwrap(), rat(5, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert!("x".parse::<Rational>().is_err());
+        assert!("1/0".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for r in [rat(1, 2), rat(-7, 3), rat(4, 1), Rational::ZERO] {
+            let s = r.to_string();
+            assert_eq!(s.parse::<Rational>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(rat(1, 2).checked_div(&Rational::ZERO).is_err());
+        assert!(Rational::ZERO.recip().is_err());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Rational::new(i128::MAX, 1).unwrap();
+        assert!(big.checked_add(&Rational::ONE).is_err());
+        assert!(big.checked_mul(&rat(2, 1)).is_err());
+    }
+}

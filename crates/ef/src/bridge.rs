@@ -1,0 +1,176 @@
+//! Bridge from dense-order constraint relations to finite structures.
+//!
+//! §3 of the paper observes that a dense-order database is determined, up to
+//! order automorphism, by finite data over its ordered constants (the
+//! standard encoding; also the homeomorphism onto integer-only
+//! representations). For FO over such databases this means: an FO sentence
+//! about the infinite pointset translates into an FO sentence (of rank
+//! larger by a constant) about a **finite ordered structure** whose
+//! elements are the 1-D *slots* — the constants and the open gaps between
+//! them.
+//!
+//! For binary relations that are **boxy** (finite unions of products of
+//! intervals — every region in the E3 instance family is), membership of a
+//! point depends only on the pair of slots of its coordinates, so the slot
+//! structure captures the relation exactly:
+//!
+//! * universe = `2m + 1` slots in order (gap₀, c₁, gap₁, …, c_m, gap_m);
+//! * `lt` — the slot order;
+//! * `cst` — which slots are constants;
+//! * `r` — which slot pairs lie inside the relation.
+//!
+//! [`encode_binary`] *checks* boxiness by sampling all three relative
+//! orders (`x<y`, `x=y`, `x>y`) inside same-gap cells and fails loudly if
+//! they disagree, so the bridge is exact whenever it succeeds. EF
+//! equivalence of two encodings at rank r then transfers FO
+//! indistinguishability (at slot-translated rank) to the dense-order
+//! originals — the form Theorems 4.2/4.3's witnesses take in our
+//! experiments.
+
+use crate::structure::FinStructure;
+use dco_core::prelude::*;
+use std::fmt;
+
+/// Error: the relation is not slot-representable (not boxy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotBoxy {
+    /// Human-readable description of the offending cell.
+    pub detail: String,
+}
+
+impl fmt::Display for NotBoxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relation is not boxy: {}", self.detail)
+    }
+}
+
+impl std::error::Error for NotBoxy {}
+
+/// Sample rational for a slot. Slots: even = gap i/2, odd = constant (i-1)/2.
+fn slot_sample(consts: &[Rational], slot: usize, nudge: i64) -> Rational {
+    let m = consts.len();
+    if slot % 2 == 1 {
+        return consts[(slot - 1) / 2];
+    }
+    let gap = slot / 2;
+    // Pick a point in the open gap; `nudge` ∈ {0,1,2} selects distinct
+    // points for relative-order probing (0 < 1 < 2 within the gap).
+    let frac = rat(1 + nudge as i128, 4); // 1/4, 1/2, 3/4
+    if m == 0 {
+        return &frac * &rat(4, 1); // 1, 2, 3
+    }
+    if gap == 0 {
+        &consts[0] - &(&rat(4, 1) * &(&Rational::ONE - &frac)) // below c₁
+    } else if gap == m {
+        &consts[m - 1] + &(&rat(4, 1) * &frac) // above c_m
+    } else {
+        let lo = &consts[gap - 1];
+        let hi = &consts[gap];
+        lo + &(&(hi - lo) * &frac)
+    }
+}
+
+/// Encode a binary boxy relation as its finite slot structure.
+pub fn encode_binary(rel: &GeneralizedRelation) -> Result<FinStructure, NotBoxy> {
+    assert_eq!(rel.arity(), 2, "encode_binary takes binary relations");
+    let consts: Vec<Rational> = rel.constants().into_iter().collect();
+    let m = consts.len();
+    let slots = 2 * m + 1;
+    let mut tuples: Vec<Vec<usize>> = Vec::new();
+    for u in 0..slots {
+        for v in 0..slots {
+            // Boxiness check: same-gap pairs must not depend on relative
+            // order. Probe (lo,hi), (mid,mid), (hi,lo) when both slots are
+            // the same gap; otherwise one probe suffices.
+            let same_gap = u == v && u % 2 == 0;
+            let probes: Vec<(Rational, Rational)> = if same_gap {
+                vec![
+                    (slot_sample(&consts, u, 0), slot_sample(&consts, v, 2)),
+                    (slot_sample(&consts, u, 1), slot_sample(&consts, v, 1)),
+                    (slot_sample(&consts, u, 2), slot_sample(&consts, v, 0)),
+                ]
+            } else {
+                vec![(slot_sample(&consts, u, 1), slot_sample(&consts, v, 1))]
+            };
+            let answers: Vec<bool> = probes
+                .iter()
+                .map(|(x, y)| rel.contains_point(&[*x, *y]))
+                .collect();
+            if answers.windows(2).any(|w| w[0] != w[1]) {
+                return Err(NotBoxy {
+                    detail: format!("cell ({u},{v}) depends on intra-gap order"),
+                });
+            }
+            if answers[0] {
+                tuples.push(vec![u, v]);
+            }
+        }
+    }
+    let order = (0..slots).flat_map(|i| ((i + 1)..slots).map(move |j| vec![i, j]));
+    let csts = (0..slots).filter(|s| s % 2 == 1).map(|s| vec![s]);
+    Ok(FinStructure::new(slots)
+        .add_relation("lt", 2, order)
+        .add_relation("cst", 1, csts)
+        .add_relation("r", 2, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxrel(x0: i64, x1: i64, y0: i64, y1: i64) -> GeneralizedRelation {
+        GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(x0 as i128, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(x1 as i128, 1))),
+                RawAtom::new(Term::cst(rat(y0 as i128, 1)), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(y1 as i128, 1))),
+            ],
+        )
+    }
+
+    #[test]
+    fn single_box_encodes() {
+        let r = boxrel(0, 1, 0, 1);
+        let s = encode_binary(&r).unwrap();
+        // constants {0, 1} → 5 slots; box covers slots {1,2,3}×{1,2,3}
+        assert_eq!(s.size(), 5);
+        assert!(s.holds("r", &[1, 1]));
+        assert!(s.holds("r", &[2, 3]));
+        assert!(!s.holds("r", &[0, 1]));
+        assert!(!s.holds("r", &[4, 2]));
+    }
+
+    #[test]
+    fn union_of_boxes_encodes() {
+        let r = boxrel(0, 1, 0, 1).union(&boxrel(2, 3, 2, 3));
+        let s = encode_binary(&r).unwrap();
+        assert!(s.holds("r", &[1, 1]));
+        assert!(!s.holds("r", &[1, 5])); // (x=0, y=2): different boxes
+    }
+
+    #[test]
+    fn diagonal_is_not_boxy() {
+        // x = y depends on intra-gap order
+        let diag = GeneralizedRelation::from_raw(
+            2,
+            vec![RawAtom::new(Term::var(0), RawOp::Eq, Term::var(1))],
+        );
+        assert!(encode_binary(&diag).is_err());
+        // x < y likewise
+        let lt = GeneralizedRelation::from_raw(
+            2,
+            vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1))],
+        );
+        assert!(encode_binary(&lt).is_err());
+    }
+
+    #[test]
+    fn encoding_is_order_invariant() {
+        // Translating the box must give an isomorphic slot structure.
+        let a = encode_binary(&boxrel(0, 1, 0, 1)).unwrap();
+        let b = encode_binary(&boxrel(100, 101, 100, 101)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dco-ef — Ehrenfeucht–Fraïssé games for the inexpressibility theorems
+//!
+//! Theorems 4.2 and 4.3 of *Dense-Order Constraint Databases* (Grumbach &
+//! Su, PODS 1995) assert that graph connectivity, parity, and region
+//! connectivity are **not** definable in FO+. Their finite combinatorial
+//! core is the Ehrenfeucht–Fraïssé method: exhibiting, for every quantifier
+//! rank r, pairs of structures with opposite answers on which Duplicator
+//! wins the r-round game. This crate provides the exact game solver, the
+//! instance generators (cycles, paths, linear orders), and the bridge that
+//! turns dense-order regions into finite slot structures so the spatial
+//! results can be exercised with the same machinery.
+//!
+//! ```
+//! use dco_ef::{ef_equivalent, structure::generators};
+//!
+//! // C7 (connected) and C3 ⊎ C4 (disconnected) agree on all FO sentences
+//! // of quantifier rank ≤ 2 — the seed of Theorem 4.2.
+//! let one = generators::cycle(7);
+//! let two = generators::two_cycles(3, 4);
+//! assert!(ef_equivalent(&one, &two, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod game;
+pub mod rank;
+pub mod structure;
+
+pub use bridge::{encode_binary, NotBoxy};
+pub use game::{ef_equivalent, spoiler_rank};
+pub use rank::{linear_order_thresholds, rank_table, RankRow};
+pub use structure::FinStructure;

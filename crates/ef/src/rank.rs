@@ -1,0 +1,97 @@
+//! Distinguishing-rank utilities.
+//!
+//! The experiments report, for each quantifier rank r, the smallest
+//! instances of a family on which Duplicator still wins — i.e. how far a
+//! rank-r sentence can "see". These helpers compute such tables for any
+//! parameterized family of structure pairs.
+
+use crate::game::ef_equivalent;
+use crate::structure::FinStructure;
+
+/// One row of a rank table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankRow {
+    /// The quantifier rank probed.
+    pub rank: usize,
+    /// The smallest family parameter at which the pair is rank-equivalent,
+    /// if found within the search bound.
+    pub min_equivalent_param: Option<usize>,
+}
+
+/// For each rank `1..=max_rank`, find the least `param` in
+/// `param_range` such that `family(param)` yields an EF-`rank`-equivalent
+/// pair.
+pub fn rank_table(
+    max_rank: usize,
+    param_range: std::ops::Range<usize>,
+    family: impl Fn(usize) -> (FinStructure, FinStructure),
+) -> Vec<RankRow> {
+    (1..=max_rank)
+        .map(|rank| {
+            let min_equivalent_param = param_range.clone().find(|&p| {
+                let (a, b) = family(p);
+                ef_equivalent(&a, &b, rank)
+            });
+            RankRow { rank, min_equivalent_param }
+        })
+        .collect()
+}
+
+/// The classical theorem the parity experiment instantiates: linear orders
+/// `L_m` and `L_n` with `m, n ≥ 2^r − 1` are EF-r-equivalent, and `2^r − 1`
+/// is optimal. Returns the measured threshold for each rank.
+pub fn linear_order_thresholds(max_rank: usize) -> Vec<(usize, usize)> {
+    use crate::structure::generators::linear_order;
+    (1..=max_rank)
+        .map(|r| {
+            let m = (1..64)
+                .find(|&m| ef_equivalent(&linear_order(m), &linear_order(m + 1), r))
+                .expect("threshold exists below 64");
+            (r, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::generators::{cycle, linear_order, two_cycles};
+
+    #[test]
+    fn linear_order_thresholds_match_theory() {
+        // theory: minimal m with L_m ≡_r L_{m+1} is 2^r − 1
+        for (r, m) in linear_order_thresholds(3) {
+            assert_eq!(m, (1 << r) - 1, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn rank_table_for_parity_family() {
+        let rows = rank_table(2, 1..20, |m| (linear_order(m), linear_order(m + 1)));
+        assert_eq!(rows[0].min_equivalent_param, Some(1));
+        assert_eq!(rows[1].min_equivalent_param, Some(3));
+    }
+
+    #[test]
+    fn rank_table_for_connectivity_family() {
+        let rows = rank_table(2, 3..10, |n| (cycle(2 * n), two_cycles(n, n)));
+        // rank 1: trivially equivalent at the smallest size
+        assert_eq!(rows[0].min_equivalent_param, Some(3));
+        // rank 2: some threshold exists in range
+        assert!(rows[1].min_equivalent_param.is_some());
+    }
+
+    #[test]
+    fn unsatisfied_rank_reports_none() {
+        // a family that is never equivalent: sizes differ by a lot and the
+        // game has enough rounds — empty vs nonempty unary relation.
+        use crate::structure::FinStructure;
+        let rows = rank_table(1, 1..4, |n| {
+            (
+                FinStructure::new(n).add_relation("u", 1, vec![vec![0]]),
+                FinStructure::new(n).add_relation("u", 1, Vec::<Vec<usize>>::new()),
+            )
+        });
+        assert_eq!(rows[0].min_equivalent_param, None);
+    }
+}

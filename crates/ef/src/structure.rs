@@ -1,0 +1,191 @@
+//! Finite relational structures for Ehrenfeucht–Fraïssé games.
+//!
+//! The inexpressibility results of §4 (Theorems 4.2 and 4.3) assert that no
+//! FO(+) sentence defines connectivity or parity. Their finite combinatorial
+//! core is Ehrenfeucht–Fraïssé: if Duplicator wins the r-round EF game
+//! between structures `A` and `B`, no sentence of quantifier rank ≤ r
+//! distinguishes them. Our experiments exhibit, for every rank r, pairs of
+//! structures with opposite query answers on which Duplicator wins — which
+//! is exactly how the proofs go.
+//!
+//! Structures here are finite: universes `0..n` with named relations of
+//! fixed arity. Dense-order databases enter through their *finite ordered
+//! encodings* (the paper's §3 standard encoding maps any dense-order
+//! database to an equivalent finite structure over the ordered constants —
+//! see `dco-ef::bridge`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite relational structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FinStructure {
+    size: usize,
+    relations: BTreeMap<String, (usize, BTreeSet<Vec<usize>>)>,
+}
+
+impl FinStructure {
+    /// A structure with universe `{0, …, size-1}` and no relations.
+    pub fn new(size: usize) -> FinStructure {
+        FinStructure { size, relations: BTreeMap::new() }
+    }
+
+    /// Universe size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Add (or extend) a relation; tuples must be within the universe.
+    pub fn add_relation(
+        mut self,
+        name: &str,
+        arity: usize,
+        tuples: impl IntoIterator<Item = Vec<usize>>,
+    ) -> FinStructure {
+        let entry = self
+            .relations
+            .entry(name.to_string())
+            .or_insert_with(|| (arity, BTreeSet::new()));
+        assert_eq!(entry.0, arity, "relation {name} arity changed");
+        for t in tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+            assert!(t.iter().all(|&x| x < self.size), "tuple out of universe");
+            entry.1.insert(t);
+        }
+        self
+    }
+
+    /// Add the standard linear order `<` on the universe as a binary
+    /// relation named `lt` (used for ordered-structure games, where FO has
+    /// access to the order like dense-order queries do).
+    pub fn with_linear_order(self) -> FinStructure {
+        let n = self.size;
+        let tuples = (0..n).flat_map(|i| ((i + 1)..n).map(move |j| vec![i, j]));
+        self.add_relation("lt", 2, tuples)
+    }
+
+    /// Relation names with arities.
+    pub fn signature(&self) -> BTreeMap<String, usize> {
+        self.relations.iter().map(|(n, (a, _))| (n.clone(), *a)).collect()
+    }
+
+    /// Membership test.
+    pub fn holds(&self, name: &str, tuple: &[usize]) -> bool {
+        self.relations
+            .get(name)
+            .map(|(_, set)| set.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Tuples of a relation.
+    pub fn tuples(&self, name: &str) -> Option<&BTreeSet<Vec<usize>>> {
+        self.relations.get(name).map(|(_, s)| s)
+    }
+
+    /// Disjoint union: universes concatenated, relations merged.
+    pub fn disjoint_union(&self, other: &FinStructure) -> FinStructure {
+        let mut out = FinStructure::new(self.size + other.size);
+        for (name, (arity, tuples)) in &self.relations {
+            out = out.add_relation(name, *arity, tuples.iter().cloned());
+        }
+        for (name, (arity, tuples)) in &other.relations {
+            out = out.add_relation(
+                name,
+                *arity,
+                tuples
+                    .iter()
+                    .map(|t| t.iter().map(|&x| x + self.size).collect()),
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for FinStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|U| = {}", self.size)?;
+        for (name, (arity, tuples)) in &self.relations {
+            write!(f, "; {name}/{arity}: {} tuples", tuples.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Generators for the experiment instance families.
+pub mod generators {
+    use super::FinStructure;
+
+    /// An (undirected) cycle on `n ≥ 3` vertices: edges both ways.
+    pub fn cycle(n: usize) -> FinStructure {
+        assert!(n >= 3, "cycle needs at least 3 vertices");
+        let edges = (0..n).flat_map(|i| {
+            let j = (i + 1) % n;
+            [vec![i, j], vec![j, i]]
+        });
+        FinStructure::new(n).add_relation("e", 2, edges)
+    }
+
+    /// An (undirected) path on `n ≥ 1` vertices.
+    pub fn path(n: usize) -> FinStructure {
+        assert!(n >= 1);
+        let edges = (0..n.saturating_sub(1)).flat_map(|i| [vec![i, i + 1], vec![i + 1, i]]);
+        FinStructure::new(n).add_relation("e", 2, edges)
+    }
+
+    /// Two disjoint cycles of sizes `a` and `b`.
+    pub fn two_cycles(a: usize, b: usize) -> FinStructure {
+        cycle(a).disjoint_union(&cycle(b))
+    }
+
+    /// A pure linear order of size `n` (no other relations): the parity
+    /// instances of Theorem 4.2 (inputs over integer values, where FO sees
+    /// the order).
+    pub fn linear_order(n: usize) -> FinStructure {
+        FinStructure::new(n).with_linear_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generators::*;
+
+    #[test]
+    fn cycle_degrees() {
+        let c = cycle(5);
+        assert_eq!(c.size(), 5);
+        let e = c.tuples("e").unwrap();
+        assert_eq!(e.len(), 10); // 5 undirected edges, both directions
+        assert!(c.holds("e", &[0, 1]));
+        assert!(c.holds("e", &[1, 0]));
+        assert!(c.holds("e", &[4, 0]));
+        assert!(!c.holds("e", &[0, 2]));
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let u = two_cycles(3, 4);
+        assert_eq!(u.size(), 7);
+        assert!(u.holds("e", &[0, 1]));
+        assert!(u.holds("e", &[3, 4])); // second cycle shifted by 3
+        assert!(!u.holds("e", &[2, 3])); // no cross edges
+    }
+
+    #[test]
+    fn linear_order_is_total() {
+        let l = linear_order(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(l.holds("lt", &[i, j]), i < j);
+            }
+        }
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let p = path(3);
+        assert!(p.holds("e", &[0, 1]));
+        assert!(p.holds("e", &[1, 2]));
+        assert!(!p.holds("e", &[0, 2]));
+        assert_eq!(path(1).tuples("e").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The integer-only homeomorphism of §4.
+//!
+//! "The restriction is harmless since dense-order databases are homeomorphic
+//! (transformation on the axis) to databases representable with only
+//! integers, and the representation over integers only can be used in
+//! practice to avoid the encoding of rationals. […] These rational constants
+//! […] are encoded into consecutive integers by respecting their order.
+//! Zero is zero."
+//!
+//! [`integerize`] implements exactly that: collect the constants of a
+//! database, map them to consecutive integers preserving order with `0 ↦ 0`
+//! (constants below zero become negative integers, above become positive),
+//! and rewrite the database. The mapping is an order automorphism of Q
+//! restricted to the constants, so by genericity every query commutes with
+//! it — which experiment E9 verifies empirically.
+
+use dco_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// An order-preserving constant mapping with its inverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstantMap {
+    forward: BTreeMap<Rational, Rational>,
+}
+
+impl ConstantMap {
+    /// The mapped value of a constant (must be in the map).
+    pub fn apply(&self, c: &Rational) -> Rational {
+        self.forward[c]
+    }
+
+    /// Try to map; `None` for constants outside the map.
+    pub fn try_apply(&self, c: &Rational) -> Option<Rational> {
+        self.forward.get(c).copied()
+    }
+
+    /// The inverse mapping.
+    pub fn inverse(&self) -> ConstantMap {
+        ConstantMap {
+            forward: self.forward.iter().map(|(k, v)| (*v, *k)).collect(),
+        }
+    }
+
+    /// The pairs, in order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&Rational, &Rational)> {
+        self.forward.iter()
+    }
+
+    /// Extend to a full piecewise-linear automorphism of Q (for applying to
+    /// points that are not constants of the database).
+    pub fn to_automorphism(&self) -> Automorphism {
+        Automorphism::from_anchors(
+            self.forward.iter().map(|(a, b)| (*a, *b)).collect(),
+        )
+        .expect("order-preserving map extends")
+    }
+}
+
+/// Map the database's constants to consecutive integers respecting order,
+/// with zero fixed ("zero is zero"). Returns the rewritten database and the
+/// mapping used.
+pub fn integerize(db: &Database) -> (Database, ConstantMap) {
+    let consts: Vec<Rational> = db.constants().into_iter().collect();
+    // Position of zero in the sorted constants (or insertion point).
+    let zero = Rational::ZERO;
+    let below = consts.iter().filter(|c| **c < zero).count() as i64;
+    let mut forward = BTreeMap::new();
+    let mut non_zero_rank = 0i64;
+    let has_zero = consts.contains(&zero);
+    for c in &consts {
+        let target = if *c == zero {
+            0
+        } else {
+            let rank = non_zero_rank - below; // −below … for the smallest
+            non_zero_rank += 1;
+            // ranks below zero: −below..−1; at/above: 1.. (skip 0 if zero present,
+            // else 0 is unused anyway — but "zero is zero" demands we never map
+            // a nonzero constant to 0, so shift non-negative ranks up by 1)
+            if rank < 0 {
+                rank
+            } else {
+                rank + 1
+            }
+        };
+        forward.insert(*c, Rational::from_int(target));
+    }
+    let _ = has_zero;
+    let map = ConstantMap { forward };
+    let auto = if consts.is_empty() {
+        Automorphism::identity()
+    } else {
+        map.to_automorphism()
+    };
+    (db.apply_automorphism(&auto), map)
+}
+
+/// Is every constant of the database an integer?
+pub fn is_integer_defined(db: &Database) -> bool {
+    db.constants().iter().all(|c| c.is_integer())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with(points: &[i128], den: i128) -> Database {
+        let rel = GeneralizedRelation::from_points(
+            1,
+            points.iter().map(|&p| vec![rat(p, den)]),
+        );
+        Database::new(Schema::new().with("S", 1)).with("S", rel)
+    }
+
+    #[test]
+    fn rationals_become_consecutive_integers() {
+        // constants 1/3 < 1/2 < 3/4 ↦ 1, 2, 3
+        let db = Database::new(Schema::new().with("S", 1)).with(
+            "S",
+            GeneralizedRelation::from_points(
+                1,
+                vec![vec![rat(1, 3)], vec![rat(1, 2)], vec![rat(3, 4)]],
+            ),
+        );
+        let (idb, map) = integerize(&db);
+        assert!(is_integer_defined(&idb));
+        assert_eq!(map.apply(&rat(1, 3)), rat(1, 1));
+        assert_eq!(map.apply(&rat(1, 2)), rat(2, 1));
+        assert_eq!(map.apply(&rat(3, 4)), rat(3, 1));
+        assert!(idb.get("S").unwrap().contains_point(&[rat(2, 1)]));
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        // constants −1/2 < 0 < 7/2 ↦ −1, 0, 1
+        let db = Database::new(Schema::new().with("S", 1)).with(
+            "S",
+            GeneralizedRelation::from_points(
+                1,
+                vec![vec![rat(-1, 2)], vec![rat(0, 1)], vec![rat(7, 2)]],
+            ),
+        );
+        let (_, map) = integerize(&db);
+        assert_eq!(map.apply(&Rational::ZERO), Rational::ZERO);
+        assert_eq!(map.apply(&rat(-1, 2)), rat(-1, 1));
+        assert_eq!(map.apply(&rat(7, 2)), rat(1, 1));
+    }
+
+    #[test]
+    fn negative_constants_without_zero() {
+        // −3/2 < −1/3 ↦ −2, −1 (still avoiding 0 for nonzero constants)
+        let db = db_with(&[-3, -1], 2); // -3/2, -1/2
+        let (_, map) = integerize(&db);
+        assert_eq!(map.apply(&rat(-3, 2)), rat(-2, 1));
+        assert_eq!(map.apply(&rat(-1, 2)), rat(-1, 1));
+    }
+
+    #[test]
+    fn order_preserved() {
+        let db = db_with(&[5, 1, -7, 3], 3);
+        let (_, map) = integerize(&db);
+        let mut prev: Option<Rational> = None;
+        for (src, dst) in map.pairs() {
+            let _ = src;
+            if let Some(p) = prev {
+                assert!(p < *dst);
+            }
+            prev = Some(*dst);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let db = db_with(&[1, 2, 5], 7);
+        let (idb, map) = integerize(&db);
+        let back = idb.apply_automorphism(&map.inverse().to_automorphism());
+        assert!(back.equivalent(&db));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::new(Schema::new().with("S", 1));
+        let (idb, _) = integerize(&db);
+        assert!(idb.get("S").unwrap().is_empty());
+    }
+}

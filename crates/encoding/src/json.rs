@@ -1,0 +1,77 @@
+//! JSON interchange for databases and experiment output.
+//!
+//! Not part of the paper — an engineering convenience: databases, relations
+//! and experiment tables serialize to JSON for inspection and for the
+//! experiment harness's machine-readable output.
+
+use dco_core::prelude::Database;
+use serde::{Deserialize, Serialize};
+
+/// Serialize a database to pretty JSON.
+pub fn to_json(db: &Database) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(db)
+}
+
+/// Deserialize a database from JSON.
+pub fn from_json(src: &str) -> serde_json::Result<Database> {
+    serde_json::from_str(src)
+}
+
+/// One row of an experiment table (used by `dco-bench`'s `experiments`
+/// binary to emit machine-readable results next to the printed tables).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Experiment id, e.g. "E4".
+    pub experiment: String,
+    /// Row label (instance description).
+    pub label: String,
+    /// Named measurements.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Serialize experiment rows.
+pub fn rows_to_json(rows: &[ExperimentRow]) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::*;
+
+    #[test]
+    fn database_json_roundtrip() {
+        let tri = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+            ],
+        );
+        let db = Database::new(Schema::new().with("R", 2)).with("R", tri);
+        let json = to_json(&db).unwrap();
+        let back = from_json(&json).unwrap();
+        assert!(back.equivalent(&db));
+    }
+
+    #[test]
+    fn rational_constants_survive() {
+        let pts = GeneralizedRelation::from_points(1, vec![vec![rat(-7, 3)]]);
+        let db = Database::new(Schema::new().with("S", 1)).with("S", pts);
+        let back = from_json(&to_json(&db).unwrap()).unwrap();
+        assert!(back.get("S").unwrap().contains_point(&[rat(-7, 3)]));
+    }
+
+    #[test]
+    fn experiment_rows_serialize() {
+        let rows = vec![ExperimentRow {
+            experiment: "E4".into(),
+            label: "path n=8".into(),
+            values: vec![("stages".into(), 8.0), ("size".into(), 120.0)],
+        }];
+        let json = rows_to_json(&rows).unwrap();
+        assert!(json.contains("E4"));
+        let back: Vec<ExperimentRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+}

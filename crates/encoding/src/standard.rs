@@ -1,0 +1,232 @@
+//! The standard encoding of §3: databases as bit strings.
+//!
+//! "The 'data complexity' of queries is defined as usual based on
+//! computational devices and 'standard encodings' of the input and output.
+//! We first introduce the standard encoding of a database, which is obtained
+//! by encoding the quantifier-free formula representing it."
+//!
+//! We implement a concrete, deterministic byte-level encoding of the
+//! quantifier-free DNF representation — relation by relation, tuple by
+//! tuple, atom by atom, numerals in decimal. Its length is the paper's
+//! input-size measure `n`; the scaling experiments (E1, E4, E8) plot cost
+//! against exactly this quantity. A paired decoder makes it a lossless
+//! interchange format, and [`encoded_size`] is the cheap size-only probe.
+
+use dco_core::prelude::*;
+use std::fmt::Write as _;
+
+/// Encode a database as the canonical byte string of its quantifier-free
+/// representation.
+pub fn encode(db: &Database) -> String {
+    let mut out = String::new();
+    for (name, rel) in db.relations() {
+        let _ = write!(out, "#{name}/{}\n", rel.arity());
+        let mut tuples: Vec<String> = rel
+            .tuples()
+            .iter()
+            .map(|t| {
+                if t.is_empty() {
+                    return "T".to_string();
+                }
+                let atoms: Vec<String> = t
+                    .atoms()
+                    .iter()
+                    .map(|a| format!("{}{}{}", enc_term(&a.lhs()), enc_op(a.op()), enc_term(&a.rhs())))
+                    .collect();
+                atoms.join("&")
+            })
+            .collect();
+        tuples.sort();
+        for t in tuples {
+            let _ = writeln!(out, "{t}");
+        }
+    }
+    out
+}
+
+/// Length (in bytes) of the standard encoding — the data-complexity `n`.
+pub fn encoded_size(db: &Database) -> usize {
+    encode(db).len()
+}
+
+fn enc_term(t: &Term) -> String {
+    match t {
+        Term::Var(v) => format!("x{}", v.0),
+        Term::Const(c) => format!("{c}"),
+    }
+}
+
+fn enc_op(op: CompOp) -> &'static str {
+    match op {
+        CompOp::Lt => "<",
+        CompOp::Le => "<=",
+        CompOp::Eq => "=",
+    }
+}
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode a standard encoding back into a database.
+pub fn decode(src: &str) -> Result<Database, DecodeError> {
+    let mut schema = Schema::new();
+    let mut rels: Vec<(String, u32, Vec<GeneralizedTuple>)> = Vec::new();
+    for line in src.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('#') {
+            let (name, arity) = header
+                .split_once('/')
+                .ok_or_else(|| DecodeError(format!("bad header {line:?}")))?;
+            let arity: u32 = arity
+                .parse()
+                .map_err(|_| DecodeError(format!("bad arity in {line:?}")))?;
+            schema = schema.with(name, arity);
+            rels.push((name.to_string(), arity, Vec::new()));
+        } else {
+            let (_, arity, tuples) = rels
+                .last_mut()
+                .ok_or_else(|| DecodeError("tuple before any header".to_string()))?;
+            let mut atoms = Vec::new();
+            if line.trim() != "T" {
+                for atom_text in line.split('&') {
+                    atoms.push(dec_atom(atom_text, *arity)?);
+                }
+            }
+            tuples.push(GeneralizedTuple::from_atoms(*arity, atoms));
+        }
+    }
+    let mut db = Database::new(schema);
+    for (name, arity, tuples) in rels {
+        db.set(&name, GeneralizedRelation::from_tuples(arity, tuples))
+            .map_err(|e| DecodeError(e.to_string()))?;
+    }
+    Ok(db)
+}
+
+fn dec_atom(text: &str, arity: u32) -> Result<Atom, DecodeError> {
+    // operator: "<=" before "<", then "="
+    let (lhs, op, rhs) = if let Some((l, r)) = text.split_once("<=") {
+        (l, CompOp::Le, r)
+    } else if let Some((l, r)) = text.split_once('<') {
+        (l, CompOp::Lt, r)
+    } else if let Some((l, r)) = text.split_once('=') {
+        (l, CompOp::Eq, r)
+    } else {
+        return Err(DecodeError(format!("no operator in atom {text:?}")));
+    };
+    let lhs = dec_term(lhs, arity)?;
+    let rhs = dec_term(rhs, arity)?;
+    match Atom::normalized(lhs, op, rhs) {
+        Some(v) if v.len() == 1 => Ok(v[0]),
+        other => Err(DecodeError(format!(
+            "atom {text:?} does not normalize to a single atom: {other:?}"
+        ))),
+    }
+}
+
+fn dec_term(text: &str, arity: u32) -> Result<Term, DecodeError> {
+    let t = text.trim();
+    if let Some(ix) = t.strip_prefix('x') {
+        if let Ok(i) = ix.parse::<u32>() {
+            if i >= arity {
+                return Err(DecodeError(format!("column {i} out of arity {arity}")));
+            }
+            return Ok(Term::var(i));
+        }
+    }
+    let r: Rational = t
+        .parse()
+        .map_err(|_| DecodeError(format!("bad term {t:?}")))?;
+    Ok(Term::Const(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let tri = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        );
+        let pts = GeneralizedRelation::from_points(
+            1,
+            vec![vec![rat(1, 2)], vec![rat(-5, 3)]],
+        );
+        Database::new(Schema::new().with("R", 2).with("S", 1))
+            .with("R", tri)
+            .with("S", pts)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample_db();
+        let enc = encode(&db);
+        let back = decode(&enc).unwrap();
+        assert!(back.equivalent(&db));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = encode(&sample_db());
+        let b = encode(&sample_db());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_grows_with_content() {
+        let small = Database::new(Schema::new().with("S", 1)).with(
+            "S",
+            GeneralizedRelation::from_points(1, vec![vec![rat(1, 1)]]),
+        );
+        let big = Database::new(Schema::new().with("S", 1)).with(
+            "S",
+            GeneralizedRelation::from_points(
+                1,
+                (0..50).map(|i| vec![rat(i, 1)]).collect::<Vec<_>>(),
+            ),
+        );
+        assert!(encoded_size(&big) > encoded_size(&small));
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(decode("x0<x1").is_err()); // tuple before header
+        assert!(decode("#R/2\nx0?x1").is_err()); // bad operator
+        assert!(decode("#R/2\nx5<x1").is_err()); // column out of range
+        assert!(decode("#R/zz").is_err()); // bad arity
+    }
+
+    #[test]
+    fn empty_relation_encodes() {
+        let db = Database::new(Schema::new().with("E", 3));
+        let enc = encode(&db);
+        let back = decode(&enc).unwrap();
+        assert!(back.get("E").unwrap().is_empty());
+        assert_eq!(back.get("E").unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn top_tuple_roundtrips() {
+        // A relation containing the unconstrained tuple (whole plane).
+        let db = Database::new(Schema::new().with("U", 2))
+            .with("U", GeneralizedRelation::universe(2));
+        let back = decode(&encode(&db)).unwrap();
+        assert!(back.get("U").unwrap().contains_point(&[rat(9, 1), rat(-9, 1)]));
+    }
+}

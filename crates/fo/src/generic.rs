@@ -1,0 +1,138 @@
+//! Genericity (Definition 3.1) checking.
+//!
+//! A mapping `Q` from databases to relations is a *query* only if it commutes
+//! with every order automorphism `π` of Q: `Q(π(D)) = π(Q(D))`. This module
+//! provides a property-test harness: it samples random piecewise-linear
+//! automorphisms anchored at the database's constants and verifies the
+//! commutation equation semantically. Every evaluator in the workspace is
+//! run through this harness in the integration tests — it is the executable
+//! face of the paper's definition of a dense-order query.
+
+use dco_core::automorphism::rand_like::{RngLike, XorShift32};
+use dco_core::prelude::*;
+
+/// Outcome of a genericity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenericityOutcome {
+    /// Commutation held for all sampled automorphisms.
+    Generic,
+    /// Commutation failed; carries a printable description of the witness.
+    Violation(String),
+}
+
+/// Check that `query` commutes with `rounds` random automorphisms of Q.
+///
+/// `query` maps a database to an output relation (it will be invoked
+/// `rounds + 1` times). Equivalence on both sides is semantic.
+///
+/// For queries that mention constants use [`check_generic_fixing`]: such a
+/// query is only closed under automorphisms fixing its constants.
+pub fn check_generic(
+    db: &Database,
+    rounds: usize,
+    seed: u32,
+    query: impl Fn(&Database) -> GeneralizedRelation,
+) -> GenericityOutcome {
+    check_generic_fixing(db, &[], rounds, seed, query)
+}
+
+/// Like [`check_generic`], but the sampled automorphisms fix the given
+/// constants pointwise — the right notion for queries whose formula
+/// mentions constants (C-genericity, cf. Definition 3.1).
+pub fn check_generic_fixing(
+    db: &Database,
+    fixed: &[Rational],
+    rounds: usize,
+    seed: u32,
+    query: impl Fn(&Database) -> GeneralizedRelation,
+) -> GenericityOutcome {
+    let base = query(db);
+    let consts: Vec<Rational> = db
+        .constants()
+        .into_iter()
+        .chain(base.constants())
+        .collect();
+    let mut rng = XorShift32::new(seed);
+    for round in 0..rounds {
+        let pi = Automorphism::random_over_fixing(&consts, fixed, &mut rng);
+        let lhs = query(&db.apply_automorphism(&pi));
+        let rhs = pi.apply_relation(&base);
+        if !lhs.equivalent(&rhs) {
+            return GenericityOutcome::Violation(format!(
+                "round {round}: Q(pi(D)) = {lhs} but pi(Q(D)) = {rhs}"
+            ));
+        }
+    }
+    GenericityOutcome::Generic
+}
+
+/// A deliberately non-generic mapping for testing the harness itself: it
+/// returns a fixed constant relation regardless of input order structure in
+/// a way that depends on absolute values.
+pub fn non_generic_example(db: &Database) -> GeneralizedRelation {
+    // "all x below the *midpoint of the smallest and largest constant*" —
+    // midpoints are not preserved by non-linear automorphisms.
+    let consts: Vec<Rational> = db.constants().into_iter().collect();
+    if consts.len() < 2 {
+        return GeneralizedRelation::empty(1);
+    }
+    let mid = consts[0]
+        .midpoint(&consts[consts.len() - 1])
+        .expect("midpoint exists");
+    GeneralizedRelation::from_raw(
+        1,
+        [RawAtom::new(Term::var(0), RawOp::Lt, Term::Const(mid))],
+    )
+}
+
+/// Sample a pseudo-random automorphism for external callers (re-exported
+/// convenience over the core RNG plumbing).
+pub fn sample_automorphism(consts: &[Rational], seed: u32) -> Automorphism {
+    let mut rng = XorShift32::new(seed);
+    // burn a few values so nearby seeds diverge
+    for _ in 0..4 {
+        rng.next_u32();
+    }
+    Automorphism::random_over(consts, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use dco_logic::parse_formula;
+
+    fn db() -> Database {
+        let r = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        );
+        Database::new(Schema::new().with("R", 2)).with("R", r)
+    }
+
+    #[test]
+    fn fo_query_is_generic() {
+        let f = parse_formula("exists y . (R(x, y) & x < y)").unwrap();
+        let out = check_generic(&db(), 8, 1234, |d| {
+            eval(d, &f).expect("evaluates").relation
+        });
+        assert_eq!(out, GenericityOutcome::Generic);
+    }
+
+    #[test]
+    fn harness_detects_violations() {
+        let out = check_generic(&db(), 16, 99, non_generic_example);
+        assert!(matches!(out, GenericityOutcome::Violation(_)));
+    }
+
+    #[test]
+    fn boolean_query_is_generic() {
+        let f = parse_formula("exists x y . (R(x, y) & x < y)").unwrap();
+        let out = check_generic(&db(), 6, 7, |d| eval(d, &f).expect("evaluates").relation);
+        assert_eq!(out, GenericityOutcome::Generic);
+    }
+}

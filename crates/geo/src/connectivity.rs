@@ -1,0 +1,192 @@
+//! Region connectivity — the query of Theorem 4.3.
+//!
+//! The paper proves region connectivity is **not** expressible with linear
+//! constraints (FO+), yet it is a PTIME query, hence expressible in
+//! inflationary Datalog¬ by Theorem 4.4. The PTIME algorithm is the one the
+//! capture proof would synthesize: decompose the region into its order
+//! cells (an FO-computable, polynomial-size set), connect cells whose
+//! closures meet (again FO), and compute the transitive closure of the
+//! finite adjacency graph (Datalog¬ / union-find). We implement both
+//! back-ends: a union-find decision procedure, and the actual Datalog¬
+//! program run on the encoded cell graph — the cross-check used by
+//! experiment E3.
+
+use crate::region::Region;
+use dco_core::prelude::*;
+use dco_datalog::programs::is_connected as datalog_is_connected;
+
+/// The cell decomposition of a region: satisfiable cells (as tuples).
+pub fn region_cells(region: &Region) -> Vec<GeneralizedTuple> {
+    let space = CellSpace::for_relations(2, [region.relation()]);
+    let form = space.canonicalize(region.relation());
+    let all = space.enumerate();
+    form.members()
+        .iter()
+        .map(|&i| space.to_tuple(&all[i]))
+        .collect()
+}
+
+/// Adjacency in the cell graph: `cl(a) ∩ b ≠ ∅` or `a ∩ cl(b) ≠ ∅` — the
+/// one-sided-closure criterion for when the union of two convex sets is
+/// connected. (Two-sided closure would be wrong: two open boxes separated
+/// by a missing segment have intersecting *closures* but a disconnected
+/// union.) For order cells, closure = weaken every strict atom to ≤.
+pub fn cells_touch(a: &GeneralizedTuple, b: &GeneralizedTuple) -> bool {
+    let weaken = |t: &GeneralizedTuple| {
+        GeneralizedTuple::from_atoms(
+            t.arity(),
+            t.atoms().iter().map(|atom| {
+                match atom.op() {
+                    CompOp::Lt => Atom::normalized(atom.lhs(), CompOp::Le, atom.rhs())
+                        .expect("weakening a satisfiable atom stays satisfiable")
+                        .remove(0),
+                    _ => *atom,
+                }
+            }),
+        )
+    };
+    weaken(a).conjoin(b).is_satisfiable() || a.conjoin(&weaken(b)).is_satisfiable()
+}
+
+/// Connected components of the region's cell graph (union-find).
+/// Returns the number of components (0 for the empty region).
+pub fn component_count(region: &Region) -> usize {
+    let cells = region_cells(region);
+    let n = cells.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if cells_touch(&cells[i], &cells[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Is the region connected? (The empty region counts as connected.)
+///
+/// NOTE: cell adjacency by closure-intersection decides *polygonal*
+/// connectivity, which over finite unions of order cells coincides with
+/// topological connectivity.
+pub fn is_connected(region: &Region) -> bool {
+    component_count(region) <= 1
+}
+
+/// The same decision routed through the Datalog¬ engine: the cell graph is
+/// emitted as a finite vertex/edge database (vertices numbered into Q) and
+/// the connectivity program of `dco-datalog` runs on it. Agreement with
+/// [`is_connected`] is asserted by the E3 experiment and the integration
+/// tests.
+pub fn is_connected_via_datalog(region: &Region) -> bool {
+    let cells = region_cells(region);
+    let n = cells.len();
+    if n <= 1 {
+        return true;
+    }
+    let vertices = GeneralizedRelation::from_points(
+        1,
+        (0..n).map(|i| vec![Rational::from_int(i as i64)]),
+    );
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if cells_touch(&cells[i], &cells[j]) {
+                edges.push(vec![
+                    Rational::from_int(i as i64),
+                    Rational::from_int(j as i64),
+                ]);
+            }
+        }
+    }
+    let edges = GeneralizedRelation::from_points(2, edges);
+    datalog_is_connected(&vertices, &edges).expect("cell graph program runs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_box_is_connected() {
+        assert!(is_connected(&Region::closed_box(0, 1, 0, 1)));
+        assert_eq!(component_count(&Region::closed_box(0, 1, 0, 1)), 1);
+    }
+
+    #[test]
+    fn two_far_boxes_are_disconnected() {
+        let r = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(5, 6, 5, 6));
+        assert!(!is_connected(&r));
+        assert_eq!(component_count(&r), 2);
+    }
+
+    #[test]
+    fn touching_boxes_are_connected() {
+        // share the edge x = 1
+        let r = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(1, 2, 0, 1));
+        assert!(is_connected(&r));
+    }
+
+    #[test]
+    fn corner_touching_boxes_are_connected() {
+        // share only the corner point (1,1)
+        let r = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(1, 2, 1, 2));
+        assert!(is_connected(&r));
+    }
+
+    #[test]
+    fn open_boxes_separated_by_a_line_are_disconnected() {
+        // (0,1)×(0,1) and (1,2)×(0,1): the segment x=1 is missing
+        let r = Region::open_box(0, 1, 0, 1).union(&Region::open_box(1, 2, 0, 1));
+        assert!(!is_connected(&r));
+        // adding the separating open segment x=1, 0<y<1 reconnects
+        let seg = Region::from_relation(GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::var(0), RawOp::Eq, Term::cst(rat(1, 1))),
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Lt, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Lt, Term::cst(rat(1, 1))),
+            ],
+        ));
+        assert!(is_connected(&r.union(&seg)));
+    }
+
+    #[test]
+    fn isolated_point_makes_extra_component() {
+        let r = Region::closed_box(0, 1, 0, 1).union(&Region::point(5, 5));
+        assert_eq!(component_count(&r), 2);
+    }
+
+    #[test]
+    fn empty_region_connected_by_convention() {
+        assert!(is_connected(&Region::empty()));
+        assert_eq!(component_count(&Region::empty()), 0);
+    }
+
+    #[test]
+    fn datalog_backend_agrees() {
+        let connected = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(1, 2, 1, 2));
+        let disconnected =
+            Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(3, 4, 3, 4));
+        assert_eq!(is_connected(&connected), is_connected_via_datalog(&connected));
+        assert_eq!(
+            is_connected(&disconnected),
+            is_connected_via_datalog(&disconnected)
+        );
+        assert!(is_connected_via_datalog(&connected));
+        assert!(!is_connected_via_datalog(&disconnected));
+    }
+}

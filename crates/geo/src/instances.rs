@@ -1,0 +1,111 @@
+//! Instance families for the region-connectivity experiment (E3).
+//!
+//! Theorem 4.3's proof needs, for every quantifier rank r, a *connected*
+//! region and a *disconnected* region that rank-r sentences cannot tell
+//! apart. Our family: **staircases** of corner-touching unit boxes
+//! `[2i, 2i+1]²` joined by connector boxes — locally identical everywhere,
+//! so bounded-rank FO (which is local) cannot detect whether one connector
+//! somewhere in the middle is missing. The experiment encodes both regions
+//! as finite slot structures (`dco-ef::bridge`) and verifies
+//! EF-equivalence while `dco-geo::connectivity` distinguishes them.
+
+use crate::region::Region;
+
+/// A connected staircase of `n ≥ 1` steps: unit boxes `[2i, 2i+1]²` plus
+/// connector boxes `[2i+1, 2i+2] × [2i, 2i+3]`-corner pieces joining
+/// consecutive steps through their corners.
+pub fn staircase(n: usize) -> Region {
+    assert!(n >= 1);
+    let mut r = Region::empty();
+    for i in 0..n {
+        let base = 2 * i as i64;
+        r = r.union(&Region::closed_box(base, base + 1, base, base + 1));
+        if i + 1 < n {
+            // connector: the corner-to-corner diagonal is not definable
+            // with order constraints; use the small bridging box
+            // [base+1, base+2]² which shares corners with both steps.
+            r = r.union(&Region::closed_box(base + 1, base + 2, base + 1, base + 2));
+        }
+    }
+    r
+}
+
+/// The broken staircase: same as [`staircase`], but the connector after
+/// step `break_at` is removed — two components, locally indistinguishable
+/// from the connected one away from the gap.
+pub fn broken_staircase(n: usize, break_at: usize) -> Region {
+    assert!(n >= 2 && break_at + 1 < n, "need a connector to remove");
+    let mut r = Region::empty();
+    for i in 0..n {
+        let base = 2 * i as i64;
+        r = r.union(&Region::closed_box(base, base + 1, base, base + 1));
+        if i + 1 < n && i != break_at {
+            r = r.union(&Region::closed_box(base + 1, base + 2, base + 1, base + 2));
+        }
+    }
+    r
+}
+
+/// A row of `n` disjoint unit boxes `[3i, 3i+1] × [0, 1]` — the maximally
+/// disconnected control instance.
+pub fn scattered_boxes(n: usize) -> Region {
+    let mut r = Region::empty();
+    for i in 0..n {
+        let base = 3 * i as i64;
+        r = r.union(&Region::closed_box(base, base + 1, 0, 1));
+    }
+    r
+}
+
+/// A horizontal bar `[0, n] × [0, 1]` built from `n` abutting unit boxes —
+/// connected, same box count as [`scattered_boxes`].
+pub fn bar(n: usize) -> Region {
+    let mut r = Region::empty();
+    for i in 0..n {
+        let base = i as i64;
+        r = r.union(&Region::closed_box(base, base + 1, 0, 1));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{component_count, is_connected};
+
+    #[test]
+    fn staircase_is_connected() {
+        for n in 1..=4 {
+            assert!(is_connected(&staircase(n)), "staircase({n})");
+        }
+    }
+
+    #[test]
+    fn broken_staircase_has_two_components() {
+        for n in 2..=4 {
+            for b in 0..n - 1 {
+                assert_eq!(
+                    component_count(&broken_staircase(n, b)),
+                    2,
+                    "broken_staircase({n},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_vs_bar() {
+        assert_eq!(component_count(&scattered_boxes(4)), 4);
+        assert!(is_connected(&bar(4)));
+    }
+
+    #[test]
+    fn membership_spot_checks() {
+        let s = staircase(2);
+        assert!(s.contains(0, 0)); // first step
+        assert!(s.contains(2, 2)); // second step... wait: step 1 is [2,3]²
+        assert!(s.contains(3, 3));
+        assert!(s.contains(2, 1)); // connector [1,2]² corner region
+        assert!(!s.contains(0, 3));
+    }
+}

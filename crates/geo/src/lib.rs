@@ -1,0 +1,29 @@
+//! # dco-geo — the spatial layer of dense-order constraint databases
+//!
+//! §2 of *Dense-Order Constraint Databases* (Grumbach & Su, PODS 1995)
+//! motivates the model with geographical pointsets; §3 ties queries to the
+//! topology of the rational plane; Theorem 4.3 proves region connectivity
+//! is not linear (FO+) while Theorem 4.4 places it in Datalog¬. This crate
+//! provides planar [`region::Region`]s over the dense-order algebra, the
+//! FO-definable topological operators ([`topology`]), the PTIME region
+//! connectivity decision with both union-find and Datalog¬ back-ends
+//! ([`connectivity`]), and the staircase instance families used by
+//! experiment E3 ([`instances`]).
+//!
+//! ```
+//! use dco_geo::region::Region;
+//! use dco_geo::connectivity::is_connected;
+//!
+//! let two = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(5, 6, 0, 1));
+//! assert!(!is_connected(&two));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod instances;
+pub mod region;
+pub mod topology;
+
+pub use connectivity::{component_count, is_connected, is_connected_via_datalog};
+pub use region::Region;

@@ -1,0 +1,147 @@
+//! Topological operators on dense-order regions.
+//!
+//! §3 of the paper connects its query definition to the topology of the
+//! rational plane: queries are closed under monotone homeomorphisms, and
+//! interior / closure / boundary of a definable pointset are themselves
+//! first-order definable (e.g. `int(R)(p) = ∃ box ∋ p. box ⊆ R`). Rather
+//! than evaluating those rank-6 formulas with the generic evaluator — whose
+//! DNF complements blow up at arity 8 — we use the equivalent *cell
+//! computation*, which is how a real engine would implement them:
+//!
+//! * **closure**: a satisfiable conjunction of order constraints defines a
+//!   convex set whose topological closure is obtained by weakening every
+//!   strict atom to `≤` (the standard convexity argument: for `w` in the
+//!   weakened set and `s` a witness of the strict set, every point of the
+//!   open segment `(s, w)` satisfies all strict constraints strictly);
+//!   closure distributes over finite unions;
+//! * **interior**: `int(R) = ¬ cl(¬ R)`, with the complement taken
+//!   cell-wise over `R`'s constants (exact, since `R` is a union of cells);
+//! * **boundary**: `cl(R) \ int(R)`.
+//!
+//! Each operator returns a finitely representable region — closure of the
+//! algebra, again.
+
+use crate::region::Region;
+use dco_core::prelude::*;
+
+/// The topological closure of a region (product order topology on `Q²`).
+pub fn closure(region: &Region) -> Region {
+    Region::from_relation(closure_rel(region.relation()))
+}
+
+fn closure_rel(rel: &GeneralizedRelation) -> GeneralizedRelation {
+    GeneralizedRelation::from_tuples(
+        rel.arity(),
+        rel.tuples().iter().map(weaken_tuple),
+    )
+}
+
+/// Weaken every strict atom of a (satisfiable) tuple to its non-strict
+/// counterpart — the closure of the denoted convex set.
+fn weaken_tuple(t: &GeneralizedTuple) -> GeneralizedTuple {
+    GeneralizedTuple::from_atoms(
+        t.arity(),
+        t.atoms().iter().map(|a| match a.op() {
+            CompOp::Lt => Atom::normalized(a.lhs(), CompOp::Le, a.rhs())
+                .expect("weakened atom is satisfiable")
+                .remove(0),
+            _ => *a,
+        }),
+    )
+}
+
+/// The interior of a region: `¬ cl(¬ R)`, complement taken over the cell
+/// space of the region's own constants (exact for definable regions).
+pub fn interior(region: &Region) -> Region {
+    let rel = region.relation();
+    let space = CellSpace::for_relations(2, [rel]);
+    let comp = space.complement(rel);
+    let cl_comp = closure_rel(&comp);
+    // The second complement may introduce no new constants: cl only weakens.
+    let space2 = CellSpace::for_relations(2, [&cl_comp, rel]);
+    Region::from_relation(space2.complement(&cl_comp))
+}
+
+/// The boundary of a region: closure minus interior.
+pub fn boundary(region: &Region) -> Region {
+    closure(region).difference(&interior(region))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_of_closed_box_is_open_box() {
+        let b = Region::closed_box(0, 2, 0, 2);
+        let int = interior(&b);
+        assert!(int.contains(1, 1));
+        assert!(!int.contains(0, 1)); // boundary edge
+        assert!(!int.contains(0, 0)); // corner
+        assert!(int.equivalent(&Region::open_box(0, 2, 0, 2)));
+    }
+
+    #[test]
+    fn closure_of_open_box_is_closed_box() {
+        let b = Region::open_box(0, 2, 0, 2);
+        let cl = closure(&b);
+        assert!(cl.contains(0, 0));
+        assert!(cl.contains(2, 2));
+        assert!(!cl.contains(3, 1));
+        assert!(cl.equivalent(&Region::closed_box(0, 2, 0, 2)));
+    }
+
+    #[test]
+    fn boundary_of_box() {
+        let b = Region::closed_box(0, 2, 0, 2);
+        let bd = boundary(&b);
+        assert!(bd.contains(0, 1)); // left edge
+        assert!(bd.contains(2, 2)); // corner
+        assert!(bd.contains(1, 0)); // bottom edge
+        assert!(!bd.contains(1, 1)); // interior
+        assert!(!bd.contains(5, 5)); // exterior
+    }
+
+    #[test]
+    fn isolated_point_has_empty_interior() {
+        let p = Region::point(3, 4);
+        assert!(interior(&p).is_empty());
+        assert!(closure(&p).equivalent(&p));
+        assert!(boundary(&p).equivalent(&p));
+    }
+
+    #[test]
+    fn interior_of_plane_is_plane() {
+        let pl = Region::plane();
+        assert!(interior(&pl).equivalent(&pl));
+        assert!(boundary(&pl).is_empty());
+    }
+
+    #[test]
+    fn closure_idempotent_and_monotone() {
+        let r = Region::open_box(0, 1, 0, 1).union(&Region::point(5, 5));
+        let c1 = closure(&r);
+        let c2 = closure(&c1);
+        assert!(c1.equivalent(&c2));
+        assert!(r.relation().is_subset(c1.relation()));
+    }
+
+    #[test]
+    fn triangle_topology() {
+        // the wedge x ≤ y within [0,2]²: interior is the strict wedge
+        let wedge = Region::from_relation(GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(2, 1))),
+            ],
+        ));
+        let int = interior(&wedge);
+        assert!(int.contains(rat(1, 2), rat(3, 2)));
+        assert!(!int.contains(1, 1)); // on the diagonal edge
+        let bd = boundary(&wedge);
+        assert!(bd.contains(1, 1));
+        assert!(bd.contains(0, 1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the spatial layer: random box unions, topology
+//! operator laws, and connectivity invariants.
+
+use dco_geo::connectivity::{component_count, is_connected};
+use dco_geo::region::Region;
+use dco_geo::topology::{boundary, closure, interior};
+use proptest::prelude::*;
+
+/// A random region: union of up to 4 closed/open boxes on a small grid.
+fn arb_region() -> impl Strategy<Value = Region> {
+    prop::collection::vec(
+        (0i64..6, 1i64..3, 0i64..6, 1i64..3, prop::bool::ANY),
+        1..4,
+    )
+    .prop_map(|boxes| {
+        let mut r = Region::empty();
+        for (x, w, y, h, open) in boxes {
+            let b = if open {
+                Region::open_box(x, x + w, y, y + h)
+            } else {
+                Region::closed_box(x, x + w, y, y + h)
+            };
+            r = r.union(&b);
+        }
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn closure_is_extensive_and_idempotent(r in arb_region()) {
+        let c = closure(&r);
+        prop_assert!(r.relation().is_subset(c.relation()));
+        prop_assert!(closure(&c).equivalent(&c));
+    }
+
+    #[test]
+    fn interior_is_intensive_and_idempotent(r in arb_region()) {
+        let i = interior(&r);
+        prop_assert!(i.relation().is_subset(r.relation()));
+        prop_assert!(interior(&i).equivalent(&i));
+    }
+
+    #[test]
+    fn boundary_disjoint_from_interior(r in arb_region()) {
+        let b = boundary(&r);
+        let i = interior(&r);
+        prop_assert!(b.intersect(&i).is_empty());
+        prop_assert!(b.union(&i).equivalent(&closure(&r)));
+    }
+
+    #[test]
+    fn interior_closure_duality(r in arb_region()) {
+        // int(R) = ¬cl(¬R)
+        let lhs = interior(&r);
+        let rhs = closure(&r.complement()).complement();
+        prop_assert!(lhs.equivalent(&rhs));
+    }
+
+    #[test]
+    fn union_does_not_increase_components(a in arb_region(), b in arb_region()) {
+        // components(A ∪ B) ≤ components(A) + components(B)
+        let ca = component_count(&a);
+        let cb = component_count(&b);
+        let cu = component_count(&a.union(&b));
+        prop_assert!(cu <= ca + cb, "{cu} > {ca} + {cb}");
+    }
+
+    #[test]
+    fn connected_union_with_overlap(a in arb_region()) {
+        // A ∪ A is A: same component count
+        prop_assert_eq!(component_count(&a.union(&a)), component_count(&a));
+    }
+
+    #[test]
+    fn closure_preserves_or_reduces_components(r in arb_region()) {
+        // closing can merge touching components, never split them
+        prop_assert!(component_count(&closure(&r)) <= component_count(&r).max(1));
+        if is_connected(&r) {
+            prop_assert!(is_connected(&closure(&r)));
+        }
+    }
+}

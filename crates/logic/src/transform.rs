@@ -1,0 +1,371 @@
+//! Formula transformations: negation normal form and prenex normal form.
+//!
+//! The paper's §4 complexity arguments (and most textbook treatments of
+//! quantifier elimination) assume formulas in **prenex normal form** —
+//! a quantifier prefix over a quantifier-free matrix. These classical
+//! rewritings are provided here, semantics-preserving over any structure,
+//! and property-tested against the evaluators downstream:
+//!
+//! * [`to_nnf`] — push negations to the atoms (eliminating `→` and `↔`);
+//! * [`to_prenex`] — extract quantifiers to a prefix, alpha-renaming to
+//!   avoid capture;
+//! * [`prenex_rank`] — the length of the resulting prefix, an upper bound
+//!   used when relating formulas to EF-game ranks.
+
+use crate::ast::{ArgTerm, Formula};
+use std::collections::BTreeSet;
+
+/// Negation normal form: negations only on atoms, no `→`/`↔`.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn nnf(f: &Formula, neg: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if neg {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if neg {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Compare(l, op, r) => {
+            if neg {
+                Formula::Compare(l.clone(), op.negate(), r.clone())
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Pred(..) => {
+            if neg {
+                Formula::Not(Box::new(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => nnf(g, !neg),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| nnf(g, neg)).collect();
+            if neg {
+                Formula::Or(parts)
+            } else {
+                Formula::And(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| nnf(g, neg)).collect();
+            if neg {
+                Formula::And(parts)
+            } else {
+                Formula::Or(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b
+            let rewritten = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
+            nnf(&rewritten, neg)
+        }
+        Formula::Iff(a, b) => {
+            // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b)
+            let rewritten = Formula::Or(vec![
+                Formula::And(vec![(**a).clone(), (**b).clone()]),
+                Formula::And(vec![
+                    Formula::not((**a).clone()),
+                    Formula::not((**b).clone()),
+                ]),
+            ]);
+            nnf(&rewritten, neg)
+        }
+        Formula::Exists(vs, g) => {
+            let inner = nnf(g, neg);
+            if neg {
+                Formula::Forall(vs.clone(), Box::new(inner))
+            } else {
+                Formula::Exists(vs.clone(), Box::new(inner))
+            }
+        }
+        Formula::Forall(vs, g) => {
+            let inner = nnf(g, neg);
+            if neg {
+                Formula::Exists(vs.clone(), Box::new(inner))
+            } else {
+                Formula::Forall(vs.clone(), Box::new(inner))
+            }
+        }
+    }
+}
+
+/// A prenex quantifier block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Existential block.
+    Exists(Vec<String>),
+    /// Universal block.
+    Forall(Vec<String>),
+}
+
+/// Prenex normal form: `(prefix, matrix)` with a quantifier-free matrix,
+/// semantically equivalent to the input. The input is first brought to
+/// NNF; bound variables are renamed apart as needed.
+pub fn to_prenex(f: &Formula) -> (Vec<Quantifier>, Formula) {
+    let nnf = to_nnf(f);
+    let mut used: BTreeSet<String> = nnf.free_vars();
+    collect_bound(&nnf, &mut used);
+    let mut counter = 0usize;
+    prenex(&nnf, &mut used, &mut counter)
+}
+
+/// Reassemble a prenex pair into a formula.
+pub fn from_prenex(prefix: &[Quantifier], matrix: &Formula) -> Formula {
+    let mut f = matrix.clone();
+    for q in prefix.iter().rev() {
+        f = match q {
+            Quantifier::Exists(vs) => Formula::Exists(vs.clone(), Box::new(f)),
+            Quantifier::Forall(vs) => Formula::Forall(vs.clone(), Box::new(f)),
+        };
+    }
+    f
+}
+
+/// Number of quantified variables in a prenex prefix.
+pub fn prenex_rank(prefix: &[Quantifier]) -> usize {
+    prefix
+        .iter()
+        .map(|q| match q {
+            Quantifier::Exists(vs) | Quantifier::Forall(vs) => vs.len(),
+        })
+        .sum()
+}
+
+fn collect_bound(f: &Formula, out: &mut BTreeSet<String>) {
+    f.walk(&mut |g| {
+        if let Formula::Exists(vs, _) | Formula::Forall(vs, _) = g {
+            out.extend(vs.iter().cloned());
+        }
+    });
+}
+
+fn fresh(base: &str, used: &mut BTreeSet<String>, counter: &mut usize) -> String {
+    loop {
+        *counter += 1;
+        let cand = format!("{base}_p{counter}");
+        if used.insert(cand.clone()) {
+            return cand;
+        }
+    }
+}
+
+fn prenex(
+    f: &Formula,
+    used: &mut BTreeSet<String>,
+    counter: &mut usize,
+) -> (Vec<Quantifier>, Formula) {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Compare(..)
+        | Formula::Pred(..)
+        | Formula::Not(_) => (Vec::new(), f.clone()),
+        Formula::And(gs) | Formula::Or(gs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut prefix = Vec::new();
+            let mut parts = Vec::new();
+            for g in gs {
+                let (mut p, m) = prenex(g, used, counter);
+                // rename this subformula's bound vars apart from everything
+                let (p2, m2) = rename_apart(&mut p, m, used, counter);
+                prefix.extend(p2);
+                parts.push(m2);
+            }
+            let matrix = if is_and { Formula::And(parts) } else { Formula::Or(parts) };
+            (prefix, matrix)
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            // NNF input never contains these
+            unreachable!("to_prenex runs on NNF input")
+        }
+        Formula::Exists(vs, g) => {
+            let (mut prefix, matrix) = prenex(g, used, counter);
+            let mut all = vec![Quantifier::Exists(vs.clone())];
+            all.append(&mut prefix);
+            (all, matrix)
+        }
+        Formula::Forall(vs, g) => {
+            let (mut prefix, matrix) = prenex(g, used, counter);
+            let mut all = vec![Quantifier::Forall(vs.clone())];
+            all.append(&mut prefix);
+            (all, matrix)
+        }
+    }
+}
+
+/// Rename the variables of a prefix to globally fresh names (capture
+/// avoidance when hoisting past sibling subformulas).
+fn rename_apart(
+    prefix: &mut Vec<Quantifier>,
+    mut matrix: Formula,
+    used: &mut BTreeSet<String>,
+    counter: &mut usize,
+) -> (Vec<Quantifier>, Formula) {
+    let mut out = Vec::with_capacity(prefix.len());
+    for q in prefix.drain(..) {
+        let (vs, exists) = match q {
+            Quantifier::Exists(vs) => (vs, true),
+            Quantifier::Forall(vs) => (vs, false),
+        };
+        let mut new_vs = Vec::with_capacity(vs.len());
+        for v in vs {
+            let nv = fresh(&v, used, counter);
+            matrix = rename_free_var(&matrix, &v, &nv);
+            new_vs.push(nv);
+        }
+        out.push(if exists {
+            Quantifier::Exists(new_vs)
+        } else {
+            Quantifier::Forall(new_vs)
+        });
+    }
+    (out, matrix)
+}
+
+/// Rename free occurrences of a variable (the matrix is quantifier-free up
+/// to `Not` of atoms, so capture cannot occur).
+fn rename_free_var(f: &Formula, from: &str, to: &str) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Compare(l, op, r) => {
+            Formula::Compare(l.rename_var(from, to), *op, r.rename_var(from, to))
+        }
+        Formula::Pred(n, args) => Formula::Pred(
+            n.clone(),
+            args.iter()
+                .map(|a| match a {
+                    ArgTerm::Var(v) if v == from => ArgTerm::Var(to.to_string()),
+                    o => o.clone(),
+                })
+                .collect(),
+        ),
+        Formula::Not(g) => Formula::not(rename_free_var(g, from, to)),
+        Formula::And(gs) => {
+            Formula::And(gs.iter().map(|g| rename_free_var(g, from, to)).collect())
+        }
+        Formula::Or(gs) => {
+            Formula::Or(gs.iter().map(|g| rename_free_var(g, from, to)).collect())
+        }
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(rename_free_var(a, from, to)),
+            Box::new(rename_free_var(b, from, to)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(rename_free_var(a, from, to)),
+            Box::new(rename_free_var(b, from, to)),
+        ),
+        Formula::Exists(vs, g) if !vs.iter().any(|v| v == from) => {
+            Formula::Exists(vs.clone(), Box::new(rename_free_var(g, from, to)))
+        }
+        Formula::Forall(vs, g) if !vs.iter().any(|v| v == from) => {
+            Formula::Forall(vs.clone(), Box::new(rename_free_var(g, from, to)))
+        }
+        shadowed => shadowed.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn is_nnf(f: &Formula) -> bool {
+        let mut ok = true;
+        f.walk(&mut |g| match g {
+            Formula::Implies(..) | Formula::Iff(..) => ok = false,
+            Formula::Not(inner) => {
+                if !matches!(**inner, Formula::Pred(..)) {
+                    ok = false;
+                }
+            }
+            _ => {}
+        });
+        ok
+    }
+
+    fn is_quantifier_free(f: &Formula) -> bool {
+        let mut ok = true;
+        f.walk(&mut |g| {
+            if matches!(g, Formula::Exists(..) | Formula::Forall(..)) {
+                ok = false;
+            }
+        });
+        ok
+    }
+
+    #[test]
+    fn nnf_eliminates_connectives() {
+        for src in [
+            "!(x < 1 & y < 2)",
+            "(x < 1) -> (y < 2)",
+            "(R(x, y) <-> x < y)",
+            "!(exists z . (R(x, z) & !(z = y)))",
+            "!!(x < 1)",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let g = to_nnf(&f);
+            assert!(is_nnf(&g), "{src} → {g}");
+            assert_eq!(f.free_vars(), g.free_vars(), "{src}");
+        }
+    }
+
+    #[test]
+    fn nnf_flips_quantifiers_under_negation() {
+        let f = parse_formula("!(forall x . x < 1)").unwrap();
+        let g = to_nnf(&f);
+        assert!(matches!(g, Formula::Exists(..)), "{g}");
+    }
+
+    #[test]
+    fn prenex_produces_quantifier_free_matrix() {
+        for src in [
+            "exists y . (R(x, y) & forall z . (R(y, z) -> z < 3))",
+            "(exists a . R(a, x)) & (exists a . R(x, a))",
+            "!(exists z . R(z, z)) | (forall w . w <= w)",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let (prefix, matrix) = to_prenex(&f);
+            assert!(is_quantifier_free(&matrix), "{src} matrix {matrix}");
+            let back = from_prenex(&prefix, &matrix);
+            assert_eq!(back.free_vars(), f.free_vars(), "{src}");
+        }
+    }
+
+    #[test]
+    fn prenex_renames_clashing_bound_vars() {
+        let f = parse_formula("(exists a . R(a, x)) & (exists a . R(x, a))").unwrap();
+        let (prefix, _) = to_prenex(&f);
+        let mut names = Vec::new();
+        for q in &prefix {
+            match q {
+                Quantifier::Exists(vs) | Quantifier::Forall(vs) => {
+                    names.extend(vs.clone())
+                }
+            }
+        }
+        let unique: BTreeSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "prefix has duplicates: {names:?}");
+        assert_eq!(prenex_rank(&prefix), 2);
+    }
+
+    #[test]
+    fn prenex_rank_counts_all_blocks() {
+        let f = parse_formula("exists a b . forall c . R(a, b) & c <= c").unwrap();
+        let (prefix, _) = to_prenex(&f);
+        assert_eq!(prenex_rank(&prefix), 3);
+    }
+}

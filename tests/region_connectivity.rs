@@ -1,0 +1,91 @@
+//! Region connectivity end-to-end (Theorem 4.3 / 4.4): the two back-ends
+//! agree on the instance families, the EF witnesses exist at low ranks,
+//! and topology interacts correctly with connectivity.
+
+use dco::ef::{ef_equivalent, encode_binary};
+use dco::geo::instances::{bar, broken_staircase, scattered_boxes, staircase};
+use dco::geo::region::Region;
+use dco::geo::topology::{boundary, closure, interior};
+use dco::geo::{component_count, is_connected, is_connected_via_datalog};
+
+#[test]
+fn backends_agree_on_families() {
+    let cases: Vec<(Region, bool)> = vec![
+        (staircase(2), true),
+        (staircase(3), true),
+        (broken_staircase(3, 0), false),
+        (broken_staircase(4, 2), false),
+        (bar(3), true),
+        (scattered_boxes(3), false),
+    ];
+    for (region, expected) in cases {
+        assert_eq!(is_connected(&region), expected);
+        assert_eq!(is_connected_via_datalog(&region), expected);
+    }
+}
+
+#[test]
+fn component_counts() {
+    assert_eq!(component_count(&staircase(4)), 1);
+    assert_eq!(component_count(&broken_staircase(4, 1)), 2);
+    assert_eq!(component_count(&scattered_boxes(5)), 5);
+}
+
+#[test]
+fn ef_witness_at_rank_one() {
+    // rank-1 sentences (one quantifier) cannot see connectivity:
+    let good = staircase(4);
+    let bad = broken_staircase(4, 1);
+    let eg = encode_binary(good.relation()).unwrap();
+    let eb = encode_binary(bad.relation()).unwrap();
+    assert!(ef_equivalent(&eg, &eb, 1));
+    assert!(is_connected(&good));
+    assert!(!is_connected(&bad));
+}
+
+#[test]
+fn closure_can_connect() {
+    // two open boxes sharing a missing edge: disconnected, but their
+    // closure is connected.
+    let r = Region::open_box(0, 1, 0, 1).union(&Region::open_box(1, 2, 0, 1));
+    assert!(!is_connected(&r));
+    assert!(is_connected(&closure(&r)));
+}
+
+#[test]
+fn interior_can_disconnect() {
+    // two closed boxes sharing one corner: connected, but the interior
+    // splits into two open boxes.
+    let r = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(1, 2, 1, 2));
+    assert!(is_connected(&r));
+    let int = interior(&r);
+    assert!(!is_connected(&int));
+    assert_eq!(component_count(&int), 2);
+}
+
+#[test]
+fn boundary_of_staircase_is_disjoint_from_interior() {
+    let s = staircase(2);
+    let bd = boundary(&s);
+    let int = interior(&s);
+    assert!(bd.intersect(&int).is_empty());
+    // and together with the interior they cover the closure
+    let cover = bd.union(&int);
+    assert!(cover.equivalent(&closure(&s)));
+}
+
+#[test]
+fn connectivity_is_automorphism_invariant() {
+    use dco::core::automorphism::Automorphism;
+    use dco::prelude::*;
+    let r = broken_staircase(3, 0);
+    let f = Automorphism::from_anchors(vec![
+        (rat(0, 1), rat(-5, 1)),
+        (rat(3, 1), rat(0, 1)),
+        (rat(6, 1), rat(1, 2)),
+    ])
+    .unwrap();
+    let img = Region::from_relation(f.apply_relation(r.relation()));
+    assert_eq!(is_connected(&r), is_connected(&img));
+    assert_eq!(component_count(&r), component_count(&img));
+}
