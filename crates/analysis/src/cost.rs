@@ -1,0 +1,257 @@
+//! Static cost estimation.
+//!
+//! Closed-form evaluation of a dense-order query is exponential in the
+//! quantifier structure, and its intermediate relations live in the cell
+//! decomposition of Q^n induced by the constants of the query and database:
+//! with `k` distinct constants there are `2k+1` order cells per axis, so at
+//! most `(2k+1)^n` cells over `n` variables. The estimator bounds both the
+//! quantifier alternation depth and this predicted cell count against a
+//! configurable [`CostBudget`]; queries over budget are rejected before any
+//! evaluation work is spent.
+
+use crate::diagnostic::{Diagnostic, Span};
+use dco_core::prelude::Rational;
+use dco_logic::datalog::{Literal, Rule};
+use dco_logic::{ArgTerm, Formula, LinExpr};
+use std::collections::BTreeSet;
+
+/// Limits a query must stay within to be evaluated by `checked_*` entry
+/// points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostBudget {
+    /// Maximum quantifier alternation depth (number of maximal ∃/∀ groups
+    /// along any path, with negation flipping the quantifier kind).
+    pub max_quantifier_alternation: usize,
+    /// Maximum predicted cell-decomposition size `(2k+1)^n`.
+    pub max_predicted_cells: u128,
+}
+
+impl Default for CostBudget {
+    fn default() -> CostBudget {
+        CostBudget {
+            max_quantifier_alternation: 32,
+            max_predicted_cells: 1_000_000_000_000,
+        }
+    }
+}
+
+/// Quantifier alternation depth: the longest chain of quantifier groups of
+/// alternating kind along any root-to-leaf path. `∃x∃y.φ` counts 1,
+/// `∃x∀y∃z.φ` counts 3. Negation flips the effective kind (`¬∃ ≡ ∀¬`), as
+/// does the antecedent of an implication.
+pub fn alternation_depth(formula: &Formula) -> usize {
+    depth(formula, true, None)
+}
+
+fn depth(f: &Formula, positive: bool, last_exists: Option<bool>) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Compare(..) | Formula::Pred(..) => 0,
+        Formula::Not(g) => depth(g, !positive, last_exists),
+        Formula::And(fs) | Formula::Or(fs) => fs
+            .iter()
+            .map(|g| depth(g, positive, last_exists))
+            .max()
+            .unwrap_or(0),
+        Formula::Implies(a, b) => {
+            depth(a, !positive, last_exists).max(depth(b, positive, last_exists))
+        }
+        // φ ↔ ψ expands to two implications: each side occurs under both
+        // polarities.
+        Formula::Iff(a, b) => [a, b]
+            .iter()
+            .flat_map(|g| {
+                [
+                    depth(g, positive, last_exists),
+                    depth(g, !positive, last_exists),
+                ]
+            })
+            .max()
+            .unwrap_or(0),
+        Formula::Exists(_, g) | Formula::Forall(_, g) => {
+            let exists = matches!(f, Formula::Exists(..)) == positive;
+            let step = if last_exists == Some(exists) { 0 } else { 1 };
+            step + depth(g, positive, Some(exists))
+        }
+    }
+}
+
+fn constants_of_expr(e: &LinExpr, out: &mut BTreeSet<Rational>) {
+    if !e.constant.is_zero() {
+        out.insert(e.constant);
+    }
+}
+
+/// Distinct rational constants a formula mentions (comparison constant
+/// terms and constant predicate arguments).
+pub fn constants_of_formula(formula: &Formula) -> BTreeSet<Rational> {
+    let mut out = BTreeSet::new();
+    formula.walk(&mut |f| match f {
+        Formula::Compare(l, _, r) => {
+            constants_of_expr(l, &mut out);
+            constants_of_expr(r, &mut out);
+        }
+        Formula::Pred(_, args) => {
+            for a in args {
+                if let ArgTerm::Const(c) = a {
+                    out.insert(*c);
+                }
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+/// All variable names of a formula, free and bound.
+pub fn all_vars(formula: &Formula) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    formula.walk(&mut |f| match f {
+        Formula::Compare(l, _, r) => {
+            out.extend(l.vars().chain(r.vars()).map(|s| s.to_string()));
+        }
+        Formula::Pred(_, args) => {
+            for a in args {
+                if let ArgTerm::Var(v) = a {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        Formula::Exists(vs, _) | Formula::Forall(vs, _) => {
+            out.extend(vs.iter().cloned());
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Predicted cell-decomposition size: `(2k+1)^n` for `k` constants and `n`
+/// variables, saturating at `u128::MAX`.
+pub fn predicted_cells(constants: usize, vars: usize) -> u128 {
+    let base = 2 * constants as u128 + 1;
+    let Ok(exp) = u32::try_from(vars) else {
+        return u128::MAX;
+    };
+    base.saturating_pow(exp)
+}
+
+/// Bound a formula's alternation depth and predicted cells (DCO501/DCO502).
+pub fn check_formula(formula: &Formula, budget: &CostBudget) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let alt = alternation_depth(formula);
+    if alt > budget.max_quantifier_alternation {
+        diags.push(Diagnostic::error(
+            "DCO501",
+            format!(
+                "quantifier alternation depth {alt} exceeds the budget of {}",
+                budget.max_quantifier_alternation
+            ),
+            Span::Unknown,
+        ));
+    }
+    let cells = predicted_cells(constants_of_formula(formula).len(), all_vars(formula).len());
+    if cells > budget.max_predicted_cells {
+        diags.push(Diagnostic::error(
+            "DCO502",
+            format!(
+                "predicted cell-decomposition size {cells} exceeds the budget \
+                 of {}",
+                budget.max_predicted_cells
+            ),
+            Span::Unknown,
+        ));
+    }
+    diags
+}
+
+/// Bound a rule's predicted cells (rule bodies are quantifier-free, so only
+/// DCO502 applies).
+pub fn check_rule(rule: &Rule, budget: &CostBudget) -> Option<Diagnostic> {
+    let mut vars: BTreeSet<String> = rule.head_vars.iter().cloned().collect();
+    let mut consts: BTreeSet<Rational> = BTreeSet::new();
+    for lit in &rule.body {
+        vars.extend(lit.vars());
+        match lit {
+            Literal::Pos(_, args) | Literal::Neg(_, args) => {
+                for a in args {
+                    if let ArgTerm::Const(c) = a {
+                        consts.insert(*c);
+                    }
+                }
+            }
+            Literal::Constraint(l, _, r) => {
+                constants_of_expr(l, &mut consts);
+                constants_of_expr(r, &mut consts);
+            }
+        }
+    }
+    let cells = predicted_cells(consts.len(), vars.len());
+    if cells > budget.max_predicted_cells {
+        return Some(Diagnostic::error(
+            "DCO502",
+            format!(
+                "rule for `{}` predicts cell-decomposition size {cells}, over \
+                 the budget of {}",
+                rule.head, budget.max_predicted_cells
+            ),
+            Span::of_rule(rule),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_logic::parse_formula;
+
+    #[test]
+    fn alternation_ignores_same_kind_blocks() {
+        let f = parse_formula("exists x . exists y . x < y").unwrap();
+        assert_eq!(alternation_depth(&f), 1);
+        let g = parse_formula("exists x . forall y . exists z . x < z").unwrap();
+        assert_eq!(alternation_depth(&g), 3);
+    }
+
+    #[test]
+    fn negation_flips_quantifier_kind() {
+        // ¬∃y inside ∃x is effectively ∃x∀y: depth 2.
+        let f = parse_formula("exists x . !(exists y . y < x)").unwrap();
+        assert_eq!(alternation_depth(&f), 2);
+        // ¬∀y inside ∃x collapses to ∃x∃y: depth 1.
+        let g = parse_formula("exists x . !(forall y . y < x)").unwrap();
+        assert_eq!(alternation_depth(&g), 1);
+    }
+
+    #[test]
+    fn predicted_cells_saturate() {
+        assert_eq!(predicted_cells(1, 2), 9);
+        assert_eq!(predicted_cells(0, 10), 1);
+        assert_eq!(predicted_cells(u32::MAX as usize, 200), u128::MAX);
+    }
+
+    #[test]
+    fn over_budget_is_rejected() {
+        let f = parse_formula("exists x . forall y . exists z . x < z").unwrap();
+        let tight = CostBudget {
+            max_quantifier_alternation: 2,
+            ..CostBudget::default()
+        };
+        let diags = check_formula(&f, &tight);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO501");
+        assert!(check_formula(&f, &CostBudget::default()).is_empty());
+    }
+
+    #[test]
+    fn cell_budget_rejection() {
+        // 3 constants, 3 variables: (2·3+1)³ = 343 cells.
+        let f = parse_formula("x < 1 & y < 2 & z < 3").unwrap();
+        let tight = CostBudget {
+            max_predicted_cells: 100,
+            ..CostBudget::default()
+        };
+        let diags = check_formula(&f, &tight);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO502");
+    }
+}

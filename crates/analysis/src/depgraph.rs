@@ -1,0 +1,297 @@
+//! The predicate dependency graph of a Datalog¬ program.
+//!
+//! One edge `h → b` per body literal: the head predicate *depends on* the
+//! body predicate, positively or negatively. Stratified evaluation needs
+//! every negative edge to cross strictly downward between strata, which is
+//! possible exactly when no cycle of the graph contains a negative edge.
+//! `dco-datalog`'s stratifier consumes [`DepGraph::strata`]; the analyzer
+//! reports negative cycles as full paths.
+
+use dco_logic::datalog::{Literal, Program};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Whether a dependency passes through negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Plain body atom.
+    Positive,
+    /// Negated body atom.
+    Negative,
+}
+
+/// Predicate dependency graph over the IDB predicates of a program.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// `head → (body predicate, polarity)`, deduplicated, IDB targets only.
+    edges: BTreeMap<String, Vec<(String, Polarity)>>,
+    idb: BTreeSet<String>,
+}
+
+impl DepGraph {
+    /// Build the graph from a program. Edges to EDB predicates are dropped:
+    /// extensional relations are fixed inputs and cannot participate in a
+    /// recursion cycle.
+    pub fn of_program(program: &Program) -> DepGraph {
+        let idb: BTreeSet<String> = program.idb_predicates().into_iter().collect();
+        let mut edges: BTreeMap<String, Vec<(String, Polarity)>> =
+            idb.iter().map(|p| (p.clone(), Vec::new())).collect();
+        for rule in &program.rules {
+            for lit in &rule.body {
+                let (name, polarity) = match lit {
+                    Literal::Pos(n, _) => (n, Polarity::Positive),
+                    Literal::Neg(n, _) => (n, Polarity::Negative),
+                    Literal::Constraint(..) => continue,
+                };
+                if !idb.contains(name) {
+                    continue;
+                }
+                let deps = edges.entry(rule.head.clone()).or_default();
+                let edge = (name.clone(), polarity);
+                if !deps.contains(&edge) {
+                    deps.push(edge);
+                }
+            }
+        }
+        DepGraph { edges, idb }
+    }
+
+    /// The IDB predicates (graph nodes).
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.idb.iter().map(|s| s.as_str())
+    }
+
+    /// Direct dependencies of a predicate.
+    pub fn dependencies(&self, pred: &str) -> &[(String, Polarity)] {
+        self.edges.get(pred).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Strongly connected components (Tarjan, iterative).
+    fn sccs(&self) -> BTreeMap<&str, usize> {
+        let nodes: Vec<&str> = self.idb.iter().map(|s| s.as_str()).collect();
+        let index_of: BTreeMap<&str, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let succs: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|n| {
+                self.dependencies(n)
+                    .iter()
+                    .map(|(d, _)| index_of[d.as_str()])
+                    .collect()
+            })
+            .collect();
+
+        let n = nodes.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut next_comp = 0usize;
+
+        // Iterative Tarjan: (node, next-successor-position) call frames.
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, pos)) = frames.last() {
+                if index[v] == usize::MAX {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = succs[v].get(pos) {
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        nodes.iter().map(|n| (*n, comp[index_of[n]])).collect()
+    }
+
+    /// A cycle through a negative edge, if one exists, as the dependency
+    /// path `[p, q, …, p]` (first and last elements equal).
+    pub fn negative_cycle(&self) -> Option<Vec<String>> {
+        let comp = self.sccs();
+        for (head, deps) in &self.edges {
+            for (dep, polarity) in deps {
+                if *polarity == Polarity::Negative && comp[head.as_str()] == comp[dep.as_str()] {
+                    return Some(self.cycle_through(head, dep, &comp));
+                }
+            }
+        }
+        None
+    }
+
+    /// Reconstruct `head → dep → … → head` where the `dep → … → head` tail
+    /// is a shortest dependency path inside the shared SCC.
+    fn cycle_through(&self, head: &str, dep: &str, comp: &BTreeMap<&str, usize>) -> Vec<String> {
+        let scc = comp[head];
+        if head == dep {
+            return vec![head.to_string(), head.to_string()];
+        }
+        // BFS from dep back to head along intra-SCC edges.
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        queue.push_back(dep);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for (w, _) in self.dependencies(v) {
+                let w = w.as_str();
+                if comp[w] != scc || prev.contains_key(w) || w == dep {
+                    continue;
+                }
+                prev.insert(w, v);
+                if w == head {
+                    break 'bfs;
+                }
+                queue.push_back(w);
+            }
+        }
+        let mut tail = vec![head];
+        let mut cur = head;
+        while cur != dep {
+            cur = prev[cur];
+            tail.push(cur);
+        }
+        tail.reverse(); // dep, …, head
+        let mut cycle = vec![head.to_string()];
+        cycle.extend(tail.into_iter().map(|s| s.to_string()));
+        cycle
+    }
+
+    /// Assign strata: positive edges may stay level, negative edges must
+    /// strictly descend (the dependency is evaluated in an earlier stratum).
+    /// Returns the stratum of each IDB predicate, or the offending cycle.
+    pub fn strata(&self) -> Result<BTreeMap<String, usize>, Vec<String>> {
+        if let Some(cycle) = self.negative_cycle() {
+            return Err(cycle);
+        }
+        let mut stratum: BTreeMap<String, usize> =
+            self.idb.iter().map(|p| (p.clone(), 0)).collect();
+        // No negative cycle ⇒ relaxation converges within |idb| rounds.
+        for _ in 0..=self.idb.len() {
+            let mut changed = false;
+            for (head, deps) in &self.edges {
+                let mut need = stratum[head];
+                for (dep, polarity) in deps {
+                    let d = stratum[dep];
+                    need = need.max(match polarity {
+                        Polarity::Positive => d,
+                        Polarity::Negative => d + 1,
+                    });
+                }
+                if need > stratum[head] {
+                    stratum.insert(head.clone(), need);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(stratum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_logic::datalog::parse_program;
+
+    #[test]
+    fn tc_is_one_stratum() {
+        let p = parse_program(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap();
+        let g = DepGraph::of_program(&p);
+        assert!(g.negative_cycle().is_none());
+        assert_eq!(g.strata().unwrap()["tc"], 0);
+    }
+
+    #[test]
+    fn negation_pushes_up_a_stratum() {
+        let p = parse_program(
+            "r(x, y) :- e(x, y).\n\
+             r(x, y) :- r(x, z), e(z, y).\n\
+             unreach(x, y) :- v(x), v(y), not r(x, y).\n",
+        )
+        .unwrap();
+        let s = DepGraph::of_program(&p).strata().unwrap();
+        assert_eq!(s["r"], 0);
+        assert_eq!(s["unreach"], 1);
+    }
+
+    #[test]
+    fn mutual_negation_cycle_path() {
+        let p = parse_program(
+            "a(x) :- v(x), not b(x).\n\
+             b(x) :- v(x), not a(x).\n",
+        )
+        .unwrap();
+        let cycle = DepGraph::of_program(&p).negative_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 3, "a -> b -> a, got {cycle:?}");
+        assert!(cycle.contains(&"a".to_string()) && cycle.contains(&"b".to_string()));
+        assert!(DepGraph::of_program(&p).strata().is_err());
+    }
+
+    #[test]
+    fn self_negation_cycle() {
+        let p = parse_program("p(x) :- v(x), not p(x).\n").unwrap();
+        let cycle = DepGraph::of_program(&p).negative_cycle().unwrap();
+        assert_eq!(cycle, vec!["p".to_string(), "p".to_string()]);
+    }
+
+    #[test]
+    fn long_cycle_reports_full_path() {
+        // a -> b -> c -> a with one negative edge: the cycle must name all
+        // three predicates.
+        let p = parse_program(
+            "a(x) :- b(x).\n\
+             b(x) :- c(x).\n\
+             c(x) :- v(x), not a(x).\n",
+        )
+        .unwrap();
+        let cycle = DepGraph::of_program(&p).negative_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert_eq!(cycle.len(), 4, "c -> a -> b -> c, got {cycle:?}");
+        for pred in ["a", "b", "c"] {
+            assert!(
+                cycle.contains(&pred.to_string()),
+                "missing {pred} in {cycle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edb_negation_is_stratifiable() {
+        let p = parse_program("q(x) :- v(x), not e(x, x).\n").unwrap();
+        let g = DepGraph::of_program(&p);
+        assert!(g.negative_cycle().is_none());
+        assert_eq!(g.strata().unwrap()["q"], 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Safety (range restriction) for Datalog¬ rules.
+//!
+//! A rule is *safe* when every head variable and every variable of a negated
+//! literal is **range restricted**: bound by a positive body literal, or
+//! connected to one (or to a constant) by a chain of equality constraints.
+//! Unsafe rules have no finite representation — `p(x) :- not q(x)` would
+//! assert `p` of every rational — so the analyzer reports them as errors.
+
+use crate::diagnostic::{Diagnostic, Span};
+use dco_core::prelude::RawOp;
+use dco_logic::datalog::{Literal, Program, Rule};
+use dco_logic::ArgTerm;
+use std::collections::BTreeSet;
+
+/// Variables of a rule bound by a positive literal or by an equality chain
+/// reaching one (or a constant).
+pub fn range_restricted_vars(rule: &Rule) -> BTreeSet<String> {
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(_, args) => {
+                for a in args {
+                    if let ArgTerm::Var(v) = a {
+                        bound.insert(v.clone());
+                    }
+                }
+            }
+            // An equality to a constant pins the variable directly.
+            Literal::Constraint(l, RawOp::Eq, r) => {
+                if let (Some(v), Some(_)) = (l.as_simple_var(), r.as_const()) {
+                    bound.insert(v.to_string());
+                }
+                if let (Some(_), Some(v)) = (l.as_const(), r.as_simple_var()) {
+                    bound.insert(v.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Propagate bindings across var = var equalities to a fixpoint.
+    loop {
+        let mut changed = false;
+        for lit in &rule.body {
+            let Literal::Constraint(l, RawOp::Eq, r) = lit else {
+                continue;
+            };
+            let (Some(a), Some(b)) = (l.as_simple_var(), r.as_simple_var()) else {
+                continue;
+            };
+            if bound.contains(a) && bound.insert(b.to_string()) {
+                changed = true;
+            }
+            if bound.contains(b) && bound.insert(a.to_string()) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    bound
+}
+
+/// Report every unsafe variable of every rule (DCO201 head, DCO202 negated).
+pub fn check_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rule in &program.rules {
+        let bound = range_restricted_vars(rule);
+        let span = Span::of_rule(rule);
+        for v in &rule.head_vars {
+            if !bound.contains(v) {
+                diags.push(Diagnostic::error(
+                    "DCO201",
+                    format!(
+                        "head variable `{v}` of `{}` is not range-restricted: \
+                         it must appear in a positive body literal or be \
+                         equated to one by a constraint chain",
+                        rule.head
+                    ),
+                    span,
+                ));
+            }
+        }
+        for lit in &rule.body {
+            let Literal::Neg(name, args) = lit else {
+                continue;
+            };
+            for a in args {
+                if let ArgTerm::Var(v) = a {
+                    if !bound.contains(v) {
+                        diags.push(Diagnostic::error(
+                            "DCO202",
+                            format!(
+                                "variable `{v}` of negated literal `not {name}(…)` \
+                                 in the rule for `{}` is not range-restricted",
+                                rule.head
+                            ),
+                            span,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_logic::datalog::parse_program;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let p = parse_program(src).unwrap();
+        check_program(&p).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn safe_rules_are_clean() {
+        assert!(codes(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_negated_var_reported() {
+        // y occurs only under negation.
+        let p = parse_program("p(x) :- v(x), not e(x, y).\n").unwrap();
+        let diags = check_program(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO202");
+        assert_eq!(diags[0].span, Span::Line(1));
+        assert!(diags[0].message.contains('y'));
+    }
+
+    #[test]
+    fn equality_chain_binds() {
+        // z is bound transitively: z = y, y = x, x positive.
+        assert!(codes("p(z) :- v(x), y = x, z = y.\n").is_empty());
+        // constant equality binds directly.
+        assert!(codes("q(c) :- v(x), c = 3.\n").is_empty());
+    }
+
+    #[test]
+    fn inequality_does_not_bind() {
+        let diags = codes("p(y) :- v(x), y < x.\n");
+        assert_eq!(diags, vec!["DCO201"]);
+    }
+}

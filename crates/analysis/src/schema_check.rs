@@ -1,0 +1,205 @@
+//! Schema conformance: predicate existence, arities, and the dense-order
+//! sort restriction.
+
+use crate::diagnostic::{Diagnostic, Severity, Span};
+use dco_core::prelude::Schema;
+use dco_logic::datalog::{Literal, Program};
+use dco_logic::Formula;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn dense_order_diag(require: bool, what: String, span: Span) -> Diagnostic {
+    let severity = if require {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    Diagnostic {
+        severity,
+        code: "DCO104",
+        message: format!(
+            "{what} is outside the dense-order fragment (a comparison side \
+             uses genuine linear arithmetic)"
+        ),
+        span,
+    }
+}
+
+/// Check a formula's predicates against a schema (when given) and flag
+/// non-dense-order comparisons.
+pub fn check_formula(
+    formula: &Formula,
+    schema: Option<&Schema>,
+    require_dense_order: bool,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    formula.walk(&mut |f| match f {
+        Formula::Pred(name, args) => {
+            let Some(schema) = schema else { return };
+            match schema.arity(name) {
+                None => diags.push(Diagnostic::error(
+                    "DCO101",
+                    format!("unknown predicate `{name}`: not in the database schema"),
+                    Span::Unknown,
+                )),
+                Some(declared) if declared as usize != args.len() => diags.push(Diagnostic::error(
+                    "DCO102",
+                    format!(
+                        "predicate `{name}` used with {} argument(s) but \
+                             declared with arity {declared}",
+                        args.len()
+                    ),
+                    Span::Unknown,
+                )),
+                Some(_) => {}
+            }
+        }
+        Formula::Compare(l, _, r) if !(l.is_simple() && r.is_simple()) => {
+            diags.push(dense_order_diag(
+                require_dense_order,
+                format!("comparison `{f}`"),
+                Span::Unknown,
+            ));
+        }
+        _ => {}
+    });
+    diags
+}
+
+/// Check a program: EDB predicates against the schema, IDB arity
+/// consistency across rules, and constraint sorts.
+pub fn check_program(
+    program: &Program,
+    schema: Option<&Schema>,
+    require_dense_order: bool,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let idb: BTreeSet<String> = program.idb_predicates().into_iter().collect();
+    // First use of each predicate: (arity, line).
+    let mut first_use: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+
+    let mut check_pred = |name: &str, arity: usize, line: usize, diags: &mut Vec<Diagnostic>| {
+        let span = if line == 0 {
+            Span::Unknown
+        } else {
+            Span::Line(line)
+        };
+        match first_use.get(name) {
+            None => {
+                first_use.insert(name.to_string(), (arity, line));
+            }
+            Some(&(seen, seen_line)) if seen != arity => diags.push(Diagnostic::error(
+                "DCO103",
+                format!(
+                    "predicate `{name}` used with arity {arity} here but \
+                         with arity {seen} at line {seen_line}"
+                ),
+                span,
+            )),
+            Some(_) => {}
+        }
+        if idb.contains(name) {
+            return;
+        }
+        let Some(schema) = schema else { return };
+        match schema.arity(name) {
+            None => diags.push(Diagnostic::error(
+                "DCO101",
+                format!(
+                    "unknown predicate `{name}`: not defined by a rule \
+                             and not in the database schema"
+                ),
+                span,
+            )),
+            Some(declared) if declared as usize != arity => diags.push(Diagnostic::error(
+                "DCO102",
+                format!(
+                    "predicate `{name}` used with {arity} argument(s) \
+                             but the schema declares arity {declared}"
+                ),
+                span,
+            )),
+            Some(_) => {}
+        }
+    };
+
+    for rule in &program.rules {
+        check_pred(&rule.head, rule.head_vars.len(), rule.line, &mut diags);
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(name, args) | Literal::Neg(name, args) => {
+                    check_pred(name, args.len(), rule.line, &mut diags);
+                }
+                Literal::Constraint(l, _, r) => {
+                    if !(l.is_simple() && r.is_simple()) {
+                        diags.push(dense_order_diag(
+                            require_dense_order,
+                            format!("constraint `{lit}`"),
+                            Span::of_rule(rule),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_logic::datalog::parse_program;
+    use dco_logic::parse_formula;
+
+    fn schema() -> Schema {
+        Schema::new().with("e", 2).with("v", 1)
+    }
+
+    #[test]
+    fn conforming_formula_is_clean() {
+        let f = parse_formula("exists y . (e(x, y) & x < y)").unwrap();
+        assert!(check_formula(&f, Some(&schema()), true).is_empty());
+    }
+
+    #[test]
+    fn unknown_predicate_in_formula() {
+        let f = parse_formula("r(x, y)").unwrap();
+        let diags = check_formula(&f, Some(&schema()), true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO101");
+    }
+
+    #[test]
+    fn formula_arity_mismatch() {
+        let f = parse_formula("e(x, y, z)").unwrap();
+        let diags = check_formula(&f, Some(&schema()), true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO102");
+        assert!(diags[0].message.contains("arity 2"));
+    }
+
+    #[test]
+    fn no_schema_means_no_predicate_checks() {
+        let f = parse_formula("mystery(x)").unwrap();
+        assert!(check_formula(&f, None, true).is_empty());
+    }
+
+    #[test]
+    fn program_edb_arity_mismatch_carries_line() {
+        let p = parse_program(
+            "p(x) :- v(x).\n\
+             q(x) :- e(x, x, x).\n",
+        )
+        .unwrap();
+        let diags = check_program(&p, Some(&schema()), true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO102");
+        assert_eq!(diags[0].span, Span::Line(2));
+    }
+
+    #[test]
+    fn program_unknown_edb() {
+        let p = parse_program("p(x) :- w(x).\n").unwrap();
+        let diags = check_program(&p, Some(&schema()), true);
+        assert_eq!(diags[0].code, "DCO101");
+    }
+}

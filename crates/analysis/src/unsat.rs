@@ -1,0 +1,382 @@
+//! Static unsatisfiability of dense-order constraint conjunctions.
+//!
+//! The DUNLO feasibility criterion: a conjunction of order constraints over
+//! a dense domain is unsatisfiable exactly when its constraint graph forces
+//! a cycle `t₁ ≤ t₂ ≤ … ≤ t₁` containing a strict edge, or forces `t = u`
+//! (a ≤-cycle) while also demanding `t ≠ u`. We build the graph — one node
+//! per variable and per distinct rational constant, with the constants'
+//! total order added as implicit strict edges — and test each strongly
+//! connected component.
+//!
+//! The check is *conservative for conjunctions it fully models*: non-simple
+//! sides (genuine linear arithmetic like `2x + y`) are skipped, so
+//! [`OrderSystem::is_satisfiable`] returning `false` always means genuinely
+//! unsatisfiable, while `true` may just mean "not provably unsat here".
+
+use crate::diagnostic::{Diagnostic, Span};
+use dco_core::prelude::{Rational, RawOp};
+use dco_logic::datalog::{Literal, Rule};
+use dco_logic::{Formula, LinExpr};
+use std::collections::BTreeMap;
+
+/// A term in the order-constraint graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Node {
+    Var(String),
+    Const(Rational),
+}
+
+/// An accumulating conjunction of simple dense-order constraints.
+#[derive(Debug, Default, Clone)]
+pub struct OrderSystem {
+    nodes: Vec<Node>,
+    ids: BTreeMap<Node, usize>,
+    /// `(u, v, strict)`: u ≤ v, or u < v when strict.
+    edges: Vec<(usize, usize, bool)>,
+    /// Pairs required to be distinct.
+    disequal: Vec<(usize, usize)>,
+}
+
+impl OrderSystem {
+    /// An empty (trivially satisfiable) system.
+    pub fn new() -> OrderSystem {
+        OrderSystem::default()
+    }
+
+    fn node(&mut self, n: Node) -> usize {
+        if let Some(&i) = self.ids.get(&n) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(n.clone());
+        self.ids.insert(n, i);
+        i
+    }
+
+    fn side(&mut self, e: &LinExpr) -> Option<usize> {
+        if let Some(v) = e.as_simple_var() {
+            Some(self.node(Node::Var(v.to_string())))
+        } else {
+            e.as_const().map(|c| self.node(Node::Const(c)))
+        }
+    }
+
+    /// Add `l op r`. Returns `false` (constraint ignored) when either side
+    /// is non-simple linear arithmetic, which this order-level test cannot
+    /// model.
+    pub fn add(&mut self, l: &LinExpr, op: RawOp, r: &LinExpr) -> bool {
+        let (Some(u), Some(v)) = (self.side(l), self.side(r)) else {
+            return false;
+        };
+        match op {
+            RawOp::Lt => self.edges.push((u, v, true)),
+            RawOp::Le => self.edges.push((u, v, false)),
+            RawOp::Gt => self.edges.push((v, u, true)),
+            RawOp::Ge => self.edges.push((v, u, false)),
+            RawOp::Eq => {
+                self.edges.push((u, v, false));
+                self.edges.push((v, u, false));
+            }
+            RawOp::Ne => self.disequal.push((u, v)),
+        }
+        true
+    }
+
+    /// Apply the feasibility test.
+    pub fn is_satisfiable(&self) -> bool {
+        let n = self.nodes.len();
+        if n == 0 {
+            return true;
+        }
+        // The constants' total order: implicit strict edges both ways are
+        // NOT equivalent — add c→d strict for c < d only.
+        let mut edges = self.edges.clone();
+        let consts: Vec<(usize, Rational)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Const(c) => Some((i, *c)),
+                Node::Var(_) => None,
+            })
+            .collect();
+        for (i, c) in &consts {
+            for (j, d) in &consts {
+                if c < d {
+                    edges.push((*i, *j, true));
+                }
+            }
+        }
+        let comp = sccs(n, &edges);
+        // A strict edge inside an SCC forces t < t.
+        for &(u, v, strict) in &edges {
+            if strict && comp[u] == comp[v] {
+                return false;
+            }
+        }
+        // A disequality inside an SCC contradicts the forced equality.
+        for &(u, v) in &self.disequal {
+            if comp[u] == comp[v] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Whether a formula, viewed as a conjunction, is provably unsatisfiable.
+///
+/// Flattens nested [`Formula::And`] nodes and feeds the comparison conjuncts
+/// into an [`OrderSystem`]; other conjuncts (disjunctions, predicates,
+/// quantifiers) are ignored, which only ever *weakens* the conjunction — so
+/// `true` here really means the formula has no models.
+pub fn conjunction_is_unsat(formula: &Formula) -> bool {
+    let mut sys = OrderSystem::new();
+    let mut any = false;
+    let mut stack = vec![formula];
+    while let Some(f) = stack.pop() {
+        match f {
+            Formula::False => return true,
+            Formula::And(fs) => stack.extend(fs.iter()),
+            Formula::Compare(l, op, r) => any |= sys.add(l, *op, r),
+            _ => {}
+        }
+    }
+    any && !sys.is_satisfiable()
+}
+
+/// Whether a rule body's constraint literals are jointly unsatisfiable
+/// (the rule can never fire).
+pub fn rule_body_is_unsat(rule: &Rule) -> bool {
+    let mut sys = OrderSystem::new();
+    for lit in &rule.body {
+        if let Literal::Constraint(l, op, r) = lit {
+            sys.add(l, *op, r);
+        }
+    }
+    !sys.is_satisfiable()
+}
+
+/// Report dead subformulas (DCO402): the formula itself if it is an
+/// unsatisfiable conjunction, and every statically-unsat disjunct of every
+/// disjunction. These are warnings — the query still evaluates, just
+/// provably to less than it says.
+pub fn check_formula(formula: &Formula) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if conjunction_is_unsat(formula) {
+        diags.push(Diagnostic::warning(
+            "DCO402",
+            "the formula is a statically unsatisfiable conjunction: the \
+             result is always empty",
+            Span::Unknown,
+        ));
+        return diags;
+    }
+    formula.walk(&mut |f| {
+        let Formula::Or(fs) = f else { return };
+        for (i, d) in fs.iter().enumerate() {
+            if conjunction_is_unsat(d) {
+                diags.push(Diagnostic::warning(
+                    "DCO402",
+                    format!(
+                        "disjunct {} (`{d}`) is statically unsatisfiable and \
+                         contributes nothing",
+                        i + 1
+                    ),
+                    Span::Unknown,
+                ));
+            }
+        }
+    });
+    diags
+}
+
+/// Strongly connected components of the edge list (Tarjan, iterative);
+/// returns the component id of each node.
+fn sccs(n: usize, edges: &[(usize, usize, bool)]) -> Vec<usize> {
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v, _) in edges {
+        succs[u].push(v);
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, pos)) = frames.last() {
+            if index[v] == usize::MAX {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succs[v].get(pos) {
+                frames.last_mut().expect("frame exists").1 += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::rat;
+
+    fn var(name: &str) -> LinExpr {
+        LinExpr::var(name)
+    }
+
+    fn cst(n: i128, d: i128) -> LinExpr {
+        LinExpr::cst(rat(n, d))
+    }
+
+    fn sat(constraints: &[(&LinExpr, RawOp, &LinExpr)]) -> bool {
+        let mut sys = OrderSystem::new();
+        for (l, op, r) in constraints {
+            sys.add(l, *op, r);
+        }
+        sys.is_satisfiable()
+    }
+
+    #[test]
+    fn strict_cycle_is_unsat() {
+        let (x, y, z) = (var("x"), var("y"), var("z"));
+        assert!(!sat(&[
+            (&x, RawOp::Lt, &y),
+            (&y, RawOp::Lt, &z),
+            (&z, RawOp::Lt, &x),
+        ]));
+    }
+
+    #[test]
+    fn nonstrict_cycle_is_sat() {
+        let (x, y) = (var("x"), var("y"));
+        assert!(sat(&[(&x, RawOp::Le, &y), (&y, RawOp::Le, &x)]));
+    }
+
+    #[test]
+    fn equality_cycle_with_disequality_is_unsat() {
+        let (x, y) = (var("x"), var("y"));
+        assert!(!sat(&[
+            (&x, RawOp::Le, &y),
+            (&y, RawOp::Le, &x),
+            (&x, RawOp::Ne, &y),
+        ]));
+    }
+
+    #[test]
+    fn contradictory_bounds_via_constants() {
+        // x < 1 ∧ x > 2 — the constants' order closes the strict cycle.
+        let x = var("x");
+        assert!(!sat(&[
+            (&x, RawOp::Lt, &cst(1, 1)),
+            (&x, RawOp::Gt, &cst(2, 1)),
+        ]));
+        // x < 2 ∧ x > 1 is fine (dense domain).
+        assert!(sat(&[
+            (&x, RawOp::Lt, &cst(2, 1)),
+            (&x, RawOp::Gt, &cst(1, 1)),
+        ]));
+    }
+
+    #[test]
+    fn equal_bounds_strictness_matters() {
+        let x = var("x");
+        // 1 ≤ x ≤ 1 is x = 1; adding x ≠ 1 kills it.
+        assert!(sat(&[
+            (&cst(1, 1), RawOp::Le, &x),
+            (&x, RawOp::Le, &cst(1, 1)),
+        ]));
+        assert!(!sat(&[
+            (&cst(1, 1), RawOp::Le, &x),
+            (&x, RawOp::Le, &cst(1, 1)),
+            (&x, RawOp::Ne, &cst(1, 1)),
+        ]));
+        // 1 ≤ x < 1 is empty.
+        assert!(!sat(&[
+            (&cst(1, 1), RawOp::Le, &x),
+            (&x, RawOp::Lt, &cst(1, 1)),
+        ]));
+    }
+
+    #[test]
+    fn constant_comparisons_evaluate() {
+        assert!(!sat(&[(&cst(3, 1), RawOp::Lt, &cst(2, 1))]));
+        assert!(sat(&[(&cst(2, 1), RawOp::Lt, &cst(3, 1))]));
+        assert!(!sat(&[(&cst(1, 2), RawOp::Eq, &cst(1, 3))]));
+        assert!(!sat(&[(&cst(1, 2), RawOp::Ne, &cst(1, 2))]));
+    }
+
+    #[test]
+    fn self_comparison() {
+        let x = var("x");
+        assert!(!sat(&[(&x, RawOp::Lt, &x)]));
+        assert!(!sat(&[(&x, RawOp::Ne, &x)]));
+        assert!(sat(&[(&x, RawOp::Le, &x)]));
+    }
+
+    #[test]
+    fn formula_conjunction_detection() {
+        let f = dco_logic::parse_formula("x < y & y < z & z < x").unwrap();
+        assert!(conjunction_is_unsat(&f));
+        let g = dco_logic::parse_formula("x < y & y < z").unwrap();
+        assert!(!conjunction_is_unsat(&g));
+        // Non-comparison conjuncts weaken, never strengthen.
+        let h = dco_logic::parse_formula("R(x) & x < y & y < x").unwrap();
+        assert!(conjunction_is_unsat(&h));
+    }
+
+    #[test]
+    fn rule_body_strict_cycle() {
+        let p = dco_logic::parse_program("p(x, y) :- e(x, y), x < y, y < x.\n").unwrap();
+        assert!(rule_body_is_unsat(&p.rules[0]));
+        let q = dco_logic::parse_program("p(x, y) :- e(x, y), x < y.\n").unwrap();
+        assert!(!rule_body_is_unsat(&q.rules[0]));
+    }
+
+    #[test]
+    fn dead_disjunct_warned() {
+        let f = dco_logic::parse_formula("(x < 1 & x > 2) | x = 0").unwrap();
+        let diags = check_formula(&f);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "DCO402");
+        assert!(diags[0].message.contains("disjunct 1"));
+    }
+
+    #[test]
+    fn nonsimple_sides_are_ignored() {
+        let two_x = LinExpr::var("x").scale(&rat(2, 1));
+        let mut sys = OrderSystem::new();
+        assert!(!sys.add(&two_x, RawOp::Lt, &LinExpr::var("x")));
+        assert!(sys.is_satisfiable());
+    }
+}

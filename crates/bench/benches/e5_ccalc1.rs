@@ -27,10 +27,16 @@ fn reach(a: i64, b: i64) -> CFormula {
         1,
         Box::new(CFormula::implies(
             F::And(vec![
-                F::MemTuple(vec![RatTerm::cst(rat(a as i128, 1))], SetRef::Var("S".into())),
+                F::MemTuple(
+                    vec![RatTerm::cst(rat(a as i128, 1))],
+                    SetRef::Var("S".into()),
+                ),
                 closed,
             ]),
-            F::MemTuple(vec![RatTerm::cst(rat(b as i128, 1))], SetRef::Var("S".into())),
+            F::MemTuple(
+                vec![RatTerm::cst(rat(b as i128, 1))],
+                SetRef::Var("S".into()),
+            ),
         )),
     )
 }

@@ -11,10 +11,18 @@ use dco_bench::experiments::print_table;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
-    let small: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 32] };
+    let small: &[usize] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
     let tiny: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
     let e4_sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 24] };
 

@@ -32,7 +32,10 @@ pub struct ExperimentRow {
 
 impl ExperimentRow {
     fn new(label: impl Into<String>) -> ExperimentRow {
-        ExperimentRow { label: label.into(), values: Vec::new() }
+        ExperimentRow {
+            label: label.into(),
+            values: Vec::new(),
+        }
     }
 
     fn col(mut self, name: &str, value: impl std::fmt::Display) -> ExperimentRow {
@@ -69,6 +72,21 @@ pub fn print_table(title: &str, rows: &[ExperimentRow]) {
     }
 }
 
+/// Analyzer preflight: every query and program an experiment evaluates is
+/// checked by `dco-analysis` first. The diagnostic count is logged so the
+/// experiment record shows the inputs were validated; an error-severity
+/// finding means the experiment itself is broken, so it aborts.
+fn preflight(name: &str, diagnostics: &[Diagnostic]) {
+    println!("  [preflight] {name}: {} diagnostic(s)", diagnostics.len());
+    for d in diagnostics {
+        println!("  [preflight]   {d}");
+    }
+    assert!(
+        !has_errors(diagnostics),
+        "{name} was rejected by static analysis"
+    );
+}
+
 fn time_ms(mut f: impl FnMut()) -> f64 {
     // median of 3
     let mut samples = Vec::with_capacity(3);
@@ -91,6 +109,15 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
 /// Run E1; `sizes` are instance scales (number of intervals).
 pub fn e1(sizes: &[usize]) -> Vec<ExperimentRow> {
     let f = parse_formula("exists y . (S(y) & y <= x & x <= y + 1)").unwrap();
+    // FO+ queries legitimately leave the dense-order fragment.
+    let opts = AnalysisOptions {
+        require_dense_order: false,
+        ..AnalysisOptions::default()
+    };
+    preflight(
+        "E1 query",
+        &analyze_formula(&f, Some(interval_db(1).schema()), &opts),
+    );
     sizes
         .iter()
         .map(|&n| {
@@ -246,6 +273,14 @@ pub fn e4(sizes: &[usize]) -> Vec<ExperimentRow> {
          tc(x, y) :- tc(x, z), e(z, y).\n",
     )
     .unwrap();
+    preflight(
+        "E4 program",
+        &analyze_program(
+            &program,
+            Some(path_graph(2).schema()),
+            &AnalysisOptions::default(),
+        ),
+    );
     sizes
         .iter()
         .map(|&n| {
@@ -294,10 +329,16 @@ fn ccalc_reach(a: i64, b: i64) -> CFormula {
         1,
         Box::new(CFormula::implies(
             F::And(vec![
-                F::MemTuple(vec![RatTerm::cst(rat(a as i128, 1))], SetRef::Var("S".into())),
+                F::MemTuple(
+                    vec![RatTerm::cst(rat(a as i128, 1))],
+                    SetRef::Var("S".into()),
+                ),
                 closed,
             ]),
-            F::MemTuple(vec![RatTerm::cst(rat(b as i128, 1))], SetRef::Var("S".into())),
+            F::MemTuple(
+                vec![RatTerm::cst(rat(b as i128, 1))],
+                SetRef::Var("S".into()),
+            ),
         )),
     )
 }
@@ -309,6 +350,14 @@ pub fn e5(sizes: &[usize]) -> Vec<ExperimentRow> {
          tc(x, y) :- tc(x, z), e(z, y).\n",
     )
     .unwrap();
+    preflight(
+        "E5 program",
+        &analyze_program(
+            &program,
+            Some(path_graph(2).schema()),
+            &AnalysisOptions::default(),
+        ),
+    );
     sizes
         .iter()
         .map(|&n| {
@@ -431,7 +480,10 @@ pub fn e7(sizes: &[usize]) -> Vec<ExperimentRow> {
             .col("boxes", comp.boxes.len())
             .col("residual", comp.residual.len())
             .col("compact size", comp.size())
-            .col("roundtrip ok", comp.to_relation().equivalent(fig.relation())),
+            .col(
+                "roundtrip ok",
+                comp.to_relation().equivalent(fig.relation()),
+            ),
     );
     for &n in sizes {
         let db = crate::workloads::box_db(n);
@@ -458,6 +510,14 @@ pub fn e7(sizes: &[usize]) -> Vec<ExperimentRow> {
 /// Run E8; `sizes` are interval counts.
 pub fn e8(sizes: &[usize]) -> Vec<ExperimentRow> {
     let f = parse_formula("exists y . (S(y) & y < x)").unwrap();
+    preflight(
+        "E8 query",
+        &analyze_formula(
+            &f,
+            Some(interval_db(1).schema()),
+            &AnalysisOptions::default(),
+        ),
+    );
     sizes
         .iter()
         .map(|&n| {
@@ -487,6 +547,14 @@ pub fn e8(sizes: &[usize]) -> Vec<ExperimentRow> {
 /// Run E9; `sizes` are interval counts.
 pub fn e9(sizes: &[usize]) -> Vec<ExperimentRow> {
     let f = parse_formula("exists y . (S(y) & y < x)").unwrap();
+    preflight(
+        "E9 query",
+        &analyze_formula(
+            &f,
+            Some(interval_db(1).schema()),
+            &AnalysisOptions::default(),
+        ),
+    );
     sizes
         .iter()
         .map(|&n| {
@@ -500,7 +568,10 @@ pub fn e9(sizes: &[usize]) -> Vec<ExperimentRow> {
             let agree = mapped.equivalent(&q_int);
             ExperimentRow::new(format!("n={n}"))
                 .col("constants", rational_db.constants().len())
-                .col("integer twin ok", dco::encoding::is_integer_defined(&int_db))
+                .col(
+                    "integer twin ok",
+                    dco::encoding::is_integer_defined(&int_db),
+                )
                 .col("answers agree", agree)
         })
         .collect()

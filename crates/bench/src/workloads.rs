@@ -17,8 +17,7 @@ pub fn interval_db(n: usize) -> Database {
         .pop()
         .expect("interval tuple is satisfiable")
     });
-    Database::new(Schema::new().with("S", 1))
-        .with("S", GeneralizedRelation::from_tuples(1, tuples))
+    Database::new(Schema::new().with("S", 1)).with("S", GeneralizedRelation::from_tuples(1, tuples))
 }
 
 /// A binary database of `n` disjoint boxes along the diagonal.
@@ -37,15 +36,16 @@ pub fn box_db(n: usize) -> Database {
         .pop()
         .expect("box tuple is satisfiable")
     });
-    Database::new(Schema::new().with("R", 2))
-        .with("R", GeneralizedRelation::from_tuples(2, tuples))
+    Database::new(Schema::new().with("R", 2)).with("R", GeneralizedRelation::from_tuples(2, tuples))
 }
 
 /// A directed path graph `1 → 2 → … → n` as a finite edge relation.
 pub fn path_graph(n: usize) -> Database {
     let e = GeneralizedRelation::from_points(
         2,
-        (1..n).map(|i| vec![rat(i as i128, 1), rat(i as i128 + 1, 1)]).collect::<Vec<_>>(),
+        (1..n)
+            .map(|i| vec![rat(i as i128, 1), rat(i as i128 + 1, 1)])
+            .collect::<Vec<_>>(),
     );
     Database::new(Schema::new().with("e", 2)).with("e", e)
 }

@@ -17,6 +17,7 @@
 //! | EF games for the inexpressibility results | [`ef`] | Thm 4.2–4.3 |
 //! | Standard encodings, integer homeomorphism | [`encoding`] | §3–§4 |
 //! | Regions, topology, region connectivity | [`geo`] | §2, Thm 4.3 |
+//! | Static query analysis & lint pass | [`analysis`] | — |
 //!
 //! ## Quickstart
 //!
@@ -35,9 +36,35 @@
 //! let q = dco::fo::eval_str(&db, "exists y . (R(x, y) & x < y)").unwrap();
 //! assert!(q.relation.contains_point(&[rat(3, 1)]));
 //! ```
+//!
+//! ## Checked evaluation
+//!
+//! Every evaluator has a `checked_*` variant that runs the [`analysis`]
+//! lint pass first and rejects bad queries with span-carrying diagnostics
+//! instead of panicking or failing mid-evaluation:
+//!
+//! ```
+//! use dco::prelude::*;
+//! use dco::fo::CheckedEvalError;
+//!
+//! let db = Database::new(Schema::new().with("e", 2));
+//!
+//! // Arity mismatch: rejected up front, never evaluated.
+//! let err = checked_eval_str(&db, "e(x, y, z)").unwrap_err();
+//! let CheckedEvalError::Rejected(diags) = err else { unreachable!() };
+//! assert_eq!(diags[0].code, "DCO102");
+//!
+//! // A statically-dead rule body is pruned before the fixpoint runs.
+//! let p = parse_program(
+//!     "tc(x,y) :- e(x,y).\n\
+//!      tc(x,y) :- e(x,y), x < y, y < x.\n").unwrap();
+//! let out = checked_run(&p, &db).unwrap();
+//! assert_eq!(out.pruned_rules, 1); // warning DCO401, line 2
+//! ```
 
 #![warn(missing_docs)]
 
+pub use dco_analysis as analysis;
 pub use dco_complex as complex;
 pub use dco_core as core;
 pub use dco_datalog as datalog;
@@ -50,9 +77,12 @@ pub use dco_logic as logic;
 
 /// One-stop import surface for applications.
 pub mod prelude {
+    pub use dco_analysis::{
+        analyze_formula, analyze_program, has_errors, AnalysisOptions, Diagnostic, Severity,
+    };
     pub use dco_core::prelude::*;
-    pub use dco_datalog::{parse_program, run as run_datalog};
-    pub use dco_fo::{eval as eval_fo, eval_str as eval_fo_str};
+    pub use dco_datalog::{checked_run, checked_run_stratified, parse_program, run as run_datalog};
+    pub use dco_fo::{checked_eval, checked_eval_str, eval as eval_fo, eval_str as eval_fo_str};
     pub use dco_linear::{eval_linear, eval_linear_str};
     pub use dco_logic::{parse_formula, Formula};
 }

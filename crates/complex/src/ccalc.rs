@@ -114,9 +114,7 @@ impl CFormula {
                 fs.iter().map(|f| f.set_height()).max().unwrap_or(0)
             }
             CFormula::ExistsRat(_, f) | CFormula::ForallRat(_, f) => f.set_height(),
-            CFormula::ExistsSet(_, _, f) | CFormula::ForallSet(_, _, f) => {
-                f.set_height().max(1)
-            }
+            CFormula::ExistsSet(_, _, f) | CFormula::ForallSet(_, _, f) => f.set_height().max(1),
             CFormula::ExistsSetSet(_, _, f) | CFormula::ForallSetSet(_, _, f) => {
                 f.set_height().max(2)
             }
@@ -149,7 +147,11 @@ impl fmt::Display for CCalcError {
         match self {
             CCalcError::Unbound(v) => write!(f, "unbound variable {v}"),
             CCalcError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
-            CCalcError::ActiveDomainTooLarge { what, log2_size, log2_cap } => write!(
+            CCalcError::ActiveDomainTooLarge {
+                what,
+                log2_size,
+                log2_cap,
+            } => write!(
                 f,
                 "active domain of {what} has 2^{log2_size} elements (cap 2^{log2_cap})"
             ),
@@ -207,7 +209,12 @@ impl<'db> CCalc<'db> {
     /// Create with explicit configuration.
     pub fn with_config(db: &'db Database, config: CCalcConfig) -> CCalc<'db> {
         let base_consts: Vec<Rational> = db.constants().into_iter().collect();
-        CCalc { db, base_consts, config, stats: CCalcStats::default() }
+        CCalc {
+            db,
+            base_consts,
+            config,
+            stats: CCalcStats::default(),
+        }
     }
 
     /// The cell space set variables of arity `k` range over.
@@ -445,7 +452,8 @@ impl<'db> CCalc<'db> {
             self.stats.set_candidates += 1;
             let cells: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
             let mut env2 = env.clone();
-            env2.set.insert(s.to_string(), CanonicalSet::from_cells(k, cells));
+            env2.set
+                .insert(s.to_string(), CanonicalSet::from_cells(k, cells));
             let v = self.eval(body, &env2)?;
             if v == existential {
                 return Ok(existential);
@@ -480,8 +488,7 @@ impl<'db> CCalc<'db> {
             let family: BTreeSet<CanonicalSet> = (0..inner)
                 .filter(|i| family_mask & (1u64 << i) != 0)
                 .map(|mask| {
-                    let cells: BTreeSet<usize> =
-                        (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                    let cells: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
                     CanonicalSet::from_cells(k, cells)
                 })
                 .collect();
@@ -589,10 +596,16 @@ mod tests {
             1,
             Box::new(CFormula::implies(
                 F::And(vec![
-                    F::MemTuple(vec![RatTerm::cst(rat(a as i128, 1))], SetRef::Var("S".into())),
+                    F::MemTuple(
+                        vec![RatTerm::cst(rat(a as i128, 1))],
+                        SetRef::Var("S".into()),
+                    ),
                     s_closed,
                 ]),
-                F::MemTuple(vec![RatTerm::cst(rat(b as i128, 1))], SetRef::Var("S".into())),
+                F::MemTuple(
+                    vec![RatTerm::cst(rat(b as i128, 1))],
+                    SetRef::Var("S".into()),
+                ),
             )),
         )
     }
@@ -602,7 +615,11 @@ mod tests {
         assert_eq!(reach(1, 2).set_height(), 1);
         let fo = F::ExistsRat(
             "x".into(),
-            Box::new(F::Compare(RatTerm::var("x"), RawOp::Lt, RatTerm::cst(rat(1, 1)))),
+            Box::new(F::Compare(
+                RatTerm::var("x"),
+                RawOp::Lt,
+                RatTerm::cst(rat(1, 1)),
+            )),
         );
         assert_eq!(fo.set_height(), 0);
     }
@@ -633,7 +650,10 @@ mod tests {
             "x".into(),
             Box::new(F::ExistsRat(
                 "y".into(),
-                Box::new(F::Pred("e".into(), vec![RatTerm::var("x"), RatTerm::var("y")])),
+                Box::new(F::Pred(
+                    "e".into(),
+                    vec![RatTerm::var("x"), RatTerm::var("y")],
+                )),
             )),
         );
         assert!(ev.eval_sentence(&f).unwrap());
@@ -688,7 +708,10 @@ mod tests {
         let mut ev = CCalc::new(&db);
         let body = F::ExistsRat(
             "y".into(),
-            Box::new(F::Pred("e".into(), vec![RatTerm::var("x"), RatTerm::var("y")])),
+            Box::new(F::Pred(
+                "e".into(),
+                vec![RatTerm::var("x"), RatTerm::var("y")],
+            )),
         );
         let rel = ev.eval_set_term(&["x".to_string()], &body).unwrap();
         assert!(rel.contains_point(&[rat(1, 1)]));
@@ -746,13 +769,21 @@ mod tests {
         let mut ev = CCalc::new(&db);
         let f = F::ExistsRat(
             "x".into(),
-            Box::new(F::Compare(RatTerm::var("x"), RawOp::Gt, RatTerm::cst(rat(5, 1)))),
+            Box::new(F::Compare(
+                RatTerm::var("x"),
+                RawOp::Gt,
+                RatTerm::cst(rat(5, 1)),
+            )),
         );
         assert!(ev.eval_sentence(&f).unwrap());
         // and the dual: ∀x (x <= 5) must be false
         let g = F::ForallRat(
             "x".into(),
-            Box::new(F::Compare(RatTerm::var("x"), RawOp::Le, RatTerm::cst(rat(5, 1)))),
+            Box::new(F::Compare(
+                RatTerm::var("x"),
+                RawOp::Le,
+                RatTerm::cst(rat(5, 1)),
+            )),
         );
         let mut ev2 = CCalc::new(&db);
         assert!(!ev2.eval_sentence(&g).unwrap());

@@ -33,10 +33,8 @@ impl<'db> CCalc<'db> {
         let cells = self.cells(k);
         for _stage in 0..=cells {
             let next = self.comprehend_with_set(set_var, &current, vars, body)?;
-            let merged = CanonicalSet::from_cells(
-                k,
-                current.cells().union(next.cells()).copied().collect(),
-            );
+            let merged =
+                CanonicalSet::from_cells(k, current.cells().union(next.cells()).copied().collect());
             if merged == current {
                 break;
             }

@@ -42,9 +42,7 @@ pub fn is_range_restricted(f: &CFormula) -> bool {
         | CFormula::SetEq(..) => true,
         CFormula::Not(g) => is_range_restricted(g),
         CFormula::And(gs) | CFormula::Or(gs) => gs.iter().all(is_range_restricted),
-        CFormula::ExistsRat(x, g) => {
-            positive_restricted(g).contains(x) && is_range_restricted(g)
-        }
+        CFormula::ExistsRat(x, g) => positive_restricted(g).contains(x) && is_range_restricted(g),
         CFormula::ForallRat(x, g) => {
             // ∀x φ ≡ ¬∃x ¬φ: restriction is checked on the negation's
             // positive occurrences; conservatively require x restricted in
@@ -82,8 +80,7 @@ fn collect(f: &CFormula, positive: bool, out: &mut BTreeSet<String>) {
             // x = constant restricts x; x = y propagates.
             if *op == dco_core::prelude::RawOp::Eq {
                 match (l, r) {
-                    (RatTerm::Var(v), RatTerm::Const(_))
-                    | (RatTerm::Const(_), RatTerm::Var(v)) => {
+                    (RatTerm::Var(v), RatTerm::Const(_)) | (RatTerm::Const(_), RatTerm::Var(v)) => {
                         out.insert(v.clone());
                     }
                     (RatTerm::Var(a), RatTerm::Var(b)) => {
@@ -214,7 +211,11 @@ mod tests {
         // ∃x (x < 3) is NOT range-restricted (x ranges over an infinite set)
         let g = F::ExistsRat(
             "x".into(),
-            Box::new(F::Compare(RatTerm::var("x"), RawOp::Lt, RatTerm::cst(rat(3, 1)))),
+            Box::new(F::Compare(
+                RatTerm::var("x"),
+                RawOp::Lt,
+                RatTerm::cst(rat(3, 1)),
+            )),
         );
         assert!(!is_range_restricted(&g));
     }
@@ -223,7 +224,10 @@ mod tests {
     fn membership_restricts() {
         let f = F::ExistsRat(
             "x".into(),
-            Box::new(F::MemTuple(vec![RatTerm::var("x")], SetRef::Var("S".into()))),
+            Box::new(F::MemTuple(
+                vec![RatTerm::var("x")],
+                SetRef::Var("S".into()),
+            )),
         );
         assert!(is_range_restricted(&f));
     }

@@ -81,7 +81,10 @@ pub struct CanonicalSet {
 impl CanonicalSet {
     /// The empty set of k-tuples.
     pub fn empty(arity: u32) -> CanonicalSet {
-        CanonicalSet { arity, cells: BTreeSet::new() }
+        CanonicalSet {
+            arity,
+            cells: BTreeSet::new(),
+        }
     }
 
     /// From explicit member cell indices.
@@ -93,7 +96,10 @@ impl CanonicalSet {
     /// cover its constants).
     pub fn from_relation(space: &CellSpace, rel: &GeneralizedRelation) -> CanonicalSet {
         let form = space.canonicalize(rel);
-        CanonicalSet { arity: rel.arity(), cells: form.members().clone() }
+        CanonicalSet {
+            arity: rel.arity(),
+            cells: form.members().clone(),
+        }
     }
 
     /// Realize as a generalized relation.

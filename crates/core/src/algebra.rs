@@ -246,10 +246,9 @@ impl Plan {
                             .map(|v| v.0)
                             .max();
                         match (l_arity, max_col) {
-                            (Some(la), Some(mc)) if mc < la => Plan::Product(
-                                Box::new(Plan::Select(l, atom).optimize()),
-                                r,
-                            ),
+                            (Some(la), Some(mc)) if mc < la => {
+                                Plan::Product(Box::new(Plan::Select(l, atom).optimize()), r)
+                            }
                             _ => Plan::Select(Box::new(Plan::Product(l, r)), atom),
                         }
                     }
@@ -257,12 +256,8 @@ impl Plan {
                 }
             }
             Plan::Project(input, cols) => Plan::Project(Box::new(input.optimize()), cols),
-            Plan::Product(l, r) => {
-                Plan::Product(Box::new(l.optimize()), Box::new(r.optimize()))
-            }
-            Plan::Join(l, r, on) => {
-                Plan::Join(Box::new(l.optimize()), Box::new(r.optimize()), on)
-            }
+            Plan::Product(l, r) => Plan::Product(Box::new(l.optimize()), Box::new(r.optimize())),
+            Plan::Join(l, r, on) => Plan::Join(Box::new(l.optimize()), Box::new(r.optimize()), on),
             Plan::Union(l, r) => Plan::Union(Box::new(l.optimize()), Box::new(r.optimize())),
             Plan::Difference(l, r) => {
                 Plan::Difference(Box::new(l.optimize()), Box::new(r.optimize()))
@@ -352,11 +347,8 @@ mod tests {
     #[test]
     fn union_difference_complement() {
         let s_all = Plan::scan("S");
-        let low = Plan::scan("S").select(RawAtom::new(
-            Term::var(0),
-            RawOp::Lt,
-            Term::cst(rat(5, 1)),
-        ));
+        let low =
+            Plan::scan("S").select(RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(5, 1))));
         let diff = s_all.clone().difference(low).execute(&db()).unwrap();
         assert!(diff.contains_point(&[rat(7, 1)]));
         assert!(!diff.contains_point(&[rat(1, 1)]));
@@ -387,12 +379,16 @@ mod tests {
             Plan::scan("R")
                 .product(Plan::Literal(GeneralizedRelation::universe(1)))
                 .select(RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(5, 1)))),
-            Plan::scan("S")
-                .union(Plan::scan("S"))
-                .select(RawAtom::new(Term::var(0), RawOp::Gt, Term::cst(rat(2, 1)))),
-            Plan::scan("R")
-                .project(&[0])
-                .select(RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(3, 1)))),
+            Plan::scan("S").union(Plan::scan("S")).select(RawAtom::new(
+                Term::var(0),
+                RawOp::Gt,
+                Term::cst(rat(2, 1)),
+            )),
+            Plan::scan("R").project(&[0]).select(RawAtom::new(
+                Term::var(0),
+                RawOp::Le,
+                Term::cst(rat(3, 1)),
+            )),
         ];
         for plan in plans {
             let base = plan.execute(&db()).unwrap();
@@ -406,9 +402,11 @@ mod tests {
         // The literal has known arity, so selection on col 0 (< left arity
         // is unknown for scans) — use Literal on the left for the hint.
         let lit = Plan::Literal(GeneralizedRelation::universe(1));
-        let plan = lit
-            .product(Plan::scan("S"))
-            .select(RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(0, 1))));
+        let plan = lit.product(Plan::scan("S")).select(RawAtom::new(
+            Term::var(0),
+            RawOp::Lt,
+            Term::cst(rat(0, 1)),
+        ));
         let opt = plan.clone().optimize();
         // selection sits inside the product now
         match &opt {

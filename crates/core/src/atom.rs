@@ -12,11 +12,11 @@
 //! elimination a pure bound-combination step.
 
 use crate::rational::Rational;
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// A variable, identified by its column index within a generalized relation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(pub u32);
 
 impl Var {
@@ -39,7 +39,7 @@ impl fmt::Display for Var {
 }
 
 /// A term of the dense-order language: a variable or a rational constant.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A column variable.
     Var(Var),
@@ -119,7 +119,7 @@ impl From<Rational> for Term {
 }
 
 /// The full comparison vocabulary accepted at the API surface.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RawOp {
     /// `<`
     Lt,
@@ -188,7 +188,7 @@ impl fmt::Display for RawOp {
 }
 
 /// The normalized comparison operators stored inside generalized tuples.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum CompOp {
     /// `<`
     Lt,
@@ -227,7 +227,7 @@ impl fmt::Display for CompOp {
 
 /// A raw (unnormalized) atomic constraint `lhs op rhs`, as written by users
 /// or produced by formula translation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RawAtom {
     /// Left operand.
     pub lhs: Term,
@@ -240,7 +240,11 @@ pub struct RawAtom {
 impl RawAtom {
     /// Construct a raw atom.
     pub fn new(lhs: impl Into<Term>, op: RawOp, rhs: impl Into<Term>) -> RawAtom {
-        RawAtom { lhs: lhs.into(), op, rhs: rhs.into() }
+        RawAtom {
+            lhs: lhs.into(),
+            op,
+            rhs: rhs.into(),
+        }
     }
 
     /// Evaluate at a point.
@@ -291,7 +295,7 @@ impl fmt::Display for RawAtom {
 /// Orientation convention: for `=`, the smaller term (in the arbitrary
 /// `Term` order, variables before constants) is on the left, so syntactic
 /// equality of atoms coincides with logical equality of equations.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Atom {
     lhs: Term,
     op: CompOp,
@@ -316,7 +320,11 @@ impl Atom {
             };
         }
         // Orient equalities canonically.
-        let (lhs, rhs) = if op == CompOp::Eq && rhs < lhs { (rhs, lhs) } else { (lhs, rhs) };
+        let (lhs, rhs) = if op == CompOp::Eq && rhs < lhs {
+            (rhs, lhs)
+        } else {
+            (lhs, rhs)
+        };
         Some(vec![Atom { lhs, op, rhs }])
     }
 
@@ -352,7 +360,9 @@ impl Atom {
 
     /// All constants mentioned.
     pub fn consts(&self) -> impl Iterator<Item = Rational> {
-        [self.lhs.as_const(), self.rhs.as_const()].into_iter().flatten()
+        [self.lhs.as_const(), self.rhs.as_const()]
+            .into_iter()
+            .flatten()
     }
 
     /// Substitute `v := t`, renormalizing (the result may be trivial).
@@ -367,9 +377,17 @@ impl Atom {
         let rhs = self.rhs.rename(&f);
         // Re-orient equalities after renaming to preserve the invariant.
         if self.op == CompOp::Eq && rhs < lhs {
-            Atom { lhs: rhs, op: self.op, rhs: lhs }
+            Atom {
+                lhs: rhs,
+                op: self.op,
+                rhs: lhs,
+            }
         } else {
-            Atom { lhs, op: self.op, rhs }
+            Atom {
+                lhs,
+                op: self.op,
+                rhs,
+            }
         }
     }
 
@@ -404,7 +422,11 @@ impl Atom {
             Term::Const(c) => Term::Const(f(&c)),
             v => v,
         };
-        Atom { lhs: map(self.lhs), op: self.op, rhs: map(self.rhs) }
+        Atom {
+            lhs: map(self.lhs),
+            op: self.op,
+            rhs: map(self.rhs),
+        }
     }
 }
 
@@ -453,8 +475,19 @@ mod tests {
 
     #[test]
     fn raw_op_negate_flip() {
-        for op in [RawOp::Lt, RawOp::Le, RawOp::Eq, RawOp::Ne, RawOp::Ge, RawOp::Gt] {
-            for (a, b) in [(rat(1, 1), rat(2, 1)), (rat(2, 1), rat(2, 1)), (rat(3, 1), rat(2, 1))] {
+        for op in [
+            RawOp::Lt,
+            RawOp::Le,
+            RawOp::Eq,
+            RawOp::Ne,
+            RawOp::Ge,
+            RawOp::Gt,
+        ] {
+            for (a, b) in [
+                (rat(1, 1), rat(2, 1)),
+                (rat(2, 1), rat(2, 1)),
+                (rat(3, 1), rat(2, 1)),
+            ] {
                 assert_eq!(op.eval(&a, &b), !op.negate().eval(&a, &b), "{op:?} {a} {b}");
                 assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a), "{op:?} {a} {b}");
             }
@@ -485,9 +518,7 @@ mod tests {
             vec![rat(1, 1), rat(1, 1)],
         ] {
             let val = atom.eval(&p);
-            let negval = neg
-                .iter()
-                .any(|alt| alt.iter().all(|a| a.eval(&p)));
+            let negval = neg.iter().any(|alt| alt.iter().all(|a| a.eval(&p)));
             assert_eq!(val, !negval);
         }
     }

@@ -17,11 +17,11 @@
 
 use crate::rational::Rational;
 use crate::relation::GeneralizedRelation;
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// A piecewise-linear order automorphism of Q.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Automorphism {
     /// Anchor pairs `(a, b)`: strictly increasing in both coordinates.
     anchors: Vec<(Rational, Rational)>,
@@ -42,7 +42,9 @@ impl std::error::Error for AutomorphismError {}
 impl Automorphism {
     /// The identity.
     pub fn identity() -> Automorphism {
-        Automorphism { anchors: Vec::new() }
+        Automorphism {
+            anchors: Vec::new(),
+        }
     }
 
     /// Build from anchor pairs; both coordinate sequences must be strictly
@@ -50,10 +52,13 @@ impl Automorphism {
     pub fn from_anchors(
         mut anchors: Vec<(Rational, Rational)>,
     ) -> Result<Automorphism, AutomorphismError> {
-        anchors.sort_by(|x, y| x.0.cmp(&y.0));
+        anchors.sort_by_key(|x| x.0);
         for w in anchors.windows(2) {
             if w[0].0 == w[1].0 {
-                return Err(AutomorphismError(format!("duplicate anchor source {}", w[0].0)));
+                return Err(AutomorphismError(format!(
+                    "duplicate anchor source {}",
+                    w[0].0
+                )));
             }
             if w[0].1 >= w[1].1 {
                 return Err(AutomorphismError(format!(
@@ -69,10 +74,7 @@ impl Automorphism {
     pub fn translation(d: Rational) -> Automorphism {
         // encoded as two anchors to keep a single representation
         Automorphism {
-            anchors: vec![
-                (Rational::ZERO, d),
-                (Rational::ONE, &Rational::ONE + &d),
-            ],
+            anchors: vec![(Rational::ZERO, d), (Rational::ONE, Rational::ONE + d)],
         }
     }
 
@@ -93,23 +95,21 @@ impl Automorphism {
         let last = &self.anchors[self.anchors.len() - 1];
         if *x <= first.0 {
             // translate with the leading segment's slope 1 offset
-            return &first.1 + &(x - &first.0);
+            return first.1 + (x - &first.0);
         }
         if *x >= last.0 {
-            return &last.1 + &(x - &last.0);
+            return last.1 + (x - &last.0);
         }
         // find the segment containing x
-        let i = self
-            .anchors
-            .partition_point(|(a, _)| a < x);
+        let i = self.anchors.partition_point(|(a, _)| a < x);
         let (a1, b1) = &self.anchors[i - 1];
         let (a2, b2) = &self.anchors[i];
         if x == a2 {
             return *b2;
         }
         // linear interpolation: b1 + (x-a1) * (b2-b1)/(a2-a1)
-        let slope = &(b2 - b1) / &(a2 - a1);
-        b1 + &(&(x - a1) * &slope)
+        let slope = (b2 - b1) / (a2 - a1);
+        b1 + &((x - a1) * slope)
     }
 
     /// The inverse automorphism.
@@ -174,7 +174,13 @@ impl Automorphism {
         let n = sorted.len();
         let mut targets: Vec<Option<Rational>> = sorted
             .iter()
-            .map(|c| if fixed_set.contains(c) { Some(*c) } else { None })
+            .map(|c| {
+                if fixed_set.contains(c) {
+                    Some(*c)
+                } else {
+                    None
+                }
+            })
             .collect();
         let pinned: Vec<usize> = (0..n).filter(|&i| targets[i].is_some()).collect();
         let first = pinned[0];
@@ -182,17 +188,23 @@ impl Automorphism {
         // Free prefix: walk left from the first pinned target.
         let mut cur = targets[first].expect("pinned");
         for i in (0..first).rev() {
-            let jump = Rational::new((rng.next_u32() % 7 + 1) as i128, (rng.next_u32() % 5 + 1) as i128)
-                .expect("valid jump");
-            cur = &cur - &jump;
+            let jump = Rational::new(
+                (rng.next_u32() % 7 + 1) as i128,
+                (rng.next_u32() % 5 + 1) as i128,
+            )
+            .expect("valid jump");
+            cur = cur - jump;
             targets[i] = Some(cur);
         }
         // Free suffix: walk right from the last pinned target.
         let mut cur = targets[last].expect("pinned");
         for t in targets.iter_mut().take(n).skip(last + 1) {
-            let jump = Rational::new((rng.next_u32() % 7 + 1) as i128, (rng.next_u32() % 5 + 1) as i128)
-                .expect("valid jump");
-            cur = &cur + &jump;
+            let jump = Rational::new(
+                (rng.next_u32() % 7 + 1) as i128,
+                (rng.next_u32() % 5 + 1) as i128,
+            )
+            .expect("valid jump");
+            cur = cur + jump;
             *t = Some(cur);
         }
         // Free runs between consecutive pinned indices: spread within the
@@ -205,13 +217,13 @@ impl Automorphism {
             }
             let a = targets[p].expect("pinned");
             let b = targets[q].expect("pinned");
-            let gap = &b - &a;
-            let spacing = &gap / &Rational::from_int(k as i64 + 1);
+            let gap = b - a;
+            let spacing = gap / Rational::from_int(k as i64 + 1);
             for (j, t) in targets.iter_mut().take(q).skip(p + 1).enumerate() {
-                let base = &a + &(&spacing * &Rational::from_int(j as i64 + 1));
-                let jitter = &spacing
-                    * &Rational::new((rng.next_u32() % 50) as i128, 101).expect("valid");
-                *t = Some(&base + &jitter);
+                let base = a + (spacing * Rational::from_int(j as i64 + 1));
+                let jitter =
+                    spacing * Rational::new((rng.next_u32() % 50) as i128, 101).expect("valid");
+                *t = Some(base + jitter);
             }
         }
         let anchors: Vec<(Rational, Rational)> = sorted
@@ -224,10 +236,7 @@ impl Automorphism {
     /// Sample a random automorphism that moves the given set of "interesting"
     /// constants to new rational positions while preserving their order —
     /// the workhorse of genericity property tests.
-    pub fn random_over(
-        consts: &[Rational],
-        rng: &mut impl rand_like::RngLike,
-    ) -> Automorphism {
+    pub fn random_over(consts: &[Rational], rng: &mut impl rand_like::RngLike) -> Automorphism {
         let mut sorted: Vec<Rational> = consts.to_vec();
         sorted.sort();
         sorted.dedup();
@@ -272,7 +281,9 @@ pub mod rand_like {
     impl XorShift32 {
         /// Seeded constructor; zero seeds are bumped.
         pub fn new(seed: u32) -> XorShift32 {
-            XorShift32 { state: if seed == 0 { 0x9E3779B9 } else { seed } }
+            XorShift32 {
+                state: if seed == 0 { 0x9E3779B9 } else { seed },
+            }
         }
     }
 
@@ -378,16 +389,14 @@ mod tests {
 
     #[test]
     fn invalid_anchors_rejected() {
-        assert!(Automorphism::from_anchors(vec![
-            (rat(0, 1), rat(1, 1)),
-            (rat(1, 1), rat(0, 1)),
-        ])
-        .is_err());
-        assert!(Automorphism::from_anchors(vec![
-            (rat(0, 1), rat(1, 1)),
-            (rat(0, 1), rat(2, 1)),
-        ])
-        .is_err());
+        assert!(
+            Automorphism::from_anchors(vec![(rat(0, 1), rat(1, 1)), (rat(1, 1), rat(0, 1)),])
+                .is_err()
+        );
+        assert!(
+            Automorphism::from_anchors(vec![(rat(0, 1), rat(1, 1)), (rat(0, 1), rat(2, 1)),])
+                .is_err()
+        );
     }
 
     #[test]
@@ -400,11 +409,9 @@ mod tests {
                 RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(10, 1))),
             ],
         );
-        let f = Automorphism::from_anchors(vec![
-            (rat(0, 1), rat(100, 1)),
-            (rat(10, 1), rat(101, 1)),
-        ])
-        .unwrap();
+        let f =
+            Automorphism::from_anchors(vec![(rat(0, 1), rat(100, 1)), (rat(10, 1), rat(101, 1))])
+                .unwrap();
         let img = f.apply_relation(&rel);
         for x in [rat(0, 1), rat(5, 1), rat(10, 1), rat(-1, 1), rat(11, 1)] {
             assert_eq!(rel.contains_point(&[x]), img.contains_point(&[f.apply(&x)]));

@@ -28,14 +28,14 @@ use crate::atom::{Atom, CompOp, Term};
 use crate::rational::Rational;
 use crate::relation::GeneralizedRelation;
 use crate::tuple::GeneralizedTuple;
-use serde::{Deserialize, Serialize};
+
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Where a coordinate sits relative to the constants: on the `i`-th constant,
 /// or in the `i`-th open gap (gap `0` is `(-∞, c₁)`, gap `m` is `(c_m, ∞)`),
 /// at a given rank among the coordinates sharing that gap.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Position {
     /// Exactly the `i`-th constant (0-based into the sorted constant list).
     OnConst(usize),
@@ -50,7 +50,7 @@ pub enum Position {
 }
 
 /// A single cell: one [`Position`] per coordinate.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Cell {
     positions: Vec<Position>,
 }
@@ -73,7 +73,10 @@ impl CellSpace {
     /// Build a cell space; constants are sorted and deduplicated.
     pub fn new(arity: u32, constants: impl IntoIterator<Item = Rational>) -> CellSpace {
         let set: BTreeSet<Rational> = constants.into_iter().collect();
-        CellSpace { constants: set.into_iter().collect(), arity }
+        CellSpace {
+            constants: set.into_iter().collect(),
+            arity,
+        }
     }
 
     /// Cell space covering everything a relation (or several) mentions.
@@ -119,8 +122,10 @@ impl CellSpace {
             }
             // For each gap, enumerate ordered set partitions of its vars;
             // take the cartesian product across gaps.
-            let partitions_per_gap: Vec<Vec<Vec<Vec<usize>>>> =
-                per_gap.iter().map(|vars| ordered_set_partitions(vars)).collect();
+            let partitions_per_gap: Vec<Vec<Vec<Vec<usize>>>> = per_gap
+                .iter()
+                .map(|vars| ordered_set_partitions(vars))
+                .collect();
             let mut choice = vec![0usize; m + 1];
             loop {
                 let mut positions = vec![Position::OnConst(0); k];
@@ -196,16 +201,16 @@ impl CellSpace {
             }
             if gap == 0 {
                 // (-∞, c₁): c₁ - (j - rank)
-                &self.constants[0] - &Rational::from_int((j - rank) as i64)
+                self.constants[0] - Rational::from_int((j - rank) as i64)
             } else if gap == m {
                 // (c_m, ∞): c_m + rank + 1
-                &self.constants[m - 1] + &Rational::from_int(rank as i64 + 1)
+                self.constants[m - 1] + Rational::from_int(rank as i64 + 1)
             } else {
                 // (c_{gap-1}, c_{gap}) in 0-based: constants[gap-1], constants[gap]
                 let lo = &self.constants[gap - 1];
                 let hi = &self.constants[gap];
-                let step = &(hi - lo) / &Rational::from_int(j as i64 + 1);
-                lo + &(&step * &Rational::from_int(rank as i64 + 1))
+                let step = (hi - lo) / Rational::from_int(j as i64 + 1);
+                lo + &(step * Rational::from_int(rank as i64 + 1))
             }
         };
         cell.positions
@@ -324,7 +329,11 @@ impl CellSpace {
         assert_eq!(rel.arity(), self.arity, "canonicalize arity mismatch");
         let consts: BTreeSet<Rational> = self.constants.iter().copied().collect();
         for c in rel.constants() {
-            assert!(consts.contains(&c), "relation constant {} outside cell space", c);
+            assert!(
+                consts.contains(&c),
+                "relation constant {} outside cell space",
+                c
+            );
         }
         let cells = self.enumerate();
         let mut members = BTreeSet::new();
@@ -334,13 +343,20 @@ impl CellSpace {
                 members.insert(i);
             }
         }
-        CanonicalForm { members, total: cells.len() }
+        CanonicalForm {
+            members,
+            total: cells.len(),
+        }
     }
 
     /// Rebuild a relation from a canonical form (union of cell tuples).
     pub fn realize(&self, form: &CanonicalForm) -> GeneralizedRelation {
         let cells = self.enumerate();
-        assert_eq!(cells.len(), form.total, "canonical form from a different space");
+        assert_eq!(
+            cells.len(),
+            form.total,
+            "canonical form from a different space"
+        );
         GeneralizedRelation::from_tuples(
             self.arity,
             form.members.iter().map(|&i| self.to_tuple(&cells[i])),
@@ -352,7 +368,9 @@ impl CellSpace {
     pub fn complement(&self, rel: &GeneralizedRelation) -> GeneralizedRelation {
         let form = self.canonicalize(rel);
         let inverted = CanonicalForm {
-            members: (0..form.total).filter(|i| !form.members.contains(i)).collect(),
+            members: (0..form.total)
+                .filter(|i| !form.members.contains(i))
+                .collect(),
             total: form.total,
         };
         self.realize(&inverted)
@@ -373,7 +391,7 @@ impl CellSpace {
 }
 
 /// A relation's canonical form: which cells of a [`CellSpace`] it contains.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CanonicalForm {
     members: BTreeSet<usize>,
     total: usize,
@@ -478,7 +496,12 @@ mod tests {
         for cell in space.enumerate() {
             let t = space.to_tuple(&cell);
             let p = space.sample(&cell);
-            assert!(t.contains_point(&p), "sample {:?} not in cell {:?}", p, cell);
+            assert!(
+                t.contains_point(&p),
+                "sample {:?} not in cell {:?}",
+                p,
+                cell
+            );
         }
     }
 

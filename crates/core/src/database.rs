@@ -8,12 +8,12 @@
 use crate::automorphism::Automorphism;
 use crate::rational::Rational;
 use crate::relation::GeneralizedRelation;
-use serde::{Deserialize, Serialize};
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A database schema: relation names with arities.
-#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Schema {
     arities: BTreeMap<String, u32>,
 }
@@ -71,8 +71,15 @@ impl fmt::Display for DatabaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatabaseError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
-            DatabaseError::ArityMismatch { name, declared, got } => {
-                write!(f, "relation {name} declared with arity {declared}, instance has {got}")
+            DatabaseError::ArityMismatch {
+                name,
+                declared,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation {name} declared with arity {declared}, instance has {got}"
+                )
             }
         }
     }
@@ -81,7 +88,7 @@ impl fmt::Display for DatabaseError {
 impl std::error::Error for DatabaseError {}
 
 /// A dense-order constraint database instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Database {
     schema: Schema,
     relations: BTreeMap<String, GeneralizedRelation>,
@@ -138,7 +145,10 @@ impl Database {
     /// the paper's *standard encoding* serializes, and the anchor set for
     /// cell decompositions and automorphism tests.
     pub fn constants(&self) -> BTreeSet<Rational> {
-        self.relations.values().flat_map(|r| r.constants()).collect()
+        self.relations
+            .values()
+            .flat_map(|r| r.constants())
+            .collect()
     }
 
     /// Total representation size (number of atoms), the data-complexity

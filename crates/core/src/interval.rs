@@ -12,11 +12,11 @@ use crate::atom::{CompOp, RawAtom, RawOp, Term, Var};
 use crate::rational::Rational;
 use crate::relation::GeneralizedRelation;
 use crate::tuple::GeneralizedTuple;
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// An endpoint of an interval: −∞, a rational (open or closed), or +∞.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Bound {
     /// Unbounded below/above.
     Unbounded,
@@ -27,7 +27,7 @@ pub enum Bound {
 }
 
 /// A nonempty interval of Q.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Interval {
     /// Lower bound.
     pub lo: Bound,
@@ -38,24 +38,36 @@ pub struct Interval {
 impl Interval {
     /// The whole line.
     pub fn all() -> Interval {
-        Interval { lo: Bound::Unbounded, hi: Bound::Unbounded }
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
     }
 
     /// A single point.
     pub fn point(p: Rational) -> Interval {
-        Interval { lo: Bound::Closed(p), hi: Bound::Closed(p) }
+        Interval {
+            lo: Bound::Closed(p),
+            hi: Bound::Closed(p),
+        }
     }
 
     /// A closed interval `[a, b]`; panics if `a > b`.
     pub fn closed(a: Rational, b: Rational) -> Interval {
         assert!(a <= b, "empty closed interval");
-        Interval { lo: Bound::Closed(a), hi: Bound::Closed(b) }
+        Interval {
+            lo: Bound::Closed(a),
+            hi: Bound::Closed(b),
+        }
     }
 
     /// An open interval `(a, b)`; panics if `a >= b`.
     pub fn open(a: Rational, b: Rational) -> Interval {
         assert!(a < b, "empty open interval");
-        Interval { lo: Bound::Open(a), hi: Bound::Open(b) }
+        Interval {
+            lo: Bound::Open(a),
+            hi: Bound::Open(b),
+        }
     }
 
     /// Is the interval nonempty? (Constructors enforce this, but boolean
@@ -117,7 +129,7 @@ impl fmt::Display for Interval {
 
 /// A canonical finite union of intervals: sorted, disjoint, and non-mergeable
 /// (no two stored intervals are adjacent or overlapping).
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct IntervalSet {
     intervals: Vec<Interval>,
 }
@@ -125,18 +137,22 @@ pub struct IntervalSet {
 impl IntervalSet {
     /// The empty set.
     pub fn empty() -> IntervalSet {
-        IntervalSet { intervals: Vec::new() }
+        IntervalSet {
+            intervals: Vec::new(),
+        }
     }
 
     /// The whole line.
     pub fn all() -> IntervalSet {
-        IntervalSet { intervals: vec![Interval::all()] }
+        IntervalSet {
+            intervals: vec![Interval::all()],
+        }
     }
 
     /// Build from arbitrary intervals, normalizing.
     pub fn from_intervals(intervals: impl IntoIterator<Item = Interval>) -> IntervalSet {
         let mut v: Vec<Interval> = intervals.into_iter().filter(|i| i.valid()).collect();
-        v.sort_by(|a, b| a.lo_key().cmp(&b.lo_key()));
+        v.sort_by_key(|a| a.lo_key());
         let mut out: Vec<Interval> = Vec::new();
         for iv in v {
             match out.last_mut() {
@@ -166,9 +182,7 @@ impl IntervalSet {
 
     /// Union.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        IntervalSet::from_intervals(
-            self.intervals.iter().chain(other.intervals.iter()).copied(),
-        )
+        IntervalSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
     }
 
     /// Complement.
@@ -194,7 +208,10 @@ impl IntervalSet {
                 Bound::Closed(b) => Bound::Open(b),
             };
         }
-        out.push(Interval { lo, hi: Bound::Unbounded });
+        out.push(Interval {
+            lo,
+            hi: Bound::Unbounded,
+        });
         IntervalSet::from_intervals(out)
     }
 
@@ -387,7 +404,9 @@ mod tests {
         assert_eq!(s.intervals().len(), 2);
         assert!(!s.contains(&rat(1, 1)));
         // adding the point merges everything
-        let s2 = s.union(&IntervalSet::from_intervals(vec![Interval::point(rat(1, 1))]));
+        let s2 = s.union(&IntervalSet::from_intervals(vec![Interval::point(rat(
+            1, 1,
+        ))]));
         assert_eq!(s2.intervals().len(), 1);
     }
 
@@ -396,7 +415,10 @@ mod tests {
         let s = IntervalSet::from_intervals(vec![
             Interval::closed(rat(0, 1), rat(1, 1)),
             Interval::point(rat(5, 1)),
-            Interval { lo: Bound::Open(rat(7, 1)), hi: Bound::Unbounded },
+            Interval {
+                lo: Bound::Open(rat(7, 1)),
+                hi: Bound::Unbounded,
+            },
         ]);
         let c = s.complement();
         assert!(!c.contains(&rat(0, 1)));
@@ -425,7 +447,10 @@ mod tests {
         let s = IntervalSet::from_intervals(vec![
             Interval::open(rat(0, 1), rat(1, 1)),
             Interval::point(rat(3, 1)),
-            Interval { lo: Bound::Unbounded, hi: Bound::Open(rat(-5, 1)) },
+            Interval {
+                lo: Bound::Unbounded,
+                hi: Bound::Open(rat(-5, 1)),
+            },
         ]);
         let rel = s.to_relation();
         let back = IntervalSet::from_relation(&rel);

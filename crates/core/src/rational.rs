@@ -9,7 +9,6 @@
 //! experiment suite. All arithmetic is overflow-checked; an overflow is
 //! reported as an error rather than wrapping silently.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
@@ -19,8 +18,7 @@ use std::str::FromStr;
 ///
 /// The normal form is maintained by every constructor, so structural equality
 /// coincides with numeric equality and the derived `Hash` is consistent.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(try_from = "(i128, i128)", into = "(i128, i128)")]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
@@ -65,15 +63,22 @@ impl Rational {
         let g = gcd(num, den);
         let (mut n, mut d) = if g == 0 { (0, 1) } else { (num / g, den / g) };
         if d < 0 {
-            n = n.checked_neg().ok_or(ArithmeticError("negation overflow"))?;
-            d = d.checked_neg().ok_or(ArithmeticError("negation overflow"))?;
+            n = n
+                .checked_neg()
+                .ok_or(ArithmeticError("negation overflow"))?;
+            d = d
+                .checked_neg()
+                .ok_or(ArithmeticError("negation overflow"))?;
         }
         Ok(Rational { num: n, den: d })
     }
 
     /// Construct a rational from an integer.
     pub const fn from_int(n: i64) -> Rational {
-        Rational { num: n as i128, den: 1 }
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// The numerator of the normal form (sign-carrying).
@@ -113,8 +118,14 @@ impl Rational {
         let g = gcd(self.den, rhs.den);
         let bd = self.den / g;
         let dd = rhs.den / g;
-        let n1 = self.num.checked_mul(dd).ok_or(ArithmeticError("add overflow"))?;
-        let n2 = rhs.num.checked_mul(bd).ok_or(ArithmeticError("add overflow"))?;
+        let n1 = self
+            .num
+            .checked_mul(dd)
+            .ok_or(ArithmeticError("add overflow"))?;
+        let n2 = rhs
+            .num
+            .checked_mul(bd)
+            .ok_or(ArithmeticError("add overflow"))?;
         let num = n1.checked_add(n2).ok_or(ArithmeticError("add overflow"))?;
         let den = self
             .den
@@ -146,20 +157,32 @@ impl Rational {
         if rhs.is_zero() {
             return Err(ArithmeticError("division by zero"));
         }
-        self.checked_mul(&Rational { num: rhs.den, den: rhs.num }.canonicalized())
+        self.checked_mul(
+            &Rational {
+                num: rhs.den,
+                den: rhs.num,
+            }
+            .canonicalized(),
+        )
     }
 
     /// Checked negation.
     pub fn checked_neg(&self) -> Result<Rational, ArithmeticError> {
         Ok(Rational {
-            num: self.num.checked_neg().ok_or(ArithmeticError("negation overflow"))?,
+            num: self
+                .num
+                .checked_neg()
+                .ok_or(ArithmeticError("negation overflow"))?,
             den: self.den,
         })
     }
 
     fn canonicalized(self) -> Rational {
         if self.den < 0 {
-            Rational { num: -self.num, den: -self.den }
+            Rational {
+                num: -self.num,
+                den: -self.den,
+            }
         } else {
             self
         }
@@ -168,8 +191,7 @@ impl Rational {
     /// The exact midpoint of `self` and `other`; exists for any pair by
     /// density of Q. This is how sample points inside open cells are chosen.
     pub fn midpoint(&self, other: &Rational) -> Result<Rational, ArithmeticError> {
-        self.checked_add(other)?
-            .checked_div(&Rational::from_int(2))
+        self.checked_add(other)?.checked_div(&Rational::from_int(2))
     }
 
     /// The reciprocal, failing on zero.
@@ -177,12 +199,19 @@ impl Rational {
         if self.is_zero() {
             return Err(ArithmeticError("reciprocal of zero"));
         }
-        Ok(Rational { num: self.den, den: self.num }.canonicalized())
+        Ok(Rational {
+            num: self.den,
+            den: self.num,
+        }
+        .canonicalized())
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Approximate value as `f64` (for reporting only; never used in logic).

@@ -13,7 +13,7 @@
 use crate::atom::{Atom, RawAtom, Var};
 use crate::rational::Rational;
 use crate::tuple::GeneralizedTuple;
-use serde::{Deserialize, Serialize};
+
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -22,7 +22,7 @@ use std::fmt;
 /// Invariants: every stored tuple is satisfiable; no stored tuple is
 /// syntactically equal to another. (Semantic overlap between tuples is
 /// permitted — the denotation is the union.)
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct GeneralizedRelation {
     arity: u32,
     tuples: Vec<GeneralizedTuple>,
@@ -31,12 +31,18 @@ pub struct GeneralizedRelation {
 impl GeneralizedRelation {
     /// The empty k-ary relation.
     pub fn empty(arity: u32) -> GeneralizedRelation {
-        GeneralizedRelation { arity, tuples: Vec::new() }
+        GeneralizedRelation {
+            arity,
+            tuples: Vec::new(),
+        }
     }
 
     /// The full space `Q^k`.
     pub fn universe(arity: u32) -> GeneralizedRelation {
-        GeneralizedRelation { arity, tuples: vec![GeneralizedTuple::top(arity)] }
+        GeneralizedRelation {
+            arity,
+            tuples: vec![GeneralizedTuple::top(arity)],
+        }
     }
 
     /// Build from tuples, dropping unsatisfiable ones.
@@ -58,7 +64,10 @@ impl GeneralizedRelation {
     }
 
     /// A finite classical relation embedded as equality constraints.
-    pub fn from_points(arity: u32, points: impl IntoIterator<Item = Vec<Rational>>) -> GeneralizedRelation {
+    pub fn from_points(
+        arity: u32,
+        points: impl IntoIterator<Item = Vec<Rational>>,
+    ) -> GeneralizedRelation {
         GeneralizedRelation::from_tuples(
             arity,
             points.into_iter().map(|p| {
@@ -233,7 +242,10 @@ impl GeneralizedRelation {
                 return GeneralizedRelation::empty(self.arity);
             }
         }
-        GeneralizedRelation { arity: self.arity, tuples: acc }
+        GeneralizedRelation {
+            arity: self.arity,
+            tuples: acc,
+        }
     }
 
     /// Set difference `self \ other`.
@@ -284,7 +296,11 @@ impl GeneralizedRelation {
         assert!(new_arity <= self.arity);
         for t in &self.tuples {
             for v in t.mentioned_vars() {
-                assert!(v.0 < new_arity, "narrow would drop constrained column {}", v.0);
+                assert!(
+                    v.0 < new_arity,
+                    "narrow would drop constrained column {}",
+                    v.0
+                );
             }
         }
         GeneralizedRelation::from_tuples(
@@ -317,8 +333,7 @@ impl GeneralizedRelation {
     /// Simplify the representation: minimize each tuple and drop disjuncts
     /// subsumed by other disjuncts.
     pub fn simplify(&self) -> GeneralizedRelation {
-        let mut tuples: Vec<GeneralizedTuple> =
-            self.tuples.iter().map(|t| t.simplify()).collect();
+        let mut tuples: Vec<GeneralizedTuple> = self.tuples.iter().map(|t| t.simplify()).collect();
         tuples.sort_by_key(|t| t.len());
         let mut kept: Vec<GeneralizedTuple> = Vec::new();
         for t in tuples {
@@ -326,16 +341,16 @@ impl GeneralizedRelation {
                 kept.push(t);
             }
         }
-        GeneralizedRelation { arity: self.arity, tuples: kept }
+        GeneralizedRelation {
+            arity: self.arity,
+            tuples: kept,
+        }
     }
 
     /// Map all constants through a strictly monotone function (an order
     /// automorphism of Q); returns the image relation.
     pub fn map_consts(&self, f: &impl Fn(&Rational) -> Rational) -> GeneralizedRelation {
-        GeneralizedRelation::from_tuples(
-            self.arity,
-            self.tuples.iter().map(|t| t.map_consts(f)),
-        )
+        GeneralizedRelation::from_tuples(self.arity, self.tuples.iter().map(|t| t.map_consts(f)))
     }
 }
 
@@ -374,7 +389,10 @@ mod tests {
     }
 
     fn interval(lo: i64, hi: i64) -> GeneralizedRelation {
-        GeneralizedRelation::from_raw(1, vec![raw(c(lo), RawOp::Le, v(0)), raw(v(0), RawOp::Le, c(hi))])
+        GeneralizedRelation::from_raw(
+            1,
+            vec![raw(c(lo), RawOp::Le, v(0)), raw(v(0), RawOp::Le, c(hi))],
+        )
     }
 
     #[test]

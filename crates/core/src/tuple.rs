@@ -18,7 +18,7 @@
 
 use crate::atom::{Atom, CompOp, RawAtom, Term, Var};
 use crate::rational::Rational;
-use serde::{Deserialize, Serialize};
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -28,7 +28,7 @@ use std::fmt;
 /// and deduplicated; the tuple is *not* guaranteed satisfiable — call
 /// [`GeneralizedTuple::is_satisfiable`] — but trivially-decidable atoms never
 /// appear (they are resolved during normalization).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GeneralizedTuple {
     arity: u32,
     atoms: Vec<Atom>,
@@ -37,7 +37,10 @@ pub struct GeneralizedTuple {
 impl GeneralizedTuple {
     /// The tuple with no constraints: all of `Q^arity`.
     pub fn top(arity: u32) -> GeneralizedTuple {
-        GeneralizedTuple { arity, atoms: Vec::new() }
+        GeneralizedTuple {
+            arity,
+            atoms: Vec::new(),
+        }
     }
 
     /// Build from normalized atoms. Atoms mentioning columns `>= arity` are
@@ -109,7 +112,12 @@ impl GeneralizedTuple {
     /// Insert an atom, keeping the sorted/deduplicated invariant.
     pub fn push(&mut self, atom: Atom) {
         for v in atom.vars() {
-            assert!(v.0 < self.arity, "atom mentions column {} outside arity {}", v.0, self.arity);
+            assert!(
+                v.0 < self.arity,
+                "atom mentions column {} outside arity {}",
+                v.0,
+                self.arity
+            );
         }
         match self.atoms.binary_search(&atom) {
             Ok(_) => {}
@@ -167,7 +175,9 @@ impl GeneralizedTuple {
 
     /// Decide satisfiability over `(Q, <)`.
     pub fn is_satisfiable(&self) -> bool {
-        OrderGraph::build(self).map(|g| g.consistent()).unwrap_or(false)
+        OrderGraph::build(self)
+            .map(|g| g.consistent())
+            .unwrap_or(false)
     }
 
     /// Produce a rational point satisfying the tuple, if one exists.
@@ -234,7 +244,11 @@ impl GeneralizedTuple {
         // min upper) is nonempty iff all pairwise bound comparisons hold.
         for (l, lop) in &lowers {
             for (u, uop) in &uppers {
-                let op = if lop.is_strict() || uop.is_strict() { CompOp::Lt } else { CompOp::Le };
+                let op = if lop.is_strict() || uop.is_strict() {
+                    CompOp::Lt
+                } else {
+                    CompOp::Le
+                };
                 match Atom::normalized(*l, op, *u) {
                     None => return None,
                     Some(atoms) => {
@@ -256,7 +270,10 @@ impl GeneralizedTuple {
     /// Widen the tuple to a larger arity (new columns unconstrained).
     pub fn widen(&self, new_arity: u32) -> GeneralizedTuple {
         assert!(new_arity >= self.arity, "widen must not shrink");
-        GeneralizedTuple { arity: new_arity, atoms: self.atoms.clone() }
+        GeneralizedTuple {
+            arity: new_arity,
+            atoms: self.atoms.clone(),
+        }
     }
 
     /// Does this tuple entail the given atom (`self ⊨ atom`)?
@@ -302,7 +319,10 @@ impl GeneralizedTuple {
                 i += 1;
             }
         }
-        GeneralizedTuple { arity: self.arity, atoms }
+        GeneralizedTuple {
+            arity: self.arity,
+            atoms,
+        }
     }
 
     /// Map all constants through a strictly monotone function (an
@@ -332,6 +352,13 @@ impl fmt::Display for GeneralizedTuple {
 /// The order graph of a conjunction: nodes are equivalence classes of terms
 /// (under the equality atoms), edges are `<` (strict) and `≤` (weak)
 /// obligations, including the built-in order on the mentioned constants.
+/// Result of the SCC pass: `(scc_of_root, topo_order_of_sccs, scc_pin)`.
+type SccAnalysis = (
+    BTreeMap<usize, usize>,
+    Vec<Vec<usize>>,
+    BTreeMap<usize, Rational>,
+);
+
 struct OrderGraph {
     /// Union-find parent vector over node ids.
     parent: Vec<usize>,
@@ -393,7 +420,11 @@ impl OrderGraph {
             pinned: BTreeMap::new(),
             edges: Vec::new(),
             var_node: (0..nvars).collect(),
-            const_node: consts.iter().enumerate().map(|(i, c)| (*c, nvars + i)).collect(),
+            const_node: consts
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (*c, nvars + i))
+                .collect(),
         };
         for (i, c) in consts.iter().enumerate() {
             g.pinned.insert(nvars + i, *c);
@@ -435,7 +466,7 @@ impl OrderGraph {
 
     /// Compute SCC ids per class representative; `None` if inconsistent.
     /// On success returns `(scc_of_root, topo_order_of_sccs, scc_pin)`.
-    fn sccs_ok(&mut self) -> Option<(BTreeMap<usize, usize>, Vec<Vec<usize>>, BTreeMap<usize, Rational>)> {
+    fn sccs_ok(&mut self) -> Option<SccAnalysis> {
         // Collapse to representatives.
         let n = self.parent.len();
         let mut roots = BTreeSet::new();
@@ -556,11 +587,7 @@ impl OrderGraph {
                     None => {
                         // unconstrained below: pick min(pin values)-1-pos or 0
                         Rational::from_int(-(1 + pos as i64))
-                            + pins
-                                .values()
-                                .min()
-                                .copied()
-                                .unwrap_or(Rational::ZERO)
+                            + pins.values().min().copied().unwrap_or(Rational::ZERO)
                     }
                     Some((b, strict)) => {
                         if *strict {
@@ -763,7 +790,10 @@ mod tests {
     #[test]
     fn constant_sandwich() {
         // 3 < x < 4 is satisfiable in Q (not in Z!)
-        let t = single(1, vec![raw(c(3), RawOp::Lt, v(0)), raw(v(0), RawOp::Lt, c(4))]);
+        let t = single(
+            1,
+            vec![raw(c(3), RawOp::Lt, v(0)), raw(v(0), RawOp::Lt, c(4))],
+        );
         assert!(t.is_satisfiable());
         let w = t.witness().unwrap();
         assert!(rat(3, 1) < w[0] && w[0] < rat(4, 1));
@@ -778,7 +808,10 @@ mod tests {
     #[test]
     fn eliminate_middle_variable() {
         // ∃x1. x0 < x1 ∧ x1 < x2  ≡  x0 < x2
-        let t = single(3, vec![raw(v(0), RawOp::Lt, v(1)), raw(v(1), RawOp::Lt, v(2))]);
+        let t = single(
+            3,
+            vec![raw(v(0), RawOp::Lt, v(1)), raw(v(1), RawOp::Lt, v(2))],
+        );
         let e = t.eliminate(Var(1)).unwrap();
         assert!(!e.atoms().iter().any(|a| a.mentions(Var(1))));
         assert!(e.contains_point(&[rat(0, 1), rat(99, 1), rat(1, 1)]));
@@ -788,7 +821,10 @@ mod tests {
     #[test]
     fn eliminate_with_equality_substitutes() {
         // ∃x1. x1 = x0 ∧ x1 < 5  ≡  x0 < 5
-        let t = single(2, vec![raw(v(1), RawOp::Eq, v(0)), raw(v(1), RawOp::Lt, c(5))]);
+        let t = single(
+            2,
+            vec![raw(v(1), RawOp::Eq, v(0)), raw(v(1), RawOp::Lt, c(5))],
+        );
         let e = t.eliminate(Var(1)).unwrap();
         assert!(e.contains_point(&[rat(4, 1), rat(0, 1)]));
         assert!(!e.contains_point(&[rat(6, 1), rat(0, 1)]));
@@ -805,18 +841,27 @@ mod tests {
     #[test]
     fn eliminate_strictness_propagates() {
         // ∃x1. x0 <= x1 ∧ x1 <= x2  ≡  x0 <= x2 (weak)
-        let t = single(3, vec![raw(v(0), RawOp::Le, v(1)), raw(v(1), RawOp::Le, v(2))]);
+        let t = single(
+            3,
+            vec![raw(v(0), RawOp::Le, v(1)), raw(v(1), RawOp::Le, v(2))],
+        );
         let e = t.eliminate(Var(1)).unwrap();
         assert!(e.contains_point(&[rat(1, 1), rat(0, 1), rat(1, 1)]));
         // ∃x1. x0 < x1 ∧ x1 <= x2  ≡  x0 < x2 (strict)
-        let t = single(3, vec![raw(v(0), RawOp::Lt, v(1)), raw(v(1), RawOp::Le, v(2))]);
+        let t = single(
+            3,
+            vec![raw(v(0), RawOp::Lt, v(1)), raw(v(1), RawOp::Le, v(2))],
+        );
         let e = t.eliminate(Var(1)).unwrap();
         assert!(!e.contains_point(&[rat(1, 1), rat(0, 1), rat(1, 1)]));
     }
 
     #[test]
     fn entailment() {
-        let t = single(2, vec![raw(v(0), RawOp::Lt, c(3)), raw(c(5), RawOp::Lt, v(1))]);
+        let t = single(
+            2,
+            vec![raw(v(0), RawOp::Lt, c(3)), raw(c(5), RawOp::Lt, v(1))],
+        );
         let a = Atom::normalized(v(0), CompOp::Lt, v(1)).unwrap()[0];
         assert!(t.entails(&a));
         let b = Atom::normalized(v(1), CompOp::Lt, v(0)).unwrap()[0];

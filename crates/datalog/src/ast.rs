@@ -1,300 +1,7 @@
-//! Abstract syntax for inflationary Datalog¬ with dense-order constraints.
+//! Abstract syntax for inflationary Datalog¬ (re-exported).
 //!
-//! Following §4 of the paper: a program is a set of rules
-//!
-//! ```text
-//! R(x̄) :- L₁, …, L_n.
-//! ```
-//!
-//! where each `Lᵢ` is a positive or negated predicate atom over variables
-//! and rational constants, or a dense-order constraint (`x < y`, `x ≤ 3`, …).
-//! Negation is permitted in rule bodies; the semantics is **inflationary**:
-//! facts derived at each stage are added to the store and never retracted,
-//! which guarantees a polynomial-step fixpoint over the finite lattice of
-//! cell-definable relations (the engine in [`crate::engine`]).
+//! The rule AST moved to [`dco_logic::datalog`] so the static analyzer in
+//! `dco-analysis` can inspect programs without depending on the evaluation
+//! engine; this module keeps the historical paths working.
 
-use dco_core::prelude::RawOp;
-use dco_logic::{ArgTerm, Formula, LinExpr};
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A body literal.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Literal {
-    /// A positive predicate atom `R(t̄)`.
-    Pos(String, Vec<ArgTerm>),
-    /// A negated predicate atom `¬R(t̄)` (inflationary negation).
-    Neg(String, Vec<ArgTerm>),
-    /// A dense-order constraint between simple terms.
-    Constraint(LinExpr, RawOp, LinExpr),
-}
-
-impl Literal {
-    /// Variables mentioned by the literal.
-    pub fn vars(&self) -> Vec<String> {
-        match self {
-            Literal::Pos(_, args) | Literal::Neg(_, args) => args
-                .iter()
-                .filter_map(|a| match a {
-                    ArgTerm::Var(v) => Some(v.clone()),
-                    ArgTerm::Const(_) => None,
-                })
-                .collect(),
-            Literal::Constraint(l, _, r) => {
-                l.vars().chain(r.vars()).map(|s| s.to_string()).collect()
-            }
-        }
-    }
-
-    /// Lower to a formula for evaluation by the FO machinery.
-    pub fn to_formula(&self) -> Formula {
-        match self {
-            Literal::Pos(name, args) => Formula::Pred(name.clone(), args.clone()),
-            Literal::Neg(name, args) => {
-                Formula::not(Formula::Pred(name.clone(), args.clone()))
-            }
-            Literal::Constraint(l, op, r) => Formula::Compare(l.clone(), *op, r.clone()),
-        }
-    }
-}
-
-impl fmt::Display for Literal {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Literal::Pos(name, args) => {
-                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-                write!(f, "{name}({})", parts.join(", "))
-            }
-            Literal::Neg(name, args) => {
-                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-                write!(f, "not {name}({})", parts.join(", "))
-            }
-            Literal::Constraint(l, op, r) => write!(f, "{l} {op} {r}"),
-        }
-    }
-}
-
-/// A rule `head(vars) :- body`.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Rule {
-    /// Head predicate name.
-    pub head: String,
-    /// Head variables (constants in heads are expressed via body
-    /// constraints; the parser desugars them).
-    pub head_vars: Vec<String>,
-    /// Body literals (conjunction).
-    pub body: Vec<Literal>,
-}
-
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let body: Vec<String> = self.body.iter().map(|l| l.to_string()).collect();
-        write!(
-            f,
-            "{}({}) :- {}.",
-            self.head,
-            self.head_vars.join(", "),
-            body.join(", ")
-        )
-    }
-}
-
-/// A Datalog¬ program: rules plus the inferred predicate signature.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Program {
-    /// The rules, in source order.
-    pub rules: Vec<Rule>,
-}
-
-/// Errors found during validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProgramError {
-    /// Predicate used at two different arities.
-    InconsistentArity(String),
-    /// Head variable not bound anywhere in the body (unsafe only for
-    /// *negated-only* occurrences; pure constraint binding is fine in the
-    /// constraint model, but a variable appearing nowhere is rejected).
-    UnboundHeadVar {
-        /// Rule (display form).
-        rule: String,
-        /// Variable name.
-        var: String,
-    },
-}
-
-impl fmt::Display for ProgramError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProgramError::InconsistentArity(p) => {
-                write!(f, "predicate {p} used at inconsistent arities")
-            }
-            ProgramError::UnboundHeadVar { rule, var } => {
-                write!(f, "head variable {var} does not occur in the body of: {rule}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ProgramError {}
-
-impl Program {
-    /// Build and validate a program.
-    pub fn new(rules: Vec<Rule>) -> Result<Program, ProgramError> {
-        let p = Program { rules };
-        p.validate()?;
-        Ok(p)
-    }
-
-    /// All predicates with arities (heads and body atoms).
-    pub fn arities(&self) -> Result<BTreeMap<String, u32>, ProgramError> {
-        let mut out: BTreeMap<String, u32> = BTreeMap::new();
-        let mut put = |name: &str, arity: usize| -> Result<(), ProgramError> {
-            match out.get(name) {
-                Some(a) if *a as usize != arity => {
-                    Err(ProgramError::InconsistentArity(name.to_string()))
-                }
-                Some(_) => Ok(()),
-                None => {
-                    out.insert(name.to_string(), arity as u32);
-                    Ok(())
-                }
-            }
-        };
-        for r in &self.rules {
-            put(&r.head, r.head_vars.len())?;
-            for l in &r.body {
-                match l {
-                    Literal::Pos(name, args) | Literal::Neg(name, args) => {
-                        put(name, args.len())?;
-                    }
-                    Literal::Constraint(..) => {}
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    /// Intensional predicates: those appearing in some head.
-    pub fn idb_predicates(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.rules.iter().map(|r| r.head.clone()).collect();
-        v.sort();
-        v.dedup();
-        v
-    }
-
-    /// Extensional predicates: used in bodies but never defined.
-    pub fn edb_predicates(&self) -> Vec<String> {
-        let idb = self.idb_predicates();
-        let mut v = Vec::new();
-        for r in &self.rules {
-            for l in &r.body {
-                if let Literal::Pos(name, _) | Literal::Neg(name, _) = l {
-                    if !idb.contains(name) && !v.contains(name) {
-                        v.push(name.clone());
-                    }
-                }
-            }
-        }
-        v.sort();
-        v
-    }
-
-    fn validate(&self) -> Result<(), ProgramError> {
-        self.arities()?;
-        for r in &self.rules {
-            let body_vars: Vec<String> = r.body.iter().flat_map(|l| l.vars()).collect();
-            for v in &r.head_vars {
-                if !body_vars.contains(v) {
-                    return Err(ProgramError::UnboundHeadVar {
-                        rule: r.to_string(),
-                        var: v.clone(),
-                    });
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-impl fmt::Display for Program {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for r in &self.rules {
-            writeln!(f, "{r}")?;
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tc_program() -> Program {
-        // tc(x,y) :- e(x,y).  tc(x,y) :- tc(x,z), e(z,y).
-        Program::new(vec![
-            Rule {
-                head: "tc".into(),
-                head_vars: vec!["x".into(), "y".into()],
-                body: vec![Literal::Pos(
-                    "e".into(),
-                    vec![ArgTerm::Var("x".into()), ArgTerm::Var("y".into())],
-                )],
-            },
-            Rule {
-                head: "tc".into(),
-                head_vars: vec!["x".into(), "y".into()],
-                body: vec![
-                    Literal::Pos(
-                        "tc".into(),
-                        vec![ArgTerm::Var("x".into()), ArgTerm::Var("z".into())],
-                    ),
-                    Literal::Pos(
-                        "e".into(),
-                        vec![ArgTerm::Var("z".into()), ArgTerm::Var("y".into())],
-                    ),
-                ],
-            },
-        ])
-        .unwrap()
-    }
-
-    #[test]
-    fn edb_idb_split() {
-        let p = tc_program();
-        assert_eq!(p.idb_predicates(), vec!["tc"]);
-        assert_eq!(p.edb_predicates(), vec!["e"]);
-        assert_eq!(p.arities().unwrap()["tc"], 2);
-        assert_eq!(p.arities().unwrap()["e"], 2);
-    }
-
-    #[test]
-    fn inconsistent_arity_rejected() {
-        let bad = Program::new(vec![Rule {
-            head: "p".into(),
-            head_vars: vec!["x".into()],
-            body: vec![Literal::Pos("p".into(), vec![
-                ArgTerm::Var("x".into()),
-                ArgTerm::Var("x".into()),
-            ])],
-        }]);
-        assert!(matches!(bad, Err(ProgramError::InconsistentArity(_))));
-    }
-
-    #[test]
-    fn unbound_head_var_rejected() {
-        let bad = Program::new(vec![Rule {
-            head: "p".into(),
-            head_vars: vec!["x".into(), "y".into()],
-            body: vec![Literal::Pos("q".into(), vec![ArgTerm::Var("x".into())])],
-        }]);
-        assert!(matches!(bad, Err(ProgramError::UnboundHeadVar { .. })));
-    }
-
-    #[test]
-    fn display_roundtrips_visually() {
-        let p = tc_program();
-        let s = p.to_string();
-        assert!(s.contains("tc(x, y) :- e(x, y)."));
-        assert!(s.contains("tc(x, y) :- tc(x, z), e(z, y)."));
-    }
-}
+pub use dco_logic::datalog::{Literal, Program, ProgramError, Rule};

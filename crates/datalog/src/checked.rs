@@ -1,0 +1,265 @@
+//! Analyzer-gated Datalog¬ evaluation.
+//!
+//! [`checked_run`] (inflationary) and [`checked_run_stratified`] run the
+//! `dco-analysis` passes before any fixpoint work. Error-severity findings
+//! reject the program with the full diagnostic list. The inflationary
+//! entry point additionally *prunes* rules whose bodies are statically
+//! unsatisfiable — they can never fire, so dropping them saves per-stage
+//! body evaluations without changing the fixpoint.
+
+use crate::ast::Program;
+use crate::engine::{run_with, EngineConfig, EngineError, FixpointResult};
+use crate::stratified::{run_stratified_with, StratifiedResult, StratifyError};
+use dco_analysis::{analyze_program, has_errors, unsat, AnalysisOptions, Diagnostic, Severity};
+use dco_core::prelude::Database;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a checked run did not produce a fixpoint.
+#[derive(Debug)]
+pub enum CheckedRunError {
+    /// The analyzer found error-severity problems; nothing was evaluated.
+    Rejected(Vec<Diagnostic>),
+    /// The analyzer passed but the engine still failed.
+    Engine(EngineError),
+    /// The analyzer passed but stratified evaluation still failed.
+    Stratify(StratifyError),
+}
+
+impl fmt::Display for CheckedRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckedRunError::Rejected(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                writeln!(
+                    f,
+                    "program rejected by static analysis ({errors} error(s)):"
+                )?;
+                for d in diags {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+            CheckedRunError::Engine(e) => write!(f, "engine error: {e}"),
+            CheckedRunError::Stratify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckedRunError {}
+
+/// An inflationary fixpoint plus what the analyzer had to say.
+#[derive(Debug, Clone)]
+pub struct CheckedFixpoint {
+    /// The engine result.
+    pub result: FixpointResult,
+    /// Non-fatal analyzer findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of statically-dead rules dropped before evaluation.
+    pub pruned_rules: usize,
+}
+
+/// A stratified result plus what the analyzer had to say.
+#[derive(Debug, Clone)]
+pub struct CheckedStratified {
+    /// The stratified result.
+    pub result: StratifiedResult,
+    /// Non-fatal analyzer findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Drop rules with statically-unsatisfiable bodies. A head predicate is
+/// never dropped entirely: if *all* its rules are dead they are kept, so
+/// the predicate stays defined (as empty) for rules that reference it.
+fn prune_dead_rules(program: &Program) -> (Program, usize) {
+    let dead: Vec<bool> = program
+        .rules
+        .iter()
+        .map(unsat::rule_body_is_unsat)
+        .collect();
+    let live_heads: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .zip(&dead)
+        .filter(|(_, &d)| !d)
+        .map(|(r, _)| r.head.as_str())
+        .collect();
+    let kept: Vec<_> = program
+        .rules
+        .iter()
+        .zip(&dead)
+        .filter(|(r, &d)| !d || !live_heads.contains(r.head.as_str()))
+        .map(|(r, _)| r.clone())
+        .collect();
+    let pruned = program.rules.len() - kept.len();
+    if pruned == 0 {
+        return (program.clone(), 0);
+    }
+    match Program::new(kept) {
+        Ok(p) => (p, pruned),
+        // Validation of a subset of a valid program cannot fail, but fall
+        // back to the original rather than panic.
+        Err(_) => (program.clone(), 0),
+    }
+}
+
+/// Analyze, prune dead rules, and run the inflationary engine.
+///
+/// Uses [`AnalysisOptions::inflationary`]: unstratifiable programs and
+/// dead rules are warnings here, because the inflationary semantics is
+/// well-defined without stratification and dead rules are simply removed.
+pub fn checked_run(
+    program: &Program,
+    input: &Database,
+) -> Result<CheckedFixpoint, CheckedRunError> {
+    checked_run_with(program, input, &EngineConfig::default())
+}
+
+/// [`checked_run`] with engine configuration.
+pub fn checked_run_with(
+    program: &Program,
+    input: &Database,
+    config: &EngineConfig,
+) -> Result<CheckedFixpoint, CheckedRunError> {
+    let diagnostics = analyze_program(
+        program,
+        Some(input.schema()),
+        &AnalysisOptions::inflationary(),
+    );
+    if has_errors(&diagnostics) {
+        return Err(CheckedRunError::Rejected(diagnostics));
+    }
+    let (pruned_program, pruned_rules) = prune_dead_rules(program);
+    let result = run_with(&pruned_program, input, config).map_err(CheckedRunError::Engine)?;
+    Ok(CheckedFixpoint {
+        result,
+        diagnostics,
+        pruned_rules,
+    })
+}
+
+/// Analyze under strict options (unstratifiable programs and dead rules
+/// are errors) and run under stratified semantics.
+pub fn checked_run_stratified(
+    program: &Program,
+    input: &Database,
+) -> Result<CheckedStratified, CheckedRunError> {
+    checked_run_stratified_with(program, input, &EngineConfig::default())
+}
+
+/// [`checked_run_stratified`] with engine configuration.
+pub fn checked_run_stratified_with(
+    program: &Program,
+    input: &Database,
+    config: &EngineConfig,
+) -> Result<CheckedStratified, CheckedRunError> {
+    let diagnostics = analyze_program(program, Some(input.schema()), &AnalysisOptions::default());
+    if has_errors(&diagnostics) {
+        return Err(CheckedRunError::Rejected(diagnostics));
+    }
+    let result = run_stratified_with(program, input, config).map_err(CheckedRunError::Stratify)?;
+    Ok(CheckedStratified {
+        result,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use dco_core::prelude::*;
+
+    fn db() -> Database {
+        let e = GeneralizedRelation::from_points(
+            2,
+            vec![vec![rat(1, 1), rat(2, 1)], vec![rat(2, 1), rat(3, 1)]],
+        );
+        Database::new(Schema::new().with("e", 2)).with("e", e)
+    }
+
+    #[test]
+    fn clean_program_runs() {
+        let p = parse_program(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap();
+        let out = checked_run(&p, &db()).unwrap();
+        assert_eq!(out.pruned_rules, 0);
+        assert!(out.diagnostics.is_empty());
+        assert!(out
+            .result
+            .database
+            .get("tc")
+            .unwrap()
+            .contains_point(&[rat(1, 1), rat(3, 1)]));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_before_evaluation() {
+        let p = parse_program("p(x) :- e(x, x, x).\n").unwrap();
+        let err = checked_run(&p, &db()).unwrap_err();
+        let CheckedRunError::Rejected(diags) = err else {
+            panic!("expected rejection");
+        };
+        assert!(diags.iter().any(|d| d.code == "DCO102"));
+    }
+
+    #[test]
+    fn dead_rule_is_pruned_without_changing_the_fixpoint() {
+        let p = parse_program(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- e(x, y), x < y, y < x.\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap();
+        let out = checked_run(&p, &db()).unwrap();
+        assert_eq!(out.pruned_rules, 1);
+        assert!(out.diagnostics.iter().any(|d| d.code == "DCO401"));
+        let plain = crate::engine::run(&p, &db()).unwrap();
+        assert!(out.result.database.equivalent(&plain.database));
+    }
+
+    #[test]
+    fn fully_dead_predicate_stays_defined() {
+        // Both q rules are dead; q must still exist (empty) for p's body.
+        let p = parse_program(
+            "q(x) :- v(x), x < 0, x > 1.\n\
+             p(x) :- v(x), not q(x).\n",
+        )
+        .unwrap();
+        let v = GeneralizedRelation::from_points(1, vec![vec![rat(1, 1)]]);
+        let db = Database::new(Schema::new().with("v", 1)).with("v", v);
+        let out = checked_run(&p, &db).unwrap();
+        assert_eq!(out.pruned_rules, 0, "sole rule of q must be kept");
+        assert!(out
+            .result
+            .database
+            .get("p")
+            .unwrap()
+            .contains_point(&[rat(1, 1)]));
+    }
+
+    #[test]
+    fn stratified_mode_rejects_unstratifiable_with_path() {
+        let p = parse_program(
+            "a(x) :- v(x), not b(x).\n\
+             b(x) :- v(x), not a(x).\n",
+        )
+        .unwrap();
+        let v = GeneralizedRelation::from_points(1, vec![vec![rat(1, 1)]]);
+        let db = Database::new(Schema::new().with("v", 1)).with("v", v);
+        let err = checked_run_stratified(&p, &db).unwrap_err();
+        let CheckedRunError::Rejected(diags) = err else {
+            panic!("expected rejection");
+        };
+        let d = diags.iter().find(|d| d.code == "DCO301").unwrap();
+        assert!(d.message.contains(" -> "), "cycle path: {}", d.message);
+        // The inflationary entry point accepts the same program.
+        assert!(checked_run(&p, &db).is_ok());
+    }
+}

@@ -77,7 +77,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
-        EngineConfig { max_stages: 10_000, simplify: true }
+        EngineConfig {
+            max_stages: 10_000,
+            simplify: true,
+        }
     }
 }
 
@@ -162,8 +165,11 @@ pub fn run_with(
                     ctx.push(v.clone());
                 }
             }
-            let mut body_vars: Vec<String> =
-                body.free_vars().into_iter().filter(|v| !ctx.contains(v)).collect();
+            let mut body_vars: Vec<String> = body
+                .free_vars()
+                .into_iter()
+                .filter(|v| !ctx.contains(v))
+                .collect();
             body_vars.sort();
             ctx.extend(body_vars);
             Compiled {
@@ -214,18 +220,18 @@ pub fn run_with(
             // Fast path: when every positive body relation is a finite
             // point set, evaluate the rule by enumeration (classical
             // Datalog hash join) instead of symbolic algebra.
-            if let Some(expanded) =
-                eval_rule_points(&store, &rule.literals, &rule.head_vars)
-            {
+            if let Some(expanded) = eval_rule_points(&store, &rule.literals, &rule.head_vars) {
                 deltas
                     .entry(rule.head.clone())
                     .and_modify(|d| *d = d.union(&expanded))
                     .or_insert(expanded);
                 continue;
             }
-            let mut rel = eval_in_ctx(&store, &rule.body, &rule.ctx).map_err(|source| {
-                EngineError::Body { rule: rule.display.clone(), source }
-            })?;
+            let mut rel =
+                eval_in_ctx(&store, &rule.body, &rule.ctx).map_err(|source| EngineError::Body {
+                    rule: rule.display.clone(),
+                    source,
+                })?;
             // Project away non-head columns.
             let distinct_head = layout.iter().copied().max().map(|m| m + 1).unwrap_or(0);
             for i in (distinct_head..rule.ctx.len()).rev() {
@@ -266,7 +272,10 @@ pub fn run_with(
         .iter()
         .map(|p| store.get(p).expect("idb in schema").size())
         .sum();
-    Ok(FixpointResult { database: store, stats })
+    Ok(FixpointResult {
+        database: store,
+        stats,
+    })
 }
 
 /// Enumerative rule evaluation for the finite fragment: succeeds when every
@@ -274,6 +283,9 @@ pub fn run_with(
 /// fully "bound" (all constraint and head variables bound by positives;
 /// negated literals ground at check time). Returns `None` to signal the
 /// caller to use the generic symbolic path.
+/// A positive literal resolved to points: `(predicate, args, point rows)`.
+type BoundPositive<'a> = (&'a str, &'a [dco_logic::ArgTerm], Vec<Vec<Rational>>);
+
 fn eval_rule_points(
     store: &Database,
     literals: &[Literal],
@@ -281,7 +293,7 @@ fn eval_rule_points(
 ) -> Option<GeneralizedRelation> {
     use dco_logic::ArgTerm;
     use std::collections::BTreeMap;
-    let mut positives: Vec<(&str, &[dco_logic::ArgTerm], Vec<Vec<Rational>>)> = Vec::new();
+    let mut positives: Vec<BoundPositive> = Vec::new();
     let mut negatives: Vec<(&str, &[dco_logic::ArgTerm])> = Vec::new();
     let mut constraints: Vec<&Literal> = Vec::new();
     for lit in literals {
@@ -332,12 +344,14 @@ fn eval_rule_points(
     let eval_expr = |e: &dco_logic::LinExpr, b: &BTreeMap<String, Rational>| -> Option<Rational> {
         let mut acc = e.constant;
         for (v, c) in &e.coeffs {
-            acc = &acc + &(c * b.get(v)?);
+            acc = acc + (c * b.get(v)?);
         }
         Some(acc)
     };
     for lit in &constraints {
-        let Literal::Constraint(l, op, r) = lit else { unreachable!() };
+        let Literal::Constraint(l, op, r) = lit else {
+            unreachable!()
+        };
         // Verify boundness on one binding template (vars are uniform);
         // when no bindings survive the join the rule derives nothing.
         if let Some(b) = bindings.first() {
@@ -389,9 +403,14 @@ fn eval_rule_points(
         .collect();
     // dedup
     let mut seen = std::collections::BTreeSet::new();
-    let points: Vec<Vec<Rational>> =
-        points.into_iter().filter(|p| seen.insert(p.clone())).collect();
-    Some(GeneralizedRelation::from_points(head_vars.len() as u32, points))
+    let points: Vec<Vec<Rational>> = points
+        .into_iter()
+        .filter(|p| seen.insert(p.clone()))
+        .collect();
+    Some(GeneralizedRelation::from_points(
+        head_vars.len() as u32,
+        points,
+    ))
 }
 
 /// Expand an n-column relation to the head arity by duplicating columns
@@ -491,7 +510,11 @@ mod tests {
         let result = run(&p, &db).unwrap();
         let tc = result.database.get("tc").unwrap();
         assert!(tc.equivalent(&e), "TC of a transitive relation is itself");
-        assert!(result.stats.stages <= 4, "should converge fast, took {}", result.stats.stages);
+        assert!(
+            result.stats.stages <= 4,
+            "should converge fast, took {}",
+            result.stats.stages
+        );
     }
 
     #[test]
@@ -545,8 +568,7 @@ mod tests {
         // fixpoint behaviour Theorem 4.4's easy direction describes.
         let short = {
             let p = parse_program("tc(x,y) :- e(x,y).\ntc(x,y) :- tc(x,z), e(z,y).\n").unwrap();
-            let db =
-                Database::new(Schema::new().with("e", 2)).with("e", points(&[(1, 2), (2, 3)]));
+            let db = Database::new(Schema::new().with("e", 2)).with("e", points(&[(1, 2), (2, 3)]));
             run(&p, &db).unwrap().stats.stages
         };
         let long = {

@@ -1,335 +1,6 @@
-//! Parser for the textual Datalog¬ syntax.
+//! Parser for the textual Datalog¬ syntax (re-exported).
 //!
-//! ```text
-//! % transitive closure with a constraint and negation
-//! tc(x, y) :- e(x, y).
-//! tc(x, y) :- tc(x, z), e(z, y).
-//! small(x)  :- tc(x, x), not e(x, x), x < 3.
-//! ```
-//!
-//! * `%` or `//` start a comment to end of line;
-//! * body literals are separated by `,`;
-//! * `not L` or `!L` negates a predicate literal;
-//! * constraints use the comparison syntax of `dco-logic`
-//!   (`x < y`, `x <= 1/2`, `x != y`, …);
-//! * constants may appear in predicate arguments and in heads
-//!   (`p(x, 3) :- …` desugars the head constant to a fresh constrained
-//!   variable).
+//! The parser moved to [`dco_logic::datalog`] alongside the rule AST; this
+//! module keeps the historical paths working.
 
-use crate::ast::{Literal, Program, ProgramError, Rule};
-use dco_core::prelude::{RawOp, Rational};
-use dco_logic::{ArgTerm, LinExpr};
-use std::fmt;
-
-/// Errors from parsing a program.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DatalogParseError {
-    /// Syntax error with line number (1-based) and message.
-    Syntax {
-        /// 1-based line number.
-        line: usize,
-        /// Description.
-        message: String,
-    },
-    /// The parsed program failed validation.
-    Invalid(ProgramError),
-}
-
-impl fmt::Display for DatalogParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DatalogParseError::Syntax { line, message } => {
-                write!(f, "line {line}: {message}")
-            }
-            DatalogParseError::Invalid(e) => write!(f, "invalid program: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for DatalogParseError {}
-
-/// Parse a Datalog¬ program.
-pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
-    let mut rules = Vec::new();
-    let mut fresh = 0usize;
-    // Join physical lines; rules end with '.' — we split on '.' at top level
-    // per line for simplicity (a rule must fit on one line).
-    for (lineno, raw_line) in src.lines().enumerate() {
-        let line = strip_comment(raw_line).trim();
-        if line.is_empty() {
-            continue;
-        }
-        let line = lineno + 1;
-        let text = strip_comment(raw_line).trim();
-        let Some(rule_text) = text.strip_suffix('.') else {
-            return Err(DatalogParseError::Syntax {
-                line,
-                message: "rule must end with '.'".to_string(),
-            });
-        };
-        rules.push(parse_rule(rule_text, line, &mut fresh)?);
-    }
-    Program::new(rules).map_err(DatalogParseError::Invalid)
-}
-
-fn strip_comment(line: &str) -> &str {
-    let cut = line.find('%').unwrap_or(line.len());
-    let cut2 = line.find("//").unwrap_or(line.len());
-    &line[..cut.min(cut2)]
-}
-
-fn parse_rule(text: &str, line: usize, fresh: &mut usize) -> Result<Rule, DatalogParseError> {
-    let syntax = |message: String| DatalogParseError::Syntax { line, message };
-    let (head_text, body_text) = match text.split_once(":-") {
-        Some((h, b)) => (h.trim(), b.trim()),
-        None => (text.trim(), ""),
-    };
-    // Head: name(args)
-    let (head, raw_args) = parse_atom_shape(head_text).map_err(|m| syntax(m))?;
-    let mut head_vars = Vec::new();
-    let mut extra_constraints: Vec<Literal> = Vec::new();
-    for arg in raw_args {
-        match parse_arg(&arg).map_err(|m| syntax(m))? {
-            ArgTerm::Var(v) => head_vars.push(v),
-            ArgTerm::Const(c) => {
-                // desugar head constant: fresh var pinned by a constraint
-                *fresh += 1;
-                let v = format!("_h{fresh}");
-                extra_constraints.push(Literal::Constraint(
-                    LinExpr::var(&v),
-                    RawOp::Eq,
-                    LinExpr::cst(c),
-                ));
-                head_vars.push(v);
-            }
-        }
-    }
-    let mut body = Vec::new();
-    if !body_text.is_empty() {
-        for lit_text in split_top_level(body_text) {
-            body.push(parse_literal(lit_text.trim(), line)?);
-        }
-    }
-    body.extend(extra_constraints);
-    Ok(Rule { head, head_vars, body })
-}
-
-/// Split a body on commas not nested in parentheses.
-fn split_top_level(s: &str) -> Vec<&str> {
-    let mut parts = Vec::new();
-    let mut depth = 0;
-    let mut start = 0;
-    for (i, b) in s.bytes().enumerate() {
-        match b {
-            b'(' => depth += 1,
-            b')' => depth -= 1,
-            b',' if depth == 0 => {
-                parts.push(&s[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    parts.push(&s[start..]);
-    parts
-}
-
-fn parse_literal(text: &str, line: usize) -> Result<Literal, DatalogParseError> {
-    let syntax = |message: String| DatalogParseError::Syntax { line, message };
-    let (negated, text) = if let Some(rest) = text.strip_prefix("not ") {
-        (true, rest.trim())
-    } else if let Some(rest) = text.strip_prefix('!') {
-        (true, rest.trim())
-    } else {
-        (false, text)
-    };
-    // Predicate literal?  name(...) with nothing after the closing paren.
-    if looks_like_atom(text) {
-        let (name, raw_args) = parse_atom_shape(text).map_err(|m| syntax(m))?;
-        let args = raw_args
-            .into_iter()
-            .map(|a| parse_arg(&a))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(|m| syntax(m))?;
-        return Ok(if negated {
-            Literal::Neg(name, args)
-        } else {
-            Literal::Pos(name, args)
-        });
-    }
-    if negated {
-        return Err(syntax("'not' applies only to predicate literals".to_string()));
-    }
-    // Constraint: reuse the formula parser.
-    match dco_logic::parse_formula(text) {
-        Ok(dco_logic::Formula::Compare(l, op, r)) => Ok(Literal::Constraint(l, op, r)),
-        Ok(_) => Err(syntax(format!("expected a constraint or literal, got: {text}"))),
-        Err(e) => Err(syntax(format!("bad constraint {text:?}: {e}"))),
-    }
-}
-
-fn looks_like_atom(text: &str) -> bool {
-    match text.find('(') {
-        None => false,
-        Some(i) => {
-            let name = text[..i].trim();
-            !name.is_empty()
-                && name
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
-                && text.trim_end().ends_with(')')
-                && balanced_until_end(&text[i..])
-        }
-    }
-}
-
-/// Is the parenthesized segment balanced exactly at the final char?
-fn balanced_until_end(s: &str) -> bool {
-    let mut depth = 0;
-    for (i, b) in s.bytes().enumerate() {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return s[i + 1..].trim().is_empty();
-                }
-            }
-            _ => {}
-        }
-    }
-    false
-}
-
-/// Parse `name(a, b, c)` into name + raw argument strings.
-fn parse_atom_shape(text: &str) -> Result<(String, Vec<String>), String> {
-    let open = text.find('(').ok_or_else(|| format!("expected atom, got {text:?}"))?;
-    let name = text[..open].trim();
-    if name.is_empty() {
-        return Err(format!("missing predicate name in {text:?}"));
-    }
-    let rest = text[open..].trim();
-    if !rest.starts_with('(') || !rest.ends_with(')') {
-        return Err(format!("malformed atom {text:?}"));
-    }
-    let inner = &rest[1..rest.len() - 1];
-    let args = if inner.trim().is_empty() {
-        Vec::new()
-    } else {
-        inner.split(',').map(|s| s.trim().to_string()).collect()
-    };
-    Ok((name.to_string(), args))
-}
-
-fn parse_arg(text: &str) -> Result<ArgTerm, String> {
-    let t = text.trim();
-    if t.is_empty() {
-        return Err("empty argument".to_string());
-    }
-    let first = t.chars().next().expect("nonempty");
-    if first.is_ascii_digit() || first == '-' {
-        let r: Rational = t
-            .parse()
-            .map_err(|_| format!("bad constant argument {t:?}"))?;
-        Ok(ArgTerm::Const(r))
-    } else if t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-        Ok(ArgTerm::Var(t.to_string()))
-    } else {
-        Err(format!("bad argument {t:?}"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dco_core::prelude::rat;
-
-    #[test]
-    fn parses_transitive_closure() {
-        let p = parse_program(
-            "% classic TC\n\
-             tc(x, y) :- e(x, y).\n\
-             tc(x, y) :- tc(x, z), e(z, y).\n",
-        )
-        .unwrap();
-        assert_eq!(p.rules.len(), 2);
-        assert_eq!(p.idb_predicates(), vec!["tc"]);
-        assert_eq!(p.edb_predicates(), vec!["e"]);
-    }
-
-    #[test]
-    fn parses_negation_and_constraints() {
-        let p = parse_program("q(x) :- e(x, y), not e(y, x), x < 3, y != 1/2.\n").unwrap();
-        let r = &p.rules[0];
-        assert_eq!(r.body.len(), 4);
-        assert!(matches!(r.body[0], Literal::Pos(..)));
-        assert!(matches!(r.body[1], Literal::Neg(..)));
-        assert!(matches!(r.body[2], Literal::Constraint(..)));
-        assert!(matches!(r.body[3], Literal::Constraint(..)));
-    }
-
-    #[test]
-    fn bang_negation() {
-        let p = parse_program("q(x) :- e(x, x), !f(x).\n").unwrap();
-        assert!(matches!(p.rules[0].body[1], Literal::Neg(..)));
-    }
-
-    #[test]
-    fn head_constants_desugar() {
-        let p = parse_program("q(x, 3) :- e(x, x).\n").unwrap();
-        let r = &p.rules[0];
-        assert_eq!(r.head_vars.len(), 2);
-        // last body literal pins the fresh variable to 3
-        assert!(matches!(r.body.last(), Some(Literal::Constraint(..))));
-    }
-
-    #[test]
-    fn constant_arguments() {
-        let p = parse_program("q(x) :- e(x, 5), e(-1/2, x).\n").unwrap();
-        match &p.rules[0].body[0] {
-            Literal::Pos(_, args) => {
-                assert!(matches!(args[1], ArgTerm::Const(c) if c == rat(5, 1)))
-            }
-            _ => panic!(),
-        }
-        match &p.rules[0].body[1] {
-            Literal::Pos(_, args) => {
-                assert!(matches!(args[0], ArgTerm::Const(c) if c == rat(-1, 2)))
-            }
-            _ => panic!(),
-        }
-    }
-
-    #[test]
-    fn comments_and_blank_lines() {
-        let p = parse_program(
-            "\n% comment\n// another\n  q(x) :- e(x, x). % trailing\n",
-        )
-        .unwrap();
-        assert_eq!(p.rules.len(), 1);
-    }
-
-    #[test]
-    fn missing_dot_is_error() {
-        assert!(matches!(
-            parse_program("q(x) :- e(x, x)"),
-            Err(DatalogParseError::Syntax { .. })
-        ));
-    }
-
-    #[test]
-    fn negated_constraint_rejected() {
-        assert!(parse_program("q(x) :- e(x, x), not x < 3.\n").is_err());
-    }
-
-    #[test]
-    fn facts_allowed() {
-        // a rule with empty body is a "fact scheme" — constants only
-        let p = parse_program("base(1, 2).\nbase(3, 4).\nq(x) :- base(x, y).\n");
-        // head constants desugar to constrained fresh vars, but with an empty
-        // body those vars are unbound → validation error is acceptable; the
-        // desugaring adds the pinning constraints, making them bound.
-        let p = p.unwrap();
-        assert_eq!(p.rules.len(), 3);
-    }
-}
+pub use dco_logic::datalog::{parse_program, DatalogParseError};

@@ -51,7 +51,10 @@ pub fn connectivity() -> Program {
 /// two-phase evaluation is itself inflationary-expressible via a stage
 /// counter (the standard trick in the proof of Theorem 4.4); we keep the
 /// phases explicit for clarity.
-pub fn is_connected(vertices: &GeneralizedRelation, edges: &GeneralizedRelation) -> Result<bool, EngineError> {
+pub fn is_connected(
+    vertices: &GeneralizedRelation,
+    edges: &GeneralizedRelation,
+) -> Result<bool, EngineError> {
     let reach_prog = parse_program(
         "sym(x, y) :- e(x, y).\n\
          sym(x, y) :- e(y, x).\n\
@@ -66,11 +69,12 @@ pub fn is_connected(vertices: &GeneralizedRelation, edges: &GeneralizedRelation)
     let fix = run(&reach_prog, &db)?;
     let check = parse_program("disconnected(x, y) :- v(x), v(y), not reach(x, y).\n")
         .expect("static program parses");
-    let db2 = Database::new(
-        Schema::new().with("v", 1).with("reach", 2),
-    )
-    .with("v", vertices.clone())
-    .with("reach", fix.database.get("reach").expect("reach IDB").clone());
+    let db2 = Database::new(Schema::new().with("v", 1).with("reach", 2))
+        .with("v", vertices.clone())
+        .with(
+            "reach",
+            fix.database.get("reach").expect("reach IDB").clone(),
+        );
     let fix2 = run(&check, &db2)?;
     Ok(fix2
         .database
@@ -154,10 +158,7 @@ mod tests {
     use super::*;
 
     fn point_set(xs: &[i64]) -> GeneralizedRelation {
-        GeneralizedRelation::from_points(
-            1,
-            xs.iter().map(|&x| vec![rat(x as i128, 1)]),
-        )
+        GeneralizedRelation::from_points(1, xs.iter().map(|&x| vec![rat(x as i128, 1)]))
     }
 
     fn edge_set(pairs: &[(i64, i64)]) -> GeneralizedRelation {

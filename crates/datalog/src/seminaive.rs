@@ -32,7 +32,10 @@ impl std::fmt::Display for SemiNaiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SemiNaiveError::HasNegation(r) => {
-                write!(f, "semi-naive evaluation requires a positive program; rule has negation: {r}")
+                write!(
+                    f,
+                    "semi-naive evaluation requires a positive program; rule has negation: {r}"
+                )
             }
             SemiNaiveError::Engine(e) => write!(f, "{e}"),
         }
@@ -105,7 +108,10 @@ pub fn run_seminaive(
             let fresh = match delta.as_points() {
                 Some(points) => GeneralizedRelation::from_points(
                     delta.arity(),
-                    points.into_iter().filter(|pt| !old.contains_point(pt)).collect::<Vec<_>>(),
+                    points
+                        .into_iter()
+                        .filter(|pt| !old.contains_point(pt))
+                        .collect::<Vec<_>>(),
                 ),
                 None => delta.difference(&old),
             };
@@ -113,7 +119,9 @@ pub fn run_seminaive(
                 any_new = true;
             }
             store.set(p, old.union(&fresh)).expect("schema matches");
-            store.set(&delta_name(p), fresh.clone()).expect("schema matches");
+            store
+                .set(&delta_name(p), fresh.clone())
+                .expect("schema matches");
             new_deltas.insert(p.clone(), fresh);
         }
         if !any_new {
@@ -150,7 +158,8 @@ pub fn run_seminaive(
     }
     let mut out = Database::new(out_schema);
     for p in program.edb_predicates() {
-        out.set(&p, store.get(&p).expect("edb").clone()).expect("schema");
+        out.set(&p, store.get(&p).expect("edb").clone())
+            .expect("schema");
     }
     for p in &idb {
         let rel = store.get(p).expect("idb").clone();
@@ -185,8 +194,10 @@ fn eval_rule(
         .collect();
     rest.sort();
     ctx.extend(rest);
-    let mut rel = eval_in_ctx(store, &body, &ctx)
-        .map_err(|source| EngineError::Body { rule: rule.to_string(), source })?;
+    let mut rel = eval_in_ctx(store, &body, &ctx).map_err(|source| EngineError::Body {
+        rule: rule.to_string(),
+        source,
+    })?;
     for i in (distinct_head..ctx.len()).rev() {
         rel = rel.project_out(Var(i as u32));
     }
@@ -205,9 +216,7 @@ fn eval_rule(
             }
         })
         .collect();
-    if layout.iter().enumerate().all(|(i, &s)| i == s)
-        && layout.len() == distinct_head
-    {
+    if layout.iter().enumerate().all(|(i, &s)| i == s) && layout.len() == distinct_head {
         return Ok(rel);
     }
     let head_arity = rule.head_vars.len() as u32;
@@ -230,8 +239,8 @@ fn eval_rule(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_program;
     use crate::engine::run;
+    use crate::parser::parse_program;
 
     fn points(pairs: &[(i64, i64)]) -> GeneralizedRelation {
         GeneralizedRelation::from_points(

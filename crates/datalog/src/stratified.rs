@@ -15,17 +15,18 @@
 //! dense-order databases this computes the standard stratified model, and
 //! each stratum inherits the engine's closure and termination guarantees.
 
-use crate::ast::{Literal, Program, Rule};
+use crate::ast::{Program, Rule};
 use crate::engine::{run_with, EngineConfig, EngineError, EngineStats};
+use dco_analysis::DepGraph;
 use dco_core::prelude::{Database, Schema};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from stratification.
 #[derive(Debug)]
 pub enum StratifyError {
-    /// A predicate depends negatively on itself (through any cycle).
-    NegativeCycle(String),
+    /// A dependency cycle passes through negation. The payload is the full
+    /// cycle path, first and last predicate equal (`[p, q, …, p]`).
+    NegativeCycle(Vec<String>),
     /// Underlying engine error while running a stratum.
     Engine(EngineError),
 }
@@ -33,8 +34,12 @@ pub enum StratifyError {
 impl fmt::Display for StratifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StratifyError::NegativeCycle(p) => {
-                write!(f, "program is not stratifiable: negative cycle through {p}")
+            StratifyError::NegativeCycle(path) => {
+                write!(
+                    f,
+                    "program is not stratifiable: negative cycle {}",
+                    path.join(" -> ")
+                )
             }
             StratifyError::Engine(e) => write!(f, "stratum failed: {e}"),
         }
@@ -49,50 +54,12 @@ impl From<EngineError> for StratifyError {
     }
 }
 
-/// Assign each IDB predicate a stratum number: along positive edges the
-/// stratum may stay equal, along negative edges it must strictly increase.
-/// Returns `None` on a negative cycle.
-fn strata_of(program: &Program) -> Result<BTreeMap<String, usize>, StratifyError> {
-    let idb = program.idb_predicates();
-    let mut stratum: BTreeMap<String, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
-    // Bellman-Ford style relaxation; more than |idb| full passes of change
-    // means a negative cycle pumps strata forever.
-    for _round in 0..=idb.len() {
-        let mut changed = false;
-        for rule in &program.rules {
-            let head_stratum = stratum[&rule.head];
-            for lit in &rule.body {
-                let (name, negated) = match lit {
-                    Literal::Pos(n, _) => (n, false),
-                    Literal::Neg(n, _) => (n, true),
-                    Literal::Constraint(..) => continue,
-                };
-                let Some(&dep) = stratum.get(name) else {
-                    continue; // EDB
-                };
-                let need = if negated { dep + 1 } else { dep };
-                if head_stratum < need {
-                    stratum.insert(rule.head.clone(), need);
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return Ok(stratum);
-        }
-    }
-    // find a witness predicate with an excessive stratum
-    let worst = stratum
-        .iter()
-        .max_by_key(|(_, s)| **s)
-        .map(|(p, _)| p.clone())
-        .unwrap_or_default();
-    Err(StratifyError::NegativeCycle(worst))
-}
-
-/// Split a program into an ordered list of sub-programs, one per stratum.
+/// Split a program into an ordered list of sub-programs, one per stratum
+/// of its predicate dependency graph ([`dco_analysis::DepGraph`]).
 pub fn stratify(program: &Program) -> Result<Vec<Program>, StratifyError> {
-    let stratum = strata_of(program)?;
+    let stratum = DepGraph::of_program(program)
+        .strata()
+        .map_err(StratifyError::NegativeCycle)?;
     let max = stratum.values().copied().max().unwrap_or(0);
     let mut layers: Vec<Vec<Rule>> = vec![Vec::new(); max + 1];
     for rule in &program.rules {
@@ -153,7 +120,10 @@ pub fn run_stratified_with(
         }
         store = next;
     }
-    Ok(StratifiedResult { database: store, stats })
+    Ok(StratifiedResult {
+        database: store,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -186,13 +156,21 @@ mod tests {
     }
 
     #[test]
-    fn negative_cycle_rejected() {
+    fn negative_cycle_rejected_with_path() {
         let p = parse_program(
             "a(x) :- v(x), not b(x).\n\
              b(x) :- v(x), not a(x).\n",
         )
         .unwrap();
-        assert!(matches!(stratify(&p), Err(StratifyError::NegativeCycle(_))));
+        let err = stratify(&p).unwrap_err();
+        let StratifyError::NegativeCycle(path) = err else {
+            panic!("expected NegativeCycle, got {err}");
+        };
+        assert_eq!(path.first(), path.last());
+        assert_eq!(path.len(), 3, "a -> b -> a, got {path:?}");
+        assert!(path.contains(&"a".to_string()) && path.contains(&"b".to_string()));
+        let shown = StratifyError::NegativeCycle(path).to_string();
+        assert!(shown.contains(" -> "), "rendered path: {shown}");
     }
 
     #[test]

@@ -57,16 +57,16 @@ fn slot_sample(consts: &[Rational], slot: usize, nudge: i64) -> Rational {
     // points for relative-order probing (0 < 1 < 2 within the gap).
     let frac = rat(1 + nudge as i128, 4); // 1/4, 1/2, 3/4
     if m == 0 {
-        return &frac * &rat(4, 1); // 1, 2, 3
+        return frac * rat(4, 1); // 1, 2, 3
     }
     if gap == 0 {
-        &consts[0] - &(&rat(4, 1) * &(&Rational::ONE - &frac)) // below c₁
+        consts[0] - (rat(4, 1) * (Rational::ONE - frac)) // below c₁
     } else if gap == m {
-        &consts[m - 1] + &(&rat(4, 1) * &frac) // above c_m
+        consts[m - 1] + (rat(4, 1) * frac) // above c_m
     } else {
         let lo = &consts[gap - 1];
         let hi = &consts[gap];
-        lo + &(&(hi - lo) * &frac)
+        lo + &((hi - lo) * frac)
     }
 }
 

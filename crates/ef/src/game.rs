@@ -17,7 +17,11 @@ pub fn ef_equivalent(a: &FinStructure, b: &FinStructure, rounds: usize) -> bool 
         b.signature(),
         "EF game requires a shared signature"
     );
-    let mut solver = Solver { a, b, memo: HashMap::new() };
+    let mut solver = Solver {
+        a,
+        b,
+        memo: HashMap::new(),
+    };
     solver.duplicator_wins(&mut Vec::new(), rounds)
 }
 

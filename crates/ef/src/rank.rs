@@ -32,7 +32,10 @@ pub fn rank_table(
                 let (a, b) = family(p);
                 ef_equivalent(&a, &b, rank)
             });
-            RankRow { rank, min_equivalent_param }
+            RankRow {
+                rank,
+                min_equivalent_param,
+            }
         })
         .collect()
 }

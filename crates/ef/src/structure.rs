@@ -27,7 +27,10 @@ pub struct FinStructure {
 impl FinStructure {
     /// A structure with universe `{0, …, size-1}` and no relations.
     pub fn new(size: usize) -> FinStructure {
-        FinStructure { size, relations: BTreeMap::new() }
+        FinStructure {
+            size,
+            relations: BTreeMap::new(),
+        }
     }
 
     /// Universe size.
@@ -66,7 +69,10 @@ impl FinStructure {
 
     /// Relation names with arities.
     pub fn signature(&self) -> BTreeMap<String, usize> {
-        self.relations.iter().map(|(n, (a, _))| (n.clone(), *a)).collect()
+        self.relations
+            .iter()
+            .map(|(n, (a, _))| (n.clone(), *a))
+            .collect()
     }
 
     /// Membership test.

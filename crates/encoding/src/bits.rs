@@ -207,7 +207,10 @@ pub fn encode_relation(rel: &GeneralizedRelation) -> BitVec {
 
 /// Decode a relation from bits.
 pub fn decode_relation(bits: &BitVec) -> Result<GeneralizedRelation, BitDecodeError> {
-    let mut r = Reader { bits: &bits.bits, pos: 0 };
+    let mut r = Reader {
+        bits: &bits.bits,
+        pos: 0,
+    };
     let arity = (get_gamma(&mut r)? - 1) as u32;
     let ntuples = (get_gamma(&mut r)? - 1) as usize;
     let mut rel = GeneralizedRelation::empty(arity);
@@ -246,7 +249,10 @@ mod tests {
         for n in [1u64, 2, 3, 7, 8, 100, 12345] {
             put_gamma(&mut out, n);
         }
-        let mut r = Reader { bits: &out.bits, pos: 0 };
+        let mut r = Reader {
+            bits: &out.bits,
+            pos: 0,
+        };
         for n in [1u64, 2, 3, 7, 8, 100, 12345] {
             assert_eq!(get_gamma(&mut r).unwrap(), n);
         }
@@ -258,7 +264,10 @@ mod tests {
         for n in [0i128, 1, -1, 42, -42, 1_000_000] {
             put_int(&mut out, n);
         }
-        let mut r = Reader { bits: &out.bits, pos: 0 };
+        let mut r = Reader {
+            bits: &out.bits,
+            pos: 0,
+        };
         for n in [0i128, 1, -1, 42, -42, 1_000_000] {
             assert_eq!(get_int(&mut r).unwrap(), n);
         }
@@ -281,7 +290,10 @@ mod tests {
 
     #[test]
     fn empty_and_universe_roundtrip() {
-        for rel in [GeneralizedRelation::empty(3), GeneralizedRelation::universe(2)] {
+        for rel in [
+            GeneralizedRelation::empty(3),
+            GeneralizedRelation::universe(2),
+        ] {
             let back = decode_relation(&encode_relation(&rel)).unwrap();
             assert!(back.equivalent(&rel));
         }
@@ -312,7 +324,9 @@ mod tests {
     fn truncated_input_rejected() {
         let tri = GeneralizedRelation::from_points(1, vec![vec![rat(5, 1)]]);
         let bits = encode_relation(&tri);
-        let truncated = BitVec { bits: bits.bits[..bits.bits.len() / 2].to_vec() };
+        let truncated = BitVec {
+            bits: bits.bits[..bits.bits.len() / 2].to_vec(),
+        };
         assert!(decode_relation(&truncated).is_err());
     }
 }

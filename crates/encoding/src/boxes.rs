@@ -14,10 +14,9 @@
 //! size ratio the paper alludes to (measured by experiment E7).
 
 use dco_core::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One side of a box: unbounded, open at a constant, or closed at one.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Side {
     /// No bound.
     Unbounded,
@@ -29,7 +28,7 @@ pub enum Side {
 
 /// An axis-aligned rectangle: the paper's "four constants along with a
 /// flag indicating the shape (and boundary conditions)".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BoxEncoding {
     /// Lower x bound.
     pub x_lo: Side,
@@ -79,8 +78,7 @@ impl BoxEncoding {
             // unsatisfiable tuple.
             GeneralizedTuple::from_atoms(
                 2,
-                Atom::normalized(Term::var(0), CompOp::Lt, Term::var(0))
-                    .unwrap_or_default(),
+                Atom::normalized(Term::var(0), CompOp::Lt, Term::var(0)).unwrap_or_default(),
             )
         })
     }
@@ -123,7 +121,11 @@ impl BoxEncoding {
                 }
                 _ => return None, // var-var atom: not a box
             };
-            let side = if strict { Side::Open(c) } else { Side::Closed(c) };
+            let side = if strict {
+                Side::Open(c)
+            } else {
+                Side::Closed(c)
+            };
             match (var.0, is_lower) {
                 (0, true) => b.x_lo = tighten(b.x_lo, side, true)?,
                 (0, false) => b.x_hi = tighten(b.x_hi, side, false)?,
@@ -166,7 +168,7 @@ fn tighten(cur: Side, new: Side, lower: bool) -> Option<Side> {
 }
 
 /// A compressed relation: boxes where possible, raw tuples elsewhere.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompressedRelation {
     /// Box-encoded disjuncts.
     pub boxes: Vec<BoxEncoding>,

@@ -49,10 +49,8 @@ impl ConstantMap {
     /// Extend to a full piecewise-linear automorphism of Q (for applying to
     /// points that are not constants of the database).
     pub fn to_automorphism(&self) -> Automorphism {
-        Automorphism::from_anchors(
-            self.forward.iter().map(|(a, b)| (*a, *b)).collect(),
-        )
-        .expect("order-preserving map extends")
+        Automorphism::from_anchors(self.forward.iter().map(|(a, b)| (*a, *b)).collect())
+            .expect("order-preserving map extends")
     }
 }
 
@@ -104,10 +102,7 @@ mod tests {
     use super::*;
 
     fn db_with(points: &[i128], den: i128) -> Database {
-        let rel = GeneralizedRelation::from_points(
-            1,
-            points.iter().map(|&p| vec![rat(p, den)]),
-        );
+        let rel = GeneralizedRelation::from_points(1, points.iter().map(|&p| vec![rat(p, den)]));
         Database::new(Schema::new().with("S", 1)).with("S", rel)
     }
 

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 pub fn encode(db: &Database) -> String {
     let mut out = String::new();
     for (name, rel) in db.relations() {
-        let _ = write!(out, "#{name}/{}\n", rel.arity());
+        let _ = writeln!(out, "#{name}/{}", rel.arity());
         let mut tuples: Vec<String> = rel
             .tuples()
             .iter()
@@ -31,7 +31,14 @@ pub fn encode(db: &Database) -> String {
                 let atoms: Vec<String> = t
                     .atoms()
                     .iter()
-                    .map(|a| format!("{}{}{}", enc_term(&a.lhs()), enc_op(a.op()), enc_term(&a.rhs())))
+                    .map(|a| {
+                        format!(
+                            "{}{}{}",
+                            enc_term(&a.lhs()),
+                            enc_op(a.op()),
+                            enc_term(&a.rhs())
+                        )
+                    })
                     .collect();
                 atoms.join("&")
             })
@@ -164,10 +171,7 @@ mod tests {
                 RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
             ],
         );
-        let pts = GeneralizedRelation::from_points(
-            1,
-            vec![vec![rat(1, 2)], vec![rat(-5, 3)]],
-        );
+        let pts = GeneralizedRelation::from_points(1, vec![vec![rat(1, 2)], vec![rat(-5, 3)]]);
         Database::new(Schema::new().with("R", 2).with("S", 1))
             .with("R", tri)
             .with("S", pts)
@@ -224,9 +228,12 @@ mod tests {
     #[test]
     fn top_tuple_roundtrips() {
         // A relation containing the unconstrained tuple (whole plane).
-        let db = Database::new(Schema::new().with("U", 2))
-            .with("U", GeneralizedRelation::universe(2));
+        let db =
+            Database::new(Schema::new().with("U", 2)).with("U", GeneralizedRelation::universe(2));
         let back = decode(&encode(&db)).unwrap();
-        assert!(back.get("U").unwrap().contains_point(&[rat(9, 1), rat(-9, 1)]));
+        assert!(back
+            .get("U")
+            .unwrap()
+            .contains_point(&[rat(9, 1), rat(-9, 1)]));
     }
 }

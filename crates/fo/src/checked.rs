@@ -1,0 +1,136 @@
+//! Analyzer-gated FO evaluation.
+//!
+//! [`checked_eval`] and [`checked_eval_str`] run the `dco-analysis` passes
+//! (schema conformance, dead-subformula detection, cost bounding) before
+//! touching the evaluator. A query with any error-severity finding is
+//! rejected up front with the full diagnostic list; warnings ride along on
+//! the successful result.
+
+use crate::eval::{eval, EvalError, QueryResult};
+use dco_analysis::{analyze_formula, AnalysisOptions, Diagnostic, Severity};
+use dco_core::prelude::Database;
+use dco_logic::{parse_formula, Formula, ParseError};
+use std::fmt;
+
+/// Why a checked evaluation did not produce a result.
+#[derive(Debug)]
+pub enum CheckedEvalError {
+    /// The analyzer found error-severity problems; the query was never
+    /// evaluated. All diagnostics (including warnings) are included.
+    Rejected(Vec<Diagnostic>),
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The analyzer passed but evaluation still failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for CheckedEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckedEvalError::Rejected(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                writeln!(f, "query rejected by static analysis ({errors} error(s)):")?;
+                for d in diags {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+            CheckedEvalError::Parse(e) => write!(f, "parse error: {e}"),
+            CheckedEvalError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckedEvalError {}
+
+/// A query result together with the analyzer's non-fatal findings.
+#[derive(Debug, Clone)]
+pub struct CheckedResult {
+    /// The evaluation result.
+    pub result: QueryResult,
+    /// Warnings and notes from the analyzer (never error severity).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Analyze a formula against the database schema, then evaluate it.
+pub fn checked_eval(db: &Database, formula: &Formula) -> Result<CheckedResult, CheckedEvalError> {
+    checked_eval_with(db, formula, &AnalysisOptions::default())
+}
+
+/// [`checked_eval`] with explicit analyzer options.
+pub fn checked_eval_with(
+    db: &Database,
+    formula: &Formula,
+    options: &AnalysisOptions,
+) -> Result<CheckedResult, CheckedEvalError> {
+    let diagnostics = analyze_formula(formula, Some(db.schema()), options);
+    if dco_analysis::has_errors(&diagnostics) {
+        return Err(CheckedEvalError::Rejected(diagnostics));
+    }
+    let result = eval(db, formula).map_err(CheckedEvalError::Eval)?;
+    Ok(CheckedResult {
+        result,
+        diagnostics,
+    })
+}
+
+/// Parse, analyze, and evaluate a query string.
+pub fn checked_eval_str(db: &Database, src: &str) -> Result<CheckedResult, CheckedEvalError> {
+    let formula = parse_formula(src).map_err(CheckedEvalError::Parse)?;
+    checked_eval(db, &formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::*;
+
+    fn db() -> Database {
+        let e = GeneralizedRelation::from_points(
+            2,
+            vec![vec![rat(1, 1), rat(2, 1)], vec![rat(2, 1), rat(3, 1)]],
+        );
+        Database::new(Schema::new().with("e", 2)).with("e", e)
+    }
+
+    #[test]
+    fn good_query_evaluates_with_no_diagnostics() {
+        let out = checked_eval_str(&db(), "exists y . e(x, y)").unwrap();
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.result.columns, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_not_evaluated() {
+        let err = checked_eval_str(&db(), "e(x, y, z)").unwrap_err();
+        let CheckedEvalError::Rejected(diags) = err else {
+            panic!("expected rejection");
+        };
+        assert_eq!(diags[0].code, "DCO102");
+    }
+
+    #[test]
+    fn unknown_predicate_is_rejected() {
+        let err = checked_eval_str(&db(), "r(x)").unwrap_err();
+        let CheckedEvalError::Rejected(diags) = err else {
+            panic!("expected rejection");
+        };
+        assert_eq!(diags[0].code, "DCO101");
+    }
+
+    #[test]
+    fn dead_conjunction_warns_but_evaluates_empty() {
+        let out = checked_eval_str(&db(), "e(x, y) & x < y & y < x").unwrap();
+        assert!(out.diagnostics.iter().any(|d| d.code == "DCO402"));
+        assert!(out.result.relation.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panicked() {
+        let err = checked_eval_str(&db(), "exists . (").unwrap_err();
+        assert!(matches!(err, CheckedEvalError::Parse(_)));
+    }
+}

@@ -42,8 +42,15 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnknownPredicate(n) => write!(f, "unknown predicate {n}"),
-            EvalError::ArityMismatch { name, declared, used } => {
-                write!(f, "predicate {name}: declared arity {declared}, used at {used}")
+            EvalError::ArityMismatch {
+                name,
+                declared,
+                used,
+            } => {
+                write!(
+                    f,
+                    "predicate {name}: declared arity {declared}, used at {used}"
+                )
             }
             EvalError::NotDenseOrder(at) => {
                 write!(f, "formula is not in the dense-order fragment: {at}")
@@ -103,9 +110,7 @@ pub fn eval_in_ctx(
     ctx: &[String],
 ) -> Result<GeneralizedRelation, EvalError> {
     let k = ctx.len() as u32;
-    let col = |name: &str| -> Option<u32> {
-        ctx.iter().position(|c| c == name).map(|i| i as u32)
-    };
+    let col = |name: &str| -> Option<u32> { ctx.iter().position(|c| c == name).map(|i| i as u32) };
     match formula {
         Formula::True => Ok(GeneralizedRelation::universe(k)),
         Formula::False => Ok(GeneralizedRelation::empty(k)),
@@ -114,7 +119,10 @@ pub fn eval_in_ctx(
                 .ok_or_else(|| EvalError::NotDenseOrder(formula.to_string()))?;
             let rt = simple_term(r, &col)
                 .ok_or_else(|| EvalError::NotDenseOrder(formula.to_string()))?;
-            Ok(GeneralizedRelation::from_raw(k, [RawAtom::new(lt, *op, rt)]))
+            Ok(GeneralizedRelation::from_raw(
+                k,
+                [RawAtom::new(lt, *op, rt)],
+            ))
         }
         Formula::Pred(name, args) => eval_pred(db, name, args, ctx),
         Formula::Not(f) => {
@@ -445,7 +453,10 @@ mod tests {
     fn arity_mismatch_is_error() {
         let db = triangle_db();
         let f = parse_formula("R(x)").unwrap();
-        assert!(matches!(eval(&db, &f), Err(EvalError::ArityMismatch { .. })));
+        assert!(matches!(
+            eval(&db, &f),
+            Err(EvalError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

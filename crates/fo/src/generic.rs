@@ -47,11 +47,7 @@ pub fn check_generic_fixing(
     query: impl Fn(&Database) -> GeneralizedRelation,
 ) -> GenericityOutcome {
     let base = query(db);
-    let consts: Vec<Rational> = db
-        .constants()
-        .into_iter()
-        .chain(base.constants())
-        .collect();
+    let consts: Vec<Rational> = db.constants().into_iter().chain(base.constants()).collect();
     let mut rng = XorShift32::new(seed);
     for round in 0..rounds {
         let pi = Automorphism::random_over_fixing(&consts, fixed, &mut rng);
@@ -79,10 +75,7 @@ pub fn non_generic_example(db: &Database) -> GeneralizedRelation {
     let mid = consts[0]
         .midpoint(&consts[consts.len() - 1])
         .expect("midpoint exists");
-    GeneralizedRelation::from_raw(
-        1,
-        [RawAtom::new(Term::var(0), RawOp::Lt, Term::Const(mid))],
-    )
+    GeneralizedRelation::from_raw(1, [RawAtom::new(Term::var(0), RawOp::Lt, Term::Const(mid))])
 }
 
 /// Sample a pseudo-random automorphism for external callers (re-exported
@@ -117,9 +110,7 @@ mod tests {
     #[test]
     fn fo_query_is_generic() {
         let f = parse_formula("exists y . (R(x, y) & x < y)").unwrap();
-        let out = check_generic(&db(), 8, 1234, |d| {
-            eval(d, &f).expect("evaluates").relation
-        });
+        let out = check_generic(&db(), 8, 1234, |d| eval(d, &f).expect("evaluates").relation);
         assert_eq!(out, GenericityOutcome::Generic);
     }
 

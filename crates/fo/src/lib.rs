@@ -24,8 +24,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checked;
 pub mod eval;
 pub mod generic;
 
+pub use checked::{
+    checked_eval, checked_eval_str, checked_eval_with, CheckedEvalError, CheckedResult,
+};
 pub use eval::{eval, eval_in_ctx, eval_str, EvalError, QueryResult};
 pub use generic::{check_generic, check_generic_fixing, sample_automorphism, GenericityOutcome};

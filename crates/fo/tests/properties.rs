@@ -107,11 +107,7 @@ fn arb_db() -> impl Strategy<Value = Database> {
 /// Reference semantics: evaluate the formula at a full variable assignment,
 /// with quantifiers ranging over 1-cell sample points of the combined
 /// constant set — exact for generic (automorphism-closed) truths.
-fn reference_eval(
-    f: &Formula,
-    db: &Database,
-    env: &BTreeMap<String, Rational>,
-) -> bool {
+fn reference_eval(f: &Formula, db: &Database, env: &BTreeMap<String, Rational>) -> bool {
     match f {
         Formula::True => true,
         Formula::False => false,
@@ -144,7 +140,7 @@ fn reference_eval(
 fn eval_linexpr(e: &LinExpr, env: &BTreeMap<String, Rational>) -> Rational {
     let mut acc = e.constant;
     for (v, c) in &e.coeffs {
-        acc = &acc + &(c * &env[v]);
+        acc = acc + (c * &env[v]);
     }
     acc
 }

@@ -35,13 +35,11 @@ pub fn cells_touch(a: &GeneralizedTuple, b: &GeneralizedTuple) -> bool {
     let weaken = |t: &GeneralizedTuple| {
         GeneralizedTuple::from_atoms(
             t.arity(),
-            t.atoms().iter().map(|atom| {
-                match atom.op() {
-                    CompOp::Lt => Atom::normalized(atom.lhs(), CompOp::Le, atom.rhs())
-                        .expect("weakening a satisfiable atom stays satisfiable")
-                        .remove(0),
-                    _ => *atom,
-                }
+            t.atoms().iter().map(|atom| match atom.op() {
+                CompOp::Lt => Atom::normalized(atom.lhs(), CompOp::Le, atom.rhs())
+                    .expect("weakening a satisfiable atom stays satisfiable")
+                    .remove(0),
+                _ => *atom,
             }),
         )
     };
@@ -54,7 +52,7 @@ pub fn component_count(region: &Region) -> usize {
     let cells = region_cells(region);
     let n = cells.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -97,10 +95,8 @@ pub fn is_connected_via_datalog(region: &Region) -> bool {
     if n <= 1 {
         return true;
     }
-    let vertices = GeneralizedRelation::from_points(
-        1,
-        (0..n).map(|i| vec![Rational::from_int(i as i64)]),
-    );
+    let vertices =
+        GeneralizedRelation::from_points(1, (0..n).map(|i| vec![Rational::from_int(i as i64)]));
     let mut edges = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
@@ -179,9 +175,11 @@ mod tests {
     #[test]
     fn datalog_backend_agrees() {
         let connected = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(1, 2, 1, 2));
-        let disconnected =
-            Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(3, 4, 3, 4));
-        assert_eq!(is_connected(&connected), is_connected_via_datalog(&connected));
+        let disconnected = Region::closed_box(0, 1, 0, 1).union(&Region::closed_box(3, 4, 3, 4));
+        assert_eq!(
+            is_connected(&connected),
+            is_connected_via_datalog(&connected)
+        );
         assert_eq!(
             is_connected(&disconnected),
             is_connected_via_datalog(&disconnected)

@@ -18,12 +18,16 @@ pub struct Region {
 impl Region {
     /// The empty region.
     pub fn empty() -> Region {
-        Region { relation: GeneralizedRelation::empty(2) }
+        Region {
+            relation: GeneralizedRelation::empty(2),
+        }
     }
 
     /// The whole plane.
     pub fn plane() -> Region {
-        Region { relation: GeneralizedRelation::universe(2) }
+        Region {
+            relation: GeneralizedRelation::universe(2),
+        }
     }
 
     /// Wrap an existing binary relation.
@@ -88,22 +92,30 @@ impl Region {
 
     /// Union.
     pub fn union(&self, other: &Region) -> Region {
-        Region { relation: self.relation.union(&other.relation) }
+        Region {
+            relation: self.relation.union(&other.relation),
+        }
     }
 
     /// Intersection.
     pub fn intersect(&self, other: &Region) -> Region {
-        Region { relation: self.relation.intersect(&other.relation) }
+        Region {
+            relation: self.relation.intersect(&other.relation),
+        }
     }
 
     /// Complement.
     pub fn complement(&self) -> Region {
-        Region { relation: self.relation.complement() }
+        Region {
+            relation: self.relation.complement(),
+        }
     }
 
     /// Set difference.
     pub fn difference(&self, other: &Region) -> Region {
-        Region { relation: self.relation.difference(&other.relation) }
+        Region {
+            relation: self.relation.difference(&other.relation),
+        }
     }
 
     /// Membership.

@@ -30,10 +30,7 @@ pub fn closure(region: &Region) -> Region {
 }
 
 fn closure_rel(rel: &GeneralizedRelation) -> GeneralizedRelation {
-    GeneralizedRelation::from_tuples(
-        rel.arity(),
-        rel.tuples().iter().map(weaken_tuple),
-    )
+    GeneralizedRelation::from_tuples(rel.arity(), rel.tuples().iter().map(weaken_tuple))
 }
 
 /// Weaken every strict atom of a (satisfiable) tuple to its non-strict

@@ -8,22 +8,20 @@ use proptest::prelude::*;
 
 /// A random region: union of up to 4 closed/open boxes on a small grid.
 fn arb_region() -> impl Strategy<Value = Region> {
-    prop::collection::vec(
-        (0i64..6, 1i64..3, 0i64..6, 1i64..3, prop::bool::ANY),
-        1..4,
+    prop::collection::vec((0i64..6, 1i64..3, 0i64..6, 1i64..3, prop::bool::ANY), 1..4).prop_map(
+        |boxes| {
+            let mut r = Region::empty();
+            for (x, w, y, h, open) in boxes {
+                let b = if open {
+                    Region::open_box(x, x + w, y, y + h)
+                } else {
+                    Region::closed_box(x, x + w, y, y + h)
+                };
+                r = r.union(&b);
+            }
+            r
+        },
     )
-    .prop_map(|boxes| {
-        let mut r = Region::empty();
-        for (x, w, y, h, open) in boxes {
-            let b = if open {
-                Region::open_box(x, x + w, y, y + h)
-            } else {
-                Region::closed_box(x, x + w, y, y + h)
-            };
-            r = r.union(&b);
-        }
-        r
-    })
 }
 
 proptest! {

@@ -7,11 +7,11 @@
 //! syntactically equal atoms are logically equal.
 
 use dco_core::prelude::{CompOp, Rational};
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// A linear atom over columns `0..arity`: `Σ coeffs[i]·xᵢ + constant  op  0`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LinAtom {
     /// Dense per-column coefficients (length = arity).
     coeffs: Vec<Rational>,
@@ -54,11 +54,19 @@ impl LinAtom {
                 }
             }
             Some(first) => {
-                let scale = if op == CompOp::Eq { *first } else { first.abs() };
+                let scale = if op == CompOp::Eq {
+                    *first
+                } else {
+                    first.abs()
+                };
                 let inv = scale.recip().expect("nonzero");
                 let coeffs = coeffs.iter().map(|c| c * &inv).collect();
-                let constant = &constant * &inv;
-                NormalizedAtom::Atom(LinAtom { coeffs, constant, op })
+                let constant = constant * inv;
+                NormalizedAtom::Atom(LinAtom {
+                    coeffs,
+                    constant,
+                    op,
+                })
             }
         }
     }
@@ -97,7 +105,7 @@ impl LinAtom {
         let mut acc = self.constant;
         for (c, x) in self.coeffs.iter().zip(point) {
             if !c.is_zero() {
-                acc = &acc + &(c * x);
+                acc = acc + (c * x);
             }
         }
         match self.op {
@@ -121,10 +129,7 @@ impl LinAtom {
     /// `¬(e=0) = e < 0 ∨ -e < 0`. Returns the disjuncts.
     pub fn negate(&self) -> Vec<LinAtom> {
         let neg = |a: &LinAtom| -> (Vec<Rational>, Rational) {
-            (
-                a.coeffs.iter().map(|c| -*c).collect(),
-                -a.constant,
-            )
+            (a.coeffs.iter().map(|c| -*c).collect(), -a.constant)
         };
         match self.op {
             CompOp::Lt => {
@@ -154,7 +159,7 @@ impl LinAtom {
             .zip(&other.coeffs)
             .map(|(a, b)| a + &(b * factor))
             .collect();
-        let constant = &self.constant + &(&other.constant * factor);
+        let constant = self.constant + (&other.constant * factor);
         LinAtom::normalize(coeffs, constant, op)
     }
 
@@ -163,7 +168,11 @@ impl LinAtom {
         assert!(new_arity as usize >= self.coeffs.len());
         let mut coeffs = self.coeffs.clone();
         coeffs.resize(new_arity as usize, Rational::ZERO);
-        LinAtom { coeffs, constant: self.constant, op: self.op }
+        LinAtom {
+            coeffs,
+            constant: self.constant,
+            op: self.op,
+        }
     }
 
     /// Apply a column permutation/injection `f: old column → new column`
@@ -176,7 +185,11 @@ impl LinAtom {
                 coeffs[j] = &coeffs[j] + c;
             }
         }
-        LinAtom { coeffs, constant: self.constant, op: self.op }
+        LinAtom {
+            coeffs,
+            constant: self.constant,
+            op: self.op,
+        }
     }
 
     /// Is this a pure order atom (at most two nonzero coefficients, each

@@ -39,8 +39,15 @@ impl fmt::Display for LinEvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinEvalError::UnknownPredicate(n) => write!(f, "unknown predicate {n}"),
-            LinEvalError::ArityMismatch { name, declared, used } => {
-                write!(f, "predicate {name}: declared arity {declared}, used at {used}")
+            LinEvalError::ArityMismatch {
+                name,
+                declared,
+                used,
+            } => {
+                write!(
+                    f,
+                    "predicate {name}: declared arity {declared}, used at {used}"
+                )
             }
         }
     }
@@ -109,13 +116,15 @@ fn eval_ctx(db: &Database, formula: &Formula, ctx: &[String]) -> Result<LinRelat
             }
             Ok(acc)
         }
-        Formula::Implies(a, b) => {
-            Ok(eval_ctx(db, a, ctx)?.complement().union(&eval_ctx(db, b, ctx)?))
-        }
+        Formula::Implies(a, b) => Ok(eval_ctx(db, a, ctx)?
+            .complement()
+            .union(&eval_ctx(db, b, ctx)?)),
         Formula::Iff(a, b) => {
             let ra = eval_ctx(db, a, ctx)?;
             let rb = eval_ctx(db, b, ctx)?;
-            Ok(ra.intersect(&rb).union(&ra.complement().intersect(&rb.complement())))
+            Ok(ra
+                .intersect(&rb)
+                .union(&ra.complement().intersect(&rb.complement())))
         }
         Formula::Exists(vs, body) => {
             let (fresh, body) = freshen(vs, body, ctx);
@@ -149,7 +158,7 @@ fn compare(l: &LinExpr, op: RawOp, r: &LinExpr, ctx: &[String]) -> LinRelation {
         let i = ctx.iter().position(|x| x == v).expect("free var in ctx");
         coeffs[i] = &coeffs[i] - c;
     }
-    constant = &constant - &r.constant;
+    constant = constant - r.constant;
 
     let make = |coeffs: Vec<Rational>, constant: Rational, op: CompOp| -> Option<LinTuple> {
         match LinAtom::normalize(coeffs, constant, op) {
@@ -210,7 +219,7 @@ fn pred(
             ArgTerm::Const(c) => -*c,
             ArgTerm::Var(v) => {
                 let i = ctx.iter().position(|c| c == v).expect("free var in ctx");
-                coeffs[i] = &coeffs[i] - &Rational::ONE;
+                coeffs[i] = coeffs[i] - Rational::ONE;
                 Rational::ZERO
             }
         };

@@ -9,11 +9,11 @@
 use crate::atom::{LinAtom, NormalizedAtom};
 use crate::tuple::LinTuple;
 use dco_core::prelude::{Atom, GeneralizedRelation, GeneralizedTuple, Rational, Term};
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// A finite union of satisfiable linear tuples of fixed arity.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LinRelation {
     arity: u32,
     tuples: Vec<LinTuple>,
@@ -22,12 +22,18 @@ pub struct LinRelation {
 impl LinRelation {
     /// The empty relation.
     pub fn empty(arity: u32) -> LinRelation {
-        LinRelation { arity, tuples: Vec::new() }
+        LinRelation {
+            arity,
+            tuples: Vec::new(),
+        }
     }
 
     /// All of `Q^arity`.
     pub fn universe(arity: u32) -> LinRelation {
-        LinRelation { arity, tuples: vec![LinTuple::top(arity)] }
+        LinRelation {
+            arity,
+            tuples: vec![LinTuple::top(arity)],
+        }
     }
 
     /// Build from tuples, dropping unsatisfiable ones.
@@ -124,7 +130,10 @@ impl LinRelation {
                 break;
             }
         }
-        LinRelation { arity: self.arity, tuples: acc }
+        LinRelation {
+            arity: self.arity,
+            tuples: acc,
+        }
     }
 
     /// Difference.
@@ -170,10 +179,7 @@ impl LinRelation {
                 .iter()
                 .map(|a| {
                     for j in new_arity as usize..self.arity as usize {
-                        assert!(
-                            !a.mentions(j),
-                            "narrow would drop constrained column {j}"
-                        );
+                        assert!(!a.mentions(j), "narrow would drop constrained column {j}");
                     }
                     a.rename(new_arity, |i| i)
                 })
@@ -196,15 +202,14 @@ impl LinRelation {
     /// Convert a dense-order relation into linear form (always possible).
     pub fn from_dense(rel: &GeneralizedRelation) -> LinRelation {
         let arity = rel.arity();
-        let term_expr = |t: &Term, coeffs: &mut Vec<Rational>, k: &mut Rational, sign: i64| {
-            match t {
-                Term::Var(v) => {
-                    let c = &coeffs[v.index()] + &Rational::from_int(sign);
-                    coeffs[v.index()] = c;
-                }
-                Term::Const(c) => {
-                    *k = &*k + &(c * &Rational::from_int(sign));
-                }
+        let term_expr = |t: &Term, coeffs: &mut Vec<Rational>, k: &mut Rational, sign: i64| match t
+        {
+            Term::Var(v) => {
+                let c = coeffs[v.index()] + Rational::from_int(sign);
+                coeffs[v.index()] = c;
+            }
+            Term::Const(c) => {
+                *k = *k + (c * &Rational::from_int(sign));
             }
         };
         let mut out = LinRelation::empty(arity);
@@ -314,7 +319,10 @@ mod tests {
 
     fn halfplane() -> LinRelation {
         // x + y <= 1
-        LinRelation::from_tuples(2, vec![LinTuple::from_atoms(2, vec![atom(&[1, 1], -1, CompOp::Le)])])
+        LinRelation::from_tuples(
+            2,
+            vec![LinTuple::from_atoms(2, vec![atom(&[1, 1], -1, CompOp::Le)])],
+        )
     }
 
     #[test]
@@ -389,7 +397,10 @@ mod tests {
             2,
             vec![LinTuple::from_atoms(
                 2,
-                vec![atom(&[1, -1], -1, CompOp::Lt), atom(&[-1, 1], -1, CompOp::Lt)],
+                vec![
+                    atom(&[1, -1], -1, CompOp::Lt),
+                    atom(&[-1, 1], -1, CompOp::Lt),
+                ],
             )],
         );
         assert!(strip.contains_point(&pt(&[5, 5])));

@@ -9,12 +9,12 @@
 
 use crate::atom::{LinAtom, NormalizedAtom};
 use dco_core::prelude::{CompOp, Rational};
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// A satisfiability-undecided conjunction of linear atoms over
 /// columns `0..arity`. The empty conjunction is all of `Q^arity`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LinTuple {
     arity: u32,
     atoms: Vec<LinAtom>,
@@ -23,7 +23,10 @@ pub struct LinTuple {
 impl LinTuple {
     /// The unconstrained tuple.
     pub fn top(arity: u32) -> LinTuple {
-        LinTuple { arity, atoms: Vec::new() }
+        LinTuple {
+            arity,
+            atoms: Vec::new(),
+        }
     }
 
     /// Build from atoms (deduplicating); `None` if some atom arity differs.
@@ -156,7 +159,10 @@ impl LinTuple {
         }
         // All remaining atoms are variable-free and were decided during
         // normalization, so reaching here means satisfiable.
-        debug_assert!(cur.atoms.iter().all(|a| a.coeffs().iter().all(|c| c.is_zero())));
+        debug_assert!(cur
+            .atoms
+            .iter()
+            .all(|a| a.coeffs().iter().all(|c| c.is_zero())));
         true
     }
 
@@ -213,12 +219,12 @@ fn dominance(a: &LinAtom, b: &LinAtom) -> Option<bool> {
             }
         }
         (aop, bop) => match a.constant().cmp(b.constant()) {
-            Greater => Some(true),                       // a tighter
-            Less => Some(false),                         // b tighter
+            Greater => Some(true), // a tighter
+            Less => Some(false),   // b tighter
             Equal => match (aop, bop) {
-                (CompOp::Lt, _) => Some(true),           // strict implies weak
+                (CompOp::Lt, _) => Some(true), // strict implies weak
                 (_, CompOp::Lt) => Some(false),
-                _ => Some(true),                         // identical
+                _ => Some(true), // identical
             },
         },
     }
@@ -319,10 +325,7 @@ mod tests {
         // x = 2y ∧ x + y <= 3 ⇒ after ∃x: 3y <= 3 i.e. y <= 1
         let t = LinTuple::from_atoms(
             2,
-            vec![
-                atom(&[1, -2], 0, CompOp::Eq),
-                atom(&[1, 1], -3, CompOp::Le),
-            ],
+            vec![atom(&[1, -2], 0, CompOp::Eq), atom(&[1, 1], -3, CompOp::Le)],
         );
         let e = t.eliminate(0).unwrap();
         assert!(e.contains_point(&pt(&[99, 1])));

@@ -2,7 +2,9 @@
 //! completeness, algebra laws on linear relations, and agreement with the
 //! dense-order engine on the order fragment.
 
-use dco_core::prelude::{rat, CompOp, GeneralizedRelation, GeneralizedTuple, Rational, RawAtom, RawOp, Term};
+use dco_core::prelude::{
+    rat, CompOp, GeneralizedRelation, GeneralizedTuple, Rational, RawAtom, RawOp, Term,
+};
 use dco_linear::{LinAtom, LinRelation, LinTuple, NormalizedAtom};
 use proptest::prelude::*;
 
@@ -23,9 +25,8 @@ fn arb_lin_atom(arity: usize) -> impl Strategy<Value = Option<LinAtom>> {
 }
 
 fn arb_lin_tuple(arity: usize) -> impl Strategy<Value = LinTuple> {
-    prop::collection::vec(arb_lin_atom(arity), 0..4).prop_map(move |atoms| {
-        LinTuple::from_atoms(arity as u32, atoms.into_iter().flatten())
-    })
+    prop::collection::vec(arb_lin_atom(arity), 0..4)
+        .prop_map(move |atoms| LinTuple::from_atoms(arity as u32, atoms.into_iter().flatten()))
 }
 
 fn arb_lin_relation(arity: usize) -> impl Strategy<Value = LinRelation> {

@@ -12,13 +12,13 @@
 //! checks the syntactic restriction, and the FO evaluator rejects formulas
 //! outside it. Predicates refer to database relations by name.
 
-use dco_core::prelude::{RawOp, Rational};
-use serde::{Deserialize, Serialize};
+use dco_core::prelude::{Rational, RawOp};
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A linear expression `Σ coeffs[v]·v + constant` over named variables.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LinExpr {
     /// Per-variable coefficients; zero coefficients are not stored.
     pub coeffs: BTreeMap<String, Rational>,
@@ -29,19 +29,28 @@ pub struct LinExpr {
 impl LinExpr {
     /// The zero expression.
     pub fn zero() -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: Rational::ZERO }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: Rational::ZERO,
+        }
     }
 
     /// A lone variable.
     pub fn var(name: &str) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(name.to_string(), Rational::ONE);
-        LinExpr { coeffs, constant: Rational::ZERO }
+        LinExpr {
+            coeffs,
+            constant: Rational::ZERO,
+        }
     }
 
     /// A constant expression.
     pub fn cst(c: impl Into<Rational>) -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: c.into() }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c.into(),
+        }
     }
 
     /// Add two expressions.
@@ -52,7 +61,7 @@ impl LinExpr {
             *entry = &*entry + c;
         }
         out.coeffs.retain(|_, c| !c.is_zero());
-        out.constant = &out.constant + &other.constant;
+        out.constant = out.constant + other.constant;
         out
     }
 
@@ -67,7 +76,11 @@ impl LinExpr {
             return LinExpr::zero();
         }
         LinExpr {
-            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * s)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, c)| (v.clone(), c * s))
+                .collect(),
             constant: &self.constant * s,
         }
     }
@@ -112,7 +125,7 @@ impl LinExpr {
         let mut out = self.clone();
         let c = out.coeffs.remove(from).expect("checked above");
         let entry = out.coeffs.entry(to.to_string()).or_insert(Rational::ZERO);
-        *entry = &*entry + &c;
+        *entry = *entry + c;
         if entry.is_zero() {
             out.coeffs.remove(to);
         }
@@ -158,7 +171,7 @@ impl fmt::Display for LinExpr {
 }
 
 /// An argument of a predicate: a variable or a constant.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ArgTerm {
     /// A named variable.
     Var(String),
@@ -176,7 +189,7 @@ impl fmt::Display for ArgTerm {
 }
 
 /// A first-order formula over constraint atoms and database predicates.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Formula {
     /// Truth.
     True,
@@ -214,6 +227,7 @@ impl Formula {
     }
 
     /// Convenience: negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Formula) -> Formula {
         Formula::Not(Box::new(a))
     }
@@ -283,8 +297,11 @@ impl Formula {
                 b.collect_free(bound, out);
             }
             Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
-                let added: Vec<String> =
-                    vs.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                let added: Vec<String> = vs
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
                 f.collect_free(bound, out);
                 for v in added {
                     bound.remove(&v);
@@ -480,7 +497,9 @@ mod tests {
         let e = LinExpr::var("x").add(&LinExpr::var("y"));
         let r = e.rename_var("x", "y");
         assert_eq!(r.coeffs["y"], rat(2, 1));
-        let r2 = LinExpr::var("x").sub(&LinExpr::var("y")).rename_var("x", "y");
+        let r2 = LinExpr::var("x")
+            .sub(&LinExpr::var("y"))
+            .rename_var("x", "y");
         assert!(r2.coeffs.is_empty());
     }
 }

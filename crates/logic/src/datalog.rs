@@ -1,0 +1,673 @@
+//! Abstract syntax and parser for inflationary Datalog¬ with dense-order
+//! constraints.
+//!
+//! Following §4 of the paper: a program is a set of rules
+//!
+//! ```text
+//! R(x̄) :- L₁, …, L_n.
+//! ```
+//!
+//! where each `Lᵢ` is a positive or negated predicate atom over variables
+//! and rational constants, or a dense-order constraint (`x < y`, `x ≤ 3`, …).
+//! Negation is permitted in rule bodies; the semantics is **inflationary**:
+//! facts derived at each stage are added to the store and never retracted,
+//! which guarantees a polynomial-step fixpoint over the finite lattice of
+//! cell-definable relations (the engine in `dco-datalog`).
+//!
+//! This module lives in `dco-logic` (rather than `dco-datalog`) so that
+//! static analysis over rules and formulas can share one crate without a
+//! dependency cycle; `dco-datalog` re-exports everything here under its
+//! historical paths.
+//!
+//! ## Textual syntax
+//!
+//! ```text
+//! % transitive closure with a constraint and negation
+//! tc(x, y) :- e(x, y).
+//! tc(x, y) :- tc(x, z), e(z, y).
+//! small(x)  :- tc(x, x), not e(x, x), x < 3.
+//! ```
+//!
+//! * `%` or `//` start a comment to end of line;
+//! * body literals are separated by `,`;
+//! * `not L` or `!L` negates a predicate literal;
+//! * constraints use the comparison syntax of the formula parser
+//!   (`x < y`, `x <= 1/2`, `x != y`, …);
+//! * constants may appear in predicate arguments and in heads
+//!   (`p(x, 3) :- …` desugars the head constant to a fresh constrained
+//!   variable).
+
+use crate::ast::{ArgTerm, Formula, LinExpr};
+use dco_core::prelude::{Rational, RawOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// A positive predicate atom `R(t̄)`.
+    Pos(String, Vec<ArgTerm>),
+    /// A negated predicate atom `¬R(t̄)` (inflationary negation).
+    Neg(String, Vec<ArgTerm>),
+    /// A dense-order constraint between simple terms.
+    Constraint(LinExpr, RawOp, LinExpr),
+}
+
+impl Literal {
+    /// Variables mentioned by the literal.
+    pub fn vars(&self) -> Vec<String> {
+        match self {
+            Literal::Pos(_, args) | Literal::Neg(_, args) => args
+                .iter()
+                .filter_map(|a| match a {
+                    ArgTerm::Var(v) => Some(v.clone()),
+                    ArgTerm::Const(_) => None,
+                })
+                .collect(),
+            Literal::Constraint(l, _, r) => {
+                l.vars().chain(r.vars()).map(|s| s.to_string()).collect()
+            }
+        }
+    }
+
+    /// Lower to a formula for evaluation by the FO machinery.
+    pub fn to_formula(&self) -> Formula {
+        match self {
+            Literal::Pos(name, args) => Formula::Pred(name.clone(), args.clone()),
+            Literal::Neg(name, args) => Formula::not(Formula::Pred(name.clone(), args.clone())),
+            Literal::Constraint(l, op, r) => Formula::Compare(l.clone(), *op, r.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(name, args) => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{name}({})", parts.join(", "))
+            }
+            Literal::Neg(name, args) => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "not {name}({})", parts.join(", "))
+            }
+            Literal::Constraint(l, op, r) => write!(f, "{l} {op} {r}"),
+        }
+    }
+}
+
+/// A rule `head(vars) :- body`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Head predicate name.
+    pub head: String,
+    /// Head variables (constants in heads are expressed via body
+    /// constraints; the parser desugars them).
+    pub head_vars: Vec<String>,
+    /// Body literals (conjunction).
+    pub body: Vec<Literal>,
+    /// 1-based source line the rule was parsed from; `0` when the rule was
+    /// built programmatically. Diagnostics use this as the rule's span.
+    pub line: usize,
+}
+
+impl Rule {
+    /// Build a rule with no source location.
+    pub fn new(head: impl Into<String>, head_vars: Vec<String>, body: Vec<Literal>) -> Rule {
+        Rule {
+            head: head.into(),
+            head_vars,
+            body,
+            line: 0,
+        }
+    }
+
+    /// Attach a 1-based source line.
+    pub fn at_line(mut self, line: usize) -> Rule {
+        self.line = line;
+        self
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.body.iter().map(|l| l.to_string()).collect();
+        write!(
+            f,
+            "{}({}) :- {}.",
+            self.head,
+            self.head_vars.join(", "),
+            body.join(", ")
+        )
+    }
+}
+
+/// A Datalog¬ program: rules plus the inferred predicate signature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+/// Errors found during validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Predicate used at two different arities.
+    InconsistentArity(String),
+    /// Head variable not bound anywhere in the body (unsafe only for
+    /// *negated-only* occurrences; pure constraint binding is fine in the
+    /// constraint model, but a variable appearing nowhere is rejected).
+    UnboundHeadVar {
+        /// Rule (display form).
+        rule: String,
+        /// Variable name.
+        var: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::InconsistentArity(p) => {
+                write!(f, "predicate {p} used at inconsistent arities")
+            }
+            ProgramError::UnboundHeadVar { rule, var } => {
+                write!(
+                    f,
+                    "head variable {var} does not occur in the body of: {rule}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Build and validate a program.
+    pub fn new(rules: Vec<Rule>) -> Result<Program, ProgramError> {
+        let p = Program { rules };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// All predicates with arities (heads and body atoms).
+    pub fn arities(&self) -> Result<BTreeMap<String, u32>, ProgramError> {
+        let mut out: BTreeMap<String, u32> = BTreeMap::new();
+        let mut put = |name: &str, arity: usize| -> Result<(), ProgramError> {
+            match out.get(name) {
+                Some(a) if *a as usize != arity => {
+                    Err(ProgramError::InconsistentArity(name.to_string()))
+                }
+                Some(_) => Ok(()),
+                None => {
+                    out.insert(name.to_string(), arity as u32);
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            put(&r.head, r.head_vars.len())?;
+            for l in &r.body {
+                match l {
+                    Literal::Pos(name, args) | Literal::Neg(name, args) => {
+                        put(name, args.len())?;
+                    }
+                    Literal::Constraint(..) => {}
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Intensional predicates: those appearing in some head.
+    pub fn idb_predicates(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rules.iter().map(|r| r.head.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Extensional predicates: used in bodies but never defined.
+    pub fn edb_predicates(&self) -> Vec<String> {
+        let idb = self.idb_predicates();
+        let mut v = Vec::new();
+        for r in &self.rules {
+            for l in &r.body {
+                if let Literal::Pos(name, _) | Literal::Neg(name, _) = l {
+                    if !idb.contains(name) && !v.contains(name) {
+                        v.push(name.clone());
+                    }
+                }
+            }
+        }
+        v.sort();
+        v
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        self.arities()?;
+        for r in &self.rules {
+            let body_vars: Vec<String> = r.body.iter().flat_map(|l| l.vars()).collect();
+            for v in &r.head_vars {
+                if !body_vars.contains(v) {
+                    return Err(ProgramError::UnboundHeadVar {
+                        rule: r.to_string(),
+                        var: v.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+/// Errors from parsing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatalogParseError {
+    /// Syntax error with line number (1-based) and message.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The parsed program failed validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for DatalogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogParseError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            DatalogParseError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogParseError {}
+
+/// Parse a Datalog¬ program.
+pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
+    let mut rules = Vec::new();
+    let mut fresh = 0usize;
+    // Rules end with '.'; a rule must fit on one physical line.
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let text = strip_comment(raw_line).trim();
+        if text.is_empty() {
+            continue;
+        }
+        let line = lineno + 1;
+        let Some(rule_text) = text.strip_suffix('.') else {
+            return Err(DatalogParseError::Syntax {
+                line,
+                message: "rule must end with '.'".to_string(),
+            });
+        };
+        rules.push(parse_rule(rule_text, line, &mut fresh)?);
+    }
+    Program::new(rules).map_err(DatalogParseError::Invalid)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find('%').unwrap_or(line.len());
+    let cut2 = line.find("//").unwrap_or(line.len());
+    &line[..cut.min(cut2)]
+}
+
+fn parse_rule(text: &str, line: usize, fresh: &mut usize) -> Result<Rule, DatalogParseError> {
+    let syntax = |message: String| DatalogParseError::Syntax { line, message };
+    let (head_text, body_text) = match text.split_once(":-") {
+        Some((h, b)) => (h.trim(), b.trim()),
+        None => (text.trim(), ""),
+    };
+    // Head: name(args)
+    let (head, raw_args) = parse_atom_shape(head_text).map_err(&syntax)?;
+    let mut head_vars = Vec::new();
+    let mut extra_constraints: Vec<Literal> = Vec::new();
+    for arg in raw_args {
+        match parse_arg(&arg).map_err(&syntax)? {
+            ArgTerm::Var(v) => head_vars.push(v),
+            ArgTerm::Const(c) => {
+                // desugar head constant: fresh var pinned by a constraint
+                *fresh += 1;
+                let v = format!("_h{fresh}");
+                extra_constraints.push(Literal::Constraint(
+                    LinExpr::var(&v),
+                    RawOp::Eq,
+                    LinExpr::cst(c),
+                ));
+                head_vars.push(v);
+            }
+        }
+    }
+    let mut body = Vec::new();
+    if !body_text.is_empty() {
+        for lit_text in split_top_level(body_text) {
+            body.push(parse_literal(lit_text.trim(), line)?);
+        }
+    }
+    body.extend(extra_constraints);
+    Ok(Rule {
+        head,
+        head_vars,
+        body,
+        line,
+    })
+}
+
+/// Split a body on commas not nested in parentheses.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_literal(text: &str, line: usize) -> Result<Literal, DatalogParseError> {
+    let syntax = |message: String| DatalogParseError::Syntax { line, message };
+    let (negated, text) = if let Some(rest) = text.strip_prefix("not ") {
+        (true, rest.trim())
+    } else if let Some(rest) = text.strip_prefix('!') {
+        (true, rest.trim())
+    } else {
+        (false, text)
+    };
+    // Predicate literal?  name(...) with nothing after the closing paren.
+    if looks_like_atom(text) {
+        let (name, raw_args) = parse_atom_shape(text).map_err(&syntax)?;
+        let args = raw_args
+            .into_iter()
+            .map(|a| parse_arg(&a))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(&syntax)?;
+        return Ok(if negated {
+            Literal::Neg(name, args)
+        } else {
+            Literal::Pos(name, args)
+        });
+    }
+    if negated {
+        return Err(syntax(
+            "'not' applies only to predicate literals".to_string(),
+        ));
+    }
+    // Constraint: reuse the formula parser.
+    match crate::parser::parse_formula(text) {
+        Ok(Formula::Compare(l, op, r)) => Ok(Literal::Constraint(l, op, r)),
+        Ok(_) => Err(syntax(format!(
+            "expected a constraint or literal, got: {text}"
+        ))),
+        Err(e) => Err(syntax(format!("bad constraint {text:?}: {e}"))),
+    }
+}
+
+fn looks_like_atom(text: &str) -> bool {
+    match text.find('(') {
+        None => false,
+        Some(i) => {
+            let name = text[..i].trim();
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && text.trim_end().ends_with(')')
+                && balanced_until_end(&text[i..])
+        }
+    }
+}
+
+/// Is the parenthesized segment balanced exactly at the final char?
+fn balanced_until_end(s: &str) -> bool {
+    let mut depth = 0;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return s[i + 1..].trim().is_empty();
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Parse `name(a, b, c)` into name + raw argument strings.
+fn parse_atom_shape(text: &str) -> Result<(String, Vec<String>), String> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| format!("expected atom, got {text:?}"))?;
+    let name = text[..open].trim();
+    if name.is_empty() {
+        return Err(format!("missing predicate name in {text:?}"));
+    }
+    let rest = text[open..].trim();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(format!("malformed atom {text:?}"));
+    }
+    let inner = &rest[1..rest.len() - 1];
+    let args = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    Ok((name.to_string(), args))
+}
+
+fn parse_arg(text: &str) -> Result<ArgTerm, String> {
+    let t = text.trim();
+    let Some(first) = t.chars().next() else {
+        return Err("empty argument".to_string());
+    };
+    if first.is_ascii_digit() || first == '-' {
+        let r: Rational = t
+            .parse()
+            .map_err(|_| format!("bad constant argument {t:?}"))?;
+        Ok(ArgTerm::Const(r))
+    } else if t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(ArgTerm::Var(t.to_string()))
+    } else {
+        Err(format!("bad argument {t:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::rat;
+
+    fn tc_program() -> Program {
+        // tc(x,y) :- e(x,y).  tc(x,y) :- tc(x,z), e(z,y).
+        Program::new(vec![
+            Rule::new(
+                "tc",
+                vec!["x".into(), "y".into()],
+                vec![Literal::Pos(
+                    "e".into(),
+                    vec![ArgTerm::Var("x".into()), ArgTerm::Var("y".into())],
+                )],
+            ),
+            Rule::new(
+                "tc",
+                vec!["x".into(), "y".into()],
+                vec![
+                    Literal::Pos(
+                        "tc".into(),
+                        vec![ArgTerm::Var("x".into()), ArgTerm::Var("z".into())],
+                    ),
+                    Literal::Pos(
+                        "e".into(),
+                        vec![ArgTerm::Var("z".into()), ArgTerm::Var("y".into())],
+                    ),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn edb_idb_split() {
+        let p = tc_program();
+        assert_eq!(p.idb_predicates(), vec!["tc"]);
+        assert_eq!(p.edb_predicates(), vec!["e"]);
+        assert_eq!(p.arities().unwrap()["tc"], 2);
+        assert_eq!(p.arities().unwrap()["e"], 2);
+    }
+
+    #[test]
+    fn inconsistent_arity_rejected() {
+        let bad = Program::new(vec![Rule::new(
+            "p",
+            vec!["x".into()],
+            vec![Literal::Pos(
+                "p".into(),
+                vec![ArgTerm::Var("x".into()), ArgTerm::Var("x".into())],
+            )],
+        )]);
+        assert!(matches!(bad, Err(ProgramError::InconsistentArity(_))));
+    }
+
+    #[test]
+    fn unbound_head_var_rejected() {
+        let bad = Program::new(vec![Rule::new(
+            "p",
+            vec!["x".into(), "y".into()],
+            vec![Literal::Pos("q".into(), vec![ArgTerm::Var("x".into())])],
+        )]);
+        assert!(matches!(bad, Err(ProgramError::UnboundHeadVar { .. })));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let p = tc_program();
+        let s = p.to_string();
+        assert!(s.contains("tc(x, y) :- e(x, y)."));
+        assert!(s.contains("tc(x, y) :- tc(x, z), e(z, y)."));
+    }
+
+    #[test]
+    fn parses_transitive_closure() {
+        let p = parse_program(
+            "% classic TC\n\
+             tc(x, y) :- e(x, y).\n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.idb_predicates(), vec!["tc"]);
+        assert_eq!(p.edb_predicates(), vec!["e"]);
+    }
+
+    #[test]
+    fn parsed_rules_carry_line_numbers() {
+        let p = parse_program(
+            "% comment\n\
+             tc(x, y) :- e(x, y).\n\
+             \n\
+             tc(x, y) :- tc(x, z), e(z, y).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules[0].line, 2);
+        assert_eq!(p.rules[1].line, 4);
+    }
+
+    #[test]
+    fn parses_negation_and_constraints() {
+        let p = parse_program("q(x) :- e(x, y), not e(y, x), x < 3, y != 1/2.\n").unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.body.len(), 4);
+        assert!(matches!(r.body[0], Literal::Pos(..)));
+        assert!(matches!(r.body[1], Literal::Neg(..)));
+        assert!(matches!(r.body[2], Literal::Constraint(..)));
+        assert!(matches!(r.body[3], Literal::Constraint(..)));
+    }
+
+    #[test]
+    fn bang_negation() {
+        let p = parse_program("q(x) :- e(x, x), !f(x).\n").unwrap();
+        assert!(matches!(p.rules[0].body[1], Literal::Neg(..)));
+    }
+
+    #[test]
+    fn head_constants_desugar() {
+        let p = parse_program("q(x, 3) :- e(x, x).\n").unwrap();
+        let r = &p.rules[0];
+        assert_eq!(r.head_vars.len(), 2);
+        // last body literal pins the fresh variable to 3
+        assert!(matches!(r.body.last(), Some(Literal::Constraint(..))));
+    }
+
+    #[test]
+    fn constant_arguments() {
+        let p = parse_program("q(x) :- e(x, 5), e(-1/2, x).\n").unwrap();
+        match &p.rules[0].body[0] {
+            Literal::Pos(_, args) => {
+                assert!(matches!(args[1], ArgTerm::Const(c) if c == rat(5, 1)))
+            }
+            _ => panic!(),
+        }
+        match &p.rules[0].body[1] {
+            Literal::Pos(_, args) => {
+                assert!(matches!(args[0], ArgTerm::Const(c) if c == rat(-1, 2)))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = parse_program("\n% comment\n// another\n  q(x) :- e(x, x). % trailing\n").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn missing_dot_is_error() {
+        assert!(matches!(
+            parse_program("q(x) :- e(x, x)"),
+            Err(DatalogParseError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn negated_constraint_rejected() {
+        assert!(parse_program("q(x) :- e(x, x), not x < 3.\n").is_err());
+    }
+
+    #[test]
+    fn facts_allowed() {
+        // a rule with empty body is a "fact scheme" — constants only
+        let p = parse_program("base(1, 2).\nbase(3, 4).\nq(x) :- base(x, y).\n");
+        // head constants desugar to constrained fresh vars; the pinning
+        // constraints bind them, so validation passes.
+        let p = p.unwrap();
+        assert_eq!(p.rules.len(), 3);
+    }
+}

@@ -16,9 +16,11 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod datalog;
 pub mod parser;
 pub mod transform;
 
 pub use ast::{ArgTerm, Formula, LinExpr};
+pub use datalog::{parse_program, DatalogParseError, Literal, Program, ProgramError, Rule};
 pub use parser::{parse_formula, ParseError};
 pub use transform::{from_prenex, prenex_rank, to_nnf, to_prenex, Quantifier};

@@ -31,7 +31,7 @@
 //! ```
 
 use crate::ast::{ArgTerm, Formula, LinExpr};
-use dco_core::prelude::{rat, RawOp, Rational};
+use dco_core::prelude::{rat, Rational, RawOp};
 use std::fmt;
 
 /// A parse error with a byte position and message.
@@ -65,11 +65,11 @@ enum Tok {
     Star,
     Plus,
     Minus,
-    Arrow,    // ->
-    DArrow,   // <->
+    Arrow,  // ->
+    DArrow, // <->
     Lt,
     Le,
-    EqTok,
+    Eq,
     Ne,
     Ge,
     Gt,
@@ -82,11 +82,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: msg.into() }
+        ParseError {
+            position: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
@@ -178,7 +184,7 @@ impl<'a> Lexer<'a> {
                 }
                 b'=' => {
                     self.pos += 1;
-                    out.push((start, Tok::EqTok));
+                    out.push((start, Tok::Eq));
                 }
                 b'0'..=b'9' => {
                     let n = self.lex_number()?;
@@ -210,7 +216,7 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         std::str::from_utf8(&self.src[start..self.pos])
-            .expect("digits are utf8")
+            .map_err(|_| self.error("non-UTF-8 bytes in number"))?
             .parse()
             .map_err(|_| self.error("integer literal overflows"))
     }
@@ -250,14 +256,20 @@ impl<'a> Lexer<'a> {
         {
             self.pos += 1;
         }
-        String::from_utf8(self.src[start..self.pos].to_vec()).expect("ident is utf8")
+        // Only ASCII alphanumerics and '_' were consumed, so this cannot
+        // produce invalid UTF-8; substitute rather than panic regardless.
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
     }
 }
 
 /// Parse a formula from the textual syntax.
 pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
     let tokens = Lexer::new(src).tokens()?;
-    let mut p = Parser { tokens, pos: 0, end: src.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
     let f = p.formula()?;
     if p.pos != p.tokens.len() {
         return Err(p.error("trailing input after formula"));
@@ -273,8 +285,15 @@ struct Parser {
 
 impl Parser {
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        let position = self.tokens.get(self.pos).map(|(p, _)| *p).unwrap_or(self.end);
-        ParseError { position, message: msg.into() }
+        let position = self
+            .tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.end);
+        ParseError {
+            position,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -337,7 +356,14 @@ impl Parser {
             }
             parts.push(self.and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::Or(parts) })
+        Ok(match (parts.pop(), parts.is_empty()) {
+            (Some(only), true) => only,
+            (Some(last), false) => {
+                parts.push(last);
+                Formula::Or(parts)
+            }
+            (None, _) => Formula::False,
+        })
     }
 
     fn and(&mut self) -> Result<Formula, ParseError> {
@@ -354,7 +380,14 @@ impl Parser {
             }
             parts.push(self.unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("nonempty") } else { Formula::And(parts) })
+        Ok(match (parts.pop(), parts.is_empty()) {
+            (Some(only), true) => only,
+            (Some(last), false) => {
+                parts.push(last);
+                Formula::And(parts)
+            }
+            (None, _) => Formula::True,
+        })
     }
 
     fn unary(&mut self) -> Result<Formula, ParseError> {
@@ -423,7 +456,7 @@ impl Parser {
                         // comparison, which can't be an operand; reject.
                         if matches!(
                             self.peek(),
-                            Some(Tok::Lt | Tok::Le | Tok::EqTok | Tok::Ne | Tok::Ge | Tok::Gt)
+                            Some(Tok::Lt | Tok::Le | Tok::Eq | Tok::Ne | Tok::Ge | Tok::Gt)
                         ) {
                             return Err(self.error("comparison chaining is not supported"));
                         }
@@ -495,7 +528,7 @@ impl Parser {
         let op = match self.bump() {
             Some(Tok::Lt) => RawOp::Lt,
             Some(Tok::Le) => RawOp::Le,
-            Some(Tok::EqTok) => RawOp::Eq,
+            Some(Tok::Eq) => RawOp::Eq,
             Some(Tok::Ne) => RawOp::Ne,
             Some(Tok::Ge) => RawOp::Ge,
             Some(Tok::Gt) => RawOp::Gt,

@@ -184,7 +184,11 @@ fn prenex(
                 prefix.extend(p2);
                 parts.push(m2);
             }
-            let matrix = if is_and { Formula::And(parts) } else { Formula::Or(parts) };
+            let matrix = if is_and {
+                Formula::And(parts)
+            } else {
+                Formula::Or(parts)
+            };
             (prefix, matrix)
         }
         Formula::Implies(..) | Formula::Iff(..) => {
@@ -254,12 +258,8 @@ fn rename_free_var(f: &Formula, from: &str, to: &str) -> Formula {
                 .collect(),
         ),
         Formula::Not(g) => Formula::not(rename_free_var(g, from, to)),
-        Formula::And(gs) => {
-            Formula::And(gs.iter().map(|g| rename_free_var(g, from, to)).collect())
-        }
-        Formula::Or(gs) => {
-            Formula::Or(gs.iter().map(|g| rename_free_var(g, from, to)).collect())
-        }
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| rename_free_var(g, from, to)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| rename_free_var(g, from, to)).collect()),
         Formula::Implies(a, b) => Formula::Implies(
             Box::new(rename_free_var(a, from, to)),
             Box::new(rename_free_var(b, from, to)),
@@ -287,11 +287,7 @@ mod tests {
         let mut ok = true;
         f.walk(&mut |g| match g {
             Formula::Implies(..) | Formula::Iff(..) => ok = false,
-            Formula::Not(inner) => {
-                if !matches!(**inner, Formula::Pred(..)) {
-                    ok = false;
-                }
-            }
+            Formula::Not(inner) if !matches!(**inner, Formula::Pred(..)) => ok = false,
             _ => {}
         });
         ok
@@ -352,13 +348,15 @@ mod tests {
         let mut names = Vec::new();
         for q in &prefix {
             match q {
-                Quantifier::Exists(vs) | Quantifier::Forall(vs) => {
-                    names.extend(vs.clone())
-                }
+                Quantifier::Exists(vs) | Quantifier::Forall(vs) => names.extend(vs.clone()),
             }
         }
         let unique: BTreeSet<&String> = names.iter().collect();
-        assert_eq!(unique.len(), names.len(), "prefix has duplicates: {names:?}");
+        assert_eq!(
+            unique.len(),
+            names.len(),
+            "prefix has duplicates: {names:?}"
+        );
         assert_eq!(prenex_rank(&prefix), 2);
     }
 

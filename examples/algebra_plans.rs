@@ -56,10 +56,7 @@ fn main() {
     // 3. Normal forms: NNF and prenex of a calculus query, evaluated to
     //    the same relation as the original.
     // ------------------------------------------------------------------
-    let f = parse_formula(
-        "!(exists v . (readings(s, v) & !(v < 10))) -> stations(s)",
-    )
-    .unwrap();
+    let f = parse_formula("!(exists v . (readings(s, v) & !(v < 10))) -> stations(s)").unwrap();
     let nnf = to_nnf(&f);
     let (prefix, matrix) = to_prenex(&f);
     let prenex = from_prenex(&prefix, &matrix);

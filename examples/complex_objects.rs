@@ -32,10 +32,16 @@ fn reach(a: i64, b: i64) -> CFormula {
         1,
         Box::new(CFormula::implies(
             F::And(vec![
-                F::MemTuple(vec![RatTerm::cst(rat(a as i128, 1))], SetRef::Var("S".into())),
+                F::MemTuple(
+                    vec![RatTerm::cst(rat(a as i128, 1))],
+                    SetRef::Var("S".into()),
+                ),
                 closed,
             ]),
-            F::MemTuple(vec![RatTerm::cst(rat(b as i128, 1))], SetRef::Var("S".into())),
+            F::MemTuple(
+                vec![RatTerm::cst(rat(b as i128, 1))],
+                SetRef::Var("S".into()),
+            ),
         )),
     )
 }
@@ -81,7 +87,10 @@ fn main() {
     use CFormula as F;
     let body = F::ExistsRat(
         "y".into(),
-        Box::new(F::Pred("e".into(), vec![RatTerm::var("x"), RatTerm::var("y")])),
+        Box::new(F::Pred(
+            "e".into(),
+            vec![RatTerm::var("x"), RatTerm::var("y")],
+        )),
     );
     let domain = ev.eval_set_term(&["x".to_string()], &body).unwrap();
     println!("\nset term {{x | ∃y e(x,y)}} = {domain}");
@@ -91,7 +100,10 @@ fn main() {
     //    2^2^cells (height 2) for growing constant counts.
     // ------------------------------------------------------------------
     println!("\nactive-domain sizes (the H_i hierarchy of Theorems 5.3-5.5):");
-    println!("  {:>10} {:>8} {:>14} {:>20}", "#constants", "1-cells", "height-1 dom", "height-2 dom (log2)");
+    println!(
+        "  {:>10} {:>8} {:>14} {:>20}",
+        "#constants", "1-cells", "height-1 dom", "height-2 dom (log2)"
+    );
     for m in 1..=5u32 {
         let pts = GeneralizedRelation::from_points(
             1,

@@ -21,7 +21,9 @@ fn main() {
     .unwrap();
     let edges = GeneralizedRelation::from_points(
         2,
-        (1..6).map(|i| vec![rat(i, 1), rat(i + 1, 1)]).collect::<Vec<_>>(),
+        (1..6)
+            .map(|i| vec![rat(i, 1), rat(i + 1, 1)])
+            .collect::<Vec<_>>(),
     );
     let db = Database::new(Schema::new().with("e", 2)).with("e", edges);
     let fix = run_datalog(&program, &db).unwrap();
@@ -29,8 +31,14 @@ fn main() {
     println!("  stages to fixpoint: {}", fix.stats.stages);
     println!("  body evaluations:   {}", fix.stats.body_evals);
     let tc = fix.database.get("tc").unwrap();
-    println!("  (1 → 6) derived? {}", tc.contains_point(&[rat(1, 1), rat(6, 1)]));
-    println!("  (6 → 1) derived? {}", tc.contains_point(&[rat(6, 1), rat(1, 1)]));
+    println!(
+        "  (1 → 6) derived? {}",
+        tc.contains_point(&[rat(1, 1), rat(6, 1)])
+    );
+    println!(
+        "  (6 → 1) derived? {}",
+        tc.contains_point(&[rat(6, 1), rat(1, 1)])
+    );
 
     // ------------------------------------------------------------------
     // 2. The same program over an INFINITE edge relation: e = the dense
@@ -50,16 +58,25 @@ fn main() {
     let fix = run_datalog(&program, &db).unwrap();
     let tc = fix.database.get("tc").unwrap();
     println!("\ntransitive closure of an infinite dense relation:");
-    println!("  converged in {} stages; closed form: {}", fix.stats.stages, tc);
-    println!("  equals the input (already transitive)? {}", tc.equivalent(&dense_edges));
+    println!(
+        "  converged in {} stages; closed form: {}",
+        fix.stats.stages, tc
+    );
+    println!(
+        "  equals the input (already transitive)? {}",
+        tc.equivalent(&dense_edges)
+    );
 
     // ------------------------------------------------------------------
     // 3. Graph connectivity — not FO (Theorem 4.2), easily Datalog¬.
     // ------------------------------------------------------------------
-    let v = GeneralizedRelation::from_points(1, (1..=6).map(|i| vec![rat(i, 1)]).collect::<Vec<_>>());
+    let v =
+        GeneralizedRelation::from_points(1, (1..=6).map(|i| vec![rat(i, 1)]).collect::<Vec<_>>());
     let path_edges = GeneralizedRelation::from_points(
         2,
-        (1..6).map(|i| vec![rat(i, 1), rat(i + 1, 1)]).collect::<Vec<_>>(),
+        (1..6)
+            .map(|i| vec![rat(i, 1), rat(i + 1, 1)])
+            .collect::<Vec<_>>(),
     );
     let two_comp = GeneralizedRelation::from_points(
         2,
@@ -71,8 +88,14 @@ fn main() {
         ],
     );
     println!("\ngraph connectivity via Datalog¬:");
-    println!("  path graph connected?        {}", is_connected(&v, &path_edges).unwrap());
-    println!("  two-component graph?         {}", is_connected(&v, &two_comp).unwrap());
+    println!(
+        "  path graph connected?        {}",
+        is_connected(&v, &path_edges).unwrap()
+    );
+    println!(
+        "  two-component graph?         {}",
+        is_connected(&v, &two_comp).unwrap()
+    );
 
     // ------------------------------------------------------------------
     // 4. Parity via the dense order — the other Theorem 4.2 query.
@@ -83,10 +106,7 @@ fn main() {
             1,
             (0..n).map(|i| vec![rat(i * 7 - 3, 2)]).collect::<Vec<_>>(),
         );
-        println!(
-            "  |S| = {n}: even? {}",
-            cardinality_is_even(&s).unwrap()
-        );
+        println!("  |S| = {n}: even? {}", cardinality_is_even(&s).unwrap());
     }
 
     println!("\ndatalog_reachability complete.");

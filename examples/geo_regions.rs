@@ -38,9 +38,17 @@ fn main() {
     let cl = closure(&Region::open_box(0, 2, 0, 2));
     let bd = boundary(&b);
     println!("\ntopology of [0,2]²:");
-    println!("  interior contains (1,1)? {}   (0,1)? {}", int.contains(1, 1), int.contains(0, 1));
+    println!(
+        "  interior contains (1,1)? {}   (0,1)? {}",
+        int.contains(1, 1),
+        int.contains(0, 1)
+    );
     println!("  closure of (0,2)² contains (0,0)? {}", cl.contains(0, 0));
-    println!("  boundary contains (0,1)? {}   (1,1)? {}", bd.contains(0, 1), bd.contains(1, 1));
+    println!(
+        "  boundary contains (0,1)? {}   (1,1)? {}",
+        bd.contains(0, 1),
+        bd.contains(1, 1)
+    );
 
     // ------------------------------------------------------------------
     // 3. Region connectivity (Theorem 4.3/4.4): staircases.
@@ -70,7 +78,10 @@ fn main() {
     // ------------------------------------------------------------------
     let db = Database::new(Schema::new().with("region", 2)).with("region", fig.relation().clone());
     let q = dco::fo::eval_str(&db, "exists y . (region(x, y) & y > 4)").unwrap();
-    println!("\nx-coordinates with region points above y = 4: {}", q.relation);
+    println!(
+        "\nx-coordinates with region points above y = 4: {}",
+        q.relation
+    );
 
     println!("\ngeo_regions complete.");
 }

@@ -20,7 +20,10 @@ fn main() {
     //    r-round EF-equivalent although their parities differ.
     // ------------------------------------------------------------------
     println!("parity is not FO: rank-r-indistinguishable pairs of opposite parity");
-    println!("  {:>4} {:>8} {:>8} {:>14}", "rank", "|A|", "|B|", "EF-equivalent?");
+    println!(
+        "  {:>4} {:>8} {:>8} {:>14}",
+        "rank", "|A|", "|B|", "EF-equivalent?"
+    );
     for r in 1..=3usize {
         let n = (1 << r) - 1; // 2^r − 1
         let a = linear_order(n);
@@ -34,14 +37,20 @@ fn main() {
     // 2. Graph connectivity (Theorem 4.2): a long cycle vs two cycles.
     // ------------------------------------------------------------------
     println!("\ngraph connectivity is not FO: C_n vs C_a ⊎ C_b");
-    println!("  {:>4} {:>12} {:>14} {:>10} {:>10}", "rank", "connected", "disconnected", "EF-equiv?", "Datalog¬");
+    println!(
+        "  {:>4} {:>12} {:>14} {:>10} {:>10}",
+        "rank", "connected", "disconnected", "EF-equiv?", "Datalog¬"
+    );
     for (r, n, a, b) in [(2usize, 7usize, 3usize, 4usize), (2, 10, 5, 5)] {
         let one = cycle(n);
         let two = two_cycles(a, b);
         let eq = ef_equivalent(&one, &two, r);
         // Datalog¬ tells them apart (vertices 0..n as rational points):
         let verts = |k: usize| {
-            GeneralizedRelation::from_points(1, (0..k).map(|i| vec![rat(i as i128, 1)]).collect::<Vec<_>>())
+            GeneralizedRelation::from_points(
+                1,
+                (0..k).map(|i| vec![rat(i as i128, 1)]).collect::<Vec<_>>(),
+            )
         };
         let edges = |s: &dco::ef::FinStructure| {
             GeneralizedRelation::from_points(
@@ -71,7 +80,10 @@ fn main() {
     //    staircases, through the finite slot encoding of §3.
     // ------------------------------------------------------------------
     println!("\nregion connectivity is not linear: staircase(n) vs broken_staircase(n)");
-    println!("  {:>4} {:>6} {:>12} {:>10}", "rank", "steps", "EF-equiv?", "engine");
+    println!(
+        "  {:>4} {:>6} {:>12} {:>10}",
+        "rank", "steps", "EF-equiv?", "engine"
+    );
     for (r, n) in [(1usize, 4usize), (2, 8)] {
         let good = staircase(n);
         let bad = broken_staircase(n, n / 2 - 1);

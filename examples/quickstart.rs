@@ -23,8 +23,14 @@ fn main() {
         ],
     );
     println!("R = {triangle}");
-    println!("  contains (1, 2)?    {}", triangle.contains_point(&[rat(1, 1), rat(2, 1)]));
-    println!("  contains (2, 1)?    {}", triangle.contains_point(&[rat(2, 1), rat(1, 1)]));
+    println!(
+        "  contains (1, 2)?    {}",
+        triangle.contains_point(&[rat(1, 1), rat(2, 1)])
+    );
+    println!(
+        "  contains (2, 1)?    {}",
+        triangle.contains_point(&[rat(2, 1), rat(1, 1)])
+    );
     println!("  a witness point:    {:?}", triangle.witness().unwrap());
 
     let db = Database::new(Schema::new().with("R", 2)).with("R", triangle);
@@ -36,7 +42,10 @@ fn main() {
     for (desc, src) in [
         ("shadow of R on the x axis", "exists y . R(x, y)"),
         ("strict part of the shadow", "exists y . (R(x, y) & x < y)"),
-        ("points whose whole R-row is above 5", "forall y . (R(x, y) -> y >= 5)"),
+        (
+            "points whose whole R-row is above 5",
+            "forall y . (R(x, y) -> y >= 5)",
+        ),
     ] {
         let q = eval_str(&db, src).unwrap();
         println!("\n  {desc}:\n    {src}\n    = {}", q.relation);
@@ -63,10 +72,16 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. Closure feeding composition: use an answer as the next input.
     // ------------------------------------------------------------------
-    let shadow = eval_str(&db, "exists y . R(x, y)").unwrap().relation.narrow(1);
+    let shadow = eval_str(&db, "exists y . R(x, y)")
+        .unwrap()
+        .relation
+        .narrow(1);
     let db2 = Database::new(Schema::new().with("S", 1)).with("S", shadow);
     let filtered = eval_str(&db2, "S(x) & x > 5").unwrap();
-    println!("\n  composed query over the previous answer: {}", filtered.relation);
+    println!(
+        "\n  composed query over the previous answer: {}",
+        filtered.relation
+    );
 
     println!("\nquickstart complete.");
 }

@@ -42,7 +42,13 @@ fn algebra_is_closed() {
     reencode_roundtrip(&t.complement(), "complement");
     reencode_roundtrip(&t.difference(&boxy), "difference");
     reencode_roundtrip(&t.project_out(Var(1)), "projection");
-    reencode_roundtrip(&t.product(&boxy).project_out(Var(3)).project_out(Var(2)).narrow(2), "product+project");
+    reencode_roundtrip(
+        &t.product(&boxy)
+            .project_out(Var(3))
+            .project_out(Var(2))
+            .narrow(2),
+        "product+project",
+    );
 }
 
 #[test]
@@ -116,5 +122,8 @@ fn interval_fast_path_agrees_with_algebra() {
     assert!(ia.union(&ib).to_relation().equivalent(&a.union(&b)));
     assert!(ia.intersect(&ib).to_relation().equivalent(&a.intersect(&b)));
     assert!(ia.complement().to_relation().equivalent(&a.complement()));
-    assert!(ia.difference(&ib).to_relation().equivalent(&a.difference(&b)));
+    assert!(ia
+        .difference(&ib)
+        .to_relation()
+        .equivalent(&a.difference(&b)));
 }

@@ -84,7 +84,7 @@ fn ccalc_height0_agrees_with_fo_on_sentences() {
 
 #[test]
 fn ccalc1_reachability_agrees_with_datalog_tc() {
-    let edges = vec![(1, 2), (2, 3), (5, 4)];
+    let edges = [(1, 2), (2, 3), (5, 4)];
     let e = GeneralizedRelation::from_points(
         2,
         edges
@@ -125,10 +125,16 @@ fn ccalc1_reachability_agrees_with_datalog_tc() {
             1,
             Box::new(CFormula::implies(
                 F::And(vec![
-                    F::MemTuple(vec![RatTerm::cst(rat(a as i128, 1))], SetRef::Var("S".into())),
+                    F::MemTuple(
+                        vec![RatTerm::cst(rat(a as i128, 1))],
+                        SetRef::Var("S".into()),
+                    ),
                     closed,
                 ]),
-                F::MemTuple(vec![RatTerm::cst(rat(b as i128, 1))], SetRef::Var("S".into())),
+                F::MemTuple(
+                    vec![RatTerm::cst(rat(b as i128, 1))],
+                    SetRef::Var("S".into()),
+                ),
             )),
         )
     };

@@ -9,44 +9,49 @@ use proptest::prelude::*;
 /// Strategy: a random satisfiable unary relation from random interval
 /// endpoints.
 fn arb_unary() -> impl Strategy<Value = GeneralizedRelation> {
-    prop::collection::vec((-20i64..20, 1i64..8, prop::bool::ANY, prop::bool::ANY), 0..6).prop_map(
-        |spans| {
-            let tuples = spans.into_iter().map(|(lo, len, strict_lo, strict_hi)| {
-                let lo_op = if strict_lo { RawOp::Lt } else { RawOp::Le };
-                let hi_op = if strict_hi { RawOp::Lt } else { RawOp::Le };
-                GeneralizedTuple::from_raw(
-                    1,
-                    vec![
-                        RawAtom::new(Term::cst(rat(lo as i128, 1)), lo_op, Term::var(0)),
-                        RawAtom::new(Term::var(0), hi_op, Term::cst(rat((lo + len) as i128, 1))),
-                    ],
-                )
-                .pop()
-                .expect("nonempty span")
-            });
-            GeneralizedRelation::from_tuples(1, tuples)
-        },
+    prop::collection::vec(
+        (-20i64..20, 1i64..8, prop::bool::ANY, prop::bool::ANY),
+        0..6,
     )
+    .prop_map(|spans| {
+        let tuples = spans.into_iter().map(|(lo, len, strict_lo, strict_hi)| {
+            let lo_op = if strict_lo { RawOp::Lt } else { RawOp::Le };
+            let hi_op = if strict_hi { RawOp::Lt } else { RawOp::Le };
+            GeneralizedTuple::from_raw(
+                1,
+                vec![
+                    RawAtom::new(Term::cst(rat(lo as i128, 1)), lo_op, Term::var(0)),
+                    RawAtom::new(Term::var(0), hi_op, Term::cst(rat((lo + len) as i128, 1))),
+                ],
+            )
+            .pop()
+            .expect("nonempty span")
+        });
+        GeneralizedRelation::from_tuples(1, tuples)
+    })
 }
 
 /// Strategy: a random binary relation mixing boxes and wedges.
 fn arb_binary() -> impl Strategy<Value = GeneralizedRelation> {
-    prop::collection::vec((-10i64..10, 1i64..5, -10i64..10, 1i64..5, prop::bool::ANY), 0..5)
-        .prop_map(|parts| {
-            let tuples = parts.into_iter().map(|(x, w, y, h, wedge)| {
-                let mut raws = vec![
-                    RawAtom::new(Term::cst(rat(x as i128, 1)), RawOp::Le, Term::var(0)),
-                    RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat((x + w) as i128, 1))),
-                    RawAtom::new(Term::cst(rat(y as i128, 1)), RawOp::Le, Term::var(1)),
-                    RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat((y + h) as i128, 1))),
-                ];
-                if wedge {
-                    raws.push(RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)));
-                }
-                GeneralizedTuple::from_raw(2, raws).pop()
-            });
-            GeneralizedRelation::from_tuples(2, tuples.flatten())
-        })
+    prop::collection::vec(
+        (-10i64..10, 1i64..5, -10i64..10, 1i64..5, prop::bool::ANY),
+        0..5,
+    )
+    .prop_map(|parts| {
+        let tuples = parts.into_iter().map(|(x, w, y, h, wedge)| {
+            let mut raws = vec![
+                RawAtom::new(Term::cst(rat(x as i128, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat((x + w) as i128, 1))),
+                RawAtom::new(Term::cst(rat(y as i128, 1)), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat((y + h) as i128, 1))),
+            ];
+            if wedge {
+                raws.push(RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)));
+            }
+            GeneralizedTuple::from_raw(2, raws).pop()
+        });
+        GeneralizedRelation::from_tuples(2, tuples.flatten())
+    })
 }
 
 proptest! {

@@ -20,7 +20,11 @@ fn triangle_db() -> Database {
 #[test]
 fn fo_queries_are_generic() {
     let db = triangle_db();
-    for src in ["exists y . R(x, y)", "exists y . (R(x, y) & x < y)", "!R(x, x)"] {
+    for src in [
+        "exists y . R(x, y)",
+        "exists y . (R(x, y) & x < y)",
+        "!R(x, x)",
+    ] {
         let f = parse_formula(src).unwrap();
         let out = check_generic(&db, 6, 0xBEEF, |d| eval_fo(d, &f).unwrap().relation);
         assert_eq!(out, GenericityOutcome::Generic, "query {src}");

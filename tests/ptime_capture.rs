@@ -47,10 +47,7 @@ fn tc_through_the_integer_encoding() {
             .get("tc")
             .unwrap()
             .clone();
-        let decoded = map
-            .inverse()
-            .to_automorphism()
-            .apply_relation(&encoded_run);
+        let decoded = map.inverse().to_automorphism().apply_relation(&encoded_run);
         assert!(
             decoded.equivalent(&direct),
             "n={n}: capture round-trip differs"
