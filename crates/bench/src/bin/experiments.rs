@@ -1,20 +1,76 @@
 //! Print every experiment table (E1–E9) from live runs.
 //!
 //! Usage:
-//!   experiments            # run everything at default scales
-//!   experiments e4 e5      # run selected experiments
-//!   experiments --quick    # smaller scales (CI-friendly)
+//!   experiments                    # run everything at default scales
+//!   experiments e4 e5              # run selected experiments
+//!   experiments --quick            # smaller scales (CI-friendly)
+//!   experiments --threads N        # force N eval workers for the tables
+//!   experiments --bench-json FILE  # perf baselines -> FILE (JSON), no tables
+//!   experiments --verify-parallel  # seq vs parallel divergence check, exit 1 on mismatch
 
+use dco::prelude::{set_eval_config, EvalConfig};
 use dco_bench::experiments as ex;
 use dco_bench::experiments::print_table;
+use dco_bench::perf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let bench_json = args
+        .iter()
+        .position(|a| a == "--bench-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    if args.iter().any(|a| a == "--verify-parallel") {
+        let n = threads.unwrap_or(4).max(2);
+        match perf::verify_parallel(n) {
+            Ok(()) => {
+                println!("verify-parallel: sequential and {n}-thread results identical");
+                return;
+            }
+            Err(e) => {
+                eprintln!("verify-parallel FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = bench_json {
+        let n = threads.unwrap_or(4).max(2);
+        let records = perf::run_perf(quick, n);
+        let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let json = perf::write_json(&records, host);
+        std::fs::write(&path, &json).expect("write bench json");
+        println!(
+            "wrote {} records to {path} (host threads: {host})",
+            records.len()
+        );
+        return;
+    }
+
+    if let Some(n) = threads {
+        set_eval_config(EvalConfig {
+            threads: n,
+            parallel_threshold: if n > 1 { 1 } else { 192 },
+            ..EvalConfig::default()
+        });
+    }
+
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| {
+            let is_flag_value =
+                *i > 0 && (args[i - 1] == "--threads" || args[i - 1] == "--bench-json");
+            !a.starts_with("--") && !is_flag_value
+        })
+        .map(|(_, s)| s.as_str())
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 

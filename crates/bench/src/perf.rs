@@ -1,0 +1,367 @@
+//! Performance baselines and parallel-vs-sequential verification.
+//!
+//! Two jobs, both driven from the `experiments` binary:
+//!
+//! * [`run_perf`] times the hot workloads under the sequential and the
+//!   parallel [`EvalConfig`], and the inflationary engine with and
+//!   without semi-naive deltas, recording wall time, DNF sizes, and the
+//!   satisfiability-cache hit rate. [`write_json`] serialises the
+//!   records to `BENCH_results.json` (hand-rolled — no serde in-tree).
+//! * [`verify_parallel`] recomputes every workload under 1 thread and
+//!   under a forced multi-thread configuration and demands *structurally
+//!   identical* results (`==` on the canonical DNF), the determinism
+//!   guarantee the parallel layer promises.
+
+use dco::datalog::{parse_program, run_with, EngineConfig, Program};
+use dco::prelude::*;
+use std::time::Instant;
+
+/// One timed measurement.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// Workload name (`tc_chain`, `fo_complement`, `algebra_intersect`, …).
+    pub experiment: String,
+    /// Instance size parameter.
+    pub size: usize,
+    /// Configuration label (`seq`, `par4`, `engine_naive`, `engine_delta`).
+    pub config: String,
+    /// Median-of-3 wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Disjuncts in the result DNF.
+    pub tuples: usize,
+    /// Atoms across the result DNF.
+    pub atoms: usize,
+    /// Satisfiability-cache hits during the measured runs.
+    pub cache_hits: u64,
+    /// Satisfiability-cache misses during the measured runs.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0.0 when the cache was untouched.
+    pub cache_hit_rate: f64,
+}
+
+/// Median of three timed runs, in milliseconds.
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[1]
+}
+
+/// `n` constraint edges `[i, i+1/2] × [i+1, i+3/2]`: genuine boxes, so
+/// transitive closure cannot take the finite-graph points fast path and
+/// every stage runs the full DNF algebra (product, intersect, project).
+pub fn chain_db(n: usize) -> Database {
+    let tuples = (0..n).map(|i| {
+        let lo = 2 * i as i128;
+        GeneralizedTuple::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(lo, 2)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(lo + 1, 2))),
+                RawAtom::new(Term::cst(rat(lo + 2, 2)), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(lo + 3, 2))),
+            ],
+        )
+        .pop()
+        .expect("chain edge is satisfiable")
+    });
+    Database::new(Schema::new().with("e", 2)).with("e", GeneralizedRelation::from_tuples(2, tuples))
+}
+
+fn tc_program() -> Program {
+    parse_program(
+        "tc(x, y) :- e(x, y).\n\
+         tc(x, y) :- tc(x, z), e(z, y).\n",
+    )
+    .expect("tc program parses")
+}
+
+/// A multi-thread configuration with the fork threshold floored so the
+/// parallel code paths run even on small instances.
+fn forced_parallel(threads: usize) -> EvalConfig {
+    EvalConfig {
+        threads,
+        parallel_threshold: 1,
+        ..EvalConfig::default()
+    }
+}
+
+fn relation_record(
+    experiment: &str,
+    size: usize,
+    config: &str,
+    cfg: EvalConfig,
+    f: impl Fn() -> GeneralizedRelation,
+) -> PerfRecord {
+    reset_sat_cache();
+    let mut result: Option<GeneralizedRelation> = None;
+    let wall_ms = time_ms(|| {
+        result = Some(with_eval_config(cfg, &f));
+    });
+    let stats = sat_cache_stats();
+    let r = result.expect("workload ran");
+    PerfRecord {
+        experiment: experiment.to_string(),
+        size,
+        config: config.to_string(),
+        wall_ms,
+        tuples: r.len(),
+        atoms: r.size(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
+    }
+}
+
+fn engine_record(
+    experiment: &str,
+    size: usize,
+    config: &str,
+    db: &Database,
+    program: &Program,
+    engine_cfg: &EngineConfig,
+) -> PerfRecord {
+    reset_sat_cache();
+    let mut tuples = 0;
+    let mut atoms = 0;
+    let wall_ms = time_ms(|| {
+        let fix = with_eval_config(EvalConfig::sequential(), || {
+            run_with(program, db, engine_cfg)
+        })
+        .expect("fixpoint");
+        let tc = fix.database.get("tc").expect("tc defined");
+        tuples = tc.len();
+        atoms = tc.size();
+    });
+    let stats = sat_cache_stats();
+    PerfRecord {
+        experiment: experiment.to_string(),
+        size,
+        config: config.to_string(),
+        wall_ms,
+        tuples,
+        atoms,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
+    }
+}
+
+/// Time every workload under each configuration. `threads` is the
+/// multi-thread worker count (0 = auto).
+pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
+    let tc_sizes: &[usize] = if quick { &[3, 5] } else { &[4, 8, 12] };
+    let fo_sizes: &[usize] = if quick { &[4, 8] } else { &[8, 16, 24] };
+    let par_label = format!("par{threads}");
+    let program = tc_program();
+    let mut out = Vec::new();
+
+    // Transitive closure over constraint chains: the engine comparison
+    // (naive full stages vs semi-naive deltas) plus the eval-config pair.
+    for &n in tc_sizes {
+        let db = chain_db(n);
+        let naive = EngineConfig {
+            use_deltas: false,
+            ..EngineConfig::default()
+        };
+        out.push(engine_record(
+            "tc_chain",
+            n,
+            "engine_naive",
+            &db,
+            &program,
+            &naive,
+        ));
+        out.push(engine_record(
+            "tc_chain",
+            n,
+            "engine_delta",
+            &db,
+            &program,
+            &EngineConfig::default(),
+        ));
+        for (label, cfg) in [
+            ("seq", EvalConfig::sequential()),
+            (par_label.as_str(), forced_parallel(threads)),
+        ] {
+            reset_sat_cache();
+            let mut tuples = 0;
+            let mut atoms = 0;
+            let wall_ms = time_ms(|| {
+                let fix =
+                    with_eval_config(cfg, || run_with(&program, &db, &EngineConfig::default()))
+                        .expect("fixpoint");
+                let tc = fix.database.get("tc").expect("tc defined");
+                tuples = tc.len();
+                atoms = tc.size();
+            });
+            let stats = sat_cache_stats();
+            out.push(PerfRecord {
+                experiment: "tc_chain".to_string(),
+                size: n,
+                config: label.to_string(),
+                wall_ms,
+                tuples,
+                atoms,
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+                cache_hit_rate: stats.hit_rate(),
+            });
+        }
+    }
+
+    // FO with complement: `S(x) and not S(y)` over n disjoint intervals
+    // forces the quantifier-free complement (n+1 disjuncts) and a product.
+    for &n in fo_sizes {
+        let db = crate::workloads::interval_db(n);
+        for (label, cfg) in [
+            ("seq", EvalConfig::sequential()),
+            (par_label.as_str(), forced_parallel(threads)),
+        ] {
+            let db = &db;
+            out.push(relation_record("fo_complement", n, label, cfg, move || {
+                eval_fo_str(db, "S(x) and not S(y)")
+                    .expect("query evaluates")
+                    .relation
+            }));
+        }
+    }
+
+    // Raw DNF algebra: intersect an interval relation with a half-open
+    // shift of itself — the tuple-pair loop the parallel map targets.
+    for &n in fo_sizes {
+        let db = crate::workloads::interval_db(n);
+        let s = db.get("S").expect("S defined").clone();
+        let shifted = {
+            let f = dco::core::automorphism::Automorphism::translation(rat(1, 2));
+            f.apply_relation(&s)
+        };
+        for (label, cfg) in [
+            ("seq", EvalConfig::sequential()),
+            (par_label.as_str(), forced_parallel(threads)),
+        ] {
+            let s = &s;
+            let shifted = &shifted;
+            out.push(relation_record(
+                "algebra_intersect",
+                n,
+                label,
+                cfg,
+                move || s.intersect(shifted),
+            ));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialise records to a JSON document (pretty-printed, stable order).
+pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str("  \"timing_note\": \"median of 3 runs; thread-scaling numbers are only meaningful on multi-core hosts\",\n");
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"size\": {}, \"config\": \"{}\", \
+             \"wall_ms\": {:.3}, \"tuples\": {}, \"atoms\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}{}",
+            json_escape(&r.experiment),
+            r.size,
+            json_escape(&r.config),
+            r.wall_ms,
+            r.tuples,
+            r.atoms,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_rate,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Recompute every workload single-threaded and with `threads` forced
+/// workers and require structurally identical canonical results. Returns
+/// a description of the first divergence, if any.
+pub fn verify_parallel(threads: usize) -> Result<(), String> {
+    let program = tc_program();
+
+    for n in [3, 5, 7] {
+        let db = chain_db(n);
+        let seq = with_eval_config(EvalConfig::sequential(), || {
+            run_with(&program, &db, &EngineConfig::default())
+        })
+        .map_err(|e| format!("tc_chain({n}) sequential run failed: {e}"))?;
+        let par = with_eval_config(forced_parallel(threads), || {
+            run_with(&program, &db, &EngineConfig::default())
+        })
+        .map_err(|e| format!("tc_chain({n}) parallel run failed: {e}"))?;
+        if seq.database != par.database {
+            return Err(format!(
+                "tc_chain({n}): parallel fixpoint diverges from sequential"
+            ));
+        }
+        let naive = with_eval_config(EvalConfig::sequential(), || {
+            run_with(
+                &program,
+                &db,
+                &EngineConfig {
+                    use_deltas: false,
+                    ..EngineConfig::default()
+                },
+            )
+        })
+        .map_err(|e| format!("tc_chain({n}) naive run failed: {e}"))?;
+        if !seq.database.equivalent(&naive.database) {
+            return Err(format!(
+                "tc_chain({n}): semi-naive fixpoint not equivalent to naive"
+            ));
+        }
+    }
+
+    for n in [4, 9] {
+        let db = crate::workloads::interval_db(n);
+        for query in ["S(x) and not S(y)", "exists y . S(y) and S(x) and x < y"] {
+            let seq = with_eval_config(EvalConfig::sequential(), || eval_fo_str(&db, query))
+                .map_err(|e| format!("fo({n}) sequential eval failed: {e}"))?;
+            let par = with_eval_config(forced_parallel(threads), || eval_fo_str(&db, query))
+                .map_err(|e| format!("fo({n}) parallel eval failed: {e}"))?;
+            if seq.relation != par.relation {
+                return Err(format!(
+                    "fo({n}) {query:?}: parallel result diverges from sequential"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_parallel_passes_on_this_host() {
+        verify_parallel(4).unwrap();
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let recs = run_perf(true, 2);
+        assert!(!recs.is_empty());
+        let json = write_json(&recs, 1);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"experiment\"").count(), recs.len());
+    }
+}

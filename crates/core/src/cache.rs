@@ -1,0 +1,226 @@
+//! Memoized satisfiability: a sharded concurrent cache keyed by canonical
+//! generalized tuples.
+//!
+//! Tuples are kept in canonical form (sorted, deduplicated atom vectors —
+//! see [`crate::tuple::GeneralizedTuple`]), so structurally identical
+//! conjunctions arising in different operations hash to the same key and
+//! their satisfiability is decided by the order-graph solver exactly once.
+//! The cache is sharded 16 ways so parallel workers deciding different
+//! tuples rarely contend on the same lock, and the expensive computation
+//! always happens *outside* the lock (two workers may race to decide the
+//! same tuple; both get the same verdict, one write wins — benign).
+//!
+//! Eviction is deliberately crude: when a shard exceeds its share of
+//! [`crate::par::EvalConfig::cache_capacity`], the whole shard is cleared.
+//! Satisfiability verdicts are cheap to recompute relative to the cost of
+//! an LRU chain, and fixpoint workloads re-populate the hot set within one
+//! stage.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::{Mutex, OnceLock};
+
+use crate::par::eval_config;
+use crate::tuple::GeneralizedTuple;
+
+const SHARDS: usize = 16;
+
+/// Hit/miss/eviction counters for a [`MemoCache`], read via
+/// [`MemoCache::stats`] (or [`sat_cache_stats`] for the global tuple
+/// cache). Counters are approximate under concurrency but exact in
+/// single-threaded benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Entries dropped by shard-clearing eviction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache; 0.0 when untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+/// A sharded memoization table mapping canonical keys to computed verdicts.
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        MemoCache::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
+    /// An empty cache; capacity is read from the live
+    /// [`EvalConfig`](crate::par::EvalConfig) at insert time.
+    pub fn new() -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// Look up `key`, computing and inserting with `compute` on a miss.
+    /// `compute` runs without any lock held.
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            if let Some(v) = shard.map.get(key).cloned() {
+                shard.hits += 1;
+                return v;
+            }
+            shard.misses += 1;
+        }
+        let value = compute();
+        let per_shard_cap = (eval_config().cache_capacity / SHARDS).max(1);
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.map.len() >= per_shard_cap {
+            shard.evictions += shard.map.len() as u64;
+            shard.map.clear();
+        }
+        shard.map.insert(key.clone(), value.clone());
+        value
+    }
+
+    /// Aggregate counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Drop all entries and zero the counters (used between benchmark runs
+    /// so hit rates are attributable to one workload).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.hits = 0;
+            s.misses = 0;
+            s.evictions = 0;
+        }
+    }
+
+    /// Entries currently cached (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide tuple-satisfiability cache used by
+/// [`GeneralizedTuple::is_satisfiable`](crate::tuple::GeneralizedTuple::is_satisfiable).
+pub fn tuple_sat_cache() -> &'static MemoCache<GeneralizedTuple, bool> {
+    static CACHE: OnceLock<MemoCache<GeneralizedTuple, bool>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Counters for the global tuple-satisfiability cache.
+pub fn sat_cache_stats() -> CacheStats {
+    tuple_sat_cache().stats()
+}
+
+/// Clear the global tuple-satisfiability cache and its counters.
+pub fn reset_sat_cache() {
+    tuple_sat_cache().reset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(&7, || {
+                calls += 1;
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_entries_and_counters() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        cache.get_or_insert_with(&1, || 1);
+        assert_eq!(cache.len(), 1);
+        cache.reset();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded() {
+        use crate::par::{with_eval_config, EvalConfig};
+        with_eval_config(
+            EvalConfig {
+                cache_capacity: SHARDS, // one entry per shard
+                ..EvalConfig::default()
+            },
+            || {
+                let cache: MemoCache<u64, u64> = MemoCache::new();
+                for i in 0..1000u64 {
+                    cache.get_or_insert_with(&i, || i);
+                }
+                assert!(cache.len() <= SHARDS);
+                assert!(cache.stats().evictions > 0);
+            },
+        );
+    }
+}

@@ -16,7 +16,10 @@
 //! * a canonical interval representation for the unary case ([`interval`]);
 //! * order automorphisms of Q and the genericity machinery of Definition 3.1
 //!   ([`automorphism`]);
-//! * schemas and database instances ([`database`]).
+//! * schemas and database instances ([`database`]);
+//! * a parallel evaluation layer — scoped-thread data parallelism gated by
+//!   an [`par::EvalConfig`] — and a memoized satisfiability cache ([`par`],
+//!   [`cache`]).
 //!
 //! Everything downstream — the FO, FO+, Datalog¬ and C-CALC evaluators, the
 //! encodings, the spatial layer and the experiment harness — builds on these
@@ -46,9 +49,11 @@
 pub mod algebra;
 pub mod atom;
 pub mod automorphism;
+pub mod cache;
 pub mod cell;
 pub mod database;
 pub mod interval;
+pub mod par;
 pub mod rational;
 pub mod relation;
 pub mod tuple;
@@ -57,9 +62,11 @@ pub mod tuple;
 pub mod prelude {
     pub use crate::atom::{Atom, CompOp, RawAtom, RawOp, Term, Var};
     pub use crate::automorphism::Automorphism;
+    pub use crate::cache::{reset_sat_cache, sat_cache_stats, CacheStats, MemoCache};
     pub use crate::cell::{CanonicalForm, Cell, CellSpace};
     pub use crate::database::{Database, DatabaseError, Schema};
     pub use crate::interval::{Bound, Interval, IntervalSet};
+    pub use crate::par::{eval_config, set_eval_config, with_eval_config, EvalConfig};
     pub use crate::rational::{rat, Rational};
     pub use crate::relation::GeneralizedRelation;
     pub use crate::tuple::GeneralizedTuple;

@@ -1,0 +1,268 @@
+//! Evaluation configuration and data-parallel helpers.
+//!
+//! Every hot operation of the constraint algebra — pairwise conjunction in
+//! [`crate::relation::GeneralizedRelation::intersect`], the distribution
+//! step of the syntactic complement, per-disjunct quantifier elimination —
+//! is a map over an independent vector of generalized tuples, so it
+//! parallelizes embarrassingly. This module provides the scoped-thread
+//! fork/join primitives those operations use, gated by a process-wide
+//! [`EvalConfig`] so small relations never pay thread-spawn overhead.
+//!
+//! The helpers are built on [`std::thread::scope`] rather than an external
+//! work-stealing runtime: operations here are chunky (each tuple costs a
+//! satisfiability decision, not nanoseconds), so static chunking over
+//! scoped threads captures the available speedup without any dependency.
+//!
+//! Configuration is resolved in this order:
+//!
+//! 1. a thread-local override installed by [`with_eval_config`] (used by
+//!    the `checked_*` entry points, whose static cost pass picks a config
+//!    per query);
+//! 2. the process-wide default, set by [`set_eval_config`].
+//!
+//! Worker threads never parallelize further ([`should_parallelize`] is
+//! `false` inside a worker), so nesting is bounded: an operation running
+//! inside a parallel region executes its own sub-operations sequentially.
+
+use std::cell::Cell;
+use std::sync::RwLock;
+
+/// Tuning knobs for the parallel evaluation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Worker threads for data-parallel operations. `0` means "use
+    /// [`std::thread::available_parallelism`]"; `1` disables parallelism.
+    pub threads: usize,
+    /// Total entries a memo cache holds before a shard is evicted
+    /// (see [`crate::cache`]).
+    pub cache_capacity: usize,
+    /// Minimum number of work units (tuple pairs, disjuncts) an operation
+    /// must have before it forks; below this everything stays sequential.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig {
+            threads: 0,
+            cache_capacity: 1 << 16,
+            parallel_threshold: 192,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A configuration that never spawns threads (caching still applies).
+    pub fn sequential() -> EvalConfig {
+        EvalConfig {
+            threads: 1,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// A configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> EvalConfig {
+        EvalConfig {
+            threads,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Pick a configuration from a static cost estimate (the analyzer's
+    /// predicted cell-decomposition size, or any comparable work measure):
+    /// cheap queries run sequentially so they never pay fork overhead,
+    /// expensive ones get the full machine.
+    pub fn for_predicted_cost(cost: u128) -> EvalConfig {
+        let base = eval_config();
+        if cost < 10_000 {
+            EvalConfig { threads: 1, ..base }
+        } else {
+            EvalConfig { threads: 0, ..base }
+        }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+static GLOBAL_CONFIG: RwLock<EvalConfig> = RwLock::new(EvalConfig {
+    threads: 0,
+    cache_capacity: 1 << 16,
+    parallel_threshold: 192,
+});
+
+thread_local! {
+    static OVERRIDE: Cell<Option<EvalConfig>> = const { Cell::new(None) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the process-wide default configuration.
+pub fn set_eval_config(cfg: EvalConfig) {
+    *GLOBAL_CONFIG.write().expect("config lock poisoned") = cfg;
+}
+
+/// The configuration in effect on this thread.
+pub fn eval_config() -> EvalConfig {
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(|| *GLOBAL_CONFIG.read().expect("config lock poisoned"))
+}
+
+/// Run `f` with `cfg` in effect on the current thread (and in any parallel
+/// regions it forks), restoring the previous configuration afterwards —
+/// panic-safe, so a failing evaluation cannot leak its override.
+pub fn with_eval_config<R>(cfg: EvalConfig, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<EvalConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(cfg))));
+    f()
+}
+
+/// Whether an operation with `work` independent units should fork.
+///
+/// Always `false` inside a worker thread: nested operations run
+/// sequentially, bounding the total thread count.
+pub fn should_parallelize(work: usize) -> bool {
+    if IN_WORKER.with(Cell::get) {
+        return false;
+    }
+    let cfg = eval_config();
+    cfg.effective_threads() > 1 && work >= cfg.parallel_threshold
+}
+
+/// Map `f` over `items`, forking iff [`should_parallelize`] says the item
+/// count warrants it. Output order always matches input order, so parallel
+/// and sequential runs build byte-identical results.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_when(should_parallelize(items.len()), items, f)
+}
+
+/// [`par_map`] with the fork decision made by the caller — used when the
+/// real work measure is not the item count (e.g. `intersect` forks on the
+/// *pair* count while mapping over the left operand's tuples).
+pub fn par_map_when<T: Sync, R: Send>(
+    parallel: bool,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if !parallel || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let threads = eval_config().effective_threads().min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    c.iter().map(&f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Map over coarse work units (e.g. whole Datalog rule bodies) that are
+/// themselves big enough to justify a thread each: forks whenever there
+/// are at least two items and more than one thread, ignoring
+/// `parallel_threshold`. Unlike [`par_map`] the workers keep their
+/// "top-level" status, so the heavy algebra *inside* each unit may still
+/// fork its own regions.
+pub fn par_map_coarse<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let parallel =
+        !IN_WORKER.with(Cell::get) && eval_config().effective_threads() > 1 && items.len() >= 2;
+    if !parallel {
+        return items.iter().map(f).collect();
+    }
+    let threads = eval_config().effective_threads().min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_and_preserve_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = par_map_when(false, &items, |x| x * x);
+        let par = par_map_when(true, &items, |x| x * x);
+        assert_eq!(seq, par);
+        assert_eq!(seq[17], 17 * 17);
+    }
+
+    #[test]
+    fn override_scopes_and_restores() {
+        let before = eval_config();
+        let inside = with_eval_config(EvalConfig::sequential(), eval_config);
+        assert_eq!(inside, EvalConfig::sequential());
+        assert_eq!(eval_config(), before);
+    }
+
+    #[test]
+    fn override_restored_on_panic() {
+        let before = eval_config();
+        let result = std::panic::catch_unwind(|| {
+            with_eval_config(EvalConfig::with_threads(7), || panic!("boom"))
+        });
+        assert!(result.is_err());
+        assert_eq!(eval_config(), before);
+    }
+
+    #[test]
+    fn workers_do_not_fork_again() {
+        let items: Vec<usize> = (0..8).collect();
+        let nested: Vec<bool> = par_map_when(true, &items, |_| should_parallelize(usize::MAX));
+        assert!(nested.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn threshold_gates_forking() {
+        with_eval_config(
+            EvalConfig {
+                threads: 4,
+                parallel_threshold: 10,
+                ..EvalConfig::default()
+            },
+            || {
+                assert!(!should_parallelize(9));
+                assert!(should_parallelize(10));
+            },
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! §4) rests on, and it holds constructively here.
 
 use crate::atom::{Atom, RawAtom, Var};
+use crate::par::{par_map, par_map_when, should_parallelize};
 use crate::rational::Rational;
 use crate::tuple::GeneralizedTuple;
 
@@ -57,10 +58,38 @@ impl GeneralizedRelation {
         r
     }
 
+    /// Build from tuples *without* subsumption pruning: only unsatisfiable
+    /// tuples and exact syntactic duplicates are dropped. The result denotes
+    /// the same set as [`GeneralizedRelation::from_tuples`] but may carry
+    /// redundant disjuncts — used as the reference representation when
+    /// testing that pruning is semantics-preserving.
+    pub fn from_tuples_unpruned(
+        arity: u32,
+        tuples: impl IntoIterator<Item = GeneralizedTuple>,
+    ) -> GeneralizedRelation {
+        let mut r = GeneralizedRelation::empty(arity);
+        for t in tuples {
+            assert_eq!(t.arity(), arity, "insert arity mismatch");
+            if t.is_satisfiable() && !r.tuples.contains(&t) {
+                r.tuples.push(t);
+            }
+        }
+        r
+    }
+
     /// Build a single-"row" relation from raw atoms (a conjunction; `≠`
     /// splits into several tuples).
+    ///
+    /// [`GeneralizedTuple::from_raw`] already decided satisfiability of
+    /// each `≠`-split alternative, so the tuples go straight to
+    /// [`GeneralizedRelation::insert_satisfiable`] — satisfiability is
+    /// decided exactly once per tuple on this path.
     pub fn from_raw(arity: u32, raws: impl IntoIterator<Item = RawAtom>) -> GeneralizedRelation {
-        GeneralizedRelation::from_tuples(arity, GeneralizedTuple::from_raw(arity, raws))
+        let mut r = GeneralizedRelation::empty(arity);
+        for t in GeneralizedTuple::from_raw(arity, raws) {
+            r.insert_satisfiable(t);
+        }
+        r
     }
 
     /// A finite classical relation embedded as equality constraints.
@@ -103,12 +132,34 @@ impl GeneralizedRelation {
         self.tuples.iter().map(|t| t.len().max(1)).sum()
     }
 
-    /// Insert a tuple if satisfiable and not syntactically present.
+    /// Insert a tuple if satisfiable, pruning by syntactic subsumption.
+    ///
+    /// This is the single normalization point all construction paths go
+    /// through: unsatisfiable tuples are dropped here (or were already
+    /// dropped by the caller, which then uses
+    /// [`GeneralizedRelation::insert_satisfiable`] directly).
     pub fn insert(&mut self, t: GeneralizedTuple) {
         assert_eq!(t.arity(), self.arity, "insert arity mismatch");
-        if t.is_satisfiable() && !self.tuples.contains(&t) {
-            self.tuples.push(t);
+        if t.is_satisfiable() {
+            self.insert_satisfiable(t);
         }
+    }
+
+    /// Insert a tuple already known satisfiable, pruning subsumed disjuncts
+    /// in both directions: the new tuple is dropped if an existing disjunct
+    /// syntactically subsumes it (its atoms are a subset of the new
+    /// tuple's, so it denotes a superset), and existing disjuncts the new
+    /// tuple subsumes are removed. Equal tuples subsume each other, so this
+    /// also deduplicates. Only the linear-time syntactic check is used —
+    /// semantic subsumption stays in [`GeneralizedRelation::simplify`],
+    /// where its cost is paid once instead of per insert.
+    pub fn insert_satisfiable(&mut self, t: GeneralizedTuple) {
+        debug_assert_eq!(t.arity(), self.arity, "insert arity mismatch");
+        if self.tuples.iter().any(|u| u.subsumes_syntactic(&t)) {
+            return;
+        }
+        self.tuples.retain(|u| !t.subsumes_syntactic(u));
+        self.tuples.push(t);
     }
 
     /// Membership of a concrete point.
@@ -144,13 +195,25 @@ impl GeneralizedRelation {
     }
 
     /// Set intersection (pairwise conjunction of disjuncts).
+    ///
+    /// The conjoin-and-decide work over all tuple pairs runs in parallel
+    /// when the pair count clears the configured threshold; the subsumption
+    /// merge is sequential and order-preserving, so the result is identical
+    /// to the sequential one.
     pub fn intersect(&self, other: &GeneralizedRelation) -> GeneralizedRelation {
         assert_eq!(self.arity, other.arity, "intersect arity mismatch");
+        let pairs = self.tuples.len().saturating_mul(other.tuples.len());
+        let chunks = par_map_when(should_parallelize(pairs), &self.tuples, |a| {
+            other
+                .tuples
+                .iter()
+                .map(|b| a.conjoin(b))
+                .filter(|t| t.is_satisfiable())
+                .collect::<Vec<_>>()
+        });
         let mut r = GeneralizedRelation::empty(self.arity);
-        for a in &self.tuples {
-            for b in &other.tuples {
-                r.insert(a.conjoin(b));
-            }
+        for t in chunks.into_iter().flatten() {
+            r.insert_satisfiable(t);
         }
         r
     }
@@ -221,21 +284,27 @@ impl GeneralizedRelation {
                     }
                 }
             }
+            // Distribute in parallel (satisfiability filter per candidate),
+            // then merge sequentially in the same candidate order as the
+            // sequential nested loop — the result is order-identical.
+            let work = acc.len().saturating_mul(alts.len());
+            let sat_cands = par_map_when(should_parallelize(work), &acc, |partial| {
+                alts.iter()
+                    .filter_map(|alt| {
+                        let mut cand = partial.clone();
+                        cand.push(*alt);
+                        cand.is_satisfiable().then_some(cand)
+                    })
+                    .collect::<Vec<_>>()
+            });
             let mut next: Vec<GeneralizedTuple> = Vec::new();
-            for partial in &acc {
-                for alt in &alts {
-                    let mut cand = partial.clone();
-                    cand.push(*alt);
-                    if !cand.is_satisfiable() {
-                        continue;
-                    }
-                    // Subsumption pruning within `next`.
-                    if next.iter().any(|u| u.subsumes(&cand)) {
-                        continue;
-                    }
-                    next.retain(|u| !cand.subsumes(u));
-                    next.push(cand);
+            for cand in sat_cands.into_iter().flatten() {
+                // Subsumption pruning within `next`.
+                if next.iter().any(|u| u.subsumes(&cand)) {
+                    continue;
                 }
+                next.retain(|u| !cand.subsumes(u));
+                next.push(cand);
             }
             acc = next;
             if acc.is_empty() {
@@ -258,11 +327,12 @@ impl GeneralizedRelation {
     /// `∃` distributes over `∨`, so each tuple is eliminated independently —
     /// this is the closed-form bottom-up evaluation step of \[KKR90\].
     pub fn project_out(&self, v: Var) -> GeneralizedRelation {
+        let eliminated = par_map(&self.tuples, |t| {
+            t.eliminate(v).filter(|e| e.is_satisfiable())
+        });
         let mut r = GeneralizedRelation::empty(self.arity);
-        for t in &self.tuples {
-            if let Some(e) = t.eliminate(v) {
-                r.insert(e);
-            }
+        for e in eliminated.into_iter().flatten() {
+            r.insert_satisfiable(e);
         }
         r
     }
@@ -319,10 +389,31 @@ impl GeneralizedRelation {
         self.widen(arity).intersect(&shifted)
     }
 
-    /// Inclusion test `self ⊆ other`, by refutation:
-    /// `self ∩ ¬other = ∅`.
+    /// Inclusion test `self ⊆ other`.
+    ///
+    /// Fast path first: any disjunct of `self` subsumed by a single
+    /// disjunct of `other` is certainly included; only the leftover
+    /// disjuncts (which could still be covered by a *union* of `other`'s
+    /// disjuncts) fall back to the complement-based refutation
+    /// `leftover ∩ ¬other = ∅`. For the common case where each disjunct
+    /// has a single covering disjunct this skips the complement entirely.
     pub fn is_subset(&self, other: &GeneralizedRelation) -> bool {
-        self.difference(other).is_empty()
+        let covered = par_map(&self.tuples, |t| other.tuples.iter().any(|u| u.subsumes(t)));
+        let leftover: Vec<GeneralizedTuple> = self
+            .tuples
+            .iter()
+            .zip(&covered)
+            .filter(|&(_, c)| !c)
+            .map(|(t, _)| t.clone())
+            .collect();
+        if leftover.is_empty() {
+            return true;
+        }
+        let rest = GeneralizedRelation {
+            arity: self.arity,
+            tuples: leftover,
+        };
+        rest.difference(other).is_empty()
     }
 
     /// Semantic equivalence of the denoted point sets.
@@ -330,10 +421,15 @@ impl GeneralizedRelation {
         self.is_subset(other) && other.is_subset(self)
     }
 
-    /// Simplify the representation: minimize each tuple and drop disjuncts
-    /// subsumed by other disjuncts.
+    /// Simplify the representation: minimize each tuple (in parallel — each
+    /// minimization is a batch of independent entailment refutations) and
+    /// drop disjuncts subsumed by other disjuncts. The stable sort and the
+    /// sequential kept-loop make the output deterministic regardless of
+    /// thread count.
     pub fn simplify(&self) -> GeneralizedRelation {
-        let mut tuples: Vec<GeneralizedTuple> = self.tuples.iter().map(|t| t.simplify()).collect();
+        let work: usize = self.tuples.iter().map(|t| t.len()).sum();
+        let mut tuples: Vec<GeneralizedTuple> =
+            par_map_when(should_parallelize(work), &self.tuples, |t| t.simplify());
         tuples.sort_by_key(|t| t.len());
         let mut kept: Vec<GeneralizedTuple> = Vec::new();
         for t in tuples {

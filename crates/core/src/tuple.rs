@@ -174,7 +174,23 @@ impl GeneralizedTuple {
     }
 
     /// Decide satisfiability over `(Q, <)`.
+    ///
+    /// Verdicts are memoized in the process-wide cache
+    /// ([`crate::cache::tuple_sat_cache`]): atoms are kept in canonical
+    /// sorted form, so structurally identical conjunctions produced by
+    /// different operations share a single order-graph decision. Tuples
+    /// with fewer than two atoms skip the cache — normalization already
+    /// resolved trivially-decidable atoms, so they are always satisfiable.
     pub fn is_satisfiable(&self) -> bool {
+        if self.atoms.len() < 2 {
+            return true;
+        }
+        crate::cache::tuple_sat_cache().get_or_insert_with(self, || self.is_satisfiable_uncached())
+    }
+
+    /// Decide satisfiability without consulting the memo cache (used by the
+    /// cache itself on a miss, and by benchmarks measuring the raw solver).
+    pub fn is_satisfiable_uncached(&self) -> bool {
         OrderGraph::build(self)
             .map(|g| g.consistent())
             .unwrap_or(false)
@@ -291,10 +307,38 @@ impl GeneralizedTuple {
         })
     }
 
+    /// Syntactic subsumption fast path: if every atom of `self` appears
+    /// literally in `other`, then `other` is `self` plus extra constraints,
+    /// so `other ⊆ self`. Both atom vectors are sorted, so this is a single
+    /// linear merge — no satisfiability calls. Sound but incomplete:
+    /// `false` only means the cheap check failed, not that subsumption
+    /// fails.
+    pub fn subsumes_syntactic(&self, other: &GeneralizedTuple) -> bool {
+        debug_assert_eq!(self.arity, other.arity);
+        if self.atoms.len() > other.atoms.len() {
+            return false;
+        }
+        let mut it = other.atoms.iter();
+        'outer: for a in &self.atoms {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
     /// Does this tuple's point set include the other's (`other ⊆ self`)?
+    ///
+    /// Tries the syntactic atom-subset check first; only on failure falls
+    /// back to the semantic entailment test (one refutation per atom).
     pub fn subsumes(&self, other: &GeneralizedTuple) -> bool {
         assert_eq!(self.arity, other.arity);
-        self.atoms.iter().all(|a| other.entails(a))
+        self.subsumes_syntactic(other) || self.atoms.iter().all(|a| other.entails(a))
     }
 
     /// Remove atoms entailed by the rest of the conjunction (minimal-ish

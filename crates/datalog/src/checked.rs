@@ -7,11 +7,14 @@
 //! unsatisfiable — they can never fire, so dropping them saves per-stage
 //! body evaluations without changing the fixpoint.
 
-use crate::ast::Program;
+use crate::ast::{Literal, Program};
 use crate::engine::{run_with, EngineConfig, EngineError, FixpointResult};
 use crate::stratified::{run_stratified_with, StratifiedResult, StratifyError};
-use dco_analysis::{analyze_program, has_errors, unsat, AnalysisOptions, Diagnostic, Severity};
-use dco_core::prelude::Database;
+use dco_analysis::{
+    analyze_program, cost, has_errors, unsat, AnalysisOptions, Diagnostic, Severity,
+};
+use dco_core::prelude::{with_eval_config, Database, EvalConfig};
+use dco_logic::Formula;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -133,12 +136,29 @@ pub fn checked_run_with(
         return Err(CheckedRunError::Rejected(diagnostics));
     }
     let (pruned_program, pruned_rules) = prune_dead_rules(program);
-    let result = run_with(&pruned_program, input, config).map_err(CheckedRunError::Engine)?;
+    let cfg = eval_config_for(input, &pruned_program);
+    let result = with_eval_config(cfg, || run_with(&pruned_program, input, config))
+        .map_err(CheckedRunError::Engine)?;
     Ok(CheckedFixpoint {
         result,
         diagnostics,
         pruned_rules,
     })
+}
+
+/// Choose an [`EvalConfig`] from the analyzer's static cost estimate:
+/// predicted cell count over the combined constant set of database and
+/// program, with the widest rule body's variable count. Cheap fixpoints
+/// run sequentially; expensive ones enable the parallel layer.
+pub fn eval_config_for(input: &Database, program: &Program) -> EvalConfig {
+    let mut constants = input.constants();
+    let mut widest = 0usize;
+    for r in &program.rules {
+        let body = Formula::And(r.body.iter().map(Literal::to_formula).collect());
+        constants.extend(cost::constants_of_formula(&body));
+        widest = widest.max(cost::all_vars(&body).len().max(r.head_vars.len()));
+    }
+    EvalConfig::for_predicted_cost(cost::predicted_cells(constants.len(), widest))
 }
 
 /// Analyze under strict options (unstratifiable programs and dead rules
@@ -160,7 +180,9 @@ pub fn checked_run_stratified_with(
     if has_errors(&diagnostics) {
         return Err(CheckedRunError::Rejected(diagnostics));
     }
-    let result = run_stratified_with(program, input, config).map_err(CheckedRunError::Stratify)?;
+    let cfg = eval_config_for(input, program);
+    let result = with_eval_config(cfg, || run_stratified_with(program, input, config))
+        .map_err(CheckedRunError::Stratify)?;
     Ok(CheckedStratified {
         result,
         diagnostics,

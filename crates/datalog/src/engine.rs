@@ -18,7 +18,8 @@
 //!    polynomially many in the input size for a fixed program, which is the
 //!    easy half of Theorem 4.4 (Datalog¬ ⊆ PTIME).
 
-use crate::ast::{Literal, Program};
+use crate::ast::{Literal, Program, Rule};
+use dco_core::par::par_map_coarse;
 use dco_core::prelude::*;
 use dco_fo::eval_in_ctx;
 use dco_logic::Formula;
@@ -73,6 +74,13 @@ pub struct EngineConfig {
     /// Simplify IDB relations after each stage (keeps representations
     /// small at some per-stage cost; default true).
     pub simplify: bool,
+    /// Restrict rule evaluation to the previous stage's deltas
+    /// (semi-naive, default true). Applied only when the program is
+    /// negation-free: the inflationary same-stage semantics of §4 makes
+    /// deltas unsound under negation (a negated literal can newly *fail*),
+    /// so programs with negation silently use full naive stages and keep
+    /// the exact paper semantics.
+    pub use_deltas: bool,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +88,7 @@ impl Default for EngineConfig {
         EngineConfig {
             max_stages: 10_000,
             simplify: true,
+            use_deltas: true,
         }
     }
 }
@@ -126,6 +135,13 @@ pub fn run_with(
         }
     }
     let idb = program.idb_predicates();
+    // Delta restriction is sound only without negation (see
+    // [`EngineConfig::use_deltas`]).
+    let has_negation = program
+        .rules
+        .iter()
+        .any(|r| r.body.iter().any(|l| matches!(l, Literal::Neg(..))));
+    let use_deltas = config.use_deltas && !has_negation;
     for p in &idb {
         if input.get(p).is_some() {
             return Err(EngineError::BadInput(format!(
@@ -133,6 +149,9 @@ pub fn run_with(
             )));
         }
         schema = schema.with(p, arities[p]);
+        if use_deltas {
+            schema = schema.with(&delta_name(p), arities[p]);
+        }
     }
     let mut store = Database::new(schema);
     for p in program.edb_predicates() {
@@ -141,69 +160,32 @@ pub fn run_with(
             .expect("schema matches");
     }
 
-    // Precompile each rule: body formula, evaluation context, head arity.
-    struct Compiled {
-        head: String,
-        ctx: Vec<String>,
-        head_arity: u32,
-        body: Formula,
-        literals: Vec<Literal>,
-        head_vars: Vec<String>,
-        display: String,
-    }
-    let compiled: Vec<Compiled> = program
-        .rules
-        .iter()
-        .map(|r| {
-            let body = Formula::And(r.body.iter().map(Literal::to_formula).collect());
-            // Context: head vars first (in head order), then remaining body
-            // vars sorted. Head vars may repeat — deduplicate keeping first
-            // occurrence, and add equality atoms for repeats.
-            let mut ctx: Vec<String> = Vec::new();
-            for v in &r.head_vars {
-                if !ctx.contains(v) {
-                    ctx.push(v.clone());
+    let compiled: Vec<Compiled> = program.rules.iter().map(compile_rule).collect();
+    // Delta-restricted variants: one per positive IDB body literal, with
+    // that literal redirected to the predicate's shadow delta relation. A
+    // fact new at stage n must use at least one fact that was new at stage
+    // n-1, so the union over variants derives everything the full rule
+    // would — the classical semi-naive argument, unchanged by constraint
+    // relations.
+    let delta_compiled: Vec<Compiled> = if use_deltas {
+        let mut variants = Vec::new();
+        for r in &program.rules {
+            for (i, lit) in r.body.iter().enumerate() {
+                let Literal::Pos(name, _) = lit else { continue };
+                if !idb.contains(name) {
+                    continue;
                 }
+                let mut variant = r.clone();
+                if let Literal::Pos(n, _) = &mut variant.body[i] {
+                    *n = delta_name(name);
+                }
+                variants.push(compile_rule(&variant));
             }
-            let mut body_vars: Vec<String> = body
-                .free_vars()
-                .into_iter()
-                .filter(|v| !ctx.contains(v))
-                .collect();
-            body_vars.sort();
-            ctx.extend(body_vars);
-            Compiled {
-                head: r.head.clone(),
-                ctx,
-                head_arity: r.head_vars.len() as u32,
-                body,
-                literals: r.body.clone(),
-                head_vars: r.head_vars.clone(),
-                display: r.to_string(),
-            }
-        })
-        .collect();
-    // Note: repeated head variables project onto the first occurrence's
-    // column; the duplicate column is reconstructed below when widening the
-    // projection to the head arity.
-    let head_layouts: Vec<Vec<usize>> = program
-        .rules
-        .iter()
-        .map(|r| {
-            let mut firsts: Vec<String> = Vec::new();
-            r.head_vars
-                .iter()
-                .map(|v| {
-                    if let Some(i) = firsts.iter().position(|f| f == v) {
-                        i
-                    } else {
-                        firsts.push(v.clone());
-                        firsts.len() - 1
-                    }
-                })
-                .collect()
-        })
-        .collect();
+        }
+        variants
+    } else {
+        Vec::new()
+    };
 
     let mut stats = EngineStats::default();
     loop {
@@ -211,58 +193,98 @@ pub fn run_with(
             return Err(EngineError::StageLimit(config.max_stages));
         }
         stats.stages += 1;
-        let mut changed = false;
+        // Stage 1 always evaluates the full rules (IDBs are empty, so all
+        // facts are "new"); later delta stages evaluate only the restricted
+        // variants. A rule with no positive IDB literal has no variant —
+        // correctly so, as its derivations cannot change after stage 1.
+        let stage_rules: &[Compiled] = if use_deltas && stats.stages > 1 {
+            &delta_compiled
+        } else {
+            &compiled
+        };
         // Deltas are computed against the *current* stage store (inflationary
         // semantics evaluates all rules on the same stage), then merged.
+        // Rules are independent given the store, so they evaluate in
+        // parallel; the merge below is sequential in rule order, keeping
+        // the result identical to a single-threaded run.
+        stats.body_evals += stage_rules.len();
+        let derived = par_map_coarse(stage_rules, |rule| eval_compiled(&store, rule));
         let mut deltas: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
-        for (rule, layout) in compiled.iter().zip(&head_layouts) {
-            stats.body_evals += 1;
-            // Fast path: when every positive body relation is a finite
-            // point set, evaluate the rule by enumeration (classical
-            // Datalog hash join) instead of symbolic algebra.
-            if let Some(expanded) = eval_rule_points(&store, &rule.literals, &rule.head_vars) {
-                deltas
-                    .entry(rule.head.clone())
-                    .and_modify(|d| *d = d.union(&expanded))
-                    .or_insert(expanded);
-                continue;
-            }
-            let mut rel =
-                eval_in_ctx(&store, &rule.body, &rule.ctx).map_err(|source| EngineError::Body {
-                    rule: rule.display.clone(),
-                    source,
-                })?;
-            // Project away non-head columns.
-            let distinct_head = layout.iter().copied().max().map(|m| m + 1).unwrap_or(0);
-            for i in (distinct_head..rule.ctx.len()).rev() {
-                rel = rel.project_out(Var(i as u32));
-            }
-            let rel = rel.narrow(distinct_head as u32);
-            // Expand to the full head arity honoring repeated variables.
-            let expanded = expand_columns(&rel, layout, rule.head_arity);
+        for (rule, result) in stage_rules.iter().zip(derived) {
+            let expanded = result?;
             deltas
                 .entry(rule.head.clone())
                 .and_modify(|d| *d = d.union(&expanded))
                 .or_insert(expanded);
         }
-        for (pred, delta) in deltas {
-            let old = store.get(&pred).expect("idb in schema").clone();
-            // Point-set fast path for the inclusion test, generic otherwise.
-            let included = match delta.as_points() {
-                Some(points) => points.iter().all(|p| old.contains_point(p)),
-                None => delta.is_subset(&old),
-            };
-            if included {
-                continue;
+        let mut changed = false;
+        if use_deltas {
+            // Fold the genuinely-new part of each delta into the store and
+            // publish it as the predicate's shadow relation for the next
+            // stage's restricted variants.
+            for p in &idb {
+                let old = store.get(p).expect("idb in schema").clone();
+                let delta = deltas
+                    .remove(p)
+                    .unwrap_or_else(|| GeneralizedRelation::empty(arities[p]));
+                // The "new part" is over-approximated by a per-tuple
+                // subsumption filter rather than the exact complement-based
+                // difference: difference splinters boxes into fragments that
+                // bloat both the shadow and the store, while a delta tuple
+                // covered only by a *union* of old tuples is merely wasted
+                // work next stage (it is re-filtered once it is in the store,
+                // so the loop still reaches the same fixpoint).
+                let fresh = match delta.as_points() {
+                    Some(points) => GeneralizedRelation::from_points(
+                        delta.arity(),
+                        points
+                            .into_iter()
+                            .filter(|pt| !old.contains_point(pt))
+                            .collect::<Vec<_>>(),
+                    ),
+                    None => GeneralizedRelation::from_tuples(
+                        delta.arity(),
+                        delta
+                            .tuples()
+                            .iter()
+                            .filter(|t| !old.tuples().iter().any(|u| u.subsumes(t)))
+                            .cloned(),
+                    ),
+                };
+                if fresh.is_empty() {
+                    store.set(&delta_name(p), fresh).expect("schema matches");
+                    continue;
+                }
+                changed = true;
+                let merged = old.union(&fresh);
+                let merged = if config.simplify && merged.as_points().is_none() {
+                    merged.simplify()
+                } else {
+                    merged
+                };
+                store.set(p, merged).expect("schema matches");
+                store.set(&delta_name(p), fresh).expect("schema matches");
             }
-            changed = true;
-            let merged = old.union(&delta);
-            let merged = if config.simplify && merged.as_points().is_none() {
-                merged.simplify()
-            } else {
-                merged
-            };
-            store.set(&pred, merged).expect("schema matches");
+        } else {
+            for (pred, delta) in deltas {
+                let old = store.get(&pred).expect("idb in schema").clone();
+                // Point-set fast path for the inclusion test, generic otherwise.
+                let included = match delta.as_points() {
+                    Some(points) => points.iter().all(|p| old.contains_point(p)),
+                    None => delta.is_subset(&old),
+                };
+                if included {
+                    continue;
+                }
+                changed = true;
+                let merged = old.union(&delta);
+                let merged = if config.simplify && merged.as_points().is_none() {
+                    merged.simplify()
+                } else {
+                    merged
+                };
+                store.set(&pred, merged).expect("schema matches");
+            }
         }
         if !changed {
             break;
@@ -272,10 +294,128 @@ pub fn run_with(
         .iter()
         .map(|p| store.get(p).expect("idb in schema").size())
         .sum();
-    Ok(FixpointResult {
-        database: store,
-        stats,
-    })
+    let database = if use_deltas {
+        strip_shadows(&store, program, &arities)
+    } else {
+        store
+    };
+    Ok(FixpointResult { database, stats })
+}
+
+/// Shadow relation carrying the facts a predicate gained at the previous
+/// stage (delta mode only).
+fn delta_name(p: &str) -> String {
+    format!("__delta_{p}")
+}
+
+/// Rebuild the fixpoint database without the shadow delta relations.
+fn strip_shadows(store: &Database, program: &Program, arities: &BTreeMap<String, u32>) -> Database {
+    let mut schema = Schema::new();
+    for p in program.edb_predicates() {
+        schema = schema.with(&p, arities[&p]);
+    }
+    for p in program.idb_predicates() {
+        schema = schema.with(&p, arities[&p]);
+    }
+    let mut out = Database::new(schema);
+    for p in program
+        .edb_predicates()
+        .into_iter()
+        .chain(program.idb_predicates())
+    {
+        out.set(&p, store.get(&p).expect("in store").clone())
+            .expect("schema matches");
+    }
+    out
+}
+
+/// A rule precompiled for stage evaluation: body formula, evaluation
+/// context (head vars first), head arity and the column layout mapping
+/// head positions to context columns (repeated head variables share one).
+struct Compiled {
+    head: String,
+    ctx: Vec<String>,
+    head_arity: u32,
+    body: Formula,
+    literals: Vec<Literal>,
+    head_vars: Vec<String>,
+    layout: Vec<usize>,
+    display: String,
+}
+
+fn compile_rule(r: &Rule) -> Compiled {
+    let body = Formula::And(r.body.iter().map(Literal::to_formula).collect());
+    // Context: head vars first (in head order), then remaining body
+    // vars sorted. Head vars may repeat — deduplicate keeping first
+    // occurrence; the duplicate column is reconstructed by
+    // `expand_columns` when widening the projection to the head arity.
+    let mut ctx: Vec<String> = Vec::new();
+    for v in &r.head_vars {
+        if !ctx.contains(v) {
+            ctx.push(v.clone());
+        }
+    }
+    let mut body_vars: Vec<String> = body
+        .free_vars()
+        .into_iter()
+        .filter(|v| !ctx.contains(v))
+        .collect();
+    body_vars.sort();
+    ctx.extend(body_vars);
+    let mut firsts: Vec<&String> = Vec::new();
+    let layout: Vec<usize> = r
+        .head_vars
+        .iter()
+        .map(|v| {
+            if let Some(i) = firsts.iter().position(|f| *f == v) {
+                i
+            } else {
+                firsts.push(v);
+                firsts.len() - 1
+            }
+        })
+        .collect();
+    Compiled {
+        head: r.head.clone(),
+        ctx,
+        head_arity: r.head_vars.len() as u32,
+        body,
+        literals: r.body.clone(),
+        head_vars: r.head_vars.clone(),
+        layout,
+        display: r.to_string(),
+    }
+}
+
+/// Evaluate one compiled rule against the store, returning the derived
+/// head relation (full head arity). Read-only with respect to the store,
+/// so stage rules may run concurrently.
+fn eval_compiled(store: &Database, rule: &Compiled) -> Result<GeneralizedRelation, EngineError> {
+    // Fast path: when every positive body relation is a finite point set,
+    // evaluate the rule by enumeration (classical Datalog hash join)
+    // instead of symbolic algebra.
+    if let Some(expanded) = eval_rule_points(store, &rule.literals, &rule.head_vars) {
+        return Ok(expanded);
+    }
+    let mut rel =
+        eval_in_ctx(store, &rule.body, &rule.ctx).map_err(|source| EngineError::Body {
+            rule: rule.display.clone(),
+            source,
+        })?;
+    // Project away non-head columns.
+    let distinct_head = rule
+        .layout
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    for i in (distinct_head..rule.ctx.len()).rev() {
+        rel = rel.project_out(Var(i as u32));
+    }
+    let rel = rel.narrow(distinct_head as u32);
+    // Expand to the full head arity honoring repeated variables.
+    Ok(expand_columns(&rel, &rule.layout, rule.head_arity))
 }
 
 /// Enumerative rule evaluation for the finite fragment: succeeds when every

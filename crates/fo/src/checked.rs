@@ -7,8 +7,8 @@
 //! the successful result.
 
 use crate::eval::{eval, EvalError, QueryResult};
-use dco_analysis::{analyze_formula, AnalysisOptions, Diagnostic, Severity};
-use dco_core::prelude::Database;
+use dco_analysis::{analyze_formula, cost, AnalysisOptions, Diagnostic, Severity};
+use dco_core::prelude::{with_eval_config, Database, EvalConfig};
 use dco_logic::{parse_formula, Formula, ParseError};
 use std::fmt;
 
@@ -70,11 +70,24 @@ pub fn checked_eval_with(
     if dco_analysis::has_errors(&diagnostics) {
         return Err(CheckedEvalError::Rejected(diagnostics));
     }
-    let result = eval(db, formula).map_err(CheckedEvalError::Eval)?;
+    // Let the cost pass pick the evaluation configuration: queries whose
+    // predicted cell count is small run sequentially (no fork overhead),
+    // expensive ones get the parallel layer.
+    let cfg = eval_config_for(db, formula);
+    let result = with_eval_config(cfg, || eval(db, formula)).map_err(CheckedEvalError::Eval)?;
     Ok(CheckedResult {
         result,
         diagnostics,
     })
+}
+
+/// Choose an [`EvalConfig`] from the analyzer's static cost estimate for
+/// `formula` over `db` (constants from both, variables from the formula).
+pub fn eval_config_for(db: &Database, formula: &Formula) -> EvalConfig {
+    let mut constants = cost::constants_of_formula(formula);
+    constants.extend(db.constants());
+    let vars = cost::all_vars(formula).len();
+    EvalConfig::for_predicted_cost(cost::predicted_cells(constants.len(), vars))
 }
 
 /// Parse, analyze, and evaluate a query string.

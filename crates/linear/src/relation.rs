@@ -8,6 +8,7 @@
 
 use crate::atom::{LinAtom, NormalizedAtom};
 use crate::tuple::LinTuple;
+use dco_core::par::{par_map, par_map_when, should_parallelize};
 use dco_core::prelude::{Atom, GeneralizedRelation, GeneralizedTuple, Rational, Term};
 
 use std::fmt;
@@ -70,12 +71,25 @@ impl LinRelation {
         self.tuples.iter().map(|t| t.len().max(1)).sum()
     }
 
-    /// Insert a satisfiable tuple.
+    /// Insert a tuple if satisfiable, pruning by syntactic subsumption.
     pub fn insert(&mut self, t: LinTuple) {
         assert_eq!(t.arity(), self.arity);
-        if t.is_satisfiable() && !self.tuples.contains(&t) {
-            self.tuples.push(t);
+        if t.is_satisfiable() {
+            self.insert_satisfiable(t);
         }
+    }
+
+    /// Insert a tuple already known satisfiable, pruning disjuncts subsumed
+    /// in either direction (syntactic check only — see
+    /// [`LinTuple::subsumes_syntactic`]). Equal tuples subsume each other,
+    /// so this also deduplicates.
+    pub fn insert_satisfiable(&mut self, t: LinTuple) {
+        debug_assert_eq!(t.arity(), self.arity);
+        if self.tuples.iter().any(|u| u.subsumes_syntactic(&t)) {
+            return;
+        }
+        self.tuples.retain(|u| !t.subsumes_syntactic(u));
+        self.tuples.push(t);
     }
 
     /// Point membership.
@@ -93,14 +107,24 @@ impl LinRelation {
         r
     }
 
-    /// Intersection.
+    /// Intersection. The pairwise conjoin-prune-decide work runs in
+    /// parallel over `self`'s disjuncts when the pair count clears the
+    /// configured threshold; the subsumption merge stays sequential and
+    /// order-preserving.
     pub fn intersect(&self, other: &LinRelation) -> LinRelation {
         assert_eq!(self.arity, other.arity);
+        let pairs = self.tuples.len().saturating_mul(other.tuples.len());
+        let chunks = par_map_when(should_parallelize(pairs), &self.tuples, |a| {
+            other
+                .tuples
+                .iter()
+                .map(|b| a.conjoin(b).pruned())
+                .filter(|t| t.is_satisfiable())
+                .collect::<Vec<_>>()
+        });
         let mut r = LinRelation::empty(self.arity);
-        for a in &self.tuples {
-            for b in &other.tuples {
-                r.insert(a.conjoin(b).pruned());
-            }
+        for t in chunks.into_iter().flatten() {
+            r.insert_satisfiable(t);
         }
         r
     }
@@ -114,16 +138,27 @@ impl LinRelation {
                 return LinRelation::empty(self.arity);
             }
             let alts: Vec<LinAtom> = t.atoms().iter().flat_map(|a| a.negate()).collect();
-            let mut next = Vec::new();
-            for partial in &acc {
-                for alt in &alts {
-                    let mut cand = partial.clone();
-                    cand.push(alt.clone());
-                    let cand = cand.pruned();
-                    if cand.is_satisfiable() && !next.contains(&cand) {
-                        next.push(cand);
-                    }
+            // Parallel distribution with satisfiability filtering, then a
+            // sequential order-preserving subsumption merge (which also
+            // deduplicates).
+            let work = acc.len().saturating_mul(alts.len());
+            let sat_cands = par_map_when(should_parallelize(work), &acc, |partial| {
+                alts.iter()
+                    .filter_map(|alt| {
+                        let mut cand = partial.clone();
+                        cand.push(alt.clone());
+                        let cand = cand.pruned();
+                        cand.is_satisfiable().then_some(cand)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let mut next: Vec<LinTuple> = Vec::new();
+            for cand in sat_cands.into_iter().flatten() {
+                if next.iter().any(|u| u.subsumes_syntactic(&cand)) {
+                    continue;
                 }
+                next.retain(|u| !cand.subsumes_syntactic(u));
+                next.push(cand);
             }
             acc = next;
             if acc.is_empty() {
@@ -141,13 +176,16 @@ impl LinRelation {
         self.intersect(&other.complement())
     }
 
-    /// Existential projection of one column (Fourier–Motzkin per disjunct).
+    /// Existential projection of one column (Fourier–Motzkin per disjunct;
+    /// `∃` distributes over `∨`, so disjuncts eliminate independently and
+    /// in parallel).
     pub fn project_out(&self, j: usize) -> LinRelation {
+        let eliminated = par_map(&self.tuples, |t| {
+            t.eliminate(j).filter(|e| e.is_satisfiable())
+        });
         let mut r = LinRelation::empty(self.arity);
-        for t in &self.tuples {
-            if let Some(e) = t.eliminate(j) {
-                r.insert(e);
-            }
+        for e in eliminated.into_iter().flatten() {
+            r.insert_satisfiable(e);
         }
         r
     }
@@ -189,9 +227,23 @@ impl LinRelation {
         out
     }
 
-    /// Inclusion by refutation.
+    /// Inclusion `self ⊆ other`: syntactic single-disjunct cover first,
+    /// complement-based refutation only for the leftover disjuncts.
     pub fn is_subset(&self, other: &LinRelation) -> bool {
-        self.difference(other).is_empty()
+        let leftover: Vec<LinTuple> = self
+            .tuples
+            .iter()
+            .filter(|t| !other.tuples.iter().any(|u| u.subsumes_syntactic(t)))
+            .cloned()
+            .collect();
+        if leftover.is_empty() {
+            return true;
+        }
+        let rest = LinRelation {
+            arity: self.arity,
+            tuples: leftover,
+        };
+        rest.difference(other).is_empty()
     }
 
     /// Semantic equivalence.

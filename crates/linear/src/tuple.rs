@@ -8,9 +8,18 @@
 //! pruning keeps the quadratic growth of each step in check.
 
 use crate::atom::{LinAtom, NormalizedAtom};
-use dco_core::prelude::{CompOp, Rational};
+use dco_core::prelude::{CompOp, MemoCache, Rational};
 
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Process-wide memo cache for [`LinTuple::is_satisfiable`] — the
+/// Fourier–Motzkin decision is far more expensive than the dense-order
+/// order-graph check, so memoization pays off even sooner here.
+pub fn lin_sat_cache() -> &'static MemoCache<LinTuple, bool> {
+    static CACHE: OnceLock<MemoCache<LinTuple, bool>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
 
 /// A satisfiability-undecided conjunction of linear atoms over
 /// columns `0..arity`. The empty conjunction is all of `Q^arity`.
@@ -148,8 +157,19 @@ impl LinTuple {
         Some(rest.pruned())
     }
 
-    /// Decide satisfiability over Q by eliminating every variable.
+    /// Decide satisfiability over Q, memoized in [`lin_sat_cache`]: atoms
+    /// are kept sorted and deduplicated, so identical conjunctions arising
+    /// in different operations run Fourier–Motzkin exactly once.
     pub fn is_satisfiable(&self) -> bool {
+        if self.atoms.is_empty() {
+            return true;
+        }
+        lin_sat_cache().get_or_insert_with(self, || self.is_satisfiable_uncached())
+    }
+
+    /// Decide satisfiability by eliminating every variable, without
+    /// consulting the memo cache.
+    pub fn is_satisfiable_uncached(&self) -> bool {
         let mut cur = self.clone();
         for j in 0..self.arity as usize {
             match cur.eliminate(j) {
@@ -184,6 +204,29 @@ impl LinTuple {
             kept.push(a.clone());
         }
         LinTuple::from_atoms(self.arity, kept)
+    }
+
+    /// Syntactic subsumption: if every atom of `self` appears literally in
+    /// `other`, then `other` carries strictly more constraints, so
+    /// `other ⊆ self` as point sets. A single linear merge over the sorted
+    /// atom vectors; sound but incomplete.
+    pub fn subsumes_syntactic(&self, other: &LinTuple) -> bool {
+        debug_assert_eq!(self.arity, other.arity);
+        if self.atoms.len() > other.atoms.len() {
+            return false;
+        }
+        let mut it = other.atoms.iter();
+        'outer: for a in &self.atoms {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
 
     /// Widen to a larger arity.
