@@ -6,6 +6,7 @@
 //!   experiments --quick            # smaller scales (CI-friendly)
 //!   experiments --threads N        # force N eval workers for the tables
 //!   experiments --bench-json FILE  # perf baselines -> FILE (JSON), no tables
+//!   experiments --bench-compare FILE  # re-measure engine_delta rows vs FILE, exit 1 on >30% regression
 //!   experiments --verify-parallel  # seq vs parallel divergence check, exit 1 on mismatch
 
 use dco::prelude::{set_eval_config, EvalConfig};
@@ -41,6 +42,28 @@ fn main() {
         }
     }
 
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--bench-compare")
+        .and_then(|i| args.get(i + 1))
+    {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        match perf::bench_compare(&baseline) {
+            Ok(report) => {
+                for line in report {
+                    println!("{line}");
+                }
+                println!("bench-compare: within 30% of {path}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = bench_json {
         let n = threads.unwrap_or(4).max(2);
         let records = perf::run_perf(quick, n);
@@ -66,8 +89,10 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            let is_flag_value =
-                *i > 0 && (args[i - 1] == "--threads" || args[i - 1] == "--bench-json");
+            let is_flag_value = *i > 0
+                && (args[i - 1] == "--threads"
+                    || args[i - 1] == "--bench-json"
+                    || args[i - 1] == "--bench-compare");
             !a.starts_with("--") && !is_flag_value
         })
         .map(|(_, s)| s.as_str())

@@ -35,6 +35,8 @@ pub struct PerfRecord {
     pub cache_hits: u64,
     /// Satisfiability-cache misses during the measured runs.
     pub cache_misses: u64,
+    /// Satisfiability-cache evictions during the measured runs.
+    pub cache_evictions: u64,
     /// `hits / (hits + misses)`, 0.0 when the cache was untouched.
     pub cache_hit_rate: f64,
 }
@@ -91,6 +93,16 @@ fn forced_parallel(threads: usize) -> EvalConfig {
     }
 }
 
+/// The seed kernel under a sequential schedule: the "before" row of the
+/// before/after pair (`seed` vs `interned` config labels). Same binary,
+/// same host — only the kernel fast paths differ.
+fn seed_sequential() -> EvalConfig {
+    EvalConfig {
+        threads: 1,
+        ..EvalConfig::seed_kernel()
+    }
+}
+
 fn relation_record(
     experiment: &str,
     size: usize,
@@ -114,6 +126,7 @@ fn relation_record(
         atoms: r.size(),
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        cache_evictions: stats.evictions,
         cache_hit_rate: stats.hit_rate(),
     }
 }
@@ -122,6 +135,7 @@ fn engine_record(
     experiment: &str,
     size: usize,
     config: &str,
+    cfg: EvalConfig,
     db: &Database,
     program: &Program,
     engine_cfg: &EngineConfig,
@@ -130,10 +144,7 @@ fn engine_record(
     let mut tuples = 0;
     let mut atoms = 0;
     let wall_ms = time_ms(|| {
-        let fix = with_eval_config(EvalConfig::sequential(), || {
-            run_with(program, db, engine_cfg)
-        })
-        .expect("fixpoint");
+        let fix = with_eval_config(cfg, || run_with(program, db, engine_cfg)).expect("fixpoint");
         let tc = fix.database.get("tc").expect("tc defined");
         tuples = tc.len();
         atoms = tc.size();
@@ -148,6 +159,7 @@ fn engine_record(
         atoms,
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        cache_evictions: stats.evictions,
         cache_hit_rate: stats.hit_rate(),
     }
 }
@@ -173,6 +185,7 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
             "tc_chain",
             n,
             "engine_naive",
+            EvalConfig::sequential(),
             &db,
             &program,
             &naive,
@@ -181,6 +194,27 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
             "tc_chain",
             n,
             "engine_delta",
+            EvalConfig::sequential(),
+            &db,
+            &program,
+            &EngineConfig::default(),
+        ));
+        // Before/after rows for the kernel itself, same schedule and same
+        // engine configuration — only the tuple-kernel fast paths differ.
+        out.push(engine_record(
+            "tc_chain",
+            n,
+            "seed",
+            seed_sequential(),
+            &db,
+            &program,
+            &EngineConfig::default(),
+        ));
+        out.push(engine_record(
+            "tc_chain",
+            n,
+            "interned",
+            EvalConfig::sequential(),
             &db,
             &program,
             &EngineConfig::default(),
@@ -210,6 +244,7 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
                 atoms,
                 cache_hits: stats.hits,
                 cache_misses: stats.misses,
+                cache_evictions: stats.evictions,
                 cache_hit_rate: stats.hit_rate(),
             });
         }
@@ -222,6 +257,8 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
         for (label, cfg) in [
             ("seq", EvalConfig::sequential()),
             (par_label.as_str(), forced_parallel(threads)),
+            ("seed", seed_sequential()),
+            ("interned", EvalConfig::sequential()),
         ] {
             let db = &db;
             out.push(relation_record("fo_complement", n, label, cfg, move || {
@@ -244,6 +281,8 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
         for (label, cfg) in [
             ("seq", EvalConfig::sequential()),
             (par_label.as_str(), forced_parallel(threads)),
+            ("seed", seed_sequential()),
+            ("interned", EvalConfig::sequential()),
         ] {
             let s = &s;
             let shifted = &shifted;
@@ -273,7 +312,8 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"size\": {}, \"config\": \"{}\", \
              \"wall_ms\": {:.3}, \"tuples\": {}, \"atoms\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}{}",
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
+             \"cache_hit_rate\": {:.4}}}{}",
             json_escape(&r.experiment),
             r.size,
             json_escape(&r.config),
@@ -282,6 +322,7 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
             r.atoms,
             r.cache_hits,
             r.cache_misses,
+            r.cache_evictions,
             r.cache_hit_rate,
             if i + 1 == records.len() { "" } else { "," }
         ));
@@ -289,6 +330,109 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// One row of a committed `BENCH_results.json` baseline, as far as the
+/// regression gate needs it.
+#[derive(Debug, Clone)]
+struct BaselineRecord {
+    experiment: String,
+    size: usize,
+    config: String,
+    wall_ms: f64,
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..]
+        .find([',', '}'])
+        .map(|i| i + start)
+        .unwrap_or(line.len());
+    line[start..end].trim().parse().ok()
+}
+
+/// Parse the records array of a `BENCH_results.json` document. Relies on
+/// the one-record-per-line layout [`write_json`] emits (hand-rolled — no
+/// serde in-tree).
+fn parse_baseline_records(json: &str) -> Vec<BaselineRecord> {
+    json.lines()
+        .filter_map(|line| {
+            Some(BaselineRecord {
+                experiment: extract_str(line, "experiment")?,
+                size: extract_num(line, "size")? as usize,
+                config: extract_str(line, "config")?,
+                wall_ms: extract_num(line, "wall_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// CI regression gate: re-measure the baseline's `tc_chain`/`engine_delta`
+/// rows on this host and fail when any regresses more than 30% in wall
+/// time. Thread-scaling (`par*`) rows are skipped on 1-CPU hosts, where
+/// their timings are meaningless. Sub-millisecond deltas never fail the
+/// gate — at that scale a 30% ratio is timer noise, not a regression.
+///
+/// Returns the per-row comparison report, or an error describing every
+/// regressed row (the caller exits nonzero).
+pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let program = tc_program();
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for rec in parse_baseline_records(baseline_json) {
+        if rec.config.starts_with("par") && host == 1 {
+            report.push(format!(
+                "skip  {}/{}/{}: thread-scaling row on a 1-CPU host",
+                rec.experiment, rec.size, rec.config
+            ));
+            continue;
+        }
+        if rec.experiment != "tc_chain" || rec.config != "engine_delta" {
+            continue;
+        }
+        let db = chain_db(rec.size);
+        let new = engine_record(
+            &rec.experiment,
+            rec.size,
+            &rec.config,
+            EvalConfig::sequential(),
+            &db,
+            &program,
+            &EngineConfig::default(),
+        );
+        compared += 1;
+        let ratio = new.wall_ms / rec.wall_ms.max(f64::EPSILON);
+        let line = format!(
+            "check {}/{}/{}: baseline {:.3} ms, now {:.3} ms ({:.2}x)",
+            rec.experiment, rec.size, rec.config, rec.wall_ms, new.wall_ms, ratio
+        );
+        if ratio > 1.30 && new.wall_ms - rec.wall_ms > 0.5 {
+            failures.push(line.clone());
+        }
+        report.push(line);
+    }
+    if compared == 0 {
+        return Err("bench-compare: baseline has no tc_chain/engine_delta rows".to_string());
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "bench-compare: {} row(s) regressed >30%:\n{}",
+            failures.len(),
+            failures.join("\n")
+        ))
+    }
 }
 
 /// Recompute every workload single-threaded and with `threads` forced

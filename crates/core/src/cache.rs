@@ -10,11 +10,21 @@
 //! always happens *outside* the lock (two workers may race to decide the
 //! same tuple; both get the same verdict, one write wins — benign).
 //!
-//! Eviction is deliberately crude: when a shard exceeds its share of
-//! [`crate::par::EvalConfig::cache_capacity`], the whole shard is cleared.
-//! Satisfiability verdicts are cheap to recompute relative to the cost of
-//! an LRU chain, and fixpoint workloads re-populate the hot set within one
-//! stage.
+//! Tuples hash in O(1): `GeneralizedTuple::Hash` writes the precomputed
+//! fingerprint (see [`crate::intern`]) instead of rehashing the atom
+//! vector, and a fingerprint collision falls through to the full structural
+//! key compare inside the map — so a probe costs one mix and (almost
+//! always) one `u64` compare per bucket entry.
+//!
+//! Eviction honors [`crate::par::EvalConfig::cache_capacity`] exactly: each
+//! shard holds at most `cache_capacity / SHARDS` entries, and an insert
+//! into a full shard evicts every other entry in one sweep rather than
+//! clearing the shard. Satisfiability verdicts are cheap to recompute
+//! relative to the cost of an LRU chain, so victim choice is not worth
+//! tracking — but keeping half the hot set (instead of dropping a whole
+//! shard) matters to fixpoint workloads that straddle the capacity
+//! boundary, and the batched sweep keeps eviction amortized O(1) per
+//! insert.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
@@ -110,9 +120,20 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
         let value = compute();
         let per_shard_cap = (eval_config().cache_capacity / SHARDS).max(1);
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        if shard.map.len() >= per_shard_cap {
-            shard.evictions += shard.map.len() as u64;
-            shard.map.clear();
+        // Evict in bulk when the shard is full: drop every other entry in
+        // one `retain` sweep (amortized O(1) per insert). Evicting single
+        // arbitrary victims instead would re-scan the table's growing
+        // empty prefix on every insert at capacity — quadratic over a
+        // fixpoint run. The loop re-halves only if a capacity
+        // reconfiguration shrank the budget by more than half.
+        while shard.map.len() >= per_shard_cap {
+            let before = shard.map.len();
+            let mut i = 0u64;
+            shard.map.retain(|_, _| {
+                i += 1;
+                i.is_multiple_of(2)
+            });
+            shard.evictions += (before - shard.map.len()) as u64;
         }
         shard.map.insert(key.clone(), value.clone());
         value
@@ -203,6 +224,38 @@ mod tests {
         cache.reset();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn capacity_is_honored_per_shard_exactly() {
+        use crate::par::{with_eval_config, EvalConfig};
+        let capacity = 4 * SHARDS; // four entries per shard
+        with_eval_config(
+            EvalConfig {
+                cache_capacity: capacity,
+                ..EvalConfig::default()
+            },
+            || {
+                let cache: MemoCache<u64, u64> = MemoCache::new();
+                let inserts = 2000u64;
+                for i in 0..inserts {
+                    cache.get_or_insert_with(&i, || i);
+                    // Insert-count watermark: the cache never holds more
+                    // than its configured capacity, at any point.
+                    assert!(
+                        cache.len() <= capacity,
+                        "watermark exceeded at insert {i}: {} > {capacity}",
+                        cache.len()
+                    );
+                }
+                let stats = cache.stats();
+                assert_eq!(stats.misses, inserts);
+                // Every evicted entry is counted exactly once, so the
+                // resident count is inserts minus evictions — whole shards
+                // are never dropped.
+                assert_eq!(stats.evictions, inserts - cache.len() as u64);
+            },
+        );
     }
 
     #[test]

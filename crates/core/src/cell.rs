@@ -415,6 +415,31 @@ impl fmt::Display for CanonicalForm {
     }
 }
 
+/// The `k`-th Fubini number (ordered Bell number): the number of ordered
+/// set partitions of a `k`-element set — 1, 1, 3, 13, 75, 541, 4683, … —
+/// i.e. the number of weak orders the cell decomposition distinguishes on
+/// `k` variables within one constant gap.
+///
+/// Computed with the recurrence `a(k) = Σᵢ C(k,i)·a(k−i)` under checked
+/// arithmetic; `None` means the value overflows `usize` (so any cost
+/// estimate built on it is certainly out of budget).
+pub fn fubini(k: usize) -> Option<usize> {
+    let mut a: Vec<usize> = Vec::with_capacity(k + 1);
+    a.push(1);
+    // Pascal-style binomial row, extended as n grows.
+    for n in 1..=k {
+        let mut total: usize = 0;
+        let mut binom: usize = 1; // C(n, 0)
+        for i in 1..=n {
+            // C(n, i) = C(n, i-1) * (n - i + 1) / i  (exact at every step)
+            binom = binom.checked_mul(n - i + 1)? / i;
+            total = total.checked_add(binom.checked_mul(a[n - i])?)?;
+        }
+        a.push(total);
+    }
+    Some(a[k])
+}
+
 /// All ordered set partitions of `items` (sequences of disjoint nonempty
 /// blocks covering the set; the sequence order is the value order low→high).
 /// The count is the Fubini number: 1, 1, 3, 13, 75, … for 0, 1, 2, 3, 4
@@ -474,6 +499,21 @@ mod tests {
         assert_eq!(ordered_set_partitions(&[0, 1]).len(), 3);
         assert_eq!(ordered_set_partitions(&[0, 1, 2]).len(), 13);
         assert_eq!(ordered_set_partitions(&[0, 1, 2, 3]).len(), 75);
+    }
+
+    #[test]
+    fn fubini_closed_form_matches_enumeration_and_extends() {
+        for k in 0..=4usize {
+            let items: Vec<usize> = (0..k).collect();
+            assert_eq!(fubini(k), Some(ordered_set_partitions(&items).len()));
+        }
+        // Beyond the enumerable range: known ordered Bell numbers.
+        assert_eq!(fubini(5), Some(541));
+        assert_eq!(fubini(6), Some(4683));
+        assert_eq!(fubini(7), Some(47293));
+        // Far out the sequence overflows usize and must say so rather than
+        // saturate silently.
+        assert!(fubini(64).is_none());
     }
 
     #[test]

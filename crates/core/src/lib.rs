@@ -52,10 +52,12 @@ pub mod automorphism;
 pub mod cache;
 pub mod cell;
 pub mod database;
+pub mod intern;
 pub mod interval;
 pub mod par;
 pub mod rational;
 pub mod relation;
+pub mod sat;
 pub mod tuple;
 
 /// Convenient glob-import surface.
@@ -65,9 +67,11 @@ pub mod prelude {
     pub use crate::cache::{reset_sat_cache, sat_cache_stats, CacheStats, MemoCache};
     pub use crate::cell::{CanonicalForm, Cell, CellSpace};
     pub use crate::database::{Database, DatabaseError, Schema};
+    pub use crate::intern::{intern_atom, intern_tuple, Interned, Interner};
     pub use crate::interval::{Bound, Interval, IntervalSet};
     pub use crate::par::{eval_config, set_eval_config, with_eval_config, EvalConfig};
     pub use crate::rational::{rat, Rational};
     pub use crate::relation::GeneralizedRelation;
+    pub use crate::sat::{SatState, VarBox};
     pub use crate::tuple::GeneralizedTuple;
 }

@@ -25,6 +25,7 @@
 //! inside a parallel region executes its own sub-operations sequentially.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Tuning knobs for the parallel evaluation layer.
@@ -33,12 +34,22 @@ pub struct EvalConfig {
     /// Worker threads for data-parallel operations. `0` means "use
     /// [`std::thread::available_parallelism`]"; `1` disables parallelism.
     pub threads: usize,
-    /// Total entries a memo cache holds before a shard is evicted
+    /// Total entries a memo cache holds before eviction kicks in
     /// (see [`crate::cache`]).
     pub cache_capacity: usize,
     /// Minimum number of work units (tuple pairs, disjuncts) an operation
     /// must have before it forks; below this everything stays sequential.
     pub parallel_threshold: usize,
+    /// Carry the order-graph closure forward inside each tuple
+    /// ([`crate::sat::SatState`]), making satisfiability an O(1) flag read
+    /// instead of a per-call graph rebuild. Off reproduces the seed
+    /// kernel's batch decision procedure (with memoization).
+    pub incremental_sat: bool,
+    /// Skip tuple pairs with disjoint per-variable bounding boxes in
+    /// `intersect`/`difference`/`select` and the Datalog delta join before
+    /// any conjoin. Sound: disjoint boxes imply an unsatisfiable
+    /// conjunction, which the unpruned path would discard anyway.
+    pub prune_boxes: bool,
 }
 
 impl Default for EvalConfig {
@@ -47,6 +58,8 @@ impl Default for EvalConfig {
             threads: 0,
             cache_capacity: 1 << 16,
             parallel_threshold: 192,
+            incremental_sat: true,
+            prune_boxes: true,
         }
     }
 }
@@ -66,6 +79,23 @@ impl EvalConfig {
             threads,
             ..EvalConfig::default()
         }
+    }
+
+    /// The seed kernel: batch satisfiability (memoized order-graph rebuild
+    /// per decision) and no bounding-box pruning. Used by the benchmark
+    /// harness as the "before" configuration of the before/after pair.
+    pub fn seed_kernel() -> EvalConfig {
+        EvalConfig {
+            incremental_sat: false,
+            prune_boxes: false,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// The interned kernel: incremental [`crate::sat::SatState`]
+    /// satisfiability plus bounding-box pruning (the default).
+    pub fn interned_kernel() -> EvalConfig {
+        EvalConfig::default()
     }
 
     /// Pick a configuration from a static cost estimate (the analyzer's
@@ -97,23 +127,58 @@ static GLOBAL_CONFIG: RwLock<EvalConfig> = RwLock::new(EvalConfig {
     threads: 0,
     cache_capacity: 1 << 16,
     parallel_threshold: 192,
+    incremental_sat: true,
+    prune_boxes: true,
 });
+
+/// Bumped on every [`set_eval_config`] so per-thread snapshots of the
+/// global configuration can be validated with one relaxed atomic load
+/// instead of taking the `RwLock` on every tuple construction.
+static CONFIG_GENERATION: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static OVERRIDE: Cell<Option<EvalConfig>> = const { Cell::new(None) };
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// `(generation, snapshot)` of the global config; generation
+    /// `u64::MAX` marks the snapshot as never taken.
+    static GLOBAL_SNAPSHOT: Cell<(u64, EvalConfig)> = const {
+        Cell::new((
+            u64::MAX,
+            EvalConfig {
+                threads: 0,
+                cache_capacity: 1 << 16,
+                parallel_threshold: 192,
+                incremental_sat: true,
+                prune_boxes: true,
+            },
+        ))
+    };
 }
 
 /// Set the process-wide default configuration.
 pub fn set_eval_config(cfg: EvalConfig) {
     *GLOBAL_CONFIG.write().expect("config lock poisoned") = cfg;
+    CONFIG_GENERATION.fetch_add(1, Ordering::Release);
 }
 
 /// The configuration in effect on this thread.
+///
+/// This sits on the tuple-construction hot path, so the global default is
+/// cached per thread and revalidated with a single atomic generation load;
+/// the `RwLock` is only taken when [`set_eval_config`] has run since the
+/// last read on this thread.
 pub fn eval_config() -> EvalConfig {
-    OVERRIDE
-        .with(Cell::get)
-        .unwrap_or_else(|| *GLOBAL_CONFIG.read().expect("config lock poisoned"))
+    if let Some(cfg) = OVERRIDE.with(Cell::get) {
+        return cfg;
+    }
+    let generation = CONFIG_GENERATION.load(Ordering::Acquire);
+    let (cached_generation, cached) = GLOBAL_SNAPSHOT.with(Cell::get);
+    if cached_generation == generation {
+        return cached;
+    }
+    let cfg = *GLOBAL_CONFIG.read().expect("config lock poisoned");
+    GLOBAL_SNAPSHOT.with(|s| s.set((generation, cfg)));
+    cfg
 }
 
 /// Run `f` with `cfg` in effect on the current thread (and in any parallel
@@ -160,16 +225,23 @@ pub fn par_map_when<T: Sync, R: Send>(
     if !parallel || items.len() < 2 {
         return items.iter().map(f).collect();
     }
-    let threads = eval_config().effective_threads().min(items.len());
+    // Workers are fresh threads with no thread-local override, so the
+    // caller's effective configuration (which may be a `with_eval_config`
+    // override) is captured here and installed in each worker — parallel
+    // regions always run under the same config as the sequential path.
+    let cfg = eval_config();
+    let threads = cfg.effective_threads().min(items.len());
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<R> = Vec::with_capacity(items.len());
+    let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|c| {
-                s.spawn(|| {
+                s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
-                    c.iter().map(&f).collect::<Vec<R>>()
+                    OVERRIDE.with(|o| o.set(Some(cfg)));
+                    c.iter().map(f).collect::<Vec<R>>()
                 })
             })
             .collect();
@@ -190,18 +262,24 @@ pub fn par_map_when<T: Sync, R: Send>(
 /// "top-level" status, so the heavy algebra *inside* each unit may still
 /// fork its own regions.
 pub fn par_map_coarse<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let parallel =
-        !IN_WORKER.with(Cell::get) && eval_config().effective_threads() > 1 && items.len() >= 2;
+    let cfg = eval_config();
+    let parallel = !IN_WORKER.with(Cell::get) && cfg.effective_threads() > 1 && items.len() >= 2;
     if !parallel {
         return items.iter().map(f).collect();
     }
-    let threads = eval_config().effective_threads().min(items.len());
+    let threads = cfg.effective_threads().min(items.len());
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<R> = Vec::with_capacity(items.len());
+    let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .map(|c| {
+                s.spawn(move || {
+                    OVERRIDE.with(|o| o.set(Some(cfg)));
+                    c.iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         for h in handles {
             match h.join() {
@@ -249,6 +327,27 @@ mod tests {
         let items: Vec<usize> = (0..8).collect();
         let nested: Vec<bool> = par_map_when(true, &items, |_| should_parallelize(usize::MAX));
         assert!(nested.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn workers_inherit_thread_local_override() {
+        // A caller running under with_eval_config must see its override in
+        // the scoped worker threads too, or config-sensitive kernels (box
+        // pruning, incremental sat) would silently diverge between the
+        // sequential and parallel paths.
+        let items: Vec<usize> = (0..8).collect();
+        let seen: Vec<EvalConfig> = with_eval_config(
+            EvalConfig {
+                threads: 3,
+                cache_capacity: 12345,
+                prune_boxes: false,
+                ..EvalConfig::default()
+            },
+            || par_map_when(true, &items, |_| eval_config()),
+        );
+        assert!(seen
+            .iter()
+            .all(|cfg| cfg.cache_capacity == 12345 && !cfg.prune_boxes));
     }
 
     #[test]

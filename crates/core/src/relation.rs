@@ -11,7 +11,7 @@
 //! §4) rests on, and it holds constructively here.
 
 use crate::atom::{Atom, RawAtom, Var};
-use crate::par::{par_map, par_map_when, should_parallelize};
+use crate::par::{eval_config, par_map, par_map_when, should_parallelize};
 use crate::rational::Rational;
 use crate::tuple::GeneralizedTuple;
 
@@ -27,6 +27,20 @@ use std::fmt;
 pub struct GeneralizedRelation {
     arity: u32,
     tuples: Vec<GeneralizedTuple>,
+}
+
+/// How [`GeneralizedRelation::complement`] will evaluate, as decided by
+/// [`GeneralizedRelation::complement_strategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComplementStrategy {
+    /// Negation distribution with satisfiability and subsumption pruning.
+    /// `bailout` is the intermediate width at which the pass abandons its
+    /// work in favour of cell decomposition; `None` when the cell space is
+    /// too large to enumerate, so distribution must run unbounded.
+    Syntactic {
+        /// Maximum intermediate disjunct count before the cell fallback.
+        bailout: Option<usize>,
+    },
 }
 
 impl GeneralizedRelation {
@@ -202,11 +216,17 @@ impl GeneralizedRelation {
     /// to the sequential one.
     pub fn intersect(&self, other: &GeneralizedRelation) -> GeneralizedRelation {
         assert_eq!(self.arity, other.arity, "intersect arity mismatch");
+        let prune = eval_config().prune_boxes;
         let pairs = self.tuples.len().saturating_mul(other.tuples.len());
         let chunks = par_map_when(should_parallelize(pairs), &self.tuples, |a| {
             other
                 .tuples
                 .iter()
+                // Bounding-box pre-filter: pairs with provably disjoint
+                // boxes conjoin to an unsatisfiable tuple, which the
+                // filter below would discard anyway — skipping them here
+                // changes nothing structurally, it only avoids the work.
+                .filter(|b| !prune || !a.box_disjoint(b))
                 .map(|b| a.conjoin(b))
                 .filter(|t| t.is_satisfiable())
                 .collect::<Vec<_>>()
@@ -220,7 +240,7 @@ impl GeneralizedRelation {
 
     /// Complement with respect to `Q^k`.
     ///
-    /// Two strategies, chosen by cost estimate:
+    /// Two strategies (see [`GeneralizedRelation::complement_strategy`]):
     ///
     /// * **syntactic** — incremental distribution of the negated DNF
     ///   (`¬(t₁ ∨ … ∨ tₙ) = ¬t₁ ∧ … ∧ ¬tₙ`) with unsatisfiability and
@@ -230,39 +250,75 @@ impl GeneralizedRelation {
     /// * **cell-based** — enumerate the order-type cells over the
     ///   relation's constants and keep the non-members; linear in the cell
     ///   count, which is polynomial for fixed arity.
+    ///
+    /// Static estimates of the syntactic width are wildly pessimistic
+    /// (subsumption pruning usually collapses the distribution), so rather
+    /// than choosing up front from the estimate, the syntactic pass runs
+    /// first with a *bailout budget* derived from the cell count: if its
+    /// intermediate width ever exceeds the budget — the genuinely
+    /// exponential cases, like complements of large point sets — it
+    /// abandons the partial work and the cell path takes over. When the
+    /// cell space itself is too large to enumerate, the syntactic pass
+    /// runs unbounded (it is the only option).
     pub fn complement(&self) -> GeneralizedRelation {
-        // Estimated cell count: (2m+1)^k times the ordered-partition factor.
-        let m = self.constants().len();
-        let k = self.arity as usize;
-        let fubini = [1usize, 1, 3, 13, 75];
-        let cells_estimate = (2 * m + 1)
-            .checked_pow(self.arity)
-            .and_then(|c| c.checked_mul(fubini.get(k).copied().unwrap_or(usize::MAX)));
-        // Estimated syntactic distribution width: product of per-tuple
-        // alternative counts (capped).
-        let mut syn_estimate: usize = 1;
-        for t in &self.tuples {
-            syn_estimate = syn_estimate.saturating_mul(2 * t.len().max(1));
-            if syn_estimate > 1 << 20 {
-                break;
+        match self.complement_strategy() {
+            ComplementStrategy::Syntactic { bailout } => {
+                match self.complement_syntactic_bounded(bailout) {
+                    Some(r) => r,
+                    None => {
+                        let space = crate::cell::CellSpace::for_relations(self.arity, [self]);
+                        space.complement(self)
+                    }
+                }
             }
         }
+    }
+
+    /// The strategy [`GeneralizedRelation::complement`] will use, decided
+    /// from the cell-count estimate `(2m+1)^k · fubini(k)` (`m` constants,
+    /// arity `k`). Exposed so the choice itself is testable.
+    pub fn complement_strategy(&self) -> ComplementStrategy {
+        const CELL_LIMIT: usize = 50_000;
+        let m = self.constants().len();
+        let k = self.arity as usize;
+        let cells_estimate = (2 * m + 1)
+            .checked_pow(self.arity)
+            .and_then(|c| crate::cell::fubini(k).and_then(|f| c.checked_mul(f)));
         match cells_estimate {
-            Some(cells) if cells <= 20_000 && (syn_estimate > cells || self.len() > 6) => {
-                let space = crate::cell::CellSpace::for_relations(self.arity, [self]);
-                space.complement(self)
-            }
-            _ => self.complement_syntactic(),
+            Some(cells) if cells <= CELL_LIMIT => ComplementStrategy::Syntactic {
+                // The cell path would produce at most `cells` disjuncts; a
+                // syntactic intermediate wider than that (with slack) is
+                // evidence of genuine blowup, not pruning lag.
+                bailout: Some(cells.max(256)),
+            },
+            _ => ComplementStrategy::Syntactic { bailout: None },
         }
     }
 
     /// The syntactic complement (see [`GeneralizedRelation::complement`]).
     pub fn complement_syntactic(&self) -> GeneralizedRelation {
+        self.complement_syntactic_bounded(None)
+            .expect("unbounded syntactic complement cannot bail out")
+    }
+
+    /// Syntactic complement with an optional budget: returns `None` as soon
+    /// as the intermediate disjunct count exceeds `bailout`, or the
+    /// *cumulative projected work* — candidates examined times the width of
+    /// the subsumption-pruning scan each must pass — exceeds a multiple of
+    /// it, signalling the caller to fall back to cell decomposition. The
+    /// width check alone is not enough: on dense many-constant relations
+    /// the distribution can stay narrow (subsumption pruning collapses it)
+    /// while a single step still performs orders of magnitude more
+    /// subsumption and satisfiability work than the cell path would spend
+    /// enumerating cells — so the cost check runs *before* each step, on
+    /// its projection, not after the damage is done.
+    fn complement_syntactic_bounded(&self, bailout: Option<usize>) -> Option<GeneralizedRelation> {
+        let mut cost_seen: usize = 0;
         let mut acc: Vec<GeneralizedTuple> = vec![GeneralizedTuple::top(self.arity)];
         for t in &self.tuples {
             if t.is_empty() {
                 // ¬⊤ = ⊥
-                return GeneralizedRelation::empty(self.arity);
+                return Some(GeneralizedRelation::empty(self.arity));
             }
             // ¬t as a list of single-atom alternatives.
             let mut alts: Vec<Atom> = Vec::new();
@@ -288,6 +344,18 @@ impl GeneralizedRelation {
             // then merge sequentially in the same candidate order as the
             // sequential nested loop — the result is order-identical.
             let work = acc.len().saturating_mul(alts.len());
+            if let Some(limit) = bailout {
+                // Projected step cost: `work` candidates, each scanned
+                // against up to `acc.len()` kept disjuncts for subsumption.
+                // Two units of that per would-be cell before the cell path
+                // is declared cheaper — roughly equal-cost, since a cell
+                // costs a membership scan of the whole relation while a
+                // candidate costs one subsumption scan of the accumulator.
+                cost_seen = cost_seen.saturating_add(work.saturating_mul(acc.len()));
+                if cost_seen > limit.saturating_mul(2) {
+                    return None;
+                }
+            }
             let sat_cands = par_map_when(should_parallelize(work), &acc, |partial| {
                 alts.iter()
                     .filter_map(|alt| {
@@ -308,13 +376,18 @@ impl GeneralizedRelation {
             }
             acc = next;
             if acc.is_empty() {
-                return GeneralizedRelation::empty(self.arity);
+                return Some(GeneralizedRelation::empty(self.arity));
+            }
+            if let Some(limit) = bailout {
+                if acc.len() > limit {
+                    return None;
+                }
             }
         }
-        GeneralizedRelation {
+        Some(GeneralizedRelation {
             arity: self.arity,
             tuples: acc,
-        }
+        })
     }
 
     /// Set difference `self \ other`.
@@ -650,6 +723,48 @@ mod tests {
         let img = a.map_consts(&|r: &Rational| r * &rat(2, 1));
         assert!(img.contains_point(&[rat(20, 1)]));
         assert!(!img.contains_point(&[rat(21, 1)]));
+    }
+
+    #[test]
+    fn arity_5_strategy_uses_extended_fubini() {
+        // Pure variable-order relation of arity 5: no constants, so the
+        // cell estimate is fubini(5) = 541 — small enough to enumerate.
+        // The seed's lookup table stopped at arity 4 and saturated to
+        // usize::MAX here, wrongly forcing the unbounded syntactic path.
+        let r = GeneralizedRelation::from_raw(
+            5,
+            vec![
+                raw(v(0), RawOp::Lt, v(1)),
+                raw(v(1), RawOp::Lt, v(2)),
+                raw(v(2), RawOp::Lt, v(3)),
+                raw(v(3), RawOp::Lt, v(4)),
+            ],
+        );
+        match r.complement_strategy() {
+            ComplementStrategy::Syntactic { bailout: Some(b) } => {
+                assert!((541..=50_000).contains(&b), "budget {b} out of range")
+            }
+            s => panic!("expected cell-bounded syntactic strategy, got {s:?}"),
+        }
+        let comp = r.complement();
+        assert!(comp.contains_point(&[rat(4, 1), rat(3, 1), rat(2, 1), rat(1, 1), rat(0, 1)]));
+        assert!(!comp.contains_point(&[rat(0, 1), rat(1, 1), rat(2, 1), rat(3, 1), rat(4, 1)]));
+    }
+
+    #[test]
+    fn point_set_complement_bails_out_to_cells() {
+        // The complement of a finite point set is the classic syntactic
+        // blowup: distribution doubles per point and pruning cannot help.
+        // The bailout budget must kick in and hand over to the cell path,
+        // still producing a correct complement.
+        let pts: Vec<Vec<Rational>> = (0..8)
+            .map(|i| vec![rat(3 * i, 1), rat(3 * i + 1, 1)])
+            .collect();
+        let r = GeneralizedRelation::from_points(2, pts);
+        let comp = r.complement();
+        assert!(comp.contains_point(&[rat(1, 1), rat(1, 1)]));
+        assert!(!comp.contains_point(&[rat(0, 1), rat(1, 1)]));
+        assert!(!comp.contains_point(&[rat(21, 1), rat(22, 1)]));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * **entailment and subsumption**, used to simplify relations.
 
 use crate::atom::{Atom, CompOp, RawAtom, Term, Var};
+use crate::intern::atom_fingerprint;
 use crate::rational::Rational;
+use crate::sat::{SatState, VarBox};
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -28,10 +30,56 @@ use std::fmt;
 /// and deduplicated; the tuple is *not* guaranteed satisfiable — call
 /// [`GeneralizedTuple::is_satisfiable`] — but trivially-decidable atoms never
 /// appear (they are resolved during normalization).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Alongside the atoms the tuple carries derived state maintained
+/// incrementally by [`GeneralizedTuple::push`]:
+///
+/// * a 64-bit *fingerprint* — an order-independent combination of per-atom
+///   hashes. `Hash` writes only the fingerprint (O(1) instead of rehashing
+///   the atom vector) and `PartialEq` fast-paths on it; a fingerprint
+///   collision falls through to the full structural compare, so verdicts
+///   are never wrong;
+/// * a [`SatState`] — the order-graph closure extended atom by atom, giving
+///   O(1) satisfiability and per-variable bounding boxes (see
+///   [`crate::sat`]). Graph tracking follows
+///   [`crate::par::EvalConfig::incremental_sat`] at construction time; with
+///   it off, satisfiability uses the memoized batch solver of the seed
+///   kernel.
+///
+/// Equality, ordering and hashing are functions of `(arity, atoms)` only —
+/// the derived state never influences comparisons.
+#[derive(Clone)]
 pub struct GeneralizedTuple {
     arity: u32,
     atoms: Vec<Atom>,
+    fp: u64,
+    sat: SatState,
+}
+
+impl PartialEq for GeneralizedTuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.fp == other.fp && self.atoms == other.atoms
+    }
+}
+
+impl Eq for GeneralizedTuple {}
+
+impl PartialOrd for GeneralizedTuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GeneralizedTuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arity, &self.atoms).cmp(&(other.arity, &other.atoms))
+    }
+}
+
+impl std::hash::Hash for GeneralizedTuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint());
+    }
 }
 
 impl GeneralizedTuple {
@@ -40,6 +88,8 @@ impl GeneralizedTuple {
         GeneralizedTuple {
             arity,
             atoms: Vec::new(),
+            fp: 0,
+            sat: SatState::new(arity, crate::par::eval_config().incremental_sat),
         }
     }
 
@@ -104,6 +154,34 @@ impl GeneralizedTuple {
         self.atoms.len()
     }
 
+    /// The precomputed fingerprint: equal tuples (same arity and atoms)
+    /// always have equal fingerprints; distinct tuples collide with
+    /// probability ~2⁻⁶⁴. Stable across processes.
+    pub fn fingerprint(&self) -> u64 {
+        crate::intern::fold(self.fp, self.arity as u64)
+    }
+
+    /// The incremental satisfiability verdict carried by the tuple's
+    /// [`SatState`], or `None` when the tuple was built without graph
+    /// tracking (then [`GeneralizedTuple::is_satisfiable`] uses the batch
+    /// solver).
+    pub fn sat_verdict(&self) -> Option<bool> {
+        self.sat.verdict()
+    }
+
+    /// Per-variable interval bounding box (over-approximate, from direct
+    /// variable-vs-constant atoms). Empty slice when no such atom exists.
+    pub fn bounding_box(&self) -> &[VarBox] {
+        self.sat.boxes()
+    }
+
+    /// Whether the bounding boxes prove `self ∧ other` empty — the cheap
+    /// pre-filter used by `intersect`/`difference`/`select` and the Datalog
+    /// delta join to skip pairs before any conjoin.
+    pub fn box_disjoint(&self, other: &GeneralizedTuple) -> bool {
+        self.sat.box_disjoint(&other.sat)
+    }
+
     /// Whether the conjunction is empty (represents all of `Q^arity`).
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
@@ -121,7 +199,14 @@ impl GeneralizedTuple {
         }
         match self.atoms.binary_search(&atom) {
             Ok(_) => {}
-            Err(pos) => self.atoms.insert(pos, atom),
+            Err(pos) => {
+                self.atoms.insert(pos, atom);
+                // The fingerprint combines per-atom hashes with a wrapping
+                // sum — commutative, so it is insertion-order independent
+                // and maintainable in O(1) here.
+                self.fp = self.fp.wrapping_add(atom_fingerprint(&atom));
+                self.sat.assert_atom(&atom);
+            }
         }
     }
 
@@ -184,6 +269,11 @@ impl GeneralizedTuple {
     pub fn is_satisfiable(&self) -> bool {
         if self.atoms.len() < 2 {
             return true;
+        }
+        // Incremental fast path: a tracked SatState already carries the
+        // verdict — no graph rebuild, no cache probe.
+        if let Some(verdict) = self.sat.verdict() {
+            return verdict;
         }
         crate::cache::tuple_sat_cache().get_or_insert_with(self, || self.is_satisfiable_uncached())
     }
@@ -286,10 +376,9 @@ impl GeneralizedTuple {
     /// Widen the tuple to a larger arity (new columns unconstrained).
     pub fn widen(&self, new_arity: u32) -> GeneralizedTuple {
         assert!(new_arity >= self.arity, "widen must not shrink");
-        GeneralizedTuple {
-            arity: new_arity,
-            atoms: self.atoms.clone(),
-        }
+        // Node ids in the SatState depend on the arity, so the derived
+        // state is rebuilt by replaying the atoms.
+        GeneralizedTuple::from_atoms(new_arity, self.atoms.iter().copied())
     }
 
     /// Does this tuple entail the given atom (`self ⊨ atom`)?
@@ -317,6 +406,12 @@ impl GeneralizedTuple {
         debug_assert_eq!(self.arity, other.arity);
         if self.atoms.len() > other.atoms.len() {
             return false;
+        }
+        // Fingerprint fast path: with equal atom counts, subset means
+        // equal, which the fingerprints decide in O(1) (bar collisions,
+        // which the structural compare then resolves).
+        if self.atoms.len() == other.atoms.len() {
+            return self.fp == other.fp && self.atoms == other.atoms;
         }
         let mut it = other.atoms.iter();
         'outer: for a in &self.atoms {
@@ -348,25 +443,21 @@ impl GeneralizedTuple {
         let mut i = 0;
         while i < atoms.len() {
             let a = atoms[i];
-            let rest = GeneralizedTuple {
-                arity: self.arity,
-                atoms: atoms
+            let rest = GeneralizedTuple::from_atoms(
+                self.arity,
+                atoms
                     .iter()
                     .enumerate()
                     .filter(|&(j, _)| j != i)
-                    .map(|(_, x)| *x)
-                    .collect(),
-            };
+                    .map(|(_, x)| *x),
+            );
             if rest.entails(&a) {
                 atoms.remove(i);
             } else {
                 i += 1;
             }
         }
-        GeneralizedTuple {
-            arity: self.arity,
-            atoms,
-        }
+        GeneralizedTuple::from_atoms(self.arity, atoms)
     }
 
     /// Map all constants through a strictly monotone function (an

@@ -1,0 +1,185 @@
+//! Property tests for the hash-consed tuple kernel: the interned fast paths
+//! (fingerprints, incremental satisfiability, bounding-box pruning) must be
+//! *structurally* invisible — every algebra operation returns bit-identical
+//! relations whether the fast paths are on (`EvalConfig::interned_kernel`)
+//! or off (`EvalConfig::seed_kernel`).
+
+use dco_core::intern::intern_tuple;
+use dco_core::prelude::*;
+use proptest::prelude::*;
+
+fn arb_term(arity: u32) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..arity).prop_map(Term::var),
+        (-6i64..6).prop_map(|c| Term::cst(rat(c as i128, 1))),
+        (-12i64..12, 2i64..5).prop_map(|(n, d)| Term::cst(rat(n as i128, d as i128))),
+    ]
+}
+
+fn arb_rawop() -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        Just(RawOp::Lt),
+        Just(RawOp::Le),
+        Just(RawOp::Eq),
+        Just(RawOp::Ne),
+        Just(RawOp::Ge),
+        Just(RawOp::Gt),
+    ]
+}
+
+fn arb_raws(arity: u32) -> impl Strategy<Value = Vec<RawAtom>> {
+    prop::collection::vec(
+        (arb_term(arity), arb_rawop(), arb_term(arity))
+            .prop_map(|(l, op, r)| RawAtom::new(l, op, r)),
+        0..5,
+    )
+}
+
+fn arb_relation(arity: u32) -> impl Strategy<Value = Vec<Vec<RawAtom>>> {
+    prop::collection::vec(arb_raws(arity), 0..4)
+}
+
+/// Random *normalized* atoms — unlike [`GeneralizedTuple::from_raw`], a
+/// sequence built this way is free to pass through unsatisfiable prefixes,
+/// which is exactly what the incremental solver must detect.
+fn arb_atoms(arity: u32) -> impl Strategy<Value = Vec<Atom>> {
+    let op = prop_oneof![Just(CompOp::Lt), Just(CompOp::Le), Just(CompOp::Eq)];
+    prop::collection::vec((arb_term(arity), op, arb_term(arity)), 0..6).prop_map(|triples| {
+        triples
+            .into_iter()
+            .flat_map(|(l, op, r)| Atom::normalized(l, op, r).into_iter().flatten())
+            .collect()
+    })
+}
+
+/// Materialize the raw description under the *current* EvalConfig (tuple
+/// construction decides sat-state tracking at creation time, so building
+/// inside the config scope matters).
+fn build(arity: u32, raws: &[Vec<RawAtom>]) -> GeneralizedRelation {
+    let mut rel = GeneralizedRelation::empty(arity);
+    for rs in raws {
+        for t in GeneralizedTuple::from_raw(arity, rs.clone()) {
+            rel.insert(t);
+        }
+    }
+    rel
+}
+
+/// Run `f` under both kernel configs and assert the results are
+/// structurally identical (same tuples, same order — not merely
+/// equivalent point sets).
+fn assert_configs_agree(
+    arity: u32,
+    raws_a: &[Vec<RawAtom>],
+    raws_b: &[Vec<RawAtom>],
+    f: impl Fn(&GeneralizedRelation, &GeneralizedRelation) -> GeneralizedRelation,
+) {
+    let seed = with_eval_config(EvalConfig::seed_kernel(), || {
+        let a = build(arity, raws_a);
+        let b = build(arity, raws_b);
+        f(&a, &b)
+    });
+    let interned = with_eval_config(EvalConfig::interned_kernel(), || {
+        let a = build(arity, raws_a);
+        let b = build(arity, raws_b);
+        f(&a, &b)
+    });
+    assert_eq!(
+        seed.tuples(),
+        interned.tuples(),
+        "seed and interned kernels diverged structurally"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- interned ≡ uninterned, structurally, for every core op ------
+
+    #[test]
+    fn kernels_agree_on_intersect(a in arb_relation(2), b in arb_relation(2)) {
+        assert_configs_agree(2, &a, &b, |x, y| x.intersect(y));
+    }
+
+    #[test]
+    fn kernels_agree_on_difference(a in arb_relation(2), b in arb_relation(2)) {
+        assert_configs_agree(2, &a, &b, |x, y| x.difference(y));
+    }
+
+    #[test]
+    fn kernels_agree_on_complement(a in arb_relation(2)) {
+        assert_configs_agree(2, &a, &[], |x, _| x.complement());
+    }
+
+    #[test]
+    fn kernels_agree_on_select_and_project(a in arb_relation(2)) {
+        assert_configs_agree(2, &a, &[], |x, _| {
+            x.select(RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)))
+                .project_out(Var(1))
+        });
+    }
+
+    // ---- incremental SatState ≡ batch solver on random prefixes ------
+
+    #[test]
+    fn incremental_verdict_matches_batch_on_prefixes(atoms in arb_atoms(3)) {
+        with_eval_config(EvalConfig::interned_kernel(), || {
+            let mut t = GeneralizedTuple::top(3);
+            for atom in atoms {
+                t.push(atom);
+                let verdict = t.sat_verdict().expect("interned kernel tracks sat state");
+                prop_assert_eq!(
+                    verdict,
+                    t.is_satisfiable_uncached(),
+                    "prefix {} disagrees with the batch solver",
+                    &t
+                );
+            }
+        });
+    }
+
+    // ---- box pruning never changes intersect results -----------------
+
+    #[test]
+    fn box_pruned_intersect_matches_unpruned(a in arb_relation(2), b in arb_relation(2)) {
+        let unpruned = with_eval_config(
+            EvalConfig { prune_boxes: false, ..EvalConfig::default() },
+            || build(2, &a).intersect(&build(2, &b)),
+        );
+        let pruned = with_eval_config(
+            EvalConfig { prune_boxes: true, ..EvalConfig::default() },
+            || build(2, &a).intersect(&build(2, &b)),
+        );
+        prop_assert_eq!(unpruned.tuples(), pruned.tuples());
+    }
+
+    // ---- boxes are sound over-approximations -------------------------
+
+    #[test]
+    fn box_disjoint_implies_empty_conjunction(a in arb_raws(2), b in arb_raws(2)) {
+        for ta in GeneralizedTuple::from_raw(2, a.clone()) {
+            for tb in GeneralizedTuple::from_raw(2, b.clone()) {
+                if ta.box_disjoint(&tb) {
+                    prop_assert!(
+                        !ta.conjoin(&tb).is_satisfiable(),
+                        "box-disjoint pair {} / {} is satisfiable together",
+                        &ta, &tb
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- fingerprints & interning ------------------------------------
+
+    #[test]
+    fn equal_tuples_share_fingerprint_and_handle(raws in arb_raws(2)) {
+        for t in GeneralizedTuple::from_raw(2, raws.clone()) {
+            // Rebuild through a different construction path: atom replay.
+            let rebuilt = GeneralizedTuple::from_atoms(2, t.atoms().iter().copied());
+            prop_assert_eq!(&rebuilt, &t);
+            prop_assert_eq!(rebuilt.fingerprint(), t.fingerprint());
+            prop_assert!(intern_tuple(&t).ptr_eq(&intern_tuple(&rebuilt)));
+        }
+    }
+}

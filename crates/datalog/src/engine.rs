@@ -188,6 +188,13 @@ pub fn run_with(
     };
 
     let mut stats = EngineStats::default();
+    // Per-predicate set of delta tuples already folded into (or found
+    // covered by) the store in an earlier stage. Handles are hash-consed
+    // ([`intern_tuple`]), so membership costs one fingerprint probe and a
+    // pointer compare — the store is inflationary, so a tuple seen once is
+    // covered forever and never needs the O(|store|) subsumption scan again.
+    let mut seen: BTreeMap<String, std::collections::HashSet<Interned<GeneralizedTuple>>> =
+        BTreeMap::new();
     loop {
         if stats.stages >= config.max_stages {
             return Err(EngineError::StageLimit(config.max_stages));
@@ -242,26 +249,55 @@ pub fn run_with(
                             .filter(|pt| !old.contains_point(pt))
                             .collect::<Vec<_>>(),
                     ),
-                    None => GeneralizedRelation::from_tuples(
-                        delta.arity(),
-                        delta
-                            .tuples()
-                            .iter()
-                            .filter(|t| !old.tuples().iter().any(|u| u.subsumes(t)))
-                            .cloned(),
-                    ),
+                    None => {
+                        let prune = eval_config().prune_boxes;
+                        let covered = seen.entry(p.clone()).or_default();
+                        let fresh = GeneralizedRelation::from_tuples(
+                            delta.arity(),
+                            delta
+                                .tuples()
+                                .iter()
+                                .filter(|t| {
+                                    if covered.contains(&intern_tuple(t)) {
+                                        return false;
+                                    }
+                                    // A store tuple whose bounding box is
+                                    // disjoint from `t`'s cannot contain it;
+                                    // skip the subsumption test for such
+                                    // pairs.
+                                    !old.tuples()
+                                        .iter()
+                                        .any(|u| (!prune || !u.box_disjoint(t)) && u.subsumes(t))
+                                })
+                                .cloned(),
+                        );
+                        // Every delta tuple is covered from here on: the
+                        // subsumed ones already were, the fresh ones are
+                        // merged into the store below.
+                        for t in delta.tuples() {
+                            covered.insert(intern_tuple(t));
+                        }
+                        fresh
+                    }
                 };
                 if fresh.is_empty() {
                     store.set(&delta_name(p), fresh).expect("schema matches");
                     continue;
                 }
                 changed = true;
-                let merged = old.union(&fresh);
-                let merged = if config.simplify && merged.as_points().is_none() {
-                    merged.simplify()
+                // Simplify only the fresh part before merging: every store
+                // tuple was simplified when it was first folded in, so
+                // re-simplifying the whole accumulated store each stage is
+                // O(|store|) work per stage for no semantic gain — on chain
+                // workloads it dominates the fixpoint wall clock. Union's
+                // insert still prunes syntactic subsumption between old and
+                // fresh in both directions.
+                let fresh = if config.simplify && fresh.as_points().is_none() {
+                    fresh.simplify()
                 } else {
-                    merged
+                    fresh
                 };
+                let merged = old.union(&fresh);
                 store.set(p, merged).expect("schema matches");
                 store.set(&delta_name(p), fresh).expect("schema matches");
             }

@@ -271,4 +271,17 @@ proptest! {
         .expect("evaluates");
         prop_assert_eq!(seq, par, "parallel DNF diverges for {}", f);
     }
+
+    #[test]
+    fn interned_kernel_identical_to_seed_kernel(f in arb_formula(2), db in arb_db()) {
+        // The fast paths (incremental satisfiability, box-pruned joins)
+        // must be structurally invisible to FO evaluation: same canonical
+        // DNF, not merely the same point set.
+        let ctx = vec!["x".to_string(), "y".to_string()];
+        let seed = with_eval_config(EvalConfig::seed_kernel(), || eval_in_ctx(&db, &f, &ctx))
+            .expect("evaluates");
+        let interned = with_eval_config(EvalConfig::interned_kernel(), || eval_in_ctx(&db, &f, &ctx))
+            .expect("evaluates");
+        prop_assert_eq!(seed, interned, "kernel configs diverge for {}", f);
+    }
 }

@@ -8,9 +8,11 @@
 //! pruning keeps the quadratic growth of each step in check.
 
 use crate::atom::{LinAtom, NormalizedAtom};
-use dco_core::prelude::{CompOp, MemoCache, Rational};
+use dco_core::intern::{fold, fold_rational, Fingerprinted};
+use dco_core::prelude::{CompOp, MemoCache, Rational, VarBox};
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
 /// Process-wide memo cache for [`LinTuple::is_satisfiable`] — the
@@ -21,12 +23,75 @@ pub fn lin_sat_cache() -> &'static MemoCache<LinTuple, bool> {
     CACHE.get_or_init(MemoCache::new)
 }
 
+/// Order-independent fingerprint of a linear atom: a SplitMix64 chain over
+/// the comparison op, the (fixed-length) coefficient vector, and the
+/// constant. Mirrors [`dco_core::intern::atom_fingerprint`] for the linear
+/// fragment.
+pub fn lin_atom_fingerprint(a: &LinAtom) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    h = fold(
+        h,
+        match a.op() {
+            CompOp::Lt => 1,
+            CompOp::Le => 2,
+            CompOp::Eq => 3,
+        },
+    );
+    for c in a.coeffs() {
+        h = fold_rational(h, c);
+    }
+    fold_rational(h, a.constant())
+}
+
 /// A satisfiability-undecided conjunction of linear atoms over
 /// columns `0..arity`. The empty conjunction is all of `Q^arity`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+///
+/// Carries a precomputed, order-independent fingerprint (wrapping sum of
+/// per-atom hashes) so hashing is O(1) and equality fast-paths on one `u64`
+/// compare, plus per-column interval bounding boxes derived from
+/// single-variable atoms so join loops can skip box-disjoint pairs before
+/// running Fourier–Motzkin. Both are maintained incrementally by [`push`]
+/// (`LinTuple::push`).
+#[derive(Clone, Debug)]
 pub struct LinTuple {
     arity: u32,
     atoms: Vec<LinAtom>,
+    fp: u64,
+    boxes: Vec<VarBox>,
+}
+
+impl PartialEq for LinTuple {
+    fn eq(&self, other: &LinTuple) -> bool {
+        // Fingerprint mismatch settles inequality in one compare; on a
+        // match the full structural check guards against collisions.
+        self.arity == other.arity && self.fp == other.fp && self.atoms == other.atoms
+    }
+}
+
+impl Eq for LinTuple {}
+
+impl PartialOrd for LinTuple {
+    fn partial_cmp(&self, other: &LinTuple) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LinTuple {
+    fn cmp(&self, other: &LinTuple) -> std::cmp::Ordering {
+        (self.arity, &self.atoms).cmp(&(other.arity, &other.atoms))
+    }
+}
+
+impl Hash for LinTuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint());
+    }
+}
+
+impl Fingerprinted for LinTuple {
+    fn fingerprint(&self) -> u64 {
+        LinTuple::fingerprint(self)
+    }
 }
 
 impl LinTuple {
@@ -35,6 +100,8 @@ impl LinTuple {
         LinTuple {
             arity,
             atoms: Vec::new(),
+            fp: 0,
+            boxes: Vec::new(),
         }
     }
 
@@ -67,13 +134,74 @@ impl LinTuple {
         self.atoms.is_empty()
     }
 
-    /// Insert keeping sorted/dedup invariant.
+    /// Insert keeping sorted/dedup invariant; maintains the fingerprint and
+    /// the per-column bounding boxes incrementally.
     pub fn push(&mut self, atom: LinAtom) {
         assert_eq!(atom.arity(), self.arity, "atom arity mismatch");
         match self.atoms.binary_search(&atom) {
             Ok(_) => {}
-            Err(pos) => self.atoms.insert(pos, atom),
+            Err(pos) => {
+                self.fp = self.fp.wrapping_add(lin_atom_fingerprint(&atom));
+                self.update_box(&atom);
+                self.atoms.insert(pos, atom);
+            }
         }
+    }
+
+    /// If `atom` constrains exactly one column, fold it into that column's
+    /// bounding box: `c·x + k op 0` is `x op' -k/c` with the comparison
+    /// flipped when `c < 0`.
+    fn update_box(&mut self, atom: &LinAtom) {
+        let mut solo: Option<usize> = None;
+        for (j, c) in atom.coeffs().iter().enumerate() {
+            if !c.is_zero() {
+                if solo.is_some() {
+                    return; // two columns involved: not a box constraint
+                }
+                solo = Some(j);
+            }
+        }
+        let Some(j) = solo else { return };
+        let c = atom.coeffs()[j];
+        let bound = -(atom.constant() / &c);
+        if self.boxes.is_empty() {
+            self.boxes = vec![VarBox::default(); self.arity as usize];
+        }
+        match atom.op() {
+            CompOp::Eq => {
+                self.boxes[j].tighten_lo(bound, false);
+                self.boxes[j].tighten_hi(bound, false);
+            }
+            op => {
+                let strict = op == CompOp::Lt;
+                if c.is_positive() {
+                    self.boxes[j].tighten_hi(bound, strict);
+                } else {
+                    self.boxes[j].tighten_lo(bound, strict);
+                }
+            }
+        }
+    }
+
+    /// Order-independent structural fingerprint (see [`lin_atom_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        fold(self.fp, self.arity as u64)
+    }
+
+    /// Per-column interval over-approximation derived from single-variable
+    /// atoms; empty slice when no column has a direct bound.
+    pub fn bounding_box(&self) -> &[VarBox] {
+        &self.boxes
+    }
+
+    /// Whether some column's bounding boxes are disjoint — a sound proof
+    /// that `self.conjoin(other)` is unsatisfiable, decided without running
+    /// Fourier–Motzkin.
+    pub fn box_disjoint(&self, other: &LinTuple) -> bool {
+        self.boxes
+            .iter()
+            .zip(other.boxes.iter())
+            .any(|(a, b)| a.disjoint(b))
     }
 
     /// Conjoin.
@@ -164,6 +292,11 @@ impl LinTuple {
         if self.atoms.is_empty() {
             return true;
         }
+        // An empty bounding box on any column refutes the conjunction
+        // without touching the cache or Fourier–Motzkin.
+        if self.boxes.iter().any(|b| b.disjoint(b)) {
+            return false;
+        }
         lin_sat_cache().get_or_insert_with(self, || self.is_satisfiable_uncached())
     }
 
@@ -215,6 +348,11 @@ impl LinTuple {
         if self.atoms.len() > other.atoms.len() {
             return false;
         }
+        if self.atoms.len() == other.atoms.len() {
+            // Equal length makes subsumption equality; fingerprints decide
+            // it in one compare (full check on the rare collision).
+            return self.fp == other.fp && self.atoms == other.atoms;
+        }
         let mut it = other.atoms.iter();
         'outer: for a in &self.atoms {
             for b in it.by_ref() {
@@ -229,12 +367,11 @@ impl LinTuple {
         true
     }
 
-    /// Widen to a larger arity.
+    /// Widen to a larger arity. Rebuilds through [`LinTuple::from_atoms`]
+    /// because the fingerprint folds the full coefficient vector, whose
+    /// length changes with the arity.
     pub fn widen(&self, new_arity: u32) -> LinTuple {
-        LinTuple {
-            arity: new_arity,
-            atoms: self.atoms.iter().map(|a| a.widen(new_arity)).collect(),
-        }
+        LinTuple::from_atoms(new_arity, self.atoms.iter().map(|a| a.widen(new_arity)))
     }
 
     /// Rename columns into a target arity.
@@ -412,6 +549,44 @@ mod tests {
         let t = LinTuple::from_atoms(2, vec![atom(&[1, -1], 0, CompOp::Le)]);
         let e = t.eliminate(1).unwrap();
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn boxes_from_single_variable_atoms_detect_disjointness() {
+        // x <= 1 (coeff +1) vs x >= 2 (coeff -1): boxes [..,1] and [2,..].
+        let low = LinTuple::from_atoms(2, vec![atom(&[1, 0], -1, CompOp::Le)]);
+        let high = LinTuple::from_atoms(2, vec![atom(&[-1, 0], 2, CompOp::Le)]);
+        assert!(low.box_disjoint(&high));
+        assert!(!low.conjoin(&high).is_satisfiable());
+        // Two-column atoms contribute nothing to boxes: x + y <= 0 vs x + y >= 1
+        // overlap as boxes (both unconstrained) even though unsat together.
+        let a = LinTuple::from_atoms(2, vec![atom(&[1, 1], 0, CompOp::Le)]);
+        let b = LinTuple::from_atoms(2, vec![atom(&[-1, -1], 1, CompOp::Le)]);
+        assert!(!a.box_disjoint(&b));
+        assert!(!a.conjoin(&b).is_satisfiable());
+    }
+
+    #[test]
+    fn negative_coefficient_flips_box_side() {
+        // -2x + 6 <= 0 is x >= 3: a lower bound despite the Le op.
+        let t = LinTuple::from_atoms(1, vec![atom(&[-2], 6, CompOp::Le)]);
+        let hi = LinTuple::from_atoms(1, vec![atom(&[1], -2, CompOp::Lt)]); // x < 2
+        assert!(t.box_disjoint(&hi));
+        assert!(t.contains_point(&pt(&[3])));
+    }
+
+    #[test]
+    fn fingerprint_is_construction_order_independent() {
+        let a = atom(&[1, 0], -1, CompOp::Le);
+        let b = atom(&[0, 1], -2, CompOp::Lt);
+        let ab = LinTuple::from_atoms(2, vec![a.clone(), b.clone()]);
+        let ba = LinTuple::from_atoms(2, vec![b, a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+        // widen rebuilds the fingerprint over the padded coefficient vectors
+        let w = ab.widen(3);
+        assert_eq!(w, ab.widen(3));
+        assert_ne!(w.fingerprint(), ab.fingerprint());
     }
 
     #[test]
