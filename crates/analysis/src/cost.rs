@@ -10,6 +10,7 @@
 //! evaluation work is spent.
 
 use crate::diagnostic::{Diagnostic, Span};
+use dco_core::guard::GuardLimits;
 use dco_core::prelude::Rational;
 use dco_logic::datalog::{Literal, Rule};
 use dco_logic::{ArgTerm, Formula, LinExpr};
@@ -132,6 +133,46 @@ pub fn predicted_cells(constants: usize, vars: usize) -> u128 {
         return u128::MAX;
     };
     base.saturating_pow(exp)
+}
+
+/// Default runtime guard budgets derived from the static cost estimate —
+/// the bridge between the *predictive* cost pass and the *enforcing* guard
+/// layer (`dco_core::guard`).
+///
+/// The tuple budget is a generous multiple of the predicted cell count:
+/// the cell-decomposition path materializes at most `cells` disjuncts per
+/// operation, and the syntactic paths normally far fewer, so an evaluation
+/// that charges past the multiple is genuinely off the predicted envelope
+/// rather than merely unlucky. The atom budget scales from the tuple
+/// budget (normalized dense-order tuples hold O(k²) atoms, and the bench
+/// workloads sit well under 16 per disjunct). Budgets are floored so tiny
+/// queries keep headroom for intermediate blowup, and capped so a
+/// saturated estimate still yields an *enforceable* guard instead of an
+/// unlimited one.
+///
+/// No deadline is set here: budgets are deterministic across machines,
+/// wall clocks are not, so deadlines are left to callers that own one
+/// (request handlers, the bench harness).
+pub fn suggested_limits(constants: usize, vars: usize) -> GuardLimits {
+    let cells = predicted_cells(constants, vars);
+    let tuples = u64::try_from(cells.saturating_mul(64))
+        .unwrap_or(u64::MAX)
+        .clamp(100_000, 50_000_000);
+    let atoms = tuples.saturating_mul(16);
+    GuardLimits::none()
+        .with_max_tuples(tuples)
+        .with_max_atoms(atoms)
+}
+
+/// [`suggested_limits`] computed from a formula and the database constants
+/// it will run against.
+pub fn suggested_limits_for_formula(
+    formula: &Formula,
+    db_constants: impl IntoIterator<Item = Rational>,
+) -> GuardLimits {
+    let mut constants = constants_of_formula(formula);
+    constants.extend(db_constants);
+    suggested_limits(constants.len(), all_vars(formula).len())
 }
 
 /// Bound a formula's alternation depth and predicted cells (DCO501/DCO502).

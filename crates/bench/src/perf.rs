@@ -39,6 +39,12 @@ pub struct PerfRecord {
     pub cache_evictions: u64,
     /// `hits / (hits + misses)`, 0.0 when the cache was untouched.
     pub cache_hit_rate: f64,
+    /// Guarded runs that tripped a limit and returned a typed fault
+    /// instead of a result (0 for unguarded rows).
+    pub aborted: u64,
+    /// Parallel workers that panicked and were retried sequentially by
+    /// the guard layer (0 for unguarded rows).
+    pub worker_retries: u64,
 }
 
 /// Median of three timed runs, in milliseconds.
@@ -128,6 +134,8 @@ fn relation_record(
         cache_misses: stats.misses,
         cache_evictions: stats.evictions,
         cache_hit_rate: stats.hit_rate(),
+        aborted: 0,
+        worker_retries: 0,
     }
 }
 
@@ -161,6 +169,8 @@ fn engine_record(
         cache_misses: stats.misses,
         cache_evictions: stats.evictions,
         cache_hit_rate: stats.hit_rate(),
+        aborted: 0,
+        worker_retries: 0,
     }
 }
 
@@ -246,6 +256,8 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
                 cache_misses: stats.misses,
                 cache_evictions: stats.evictions,
                 cache_hit_rate: stats.hit_rate(),
+                aborted: 0,
+                worker_retries: 0,
             });
         }
     }
@@ -295,7 +307,103 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
             ));
         }
     }
+
+    // Guard-layer accounting: the same tc fixpoint under a no-limit guard
+    // (probe overhead + containment, fault-free) and under a deliberately
+    // tight tuple budget (every run aborts with a typed fault). The
+    // `aborted` and `worker_retries` columns let the regression gate tell
+    // a cancelled run from a slow one.
+    for &n in tc_sizes {
+        let db = chain_db(n);
+        out.push(guarded_engine_record(
+            "tc_chain", n, "guarded", &db, &program,
+        ));
+        out.push(guarded_abort_record("tc_chain", n, &db, &program));
+    }
     out
+}
+
+/// Fault-free guarded row: unguarded-identical result, plus the guard's
+/// own retry counter.
+fn guarded_engine_record(
+    experiment: &str,
+    size: usize,
+    config: &str,
+    db: &Database,
+    program: &Program,
+) -> PerfRecord {
+    reset_sat_cache();
+    let mut tuples = 0;
+    let mut atoms = 0;
+    let mut retries = 0;
+    let wall_ms = time_ms(|| {
+        let g =
+            dco::datalog::try_run_with(program, db, &EngineConfig::default(), GuardLimits::none())
+                .expect("fault-free guarded fixpoint");
+        let tc = g.value.database.get("tc").expect("tc defined");
+        tuples = tc.len();
+        atoms = tc.size();
+        retries = g.stats.worker_retries;
+    });
+    let stats = sat_cache_stats();
+    PerfRecord {
+        experiment: experiment.to_string(),
+        size,
+        config: config.to_string(),
+        wall_ms,
+        tuples,
+        atoms,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_evictions: stats.evictions,
+        cache_hit_rate: stats.hit_rate(),
+        aborted: 0,
+        worker_retries: retries,
+    }
+}
+
+/// Deliberately-aborted guarded row: a tuple budget of 1 trips on every
+/// run; `wall_ms` is time-to-fault and `aborted` counts the trips.
+fn guarded_abort_record(
+    experiment: &str,
+    size: usize,
+    db: &Database,
+    program: &Program,
+) -> PerfRecord {
+    reset_sat_cache();
+    let mut aborted = 0u64;
+    let mut retries = 0u64;
+    let wall_ms = time_ms(|| {
+        match dco::datalog::try_run_with(
+            program,
+            db,
+            &EngineConfig::default(),
+            GuardLimits::none().with_max_tuples(1),
+        ) {
+            Ok(g) => retries += g.stats.worker_retries,
+            Err(e) => {
+                aborted += 1;
+                if let dco::datalog::TryRunError::Fault(f) = e {
+                    retries += f.stats.worker_retries;
+                }
+            }
+        }
+    });
+    let stats = sat_cache_stats();
+    PerfRecord {
+        experiment: experiment.to_string(),
+        size,
+        config: "guarded_abort".to_string(),
+        wall_ms,
+        tuples: 0,
+        atoms: 0,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_evictions: stats.evictions,
+        cache_hit_rate: stats.hit_rate(),
+        aborted,
+        worker_retries: retries,
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -313,7 +421,7 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
             "    {{\"experiment\": \"{}\", \"size\": {}, \"config\": \"{}\", \
              \"wall_ms\": {:.3}, \"tuples\": {}, \"atoms\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
-             \"cache_hit_rate\": {:.4}}}{}",
+             \"cache_hit_rate\": {:.4}, \"aborted\": {}, \"worker_retries\": {}}}{}",
             json_escape(&r.experiment),
             r.size,
             json_escape(&r.config),
@@ -324,6 +432,8 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
             r.cache_misses,
             r.cache_evictions,
             r.cache_hit_rate,
+            r.aborted,
+            r.worker_retries,
             if i + 1 == records.len() { "" } else { "," }
         ));
         out.push('\n');
@@ -340,6 +450,8 @@ struct BaselineRecord {
     size: usize,
     config: String,
     wall_ms: f64,
+    /// Guard trips in the baseline row (absent in pre-guard baselines = 0).
+    aborted: u64,
 }
 
 fn extract_str(line: &str, key: &str) -> Option<String> {
@@ -370,6 +482,7 @@ fn parse_baseline_records(json: &str) -> Vec<BaselineRecord> {
                 size: extract_num(line, "size")? as usize,
                 config: extract_str(line, "config")?,
                 wall_ms: extract_num(line, "wall_ms")?,
+                aborted: extract_num(line, "aborted").unwrap_or(0.0) as u64,
             })
         })
         .collect()
@@ -394,6 +507,15 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             report.push(format!(
                 "skip  {}/{}/{}: thread-scaling row on a 1-CPU host",
                 rec.experiment, rec.size, rec.config
+            ));
+            continue;
+        }
+        if rec.aborted > 0 {
+            // An aborted (guard-tripped) run measures time-to-fault, not
+            // throughput: never a regression signal.
+            report.push(format!(
+                "skip  {}/{}/{}: {} aborted run(s), cancellation not regression",
+                rec.experiment, rec.size, rec.config, rec.aborted
             ));
             continue;
         }

@@ -61,6 +61,37 @@
 //! let out = checked_run(&p, &db).unwrap();
 //! assert_eq!(out.pruned_rules, 1); // warning DCO401, line 2
 //! ```
+//!
+//! ## Fault-tolerant evaluation
+//!
+//! Every evaluator also has a `try_*` variant that runs under a runtime
+//! guard ([`core::guard`]): deadlines, tuple/atom budgets, cooperative
+//! cancellation, checked arithmetic, and panic containment. A fault-free
+//! guarded run returns exactly the unguarded result plus
+//! [`core::guard::GuardStats`];
+//! any trip comes back as a typed fault, never a process abort:
+//!
+//! ```
+//! use dco::prelude::*;
+//! use std::time::Duration;
+//!
+//! let db = Database::new(Schema::new());
+//! // Fault-free: identical to the unguarded evaluator, plus stats.
+//! let out = try_eval_str(&db, "exists x . (0 < x & x < 1)").unwrap();
+//! assert_eq!(out.value.as_bool(), Some(true));
+//!
+//! // A zero deadline trips deterministically with a typed error.
+//! let limits = GuardLimits::none().with_deadline(Duration::ZERO);
+//! let formula = parse_formula("exists x . (0 < x & x < 1)").unwrap();
+//! let err = dco::fo::try_eval_with(&db, &formula, limits).unwrap_err();
+//! assert!(matches!(
+//!     err,
+//!     dco::fo::TryEvalError::Fault(GuardError {
+//!         kind: GuardErrorKind::DeadlineExceeded { .. },
+//!         ..
+//!     })
+//! ));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -81,8 +112,14 @@ pub mod prelude {
         analyze_formula, analyze_program, has_errors, AnalysisOptions, Diagnostic, Severity,
     };
     pub use dco_core::prelude::*;
-    pub use dco_datalog::{checked_run, checked_run_stratified, parse_program, run as run_datalog};
-    pub use dco_fo::{checked_eval, checked_eval_str, eval as eval_fo, eval_str as eval_fo_str};
-    pub use dco_linear::{eval_linear, eval_linear_str};
+    pub use dco_datalog::{
+        checked_run, checked_run_stratified, parse_program, run as run_datalog,
+        try_run as try_run_datalog, try_run_stratified,
+    };
+    pub use dco_fo::{
+        checked_eval, checked_eval_str, eval as eval_fo, eval_str as eval_fo_str, try_eval,
+        try_eval_str,
+    };
+    pub use dco_linear::{eval_linear, eval_linear_str, try_eval_linear, try_eval_linear_str};
     pub use dco_logic::{parse_formula, Formula};
 }

@@ -25,6 +25,14 @@
 //! shard) matters to fixpoint workloads that straddle the capacity
 //! boundary, and the batched sweep keeps eviction amortized O(1) per
 //! insert.
+//!
+//! Shard locks are *poison-tolerant*: a worker unwinding through a guard
+//! abort (or any panic) while holding a shard lock leaves the shard in a
+//! trivially consistent state — the critical sections only touch a map
+//! entry and plain counters, and values are computed before insertion and
+//! never mutated in place — so later evaluations recover the inner state
+//! instead of propagating `PoisonError`. An aborted evaluation can at
+//! worst have added *correct* memo entries (the chaos suite asserts this).
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
@@ -110,7 +118,10 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
     /// `compute` runs without any lock held.
     pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
         {
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            let mut shard = self
+                .shard(key)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(v) = shard.map.get(key).cloned() {
                 shard.hits += 1;
                 return v;
@@ -119,7 +130,10 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
         }
         let value = compute();
         let per_shard_cap = (eval_config().cache_capacity / SHARDS).max(1);
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Evict in bulk when the shard is full: drop every other entry in
         // one `retain` sweep (amortized O(1) per insert). Evicting single
         // arbitrary victims instead would re-scan the table's growing
@@ -143,7 +157,9 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            let s = shard.lock().expect("cache shard poisoned");
+            let s = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             total.hits += s.hits;
             total.misses += s.misses;
             total.evictions += s.evictions;
@@ -155,7 +171,9 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
     /// so hit rates are attributable to one workload).
     pub fn reset(&self) {
         for shard in &self.shards {
-            let mut s = shard.lock().expect("cache shard poisoned");
+            let mut s = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             s.map.clear();
             s.hits = 0;
             s.misses = 0;
@@ -167,7 +185,12 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoCache<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
             .sum()
     }
 

@@ -142,6 +142,10 @@ impl CellSpace {
                         }
                     }
                 }
+                // Guard probe: one hit per cell split; cell decomposition
+                // is the polynomial-but-large fallback path, so the tuple
+                // budget also counts cells materialized here.
+                crate::guard::probe_charge(crate::guard::ProbeSite::CellSplit, 1, 0);
                 cells.push(Cell { positions });
                 // advance choice
                 let mut g = 0;

@@ -19,7 +19,10 @@
 //! * schemas and database instances ([`database`]);
 //! * a parallel evaluation layer — scoped-thread data parallelism gated by
 //!   an [`par::EvalConfig`] — and a memoized satisfiability cache ([`par`],
-//!   [`cache`]).
+//!   [`cache`]);
+//! * a runtime resource governor — deadlines, tuple/atom budgets,
+//!   cooperative cancellation, panic containment, and a deterministic
+//!   fault-injection harness for chaos testing ([`guard`]).
 //!
 //! Everything downstream — the FO, FO+, Datalog¬ and C-CALC evaluators, the
 //! encodings, the spatial layer and the experiment harness — builds on these
@@ -52,6 +55,8 @@ pub mod automorphism;
 pub mod cache;
 pub mod cell;
 pub mod database;
+#[deny(clippy::unwrap_used)]
+pub mod guard;
 pub mod intern;
 pub mod interval;
 pub mod par;
@@ -67,6 +72,10 @@ pub mod prelude {
     pub use crate::cache::{reset_sat_cache, sat_cache_stats, CacheStats, MemoCache};
     pub use crate::cell::{CanonicalForm, Cell, CellSpace};
     pub use crate::database::{Database, DatabaseError, Schema};
+    pub use crate::guard::{
+        run_guarded, BudgetKind, CancelToken, EvalError as GuardError,
+        EvalErrorKind as GuardErrorKind, EvalGuard, GuardLimits, GuardStats, Guarded, ProbeSite,
+    };
     pub use crate::intern::{intern_atom, intern_tuple, Interned, Interner};
     pub use crate::interval::{Bound, Interval, IntervalSet};
     pub use crate::par::{eval_config, set_eval_config, with_eval_config, EvalConfig};

@@ -23,10 +23,21 @@
 //! Worker threads never parallelize further ([`should_parallelize`] is
 //! `false` inside a worker), so nesting is bounded: an operation running
 //! inside a parallel region executes its own sub-operations sequentially.
+//!
+//! Workers also inherit the spawning thread's [`crate::guard::EvalGuard`],
+//! so deadlines, budgets and cancellation are global to the evaluation,
+//! and worker panics are *contained*: a panicked chunk is retried once
+//! sequentially on the parent thread (transient faults recover invisibly,
+//! modulo a `worker_retries` counter), and only a second failure is
+//! reported — as a typed `WorkerPanicked` fault under a guard, or by
+//! propagating the panic as the seed did when unguarded.
 
 use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+use crate::guard;
 
 /// Tuning knobs for the parallel evaluation layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,9 +238,11 @@ pub fn par_map_when<T: Sync, R: Send>(
     }
     // Workers are fresh threads with no thread-local override, so the
     // caller's effective configuration (which may be a `with_eval_config`
-    // override) is captured here and installed in each worker — parallel
-    // regions always run under the same config as the sequential path.
+    // override) and active guard are captured here and installed in each
+    // worker — parallel regions always run under the same config and the
+    // same deadline/budget as the sequential path.
     let cfg = eval_config();
+    let active_guard = guard::current();
     let threads = cfg.effective_threads().min(items.len());
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<R> = Vec::with_capacity(items.len());
@@ -238,21 +251,74 @@ pub fn par_map_when<T: Sync, R: Send>(
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|c| {
-                s.spawn(move || {
+                let g = active_guard.clone();
+                let handle = s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
                     OVERRIDE.with(|o| o.set(Some(cfg)));
+                    guard::install_for_worker(g);
                     c.iter().map(f).collect::<Vec<R>>()
-                })
+                });
+                (c, handle)
             })
             .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
+        join_contained(handles, f, &mut out);
     });
     out
+}
+
+/// Join scoped worker chunks with panic containment: a panicked chunk is
+/// retried once sequentially on the calling thread (the caller already has
+/// the right config override and guard installed); only a second failure
+/// is reported — recorded on the active guard as a `WorkerPanicked` fault,
+/// or propagated as a plain panic when unguarded, matching the seed. A
+/// guard-abort sentinel from any chunk re-raises after all chunks are
+/// drained, so the `run_guarded` boundary sees exactly one unwind.
+fn join_contained<'scope, T: Sync, R: Send>(
+    parts: Vec<(&[T], std::thread::ScopedJoinHandle<'scope, Vec<R>>)>,
+    f: &(impl Fn(&T) -> R + Sync),
+    out: &mut Vec<R>,
+) {
+    let mut abort = false;
+    for (c, h) in parts {
+        match h.join() {
+            Ok(part) => out.extend(part),
+            Err(payload) => {
+                if payload.is::<guard::GuardAbort>() {
+                    abort = true;
+                    continue;
+                }
+                if abort {
+                    // The evaluation already has a recorded fault; a retry
+                    // would abort at its first probe anyway.
+                    continue;
+                }
+                let retried = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    c.iter().map(f).collect::<Vec<R>>()
+                }));
+                match retried {
+                    Ok(part) => {
+                        guard::note_worker_retry();
+                        out.extend(part);
+                    }
+                    Err(retry) => {
+                        // Short-circuit order matters: `trip_worker_panic` has
+                        // side effects (records the fault, raises cancel) that
+                        // must not fire for a guard-abort sentinel.
+                        if retry.is::<guard::GuardAbort>()
+                            || guard::trip_worker_panic(guard::panic_message(retry.as_ref()))
+                        {
+                            abort = true;
+                        } else {
+                            std::panic::resume_unwind(retry);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if abort {
+        std::panic::panic_any(guard::GuardAbort);
+    }
 }
 
 /// Map over coarse work units (e.g. whole Datalog rule bodies) that are
@@ -267,6 +333,7 @@ pub fn par_map_coarse<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync)
     if !parallel {
         return items.iter().map(f).collect();
     }
+    let active_guard = guard::current();
     let threads = cfg.effective_threads().min(items.len());
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<R> = Vec::with_capacity(items.len());
@@ -275,18 +342,16 @@ pub fn par_map_coarse<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync)
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|c| {
-                s.spawn(move || {
+                let g = active_guard.clone();
+                let handle = s.spawn(move || {
                     OVERRIDE.with(|o| o.set(Some(cfg)));
+                    guard::install_for_worker(g);
                     c.iter().map(f).collect::<Vec<R>>()
-                })
+                });
+                (c, handle)
             })
             .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
+        join_contained(handles, f, &mut out);
     });
     out
 }
@@ -348,6 +413,48 @@ mod tests {
         assert!(seen
             .iter()
             .all(|cfg| cfg.cache_capacity == 12345 && !cfg.prune_boxes));
+    }
+
+    #[test]
+    fn panicked_worker_chunk_is_retried_once() {
+        use std::sync::atomic::AtomicBool;
+        static TRIPPED: AtomicBool = AtomicBool::new(false);
+        TRIPPED.store(false, Ordering::SeqCst);
+        let items: Vec<usize> = (0..64).collect();
+        let guarded = crate::guard::run_guarded(crate::guard::GuardLimits::none(), || {
+            par_map_when(true, &items, |&x| {
+                // First visit to item 13 panics; the sequential retry of its
+                // chunk succeeds.
+                if x == 13 && !TRIPPED.swap(true, Ordering::SeqCst) {
+                    panic!("transient worker fault");
+                }
+                x * 2
+            })
+        })
+        .expect("retry must recover the transient fault");
+        assert_eq!(
+            guarded.value,
+            items.iter().map(|x| x * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(guarded.stats.worker_retries, 1);
+    }
+
+    #[test]
+    fn persistent_worker_panic_is_typed_under_guard() {
+        let items: Vec<usize> = (0..8).collect();
+        let err = crate::guard::run_guarded(crate::guard::GuardLimits::none(), || {
+            par_map_when(true, &items, |&x| {
+                if x == 3 {
+                    panic!("persistent worker fault");
+                }
+                x
+            })
+        })
+        .unwrap_err();
+        let crate::guard::EvalErrorKind::WorkerPanicked(msg) = err.kind else {
+            panic!("expected WorkerPanicked, got {:?}", err.kind);
+        };
+        assert!(msg.contains("persistent"));
     }
 
     #[test]

@@ -226,54 +226,90 @@ impl PartialOrd for Rational {
     }
 }
 
+/// Full 256-bit product of two `u128`s as `(hi, lo)` limbs, via four 64-bit
+/// partial products. Cannot overflow.
+fn wide_mul_u128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
         // Compare a/b vs c/d <=> a*d vs c*b (denominators positive).
-        // i128 overflow is possible in principle; fall back to a widening
-        // comparison via f64 only if exact multiplication overflows would be
-        // wrong, so instead use checked mul and a gcd-reduced retry.
-        let lhs = self.num.checked_mul(other.den);
-        let rhs = other.num.checked_mul(self.den);
-        match (lhs, rhs) {
-            (Some(l), Some(r)) => l.cmp(&r),
-            _ => {
-                // Reduce cross terms: compare (a/g1)*(d/g2) vs (c/g2)*(b/g1)
-                let g1 = gcd(self.num, self.den).max(1);
-                let g2 = gcd(other.num, other.den).max(1);
-                let l = (self.num / g1) as f64 / (self.den / g1) as f64;
-                let r = (other.num / g2) as f64 / (other.den / g2) as f64;
-                l.partial_cmp(&r).unwrap_or(Ordering::Equal)
-            }
+        if let (Some(l), Some(r)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            return l.cmp(&r);
+        }
+        // A cross product overflowed i128. Signs decide first; with equal
+        // signs, compare magnitudes |a|*d vs |c|*b as exact 256-bit products
+        // (flipped for negatives). Exactness matters: a lossy fallback here
+        // would make Ord non-total for near-equal large rationals, and every
+        // bound comparison in QE trusts this ordering.
+        let ls = self.num.signum();
+        let rs = other.num.signum();
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        let l = wide_mul_u128(self.num.unsigned_abs(), other.den as u128);
+        let r = wide_mul_u128(other.num.unsigned_abs(), self.den as u128);
+        if ls >= 0 {
+            l.cmp(&r)
+        } else {
+            r.cmp(&l)
         }
     }
 }
 
+// The operator impls route their failure path through the guard layer:
+// inside a guarded evaluation an overflow surfaces as a typed
+// `EvalError::Overflow` at the nearest `try_*` boundary; unguarded code
+// panics exactly as the seed did.
 macro_rules! panicking_op {
-    ($trait_:ident, $method:ident, $checked:ident) => {
+    ($trait_:ident, $method:ident, $checked:ident, $ctx:literal) => {
         impl $trait_ for Rational {
             type Output = Rational;
             fn $method(self, rhs: Rational) -> Rational {
-                self.$checked(&rhs).expect("rational arithmetic overflow")
+                match self.$checked(&rhs) {
+                    Ok(v) => v,
+                    Err(_) => crate::guard::raise_overflow($ctx),
+                }
             }
         }
         impl<'a> $trait_<&'a Rational> for &'a Rational {
             type Output = Rational;
             fn $method(self, rhs: &'a Rational) -> Rational {
-                self.$checked(rhs).expect("rational arithmetic overflow")
+                match self.$checked(rhs) {
+                    Ok(v) => v,
+                    Err(_) => crate::guard::raise_overflow($ctx),
+                }
             }
         }
     };
 }
 
-panicking_op!(Add, add, checked_add);
-panicking_op!(Sub, sub, checked_sub);
-panicking_op!(Mul, mul, checked_mul);
-panicking_op!(Div, div, checked_div);
+panicking_op!(Add, add, checked_add, "rational add");
+panicking_op!(Sub, sub, checked_sub, "rational sub");
+panicking_op!(Mul, mul, checked_mul, "rational mul");
+panicking_op!(Div, div, checked_div, "rational div");
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        self.checked_neg().expect("rational negation overflow")
+        match self.checked_neg() {
+            Ok(v) => v,
+            Err(_) => crate::guard::raise_overflow("rational neg"),
+        }
     }
 }
 
@@ -440,5 +476,53 @@ mod tests {
         let big = Rational::new(i128::MAX, 1).unwrap();
         assert!(big.checked_add(&Rational::ONE).is_err());
         assert!(big.checked_mul(&rat(2, 1)).is_err());
+    }
+
+    #[test]
+    fn ordering_exact_when_cross_products_overflow() {
+        // Regression: a = (2^96+1)/2^96 and b = 2^96/(2^96-1) differ by
+        // 1/(2^96 (2^96-1)); their cross products 2^192-1 vs 2^192 both
+        // overflow i128, and the old f64 fallback declared them Equal.
+        let p = 1i128 << 96;
+        let a = Rational::new(p + 1, p).unwrap();
+        let b = Rational::new(p, p - 1).unwrap();
+        assert_eq!(a.cmp(&b), Ordering::Less);
+        assert_eq!(b.cmp(&a), Ordering::Greater);
+        assert_ne!(a, b);
+
+        // Symmetric negative case, flipped ordering.
+        let na = Rational::new(-(p + 1), p).unwrap();
+        let nb = Rational::new(-p, p - 1).unwrap();
+        assert_eq!(na.cmp(&nb), Ordering::Greater);
+        assert_eq!(nb.cmp(&na), Ordering::Less);
+
+        // Mixed signs decide by sign even when magnitudes overflow.
+        assert_eq!(na.cmp(&b), Ordering::Less);
+        assert_eq!(b.cmp(&na), Ordering::Greater);
+
+        // Equality through the wide path: a == a with forced overflow.
+        let a2 = Rational::new(p + 1, p).unwrap();
+        assert_eq!(a.cmp(&a2), Ordering::Equal);
+    }
+
+    #[test]
+    fn wide_mul_matches_narrow_products() {
+        for &(x, y) in &[
+            (0u128, 0u128),
+            (1, u128::MAX),
+            (u128::MAX, u128::MAX),
+            (1u128 << 96, (1u128 << 96) - 1),
+            (12345678901234567890, 98765432109876543210),
+        ] {
+            let (hi, lo) = wide_mul_u128(x, y);
+            // Verify against the identity x*y mod 2^128 and a widening
+            // check on the high limb via division.
+            assert_eq!(lo, x.wrapping_mul(y));
+            if x != 0 {
+                let q = ((hi as f64) * 2f64.powi(128) + lo as f64) / x as f64;
+                let rel = (q - y as f64).abs() / (y.max(1) as f64);
+                assert!(rel < 1e-9, "hi limb inconsistent for {x}*{y}");
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! §4) rests on, and it holds constructively here.
 
 use crate::atom::{Atom, RawAtom, Var};
+use crate::guard::{probe_charge, ProbeSite};
 use crate::par::{eval_config, par_map, par_map_when, should_parallelize};
 use crate::rational::Rational;
 use crate::tuple::GeneralizedTuple;
@@ -169,6 +170,9 @@ impl GeneralizedRelation {
     /// where its cost is paid once instead of per insert.
     pub fn insert_satisfiable(&mut self, t: GeneralizedTuple) {
         debug_assert_eq!(t.arity(), self.arity, "insert arity mismatch");
+        // Guard probe: every DNF insert is a materialization step, charged
+        // against the tuple/atom budgets whether or not subsumption keeps it.
+        probe_charge(ProbeSite::DnfInsert, 1, t.len() as u64);
         if self.tuples.iter().any(|u| u.subsumes_syntactic(&t)) {
             return;
         }
@@ -367,6 +371,9 @@ impl GeneralizedRelation {
             });
             let mut next: Vec<GeneralizedTuple> = Vec::new();
             for cand in sat_cands.into_iter().flatten() {
+                // Guard probe: the distribution's own merge loop bypasses
+                // `insert_satisfiable`, so it charges the budgets itself.
+                probe_charge(ProbeSite::DnfInsert, 1, cand.len() as u64);
                 // Subsumption pruning within `next`.
                 if next.iter().any(|u| u.subsumes(&cand)) {
                     continue;

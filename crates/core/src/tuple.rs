@@ -321,6 +321,8 @@ impl GeneralizedTuple {
     ///
     /// Returns `None` when elimination discovers unsatisfiability.
     pub fn eliminate(&self, v: Var) -> Option<GeneralizedTuple> {
+        // Guard probe: one hit per single-variable QE step.
+        crate::guard::probe(crate::guard::ProbeSite::QuantifierElim);
         // Step 1: if some equality pins v to another term, substitute it.
         for a in &self.atoms {
             if a.op() == CompOp::Eq {

@@ -19,6 +19,7 @@
 //!    easy half of Theorem 4.4 (Datalog¬ ⊆ PTIME).
 
 use crate::ast::{Literal, Program, Rule};
+use dco_core::guard::{probe, stage_completed, ProbeSite};
 use dco_core::par::par_map_coarse;
 use dco_core::prelude::*;
 use dco_fo::eval_in_ctx;
@@ -155,6 +156,9 @@ pub fn run_with(
     }
     let mut store = Database::new(schema);
     for p in program.edb_predicates() {
+        // INVARIANT: `input.get(&p)` was verified non-None (with the right
+        // arity) in the EDB validation loop above, and the schema entry was
+        // added in the same pass — both expects are unreachable.
         store
             .set(&p, input.get(&p).expect("checked above").clone())
             .expect("schema matches");
@@ -196,6 +200,11 @@ pub fn run_with(
     let mut seen: BTreeMap<String, std::collections::HashSet<Interned<GeneralizedTuple>>> =
         BTreeMap::new();
     loop {
+        // Guard probe: one hit per fixpoint stage boundary — the natural
+        // cancellation point of the engine (deadlines and external
+        // cancellation take effect between stages even if no algebra
+        // probe fires inside one).
+        probe(ProbeSite::FixpointStage);
         if stats.stages >= config.max_stages {
             return Err(EngineError::StageLimit(config.max_stages));
         }
@@ -229,6 +238,10 @@ pub fn run_with(
             // Fold the genuinely-new part of each delta into the store and
             // publish it as the predicate's shadow relation for the next
             // stage's restricted variants.
+            // INVARIANT for the expects below: every IDB predicate and its
+            // shadow delta were added to the schema before the loop, and
+            // relations written here keep their declared arity — `get` and
+            // `set` cannot fail for them.
             for p in &idb {
                 let old = store.get(p).expect("idb in schema").clone();
                 let delta = deltas
@@ -303,6 +316,8 @@ pub fn run_with(
             }
         } else {
             for (pred, delta) in deltas {
+                // INVARIANT: `deltas` keys are rule heads, all IDB
+                // predicates declared in the schema above.
                 let old = store.get(&pred).expect("idb in schema").clone();
                 // Point-set fast path for the inclusion test, generic otherwise.
                 let included = match delta.as_points() {
@@ -322,10 +337,12 @@ pub fn run_with(
                 store.set(&pred, merged).expect("schema matches");
             }
         }
+        stage_completed();
         if !changed {
             break;
         }
     }
+    // INVARIANT: same schema argument as above — IDB lookups cannot fail.
     stats.final_size = idb
         .iter()
         .map(|p| store.get(p).expect("idb in schema").size())
@@ -359,6 +376,9 @@ fn strip_shadows(store: &Database, program: &Program, arities: &BTreeMap<String,
         .into_iter()
         .chain(program.idb_predicates())
     {
+        // INVARIANT: the working store declares every EDB and IDB predicate
+        // (built in `run_with`), and the output schema mirrors it minus the
+        // shadows — both expects are unreachable.
         out.set(&p, store.get(&p).expect("in store").clone())
             .expect("schema matches");
     }
@@ -535,6 +555,10 @@ fn eval_rule_points(
                 return None; // constraint on unbound variable: generic path
             }
         }
+        // INVARIANT: the template check above verified every variable of
+        // this constraint is bound, and the join binds a *uniform* variable
+        // set across bindings (each positive literal extends all of them
+        // identically) — so the expects cannot fire on later bindings.
         bindings.retain(|b| {
             let lv = eval_expr(l, b).expect("checked bound");
             let rv = eval_expr(r, b).expect("checked bound");
@@ -543,6 +567,9 @@ fn eval_rule_points(
     }
     // Negations: ground membership tests against arbitrary relations.
     for (name, args) in &negatives {
+        // INVARIANT: membership of `name` in the store was verified when the
+        // literal was collected into `negatives`; the boundness template
+        // below plus uniform binding domains make the `b[v]` index safe.
         let rel = store.get(name).expect("checked above");
         // boundness check
         if let Some(b) = bindings.first() {

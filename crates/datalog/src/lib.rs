@@ -29,6 +29,7 @@
 pub mod ast;
 pub mod checked;
 pub mod engine;
+pub mod guarded;
 pub mod parser;
 pub mod programs;
 pub mod seminaive;
@@ -40,6 +41,9 @@ pub use checked::{
     CheckedFixpoint, CheckedRunError, CheckedStratified,
 };
 pub use engine::{run, run_with, EngineConfig, EngineError, EngineStats, FixpointResult};
+pub use guarded::{
+    try_run, try_run_stratified, try_run_stratified_with, try_run_with, TryRunError,
+};
 pub use parser::{parse_program, DatalogParseError};
 pub use seminaive::{run_seminaive, SemiNaiveError};
 pub use stratified::{

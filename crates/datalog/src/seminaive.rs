@@ -78,6 +78,9 @@ pub fn run_seminaive(
     }
     let mut store = Database::new(schema);
     for p in program.edb_predicates() {
+        // INVARIANT: `input.get(&p)` returned Some in the schema-building
+        // loop above (it errored otherwise), and the schema entry was added
+        // there with that relation's arity — both expects are unreachable.
         store
             .set(&p, input.get(&p).expect("checked").clone())
             .expect("schema matches");
@@ -95,10 +98,15 @@ pub fn run_seminaive(
             .or_insert(derived);
     }
     loop {
+        // Guard probe: one hit per semi-naive stage boundary.
+        dco_core::guard::probe(dco_core::guard::ProbeSite::FixpointStage);
         stats.stages += 1;
         // fold deltas into the store; compute the genuinely-new parts
         let mut new_deltas: BTreeMap<String, GeneralizedRelation> = BTreeMap::new();
         let mut any_new = false;
+        // INVARIANT for the expects in this loop: every IDB predicate and
+        // its shadow delta were declared in the schema above, and writes
+        // keep the declared arity — `get`/`set` cannot fail.
         for p in &idb {
             let old = store.get(p).expect("idb").clone();
             let delta = deltas
@@ -124,6 +132,7 @@ pub fn run_seminaive(
                 .expect("schema matches");
             new_deltas.insert(p.clone(), fresh);
         }
+        dco_core::guard::stage_completed();
         if !any_new {
             break;
         }
@@ -157,6 +166,9 @@ pub fn run_seminaive(
         out_schema = out_schema.with(p, arities[p]);
     }
     let mut out = Database::new(out_schema);
+    // INVARIANT: the working store declares every EDB and IDB predicate and
+    // the output schema mirrors it minus the shadows — the expects below
+    // are unreachable.
     for p in program.edb_predicates() {
         out.set(&p, store.get(&p).expect("edb").clone())
             .expect("schema");

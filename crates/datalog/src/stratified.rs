@@ -65,6 +65,9 @@ pub fn stratify(program: &Program) -> Result<Vec<Program>, StratifyError> {
     for rule in &program.rules {
         layers[stratum[&rule.head]].push(rule.clone());
     }
+    // INVARIANT: every subset of a valid program's rules is itself a valid
+    // program (validity is per-rule: range-restriction and arity agreement),
+    // so the expect below is unreachable.
     Ok(layers
         .into_iter()
         .filter(|rules| !rules.is_empty())
@@ -99,9 +102,16 @@ pub fn run_stratified_with(
     let mut store = input.clone();
     let mut stats = Vec::with_capacity(strata.len());
     for stratum in &strata {
+        // Guard probe: one hit per stratum boundary (each stratum's inner
+        // stages probe again inside `run_with`).
+        dco_core::guard::probe(dco_core::guard::ProbeSite::FixpointStage);
         let fix = run_with(stratum, &store, config)?;
         stats.push(fix.stats.clone());
-        // fold the stratum's IDB results into the store as new EDB facts
+        // fold the stratum's IDB results into the store as new EDB facts.
+        // INVARIANT for the expects below: the engine's output database
+        // always contains every IDB predicate of the program it ran, and
+        // `next`'s schema is built right here from those same relations —
+        // neither `get` nor `set` can fail.
         let mut schema = Schema::new();
         for (name, rel) in store.relations() {
             schema = schema.with(name, rel.arity());
@@ -119,6 +129,7 @@ pub fn run_stratified_with(
                 .expect("schema matches");
         }
         store = next;
+        dco_core::guard::stage_completed();
     }
     Ok(StratifiedResult {
         database: store,

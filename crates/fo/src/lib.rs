@@ -27,9 +27,11 @@
 pub mod checked;
 pub mod eval;
 pub mod generic;
+pub mod guarded;
 
 pub use checked::{
     checked_eval, checked_eval_str, checked_eval_with, CheckedEvalError, CheckedResult,
 };
 pub use eval::{eval, eval_in_ctx, eval_str, EvalError, QueryResult};
 pub use generic::{check_generic, check_generic_fixing, sample_automorphism, GenericityOutcome};
+pub use guarded::{try_eval, try_eval_str, try_eval_with, TryEvalError};

@@ -1,0 +1,126 @@
+//! Fault-tolerant FO+ evaluation: `try_*` entry points that run the
+//! Fourier–Motzkin evaluator under a `dco_core::guard::EvalGuard`.
+//!
+//! Same contract as `dco_fo::guarded`: a fault-free guarded run returns a
+//! result structurally identical to the unguarded [`crate::eval_linear`];
+//! any resource trip, overflow, cancellation, or contained panic comes
+//! back as a typed [`GuardError`] with partial-progress statistics. The
+//! linear layer is where arithmetic overflow is a *live* failure mode —
+//! Fourier–Motzkin combination multiplies coefficients, so adversarial
+//! inputs can push exact rationals past `i128` even when the input
+//! representation is small.
+
+use crate::eval::{eval_linear, LinEvalError, LinQueryResult};
+use dco_core::guard::{run_guarded, EvalError as GuardError, GuardLimits, Guarded};
+use dco_logic::{parse_formula, Formula, ParseError};
+use std::fmt;
+
+/// Why a fault-tolerant FO+ evaluation did not produce a result.
+#[derive(Debug)]
+pub enum TryLinEvalError {
+    /// The query text did not parse (string entry point only).
+    Parse(ParseError),
+    /// A semantic error independent of resources.
+    Invalid(LinEvalError),
+    /// The guard tripped or a panic was contained.
+    Fault(GuardError),
+}
+
+impl fmt::Display for TryLinEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryLinEvalError::Parse(e) => write!(f, "parse error: {e}"),
+            TryLinEvalError::Invalid(e) => write!(f, "invalid query: {e}"),
+            TryLinEvalError::Fault(e) => write!(f, "evaluation fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TryLinEvalError {}
+
+/// Shorthand for the result of the `try_*` entry points.
+pub type TryLinResult = Result<Guarded<LinQueryResult>, TryLinEvalError>;
+
+/// Evaluate under the analyzer-suggested default budgets.
+pub fn try_eval_linear(db: &dco_core::prelude::Database, formula: &Formula) -> TryLinResult {
+    let limits = dco_analysis::cost::suggested_limits_for_formula(formula, db.constants());
+    try_eval_linear_with(db, formula, limits)
+}
+
+/// Evaluate under explicit guard limits.
+pub fn try_eval_linear_with(
+    db: &dco_core::prelude::Database,
+    formula: &Formula,
+    limits: GuardLimits,
+) -> TryLinResult {
+    match run_guarded(limits, || eval_linear(db, formula)) {
+        Ok(guarded) => match guarded.value {
+            Ok(value) => Ok(Guarded {
+                value,
+                stats: guarded.stats,
+            }),
+            Err(e) => Err(TryLinEvalError::Invalid(e)),
+        },
+        Err(fault) => Err(TryLinEvalError::Fault(fault)),
+    }
+}
+
+/// Parse, then evaluate under the analyzer-suggested default budgets.
+pub fn try_eval_linear_str(db: &dco_core::prelude::Database, src: &str) -> TryLinResult {
+    let formula = parse_formula(src).map_err(TryLinEvalError::Parse)?;
+    try_eval_linear(db, &formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::guard::EvalErrorKind;
+    use dco_core::prelude::*;
+
+    fn empty_db() -> Database {
+        Database::new(Schema::new())
+    }
+
+    #[test]
+    fn fault_free_guarded_run_matches_unguarded() {
+        let src = "forall x y . exists m . m + m = x + y";
+        let unguarded = crate::eval_linear_str(&empty_db(), src).unwrap();
+        let guarded = try_eval_linear_str(&empty_db(), src).unwrap();
+        assert_eq!(guarded.value.as_bool(), unguarded.as_bool());
+        assert!(guarded.stats.probes > 0, "FM steps must hit probes");
+    }
+
+    #[test]
+    fn overflow_is_a_typed_fault_not_a_panic() {
+        // Repeated doubling through Fourier–Motzkin substitution: each
+        // equality x_{i+1} = big * x_i multiplies the running coefficient,
+        // overflowing i128 well before 30 steps.
+        let big = i64::MAX / 3;
+        let mut src = format!("x1 = {big} & x2 = {big} * x1");
+        for i in 3..=8 {
+            src.push_str(&format!(" & x{i} = {big} * x{}", i - 1));
+        }
+        let formula = dco_logic::parse_formula(&src).expect("parses");
+        match try_eval_linear_with(&empty_db(), &formula, GuardLimits::none()) {
+            Err(TryLinEvalError::Fault(f)) => {
+                assert!(matches!(f.kind, EvalErrorKind::Overflow(_)), "{:?}", f.kind);
+            }
+            Ok(_) => {
+                // Constant folding may keep values representable; the point
+                // of the test is "no process abort", which reaching here
+                // also demonstrates — but prefer the overflow branch.
+                panic!("expected the doubling chain to overflow i128");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn semantic_errors_stay_typed() {
+        let err = try_eval_linear_str(&empty_db(), "Zap(x)").unwrap_err();
+        assert!(matches!(
+            err,
+            TryLinEvalError::Invalid(LinEvalError::UnknownPredicate(_))
+        ));
+    }
+}

@@ -223,6 +223,9 @@ impl LinTuple {
     /// conjunction is discovered unsatisfiable (a trivially-false atom
     /// appears during combination).
     pub fn eliminate(&self, j: usize) -> Option<LinTuple> {
+        // Guard probe: one hit per Fourier–Motzkin pivot (variable
+        // eliminated from one conjunction).
+        dco_core::guard::probe(dco_core::guard::ProbeSite::FourierMotzkin);
         // 1. Equality substitution: if an equality mentions x_j, solve for it
         //    and substitute into every other atom.
         if let Some(eq) = self
