@@ -115,6 +115,27 @@ pub fn analyze_formula(
     diags
 }
 
+/// Formula preflight for serving layers (the store's query server runs
+/// this on every request before spending evaluation budget): run every
+/// formula-level pass and partition the outcome. `Ok` carries the
+/// non-blocking findings (warnings, notes); `Err` carries only the
+/// blocking errors.
+pub fn preflight_formula(
+    formula: &Formula,
+    schema: Option<&Schema>,
+    options: &AnalysisOptions,
+) -> Result<Vec<Diagnostic>, Vec<Diagnostic>> {
+    let diags = analyze_formula(formula, schema, options);
+    if has_errors(&diags) {
+        Err(diags
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect())
+    } else {
+        Ok(diags)
+    }
+}
+
 /// Run every program-level pass: schema conformance, safety,
 /// stratifiability, per-rule unsatisfiability, and cost bounding.
 pub fn analyze_program(

@@ -14,6 +14,8 @@
 
 use dco::datalog::{parse_program, run_with, EngineConfig, Program};
 use dco::prelude::*;
+use dco::store::{serve, Client, Store, StoreOptions};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One timed measurement.
@@ -320,6 +322,178 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
         ));
         out.push(guarded_abort_record("tc_chain", n, &db, &program));
     }
+
+    // Store throughput: WAL-append load, cold-open recovery, and a burst
+    // of concurrent prepared queries over TCP.
+    out.extend(store_perf(quick));
+    out
+}
+
+/// `n` pairwise-disjoint unit intervals `[3k, 3k+1]` for relation `s` —
+/// disjointness pins the tuple count, so the rows are self-checking.
+fn store_interval(k: usize) -> GeneralizedRelation {
+    let lo = 3 * k as i128;
+    GeneralizedRelation::from_raw(
+        1,
+        vec![
+            RawAtom::new(Term::cst(rat(lo, 1)), RawOp::Le, Term::var(0)),
+            RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(lo + 1, 1))),
+        ],
+    )
+}
+
+/// Bench stores skip fsync (disk-sync latency is the host's property,
+/// not the codec's) and never auto-snapshot, so cold-open measures a
+/// pure WAL replay of `n` records.
+fn bench_store_options() -> StoreOptions {
+    StoreOptions {
+        snapshot_every: 0,
+        fsync: false,
+        ..StoreOptions::default()
+    }
+}
+
+fn fresh_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dco-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Create a store at `dir` and load `n` disjoint intervals into `s`.
+fn load_store(dir: &Path, n: usize) -> Store {
+    let store = Store::open(dir, bench_store_options()).expect("open bench store");
+    store.create("s", 1).expect("create s");
+    for k in 0..n {
+        store.insert("s", store_interval(k)).expect("insert");
+    }
+    store
+}
+
+/// Cold-open recovery row: replay a WAL of `size` inserts from disk.
+/// Deterministic and single-threaded — the store family's regression-
+/// gate row (see [`bench_compare`]).
+fn store_open_record(size: usize) -> PerfRecord {
+    let dir = fresh_store_dir(&format!("open-{size}"));
+    drop(load_store(&dir, size));
+    let mut tuples = 0;
+    let mut atoms = 0;
+    let wall_ms = time_ms(|| {
+        let store = Store::open(&dir, bench_store_options()).expect("cold open");
+        let generation = store.read();
+        let s = generation.db.get("s").expect("s recovered");
+        tuples = s.len();
+        atoms = s.size();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    PerfRecord {
+        experiment: "store_throughput".to_string(),
+        size,
+        config: "store_open".to_string(),
+        wall_ms,
+        tuples,
+        atoms,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_hit_rate: 0.0,
+        aborted: 0,
+        worker_retries: 0,
+    }
+}
+
+/// The store workload family:
+///
+/// * `store_load` — `size` WAL-logged inserts into a fresh store;
+/// * `store_open` — cold-open recovery replaying that WAL;
+/// * `store_qc{C}` — C concurrent TCP clients each firing a burst of the
+///   same prepared query (first evaluation cold, the rest answered by
+///   the fingerprint × generation cache); `cache_hits`/`cache_misses`
+///   are the store's own prepared-cache counters for the burst.
+pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
+    let sizes: &[usize] = if quick { &[32, 128] } else { &[64, 256] };
+    let clients: usize = 4;
+    let queries_each: usize = if quick { 8 } else { 16 };
+    let mut out = Vec::new();
+
+    for &n in sizes {
+        // WAL-append throughput: a fresh store per timed run.
+        let mut run = 0usize;
+        let wall_ms = time_ms(|| {
+            let dir = fresh_store_dir(&format!("load-{n}-{run}"));
+            run += 1;
+            let store = load_store(&dir, n);
+            assert_eq!(store.read().seq, 1 + n as u64);
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+        out.push(PerfRecord {
+            experiment: "store_throughput".to_string(),
+            size: n,
+            config: "store_load".to_string(),
+            wall_ms,
+            tuples: n,
+            atoms: 2 * n,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_hit_rate: 0.0,
+            aborted: 0,
+            worker_retries: 0,
+        });
+
+        out.push(store_open_record(n));
+
+        // Concurrent prepared-query burst over TCP.
+        let dir = fresh_store_dir(&format!("serve-{n}"));
+        let store = load_store(&dir, n);
+        let handle = serve(store.clone(), "127.0.0.1:0").expect("bind bench server");
+        let addr = handle.addr();
+        let mut tuples = 0;
+        let mut atoms = 0;
+        let wall_ms = time_ms(|| {
+            let threads: Vec<_> = (0..clients)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut sizes = (0, 0);
+                        for _ in 0..queries_each {
+                            let q = client.query("s(x)").expect("query");
+                            sizes = (q.relation.len(), q.relation.size());
+                        }
+                        client.close().expect("close");
+                        sizes
+                    })
+                })
+                .collect();
+            for t in threads {
+                let (tu, at) = t.join().expect("bench client");
+                tuples = tu;
+                atoms = at;
+            }
+        });
+        let stats = store.stats();
+        handle.shutdown();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        out.push(PerfRecord {
+            experiment: "store_throughput".to_string(),
+            size: n,
+            config: format!("store_qc{clients}"),
+            wall_ms,
+            tuples,
+            atoms,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_evictions: 0,
+            cache_hit_rate: if stats.cache_hits + stats.cache_misses > 0 {
+                stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+            } else {
+                0.0
+            },
+            aborted: 0,
+            worker_retries: 0,
+        });
+    }
     out
 }
 
@@ -519,19 +693,27 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             ));
             continue;
         }
-        if rec.experiment != "tc_chain" || rec.config != "engine_delta" {
+        // Two gated row families: the engine's semi-naive fixpoint and
+        // the store's cold-open recovery. Both are deterministic and
+        // single-threaded, so a >30% wall-time jump is a real regression,
+        // not scheduler noise (`store_load`/`store_qc*` rows are
+        // informational only — they time the disk and the network stack).
+        let new = if rec.experiment == "tc_chain" && rec.config == "engine_delta" {
+            let db = chain_db(rec.size);
+            engine_record(
+                &rec.experiment,
+                rec.size,
+                &rec.config,
+                EvalConfig::sequential(),
+                &db,
+                &program,
+                &EngineConfig::default(),
+            )
+        } else if rec.experiment == "store_throughput" && rec.config == "store_open" {
+            store_open_record(rec.size)
+        } else {
             continue;
-        }
-        let db = chain_db(rec.size);
-        let new = engine_record(
-            &rec.experiment,
-            rec.size,
-            &rec.config,
-            EvalConfig::sequential(),
-            &db,
-            &program,
-            &EngineConfig::default(),
-        );
+        };
         compared += 1;
         let ratio = new.wall_ms / rec.wall_ms.max(f64::EPSILON);
         let line = format!(

@@ -18,6 +18,7 @@
 //! | Standard encodings, integer homeomorphism | [`encoding`] | §3–§4 |
 //! | Regions, topology, region connectivity | [`geo`] | §2, Thm 4.3 |
 //! | Static query analysis & lint pass | [`analysis`] | — |
+//! | Durable store: WAL, snapshots, query server | [`store`] | §3 |
 //!
 //! ## Quickstart
 //!
@@ -105,6 +106,7 @@ pub use dco_fo as fo;
 pub use dco_geo as geo;
 pub use dco_linear as linear;
 pub use dco_logic as logic;
+pub use dco_store as store;
 
 /// One-stop import surface for applications.
 pub mod prelude {
@@ -114,12 +116,17 @@ pub mod prelude {
     pub use dco_core::prelude::*;
     pub use dco_datalog::{
         checked_run, checked_run_stratified, parse_program, run as run_datalog,
-        try_run as try_run_datalog, try_run_stratified,
+        try_run as try_run_datalog, try_run_stratified, try_run_stratified_with,
+        try_run_with as try_run_datalog_with, TryRunError,
     };
     pub use dco_fo::{
         checked_eval, checked_eval_str, eval as eval_fo, eval_str as eval_fo_str, try_eval,
-        try_eval_str,
+        try_eval_str, try_eval_with, CheckedEvalError, EvalError, TryEvalError,
     };
-    pub use dco_linear::{eval_linear, eval_linear_str, try_eval_linear, try_eval_linear_str};
+    pub use dco_linear::{
+        eval_linear, eval_linear_str, try_eval_linear, try_eval_linear_str, try_eval_linear_with,
+        TryLinEvalError,
+    };
     pub use dco_logic::{parse_formula, Formula};
+    pub use dco_store::{serve, Client, Store, StoreError, StoreOptions};
 }

@@ -64,6 +64,16 @@ pub enum ProbeSite {
     FourierMotzkin,
     /// One stage boundary of a Datalog fixpoint engine.
     FixpointStage,
+    /// Mid-append in the store's write-ahead log: the record header is on
+    /// disk but the payload/trailer is not. A fault here leaves a torn
+    /// record for crash recovery to discard (`dco-store`).
+    WalAppend,
+    /// Immediately before the WAL durability point (`fsync`): the record
+    /// bytes are complete but not yet forced to disk.
+    WalFsync,
+    /// Mid-write of a store snapshot file, before the atomic rename that
+    /// publishes it. A fault here abandons the temporary file.
+    SnapshotWrite,
 }
 
 impl fmt::Display for ProbeSite {
@@ -74,6 +84,9 @@ impl fmt::Display for ProbeSite {
             ProbeSite::CellSplit => "cell-split",
             ProbeSite::FourierMotzkin => "fourier-motzkin",
             ProbeSite::FixpointStage => "fixpoint-stage",
+            ProbeSite::WalAppend => "wal-append",
+            ProbeSite::WalFsync => "wal-fsync",
+            ProbeSite::SnapshotWrite => "snapshot-write",
         };
         f.write_str(s)
     }

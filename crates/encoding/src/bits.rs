@@ -51,6 +51,20 @@ impl BitVec {
         }
         out
     }
+
+    /// Rehydrate from [`BitVec::to_bytes`] output. `len` is the exact bit
+    /// length (the byte form zero-pads the final partial byte, so the
+    /// length cannot be recovered from the bytes alone). Returns `None` if
+    /// `len` does not fit in `bytes`.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Option<BitVec> {
+        if len > bytes.len() * 8 {
+            return None;
+        }
+        let bits = (0..len)
+            .map(|i| bytes[i / 8] & (1 << (7 - i % 8)) != 0)
+            .collect();
+        Some(BitVec { bits })
+    }
 }
 
 /// Bit reader over a [`BitVec`].

@@ -12,6 +12,7 @@
 use dco_core::prelude::{
     Atom, CompOp, Database, GeneralizedRelation, GeneralizedTuple, Rational, Schema, Term,
 };
+use dco_linear::{LinAtom, LinRelation, LinTuple, NormalizedAtom};
 use std::fmt;
 
 /// Errors while reading or writing the JSON interchange format.
@@ -61,28 +62,32 @@ pub enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Field lookup on an object (`None` for other variants).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[Json]> {
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -132,6 +137,43 @@ impl Json {
     pub fn pretty(&self) -> String {
         let mut out = String::new();
         self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Str(s) => write_json_string(out, s),
+            Json::Num(n) => write_number(out, *n),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Single-line string form with no insignificant whitespace — the wire
+    /// form used by `dco-store`'s line-oriented server protocol.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
         out
     }
 }
@@ -410,7 +452,9 @@ fn atom_from_json(v: &Json) -> Result<Vec<Atom>> {
     Atom::normalized(lhs, op, rhs).ok_or_else(|| JsonError::new("atom is trivially false", 0))
 }
 
-fn relation_to_json(rel: &GeneralizedRelation) -> Json {
+/// Serialize one generalized relation to a [`Json`] value (for embedding
+/// inside larger documents — e.g. the store server's query responses).
+pub fn relation_to_json(rel: &GeneralizedRelation) -> Json {
     Json::Obj(vec![
         ("arity".to_string(), Json::Num(rel.arity() as f64)),
         (
@@ -425,7 +469,8 @@ fn relation_to_json(rel: &GeneralizedRelation) -> Json {
     ])
 }
 
-fn relation_from_json(v: &Json) -> Result<GeneralizedRelation> {
+/// Inverse of [`relation_to_json`].
+pub fn relation_from_json(v: &Json) -> Result<GeneralizedRelation> {
     let arity = v
         .get("arity")
         .and_then(Json::as_num)
@@ -446,6 +491,16 @@ fn relation_from_json(v: &Json) -> Result<GeneralizedRelation> {
         parsed.push(GeneralizedTuple::from_atoms(arity, flat));
     }
     Ok(GeneralizedRelation::from_tuples(arity, parsed))
+}
+
+/// Serialize one generalized relation to JSON (compact form).
+pub fn relation_to_json_str(rel: &GeneralizedRelation) -> String {
+    relation_to_json(rel).compact()
+}
+
+/// Deserialize one generalized relation from JSON.
+pub fn relation_from_json_str(src: &str) -> Result<GeneralizedRelation> {
+    relation_from_json(&parse_json(src)?)
 }
 
 /// Serialize a database to pretty JSON.
@@ -493,6 +548,118 @@ pub fn from_json(src: &str) -> Result<Database> {
         }
     }
     Ok(db)
+}
+
+// ---------------------------------------------------------------------
+// Linear (FO+) tuples and relations <-> JSON.
+// ---------------------------------------------------------------------
+
+fn lin_atom_to_json(a: &LinAtom) -> Json {
+    Json::Obj(vec![
+        (
+            "coeffs".to_string(),
+            Json::Arr(
+                a.coeffs()
+                    .iter()
+                    .map(|c| Json::Str(c.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("constant".to_string(), Json::Str(a.constant().to_string())),
+        ("op".to_string(), Json::Str(op_to_str(a.op()).to_string())),
+    ])
+}
+
+fn rational_from_json(v: &Json) -> Result<Rational> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| JsonError::new("rational must be a string", 0))?;
+    s.parse::<Rational>()
+        .map_err(|e| JsonError::new(format!("bad rational {s:?}: {e}"), 0))
+}
+
+fn lin_atom_from_json(v: &Json) -> Result<LinAtom> {
+    let coeffs = v
+        .get("coeffs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError::new("linear atom missing coeffs array", 0))?
+        .iter()
+        .map(rational_from_json)
+        .collect::<Result<Vec<_>>>()?;
+    let constant = rational_from_json(
+        v.get("constant")
+            .ok_or_else(|| JsonError::new("linear atom missing constant", 0))?,
+    )?;
+    let op = op_from_str(
+        v.get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::new("linear atom missing op", 0))?,
+    )?;
+    // Atoms written by `lin_atom_to_json` are already normalized (genuine
+    // constraints, canonical scaling), so normalization is the identity on
+    // a write/read cycle; trivially true/false atoms are rejected because
+    // the writer can never produce them.
+    match LinAtom::normalize(coeffs, constant, op) {
+        NormalizedAtom::Atom(a) => Ok(a),
+        _ => Err(JsonError::new("linear atom is trivially true/false", 0)),
+    }
+}
+
+/// Serialize a linear tuple (conjunction of linear atoms) to a JSON value.
+pub fn lin_tuple_to_json(t: &LinTuple) -> Json {
+    Json::Obj(vec![
+        ("arity".to_string(), Json::Num(t.arity() as f64)),
+        (
+            "atoms".to_string(),
+            Json::Arr(t.atoms().iter().map(lin_atom_to_json).collect()),
+        ),
+    ])
+}
+
+/// Deserialize a linear tuple from a JSON value.
+pub fn lin_tuple_from_json(v: &Json) -> Result<LinTuple> {
+    let arity =
+        v.get("arity")
+            .and_then(Json::as_num)
+            .ok_or_else(|| JsonError::new("linear tuple missing numeric arity", 0))? as u32;
+    let atoms = v
+        .get("atoms")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError::new("linear tuple missing atoms array", 0))?
+        .iter()
+        .map(lin_atom_from_json)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(LinTuple::from_atoms(arity, atoms))
+}
+
+/// Serialize a linear relation (union of linear tuples) to JSON text.
+pub fn lin_relation_to_json(rel: &LinRelation) -> String {
+    Json::Obj(vec![
+        ("arity".to_string(), Json::Num(rel.arity() as f64)),
+        (
+            "tuples".to_string(),
+            Json::Arr(rel.tuples().iter().map(lin_tuple_to_json).collect()),
+        ),
+    ])
+    .pretty()
+}
+
+/// Deserialize a linear relation from JSON text.
+pub fn lin_relation_from_json(src: &str) -> Result<LinRelation> {
+    let doc = parse_json(src)?;
+    let arity = doc
+        .get("arity")
+        .and_then(Json::as_num)
+        .ok_or_else(|| JsonError::new("linear relation missing numeric arity", 0))?
+        as u32;
+    let tuples = doc
+        .get("tuples")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError::new("linear relation missing tuples array", 0))?
+        .iter()
+        .map(lin_tuple_from_json)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(LinRelation::from_tuples(arity, tuples))
 }
 
 // ---------------------------------------------------------------------

@@ -25,4 +25,9 @@ pub mod standard;
 pub use bits::{bit_size, decode_relation, encode_relation, BitDecodeError, BitVec};
 pub use boxes::{compress, BoxEncoding, CompressedRelation, Side};
 pub use integerize::{integerize, is_integer_defined, ConstantMap};
+pub use json::{
+    from_json, lin_relation_from_json, lin_relation_to_json, lin_tuple_from_json,
+    lin_tuple_to_json, parse_json, relation_from_json, relation_from_json_str, relation_to_json,
+    relation_to_json_str, to_json, Json, JsonError,
+};
 pub use standard::{decode, encode, encoded_size, DecodeError};

@@ -34,4 +34,4 @@ pub use checked::{
 };
 pub use eval::{eval, eval_in_ctx, eval_str, EvalError, QueryResult};
 pub use generic::{check_generic, check_generic_fixing, sample_automorphism, GenericityOutcome};
-pub use guarded::{try_eval, try_eval_str, try_eval_with, TryEvalError};
+pub use guarded::{default_limits, try_eval, try_eval_str, try_eval_with, TryEvalError, TryResult};

@@ -1,0 +1,137 @@
+//! TCP client mirroring the server's command surface.
+//!
+//! One [`Client`] wraps one connection; it is intentionally *not*
+//! thread-safe (the protocol is strictly request/response per
+//! connection) — open one client per thread, which is also how the
+//! concurrency tests exercise the server.
+
+use crate::store::QueryOutput;
+use crate::wire::{self};
+use dco_core::prelude::GeneralizedRelation;
+use dco_encoding::relation_to_json_str;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// Client-side errors: transport failures vs. server `ERR` replies.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or the framing was violated.
+    Io(io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server's `OK` payload did not have the expected shape.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a serving store.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one raw command line and return the server's `OK` payload.
+    pub fn call(&mut self, line: &str) -> Result<String, ClientError> {
+        wire::write_frame(&mut self.stream, line)?;
+        let reply = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        if let Some(body) = reply.strip_prefix("OK") {
+            Ok(body.trim_start().to_string())
+        } else if let Some(msg) = reply.strip_prefix("ERR") {
+            Err(ClientError::Server(msg.trim_start().to_string()))
+        } else {
+            Err(ClientError::Protocol(format!("malformed reply: {reply}")))
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call("PING").map(drop)
+    }
+
+    /// Evaluate a formula; the result is tagged with the generation it
+    /// was computed against and whether the server's prepared-query
+    /// cache answered it.
+    pub fn query(&mut self, formula: &str) -> Result<QueryOutput, ClientError> {
+        let body = self.call(&format!("QUERY {formula}"))?;
+        wire::query_output_from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Declare a relation; returns the committed WAL seq.
+    pub fn create(&mut self, name: &str, arity: u32) -> Result<u64, ClientError> {
+        self.call(&format!("CREATE {name} {arity}"))
+            .and_then(parse_seq)
+    }
+
+    /// Drop a relation; returns the committed WAL seq.
+    pub fn drop_relation(&mut self, name: &str) -> Result<u64, ClientError> {
+        self.call(&format!("DROP {name}")).and_then(parse_seq)
+    }
+
+    /// Union tuples into a relation; returns the committed WAL seq.
+    pub fn insert(&mut self, name: &str, rel: &GeneralizedRelation) -> Result<u64, ClientError> {
+        self.call(&format!("INSERT {name} {}", relation_to_json_str(rel)))
+            .and_then(parse_seq)
+    }
+
+    /// Remove subsumed tuples; returns the committed WAL seq.
+    pub fn remove_subsumed(
+        &mut self,
+        name: &str,
+        rel: &GeneralizedRelation,
+    ) -> Result<u64, ClientError> {
+        self.call(&format!("REMOVE {name} {}", relation_to_json_str(rel)))
+            .and_then(parse_seq)
+    }
+
+    /// Replace a relation's instance; returns the committed WAL seq.
+    pub fn replace(&mut self, name: &str, rel: &GeneralizedRelation) -> Result<u64, ClientError> {
+        self.call(&format!("REPLACE {name} {}", relation_to_json_str(rel)))
+            .and_then(parse_seq)
+    }
+
+    /// Force a snapshot; returns its on-disk size in bytes.
+    pub fn snapshot(&mut self) -> Result<u64, ClientError> {
+        self.call("SNAPSHOT").and_then(parse_seq)
+    }
+
+    /// Fetch the server's counters as compact JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.call("STATS")
+    }
+
+    /// Polite hangup.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.call("CLOSE").map(drop)
+    }
+}
+
+fn parse_seq(body: String) -> Result<u64, ClientError> {
+    body.parse()
+        .map_err(|_| ClientError::Protocol(format!("expected a number, got `{body}`")))
+}

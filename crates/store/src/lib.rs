@@ -1,0 +1,54 @@
+//! # dco-store — a persistent, concurrently-served constraint database
+//!
+//! The paper treats a dense-order constraint database as a *finitely
+//! representable* infinite relation: what is stored is the byte string of
+//! its quantifier-free representation (§3's standard encoding). This
+//! crate makes that storage literal and durable, and puts a server in
+//! front of it:
+//!
+//! * [`codec`] — length-prefixed, versioned, CRC-checksummed binary
+//!   records of relations, linear tuples, and whole catalogs, layered on
+//!   `dco-encoding`'s standard bit encoding (exact rationals preserved);
+//! * [`wal`] — an append-only write-ahead log of catalog updates with
+//!   torn-record detection;
+//! * [`snapshot`] — periodic whole-catalog checkpoints published by
+//!   atomic rename, with log truncation;
+//! * [`store`] — the durable database: open ≡ latest valid snapshot +
+//!   WAL replay; snapshot-isolated reads via immutable, atomically
+//!   swapped catalog generations; writes serialized through the WAL.
+//!   Fsync and append points carry [`dco_core::guard`] probes so the
+//!   chaos suite can kill a write mid-append deterministically;
+//! * [`server`] / [`client`] — a dependency-free `std::net` TCP server
+//!   (thread per connection, capped by the `par` config) plus a matching
+//!   client. Every query runs through `dco-analysis` preflight and the
+//!   guarded evaluator, and a prepared-query cache keyed by formula
+//!   fingerprint × catalog generation makes repeated queries cheap.
+//!
+//! ```no_run
+//! use dco_store::{Store, StoreOptions};
+//! use dco_core::prelude::*;
+//!
+//! let store = Store::open("/tmp/my.dco", StoreOptions::default())?;
+//! store.create("r", 2)?;
+//! store.insert("r", GeneralizedRelation::from_raw(2, vec![
+//!     RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1)),
+//! ]))?;
+//! let out = store.query("r(x, y) and x >= 0")?;
+//! # Ok::<(), dco_store::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+pub mod wire;
+
+pub use client::Client;
+pub use codec::{CodecError, RecordKind};
+pub use server::{serve, ServerHandle};
+pub use store::{Generation, QueryOutput, Store, StoreError, StoreOptions, StoreStats};
+pub use wal::LogOp;

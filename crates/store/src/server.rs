@@ -1,0 +1,236 @@
+//! Multi-client TCP query server.
+//!
+//! Dependency-free `std::net`: one acceptor thread plus one thread per
+//! connection, with the number of simultaneously *served* connections
+//! capped by the session's parallel-evaluation configuration
+//! ([`EvalConfig::effective_threads`]) — the same knob that sizes the
+//! evaluator's worker pool, so a saturated server cannot oversubscribe
+//! the machine. Excess connections queue on a condvar, not in the
+//! kernel backlog.
+//!
+//! Each request is served against whatever generation is current when it
+//! arrives (snapshot isolation per request); writes go through the one
+//! serialized store write path. Shutdown is cooperative: the handle
+//! flips a flag and pokes the listener with a loopback connection so
+//! `accept` wakes up.
+
+use crate::store::{Store, StoreError};
+use crate::wire::{self, Request};
+use dco_core::prelude::eval_config;
+use dco_encoding::relation_from_json_str;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Simple counting semaphore (std has none): caps concurrently served
+/// connections at the evaluator's thread budget.
+struct ConnGate {
+    slots: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ConnGate {
+    fn new(cap: usize) -> ConnGate {
+        ConnGate {
+            slots: Mutex::new(cap),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        while *slots == 0 {
+            slots = self.freed.wait(slots).unwrap_or_else(|p| p.into_inner());
+        }
+        *slots -= 1;
+    }
+
+    fn release(&self) {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        *slots += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Handle to a running server. Dropping it does *not* stop the server;
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the acceptor thread.
+    /// In-flight connections finish their current request and then see
+    /// the connection closed.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Serve `store` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+/// Returns once the listener is bound; connections are handled on
+/// background threads until [`ServerHandle::shutdown`].
+pub fn serve(store: Store, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let gate = Arc::new(ConnGate::new(eval_config().effective_threads().max(2)));
+
+    let acceptor = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let store = store.clone();
+                let gate = gate.clone();
+                std::thread::spawn(move || {
+                    gate.acquire();
+                    let _ = handle_connection(&store, stream);
+                    gate.release();
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: bound,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn handle_connection(store: &Store, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    while let Some(line) = wire::read_frame(&mut reader)? {
+        let (reply, close) = respond(store, &line);
+        wire::write_frame(&mut writer, &reply)?;
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Compute the response for one request line. Pure with respect to the
+/// connection: also the in-process entry point the tests use.
+pub fn respond(store: &Store, line: &str) -> (String, bool) {
+    let request = match wire::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (format!("ERR {e}"), false),
+    };
+    let reply = match request {
+        Request::Ping => Ok("pong".to_string()),
+        Request::Close => return ("OK bye".to_string(), true),
+        Request::Query(src) => store
+            .query(&src)
+            .map(|out| wire::query_output_to_json(&out)),
+        Request::Create(name, arity) => store.create(&name, arity).map(|seq| seq.to_string()),
+        Request::Drop(name) => store.drop_relation(&name).map(|seq| seq.to_string()),
+        Request::Insert(name, body) => with_relation(&body, |rel| store.insert(&name, rel)),
+        Request::Remove(name, body) => {
+            with_relation(&body, |rel| store.remove_subsumed(&name, rel))
+        }
+        Request::Replace(name, body) => with_relation(&body, |rel| store.replace(&name, rel)),
+        Request::Snapshot => store.snapshot().map(|bytes| bytes.to_string()),
+        Request::Stats => Ok(stats_json(store)),
+    };
+    match reply {
+        Ok(body) => (format!("OK {body}"), false),
+        Err(e) => (format!("ERR {e}"), false),
+    }
+}
+
+fn with_relation(
+    body: &str,
+    f: impl FnOnce(dco_core::prelude::GeneralizedRelation) -> Result<u64, StoreError>,
+) -> Result<String, StoreError> {
+    let rel = relation_from_json_str(body)
+        .map_err(|e| StoreError::Invalid(format!("bad relation JSON: {e}")))?;
+    f(rel).map(|seq| seq.to_string())
+}
+
+fn stats_json(store: &Store) -> String {
+    use dco_encoding::Json;
+    let s = store.stats();
+    Json::Obj(vec![
+        ("generation".into(), Json::Num(s.generation as f64)),
+        ("relations".into(), Json::Num(s.relations as f64)),
+        ("cache_hits".into(), Json::Num(s.cache_hits as f64)),
+        ("cache_misses".into(), Json::Num(s.cache_misses as f64)),
+        ("cache_entries".into(), Json::Num(s.cache_entries as f64)),
+    ])
+    .compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreOptions;
+    use dco_core::prelude::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dco-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn respond_covers_the_command_surface() {
+        let dir = tmpdir("respond");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let (r, _) = respond(&store, "PING");
+        assert_eq!(r, "OK pong");
+        let (r, _) = respond(&store, "CREATE r 2");
+        assert_eq!(r, "OK 1");
+        let rel = GeneralizedRelation::from_raw(
+            2,
+            vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1))],
+        );
+        let (r, _) = respond(
+            &store,
+            &format!("INSERT r {}", dco_encoding::relation_to_json_str(&rel)),
+        );
+        assert_eq!(r, "OK 2");
+        let (r, _) = respond(&store, "QUERY r(x, y) & x < y");
+        assert!(r.starts_with("OK {"), "got {r}");
+        let out = wire::query_output_from_json(&r[3..]).unwrap();
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.columns, vec!["x", "y"]);
+        assert_eq!(out.relation, rel);
+        let (r, _) = respond(&store, "QUERY r(x, y, z)");
+        assert!(r.starts_with("ERR query rejected"), "got {r}");
+        let (r, _) = respond(&store, "STATS");
+        assert!(r.contains("\"cache_misses\":1"), "got {r}");
+        let (r, close) = respond(&store, "CLOSE");
+        assert_eq!((r.as_str(), close), ("OK bye", true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,691 @@
+//! The durable, snapshot-isolated constraint database.
+//!
+//! ## Recovery invariant
+//!
+//! `Store::open(dir)` ≡ latest valid snapshot + in-order WAL replay of
+//! every entry with `seq >` the snapshot's covered seq, with any torn WAL
+//! tail truncated. Because every mutation is fsynced to the WAL *before*
+//! it is applied in memory, a crash at any instant loses at most the
+//! single in-flight (unacknowledged) operation — acknowledged writes are
+//! always recovered.
+//!
+//! ## Isolation argument
+//!
+//! Readers never lock out writers and vice versa: the entire catalog
+//! lives in an immutable [`Generation`] behind an `Arc`, and a write
+//! installs a *new* generation with an atomic pointer swap. A reader
+//! that clones the `Arc` therefore sees one frozen catalog for as long
+//! as it likes — snapshot isolation — while writers proceed. Writes are
+//! serialized through a single writer mutex (the WAL makes them totally
+//! ordered anyway), so write-write conflicts cannot occur; the
+//! generation seq doubles as the transaction timestamp.
+//!
+//! ## Fault containment
+//!
+//! The WAL append and snapshot write carry [`dco_core::guard`] probes.
+//! When a chaos test injects a panic there, the unwind poisons the
+//! writer mutex *after* `healthy` was cleared; every later write is
+//! refused with [`StoreError::Unhealthy`] until the store is reopened
+//! (which truncates the torn tail). Readers are unaffected — their
+//! generation is immutable.
+
+use crate::codec::CodecError;
+use crate::snapshot;
+use crate::wal::{apply_op, LogOp, Wal};
+use dco_analysis::{preflight_formula, AnalysisOptions, Diagnostic};
+use dco_core::guard::GuardStats;
+use dco_core::intern::{fold, mix64};
+use dco_core::prelude::{Database, GeneralizedRelation, Schema};
+use dco_fo::{default_limits, try_eval_with, TryEvalError};
+use dco_logic::{parse_formula, Formula};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Tuning knobs for a store.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Take an automatic snapshot (and truncate the WAL) after this many
+    /// logged operations. `0` disables automatic snapshots.
+    pub snapshot_every: u64,
+    /// Fsync the WAL after every append and snapshots before publishing.
+    /// Turning this off trades the durability guarantee for speed
+    /// (benchmarks, throwaway stores).
+    pub fsync: bool,
+    /// Maximum number of prepared-query results kept per store.
+    pub prepared_cache_cap: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            snapshot_every: 256,
+            fsync: true,
+            prepared_cache_cap: 256,
+        }
+    }
+}
+
+/// One immutable catalog version. Readers hold an `Arc<Generation>` and
+/// see a frozen database regardless of concurrent writes.
+#[derive(Debug)]
+pub struct Generation {
+    /// WAL sequence number of the last operation applied (0 = empty).
+    pub seq: u64,
+    /// The catalog at that point.
+    pub db: Database,
+}
+
+/// A query answer, tagged with the generation it was computed against.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Generation the answer is valid for.
+    pub generation: u64,
+    /// Output columns (free variables, sorted).
+    pub columns: Vec<String>,
+    /// The denoted relation.
+    pub relation: GeneralizedRelation,
+    /// Whether the answer came from the prepared-query cache.
+    pub cached: bool,
+    /// Guard statistics of the evaluation (`None` on cache hits — no
+    /// evaluation happened).
+    pub stats: Option<GuardStats>,
+}
+
+/// Observable store counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Current generation seq.
+    pub generation: u64,
+    /// Number of relations in the catalog.
+    pub relations: usize,
+    /// Prepared-query cache hits.
+    pub cache_hits: u64,
+    /// Prepared-query cache misses (cold evaluations).
+    pub cache_misses: u64,
+    /// Live entries in the prepared-query cache.
+    pub cache_entries: usize,
+}
+
+/// Everything that can go wrong talking to a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A stored record failed to decode.
+    Codec(CodecError),
+    /// The operation is invalid against the current catalog (unknown
+    /// relation, arity mismatch, duplicate create, ...).
+    Invalid(String),
+    /// The query text did not parse.
+    Parse(String),
+    /// Static analysis rejected the query before evaluation.
+    Rejected(Vec<Diagnostic>),
+    /// The guarded evaluation tripped a budget, deadline, or contained
+    /// fault.
+    Fault(String),
+    /// A previous write crashed mid-append; the store refuses further
+    /// writes until reopened (which truncates the torn WAL tail).
+    Unhealthy,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Invalid(m) => write!(f, "invalid operation: {m}"),
+            StoreError::Parse(m) => write!(f, "parse error: {m}"),
+            StoreError::Rejected(diags) => {
+                write!(f, "query rejected by analysis:")?;
+                for d in diags {
+                    write!(f, " [{} {}] {};", d.severity, d.code, d.message)?;
+                }
+                Ok(())
+            }
+            StoreError::Fault(m) => write!(f, "evaluation fault: {m}"),
+            StoreError::Unhealthy => {
+                f.write_str("store is unhealthy after a failed write; reopen to recover")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> StoreError {
+        StoreError::Codec(e)
+    }
+}
+
+/// Fingerprint of a formula's canonical (display) form, via the same
+/// deterministic mixer the interner uses — stable across processes, so
+/// prepared-query keys survive server restarts.
+pub fn formula_fingerprint(formula: &Formula) -> u64 {
+    let text = formula.to_string();
+    let mut h = mix64(0x5353_4f52_4551_5546 ^ text.len() as u64);
+    for chunk in text.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = fold(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// A cached query answer: output columns plus the canonical relation.
+type CachedAnswer = Arc<(Vec<String>, GeneralizedRelation)>;
+
+struct PreparedCache {
+    results: HashMap<(u64, u64), CachedAnswer>,
+    order: VecDeque<(u64, u64)>,
+    cap: usize,
+}
+
+impl PreparedCache {
+    fn get(&self, key: (u64, u64)) -> Option<CachedAnswer> {
+        self.results.get(&key).cloned()
+    }
+
+    fn put(&mut self, key: (u64, u64), value: CachedAnswer) {
+        if self.cap == 0 || self.results.contains_key(&key) {
+            return;
+        }
+        while self.results.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.results.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key);
+        self.results.insert(key, value);
+    }
+}
+
+struct WriterState {
+    wal: Wal,
+    healthy: bool,
+    since_snapshot: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    opts: StoreOptions,
+    current: RwLock<Arc<Generation>>,
+    writer: Mutex<WriterState>,
+    prepared: Mutex<PreparedCache>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Handle to an open store. Cheap to clone; all clones share the same
+/// WAL, generation chain, and prepared-query cache.
+#[derive(Clone)]
+pub struct Store {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.inner.dir)
+            .field("generation", &self.read().seq)
+            .finish()
+    }
+}
+
+/// Poison-tolerant mutex lock: a panic while holding the lock (e.g. an
+/// injected fault at a WAL probe) must not wedge the store — the
+/// `healthy` flag, not lock poison, is the source of truth.
+fn lock_writer(m: &Mutex<WriterState>) -> MutexGuard<'_, WriterState> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Store {
+    /// Open (creating if needed) the store in directory `dir`.
+    ///
+    /// Recovery: load the newest valid snapshot, replay every WAL entry
+    /// with a later seq, truncate any torn tail. A fault-free reopen is
+    /// always an identity: `open` after clean writes reproduces the
+    /// exact pre-close catalog (the chaos suite asserts this).
+    pub fn open(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Store, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let (snap_seq, snap_db) = match snapshot::load_latest(&dir)? {
+            Some((seq, db)) => (seq, db),
+            None => (0, Database::new(Schema::new())),
+        };
+
+        let (mut wal, scan) = Wal::open(&dir.join("wal.log"), opts.fsync)?;
+
+        let mut schema = snap_db.schema().clone();
+        let mut relations: BTreeMap<String, GeneralizedRelation> = snap_db
+            .relations()
+            .map(|(n, r)| (n.to_string(), r.clone()))
+            .collect();
+        let mut seq = snap_seq;
+        for entry in &scan.entries {
+            if entry.seq <= snap_seq {
+                continue; // already folded into the snapshot
+            }
+            apply_op(&mut schema, &mut relations, &entry.op).map_err(StoreError::Invalid)?;
+            seq = entry.seq;
+        }
+        wal.set_next_seq(seq + 1);
+
+        let db = rebuild(schema, relations)?;
+        let inner = Inner {
+            dir,
+            prepared: Mutex::new(PreparedCache {
+                results: HashMap::new(),
+                order: VecDeque::new(),
+                cap: opts.prepared_cache_cap,
+            }),
+            opts,
+            current: RwLock::new(Arc::new(Generation { seq, db })),
+            writer: Mutex::new(WriterState {
+                wal,
+                healthy: true,
+                since_snapshot: 0,
+            }),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        };
+        Ok(Store {
+            inner: Arc::new(inner),
+        })
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// The current generation — a frozen catalog plus its seq. Hold the
+    /// returned `Arc` to read at a stable snapshot while writes proceed.
+    pub fn read(&self) -> Arc<Generation> {
+        self.inner
+            .current
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Declare a new empty relation.
+    pub fn create(&self, name: &str, arity: u32) -> Result<u64, StoreError> {
+        self.apply(LogOp::Create {
+            name: name.to_string(),
+            arity,
+        })
+    }
+
+    /// Remove a relation from the catalog.
+    pub fn drop_relation(&self, name: &str) -> Result<u64, StoreError> {
+        self.apply(LogOp::Drop {
+            name: name.to_string(),
+        })
+    }
+
+    /// Union tuples into a relation.
+    pub fn insert(&self, name: &str, rel: GeneralizedRelation) -> Result<u64, StoreError> {
+        self.apply(LogOp::InsertTuples {
+            name: name.to_string(),
+            rel,
+        })
+    }
+
+    /// Delete every stored tuple subsumed by a tuple of `rel`.
+    pub fn remove_subsumed(&self, name: &str, rel: GeneralizedRelation) -> Result<u64, StoreError> {
+        self.apply(LogOp::RemoveSubsumed {
+            name: name.to_string(),
+            rel,
+        })
+    }
+
+    /// Replace a relation's instance wholesale.
+    pub fn replace(&self, name: &str, rel: GeneralizedRelation) -> Result<u64, StoreError> {
+        self.apply(LogOp::Replace {
+            name: name.to_string(),
+            rel,
+        })
+    }
+
+    /// Log and apply one operation; returns its WAL seq (= the new
+    /// generation). This is the single write path: WAL first (fsynced),
+    /// then the in-memory generation swap — so an acknowledged seq is
+    /// durable by the time the caller sees it.
+    pub fn apply(&self, op: LogOp) -> Result<u64, StoreError> {
+        let mut w = lock_writer(&self.inner.writer);
+        if !w.healthy {
+            return Err(StoreError::Unhealthy);
+        }
+
+        // Validate and compute the successor catalog *before* logging, so
+        // the WAL never contains an inapplicable op.
+        let cur = self.read();
+        let mut schema = cur.db.schema().clone();
+        let mut relations: BTreeMap<String, GeneralizedRelation> = cur
+            .db
+            .relations()
+            .map(|(n, r)| (n.to_string(), r.clone()))
+            .collect();
+        apply_op(&mut schema, &mut relations, &op).map_err(StoreError::Invalid)?;
+        let db = rebuild(schema, relations)?;
+
+        // Durability point. `healthy` is cleared across the append so a
+        // contained panic (fault injection, crash) leaves the store
+        // refusing writes rather than silently diverging from the log.
+        w.healthy = false;
+        let seq = w.wal.append(&op)?;
+        w.healthy = true;
+
+        let generation = Arc::new(Generation { seq, db });
+        *self
+            .inner
+            .current
+            .write()
+            .unwrap_or_else(|p| p.into_inner()) = generation.clone();
+
+        w.since_snapshot += 1;
+        if self.inner.opts.snapshot_every > 0 && w.since_snapshot >= self.inner.opts.snapshot_every
+        {
+            self.snapshot_locked(&mut w, &generation)?;
+        }
+        Ok(seq)
+    }
+
+    /// Force a snapshot of the current generation and truncate the WAL.
+    /// Returns the snapshot's on-disk size in bytes — the standard-
+    /// encoding measure of the catalog (§3) plus envelope overhead.
+    pub fn snapshot(&self) -> Result<u64, StoreError> {
+        let mut w = lock_writer(&self.inner.writer);
+        if !w.healthy {
+            return Err(StoreError::Unhealthy);
+        }
+        let generation = self.read();
+        self.snapshot_locked(&mut w, &generation)
+    }
+
+    fn snapshot_locked(
+        &self,
+        w: &mut WriterState,
+        generation: &Generation,
+    ) -> Result<u64, StoreError> {
+        // Same containment discipline as appends: a crash mid-snapshot
+        // leaves only a temp file, but also an unhealthy writer until
+        // reopen (the WAL was not yet truncated, so nothing is lost).
+        w.healthy = false;
+        let bytes = snapshot::write_snapshot(
+            &self.inner.dir,
+            generation.seq,
+            &generation.db,
+            self.inner.opts.fsync,
+        )?;
+        w.wal.truncate()?;
+        w.healthy = true;
+        w.since_snapshot = 0;
+        Ok(bytes)
+    }
+
+    /// Parse, preflight, and evaluate a query against the current
+    /// generation, consulting the prepared-query cache first.
+    pub fn query(&self, src: &str) -> Result<QueryOutput, StoreError> {
+        let formula = parse_formula(src).map_err(|e| StoreError::Parse(e.to_string()))?;
+        self.query_formula(&formula)
+    }
+
+    /// [`Store::query`] for an already-parsed formula.
+    pub fn query_formula(&self, formula: &Formula) -> Result<QueryOutput, StoreError> {
+        let generation = self.read();
+        let fp = formula_fingerprint(formula);
+        let key = (fp, generation.seq);
+
+        if let Some(hit) = lock_cache(&self.inner.prepared).get(key) {
+            self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryOutput {
+                generation: generation.seq,
+                columns: hit.0.clone(),
+                relation: hit.1.clone(),
+                cached: true,
+                stats: None,
+            });
+        }
+        // Static preflight: reject before spending evaluation budget.
+        preflight_formula(
+            formula,
+            Some(generation.db.schema()),
+            &AnalysisOptions::default(),
+        )
+        .map_err(StoreError::Rejected)?;
+
+        // Guarded evaluation under the analyzer-suggested budgets. Only
+        // queries that reach evaluation count as cache misses.
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let limits = default_limits(&generation.db, formula);
+        let guarded = try_eval_with(&generation.db, formula, limits).map_err(|e| match e {
+            TryEvalError::Parse(p) => StoreError::Parse(p.to_string()),
+            TryEvalError::Invalid(i) => StoreError::Invalid(i.to_string()),
+            TryEvalError::Fault(f) => StoreError::Fault(f.to_string()),
+        })?;
+
+        let columns = guarded.value.columns;
+        let relation = guarded.value.relation;
+        lock_cache(&self.inner.prepared).put(key, Arc::new((columns.clone(), relation.clone())));
+        Ok(QueryOutput {
+            generation: generation.seq,
+            columns,
+            relation,
+            cached: false,
+            stats: Some(guarded.stats),
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let generation = self.read();
+        StoreStats {
+            generation: generation.seq,
+            relations: generation.db.schema().relations().count(),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            cache_entries: lock_cache(&self.inner.prepared).results.len(),
+        }
+    }
+
+    /// Whether the writer is healthy (false after a crashed write until
+    /// the store is reopened).
+    pub fn is_healthy(&self) -> bool {
+        lock_writer(&self.inner.writer).healthy
+    }
+}
+
+fn lock_cache(m: &Mutex<PreparedCache>) -> MutexGuard<'_, PreparedCache> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn rebuild(
+    schema: Schema,
+    relations: BTreeMap<String, GeneralizedRelation>,
+) -> Result<Database, StoreError> {
+    let mut db = Database::new(schema);
+    for (name, rel) in relations {
+        db.set(&name, rel)
+            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_core::prelude::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dco-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn triangle() -> GeneralizedRelation {
+        GeneralizedRelation::from_raw(
+            2,
+            vec![
+                RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
+                RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        )
+    }
+
+    #[test]
+    fn write_reopen_identity() {
+        let dir = tmpdir("reopen");
+        {
+            let store = Store::open(&dir, StoreOptions::default()).unwrap();
+            store.create("R", 2).unwrap();
+            store.insert("R", triangle()).unwrap();
+        }
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let generation = store.read();
+        assert_eq!(generation.seq, 2);
+        assert_eq!(generation.db.get("R"), Some(&triangle()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_replay_equals_pure_replay() {
+        let dir = tmpdir("snapeq");
+        let expected = {
+            let store = Store::open(&dir, StoreOptions::default()).unwrap();
+            store.create("R", 2).unwrap();
+            store.insert("R", triangle()).unwrap();
+            store.snapshot().unwrap();
+            // More writes after the snapshot: recovery must replay them
+            // on top of it.
+            store.create("S", 1).unwrap();
+            store
+                .insert(
+                    "S",
+                    GeneralizedRelation::from_raw(
+                        1,
+                        vec![RawAtom::new(Term::var(0), RawOp::Gt, Term::cst(rat(1, 2)))],
+                    ),
+                )
+                .unwrap();
+            store.read().db.clone()
+        };
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.read().db, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_isolation_reader_sees_frozen_generation() {
+        let dir = tmpdir("isolation");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.create("R", 2).unwrap();
+        store.insert("R", triangle()).unwrap();
+        let frozen = store.read();
+        store.replace("R", GeneralizedRelation::empty(2)).unwrap();
+        // The old generation is untouched; the new one sees the write.
+        assert_eq!(frozen.db.get("R"), Some(&triangle()));
+        assert!(store.read().db.get("R").unwrap().is_empty());
+        assert!(frozen.seq < store.read().seq);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepared_cache_hits_match_cold_evaluation() {
+        let dir = tmpdir("cache");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.create("R", 2).unwrap();
+        store.insert("R", triangle()).unwrap();
+        let src = "exists y . (R(x, y) & x < y)";
+        let cold = store.query(src).unwrap();
+        assert!(!cold.cached);
+        let warm = store.query(src).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.columns, cold.columns);
+        assert_eq!(warm.relation, cold.relation);
+        assert_eq!(warm.generation, cold.generation);
+        // A write invalidates by key (generation changes), not by flush.
+        store.insert("R", GeneralizedRelation::empty(2)).unwrap();
+        let after = store.query(src).unwrap();
+        assert!(!after.cached);
+        assert_eq!(after.relation, cold.relation, "empty union is a no-op");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn analysis_preflight_rejects_bad_queries() {
+        let dir = tmpdir("preflight");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.create("R", 2).unwrap();
+        // Arity mismatch: caught statically, not at evaluation.
+        match store.query("R(x, y, z)") {
+            Err(StoreError::Rejected(diags)) => assert!(!diags.is_empty()),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        match store.query("R(x y") {
+            Err(StoreError::Parse(_)) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_ops_are_refused_and_not_logged() {
+        let dir = tmpdir("invalid");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.create("R", 2).unwrap();
+        assert!(matches!(store.create("R", 3), Err(StoreError::Invalid(_))));
+        assert!(matches!(
+            store.insert("R", GeneralizedRelation::empty(5)),
+            Err(StoreError::Invalid(_))
+        ));
+        assert!(matches!(
+            store.drop_relation("nope"),
+            Err(StoreError::Invalid(_))
+        ));
+        // Seq only advanced for the one valid op.
+        assert_eq!(store.read().seq, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_snapshot_truncates_wal() {
+        let dir = tmpdir("autosnap");
+        let opts = StoreOptions {
+            snapshot_every: 4,
+            ..StoreOptions::default()
+        };
+        let store = Store::open(&dir, opts.clone()).unwrap();
+        store.create("R", 2).unwrap();
+        for _ in 0..6 {
+            store.insert("R", triangle()).unwrap();
+        }
+        drop(store);
+        // After ≥4 ops an automatic snapshot ran; the WAL holds only the
+        // suffix. Recovery must still see everything.
+        let wal_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert!(
+            wal_len < 200,
+            "wal should have been truncated, still {wal_len} bytes"
+        );
+        let store = Store::open(&dir, opts).unwrap();
+        assert_eq!(store.read().seq, 7);
+        assert_eq!(store.read().db.get("R"), Some(&triangle()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

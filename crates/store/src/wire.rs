@@ -1,0 +1,233 @@
+//! Wire protocol shared by server and client.
+//!
+//! Framing: every message is a 4-byte big-endian length followed by that
+//! many bytes of UTF-8 text, capped at [`MAX_FRAME`] (oversized frames
+//! are a protocol error, not an allocation). Requests are single-line
+//! commands; responses start with `OK` or `ERR`:
+//!
+//! | request                     | response                          |
+//! |-----------------------------|-----------------------------------|
+//! | `PING`                      | `OK pong`                         |
+//! | `QUERY <formula>`           | `OK {json query output}`          |
+//! | `CREATE <name> <arity>`     | `OK <seq>`                        |
+//! | `DROP <name>`               | `OK <seq>`                        |
+//! | `INSERT <name> <json rel>`  | `OK <seq>`                        |
+//! | `REMOVE <name> <json rel>`  | `OK <seq>`                        |
+//! | `REPLACE <name> <json rel>` | `OK <seq>`                        |
+//! | `SNAPSHOT`                  | `OK <bytes>`                      |
+//! | `STATS`                     | `OK {json counters}`              |
+//! | `CLOSE`                     | `OK bye`, then the peer hangs up  |
+//!
+//! Relations travel as `dco-encoding` JSON (exact rationals as strings);
+//! the query output object is `{"generation":n,"cached":0|1,`
+//! `"columns":[...],"relation":{...}}`.
+
+use crate::store::QueryOutput;
+use dco_encoding::{relation_from_json, relation_to_json, Json};
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame (64 MiB) — bounds allocation per peer.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, msg: &str) -> io::Result<()> {
+    let bytes = msg.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds 64 MiB cap",
+        ));
+    }
+    // One write per frame: header+body split across packets would
+    // otherwise trip Nagle/delayed-ACK stalls on loopback.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the connection
+/// cleanly (EOF at a frame boundary).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds 64 MiB cap",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Evaluate a formula against the current generation.
+    Query(String),
+    /// Declare a relation.
+    Create(String, u32),
+    /// Drop a relation.
+    Drop(String),
+    /// Union tuples (JSON relation) into a relation.
+    Insert(String, String),
+    /// Remove subsumed tuples (JSON relation) from a relation.
+    Remove(String, String),
+    /// Replace a relation's instance (JSON relation).
+    Replace(String, String),
+    /// Force a snapshot.
+    Snapshot,
+    /// Fetch store counters.
+    Stats,
+    /// End the session.
+    Close,
+}
+
+/// Parse one request line. Errors are human-readable fragments suitable
+/// for an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let name_and_body = |rest: &str| -> Result<(String, String), String> {
+        match rest.split_once(char::is_whitespace) {
+            Some((name, body)) => Ok((name.to_string(), body.trim().to_string())),
+            None => Err(format!("`{verb}` needs a relation name and a body")),
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
+        "QUERY" => Err("`QUERY` needs a formula".into()),
+        "CREATE" => {
+            let (name, arity) = name_and_body(rest)?;
+            let arity: u32 = arity
+                .parse()
+                .map_err(|_| format!("`CREATE {name}`: bad arity `{arity}`"))?;
+            Ok(Request::Create(name, arity))
+        }
+        "DROP" if !rest.is_empty() => Ok(Request::Drop(rest.to_string())),
+        "DROP" => Err("`DROP` needs a relation name".into()),
+        "INSERT" => name_and_body(rest).map(|(n, b)| Request::Insert(n, b)),
+        "REMOVE" => name_and_body(rest).map(|(n, b)| Request::Remove(n, b)),
+        "REPLACE" => name_and_body(rest).map(|(n, b)| Request::Replace(n, b)),
+        "SNAPSHOT" => Ok(Request::Snapshot),
+        "STATS" => Ok(Request::Stats),
+        "CLOSE" => Ok(Request::Close),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Render a query output as the wire's JSON object.
+pub fn query_output_to_json(out: &QueryOutput) -> String {
+    Json::Obj(vec![
+        ("generation".into(), Json::Num(out.generation as f64)),
+        (
+            "cached".into(),
+            Json::Num(if out.cached { 1.0 } else { 0.0 }),
+        ),
+        (
+            "columns".into(),
+            Json::Arr(out.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+        ),
+        ("relation".into(), relation_to_json(&out.relation)),
+    ])
+    .compact()
+}
+
+/// Parse the wire's JSON object back into a [`QueryOutput`] (with
+/// `stats` absent — the wire does not carry guard statistics).
+pub fn query_output_from_json(src: &str) -> Result<QueryOutput, String> {
+    let v = dco_encoding::parse_json(src).map_err(|e| e.to_string())?;
+    let num = |k: &str| -> Result<f64, String> {
+        v.get(k)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("query output missing numeric `{k}`"))
+    };
+    let columns = v
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or("query output missing `columns` array")?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "column must be a string".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let rel_json = v.get("relation").ok_or("query output missing `relation`")?;
+    let relation = relation_from_json(rel_json).map_err(|e| e.to_string())?;
+    Ok(QueryOutput {
+        generation: num("generation")? as u64,
+        cached: num("cached")? != 0.0,
+        columns,
+        relation,
+        stats: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "QUERY R(x, y)").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "QUERY R(x, y)");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn request_grammar() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request("query exists y . R(x, y)").unwrap(),
+            Request::Query("exists y . R(x, y)".into())
+        );
+        assert_eq!(
+            parse_request("CREATE r 2").unwrap(),
+            Request::Create("r".into(), 2)
+        );
+        assert_eq!(parse_request("DROP r").unwrap(), Request::Drop("r".into()));
+        assert!(matches!(parse_request("INSERT r"), Err(_)));
+        assert!(matches!(parse_request("CREATE r two"), Err(_)));
+        assert!(matches!(parse_request("FROB"), Err(_)));
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
+    }
+}

@@ -1,0 +1,259 @@
+//! Crash-recovery chaos suite for the store (`dco_store`).
+//!
+//! Uses the guard layer's deterministic fault injection to kill writes at
+//! the three durability-critical instants — mid-WAL-append (torn record
+//! on disk), pre-fsync (complete record, no durability point), and
+//! mid-snapshot-write (torn temp file) — then asserts the recovery
+//! contract from §3's standard-encoding view of the database:
+//!
+//! > Reopening the store yields **exactly** the committed catalog
+//! > (acknowledged writes), except that a fault *after* the full record
+//! > hit the disk may additionally surface the single in-flight
+//! > operation. Torn records are never decoded; an unhealthy store
+//! > refuses writes until reopened; and a fault-free reopen is the
+//! > identity (snapshot + WAL replay ≡ pre-close state).
+//!
+//! Fully deterministic: cases derive from the same pinned seed scheme as
+//! the evaluator chaos suite (`DCO_CHAOS_SEED`, default `0xDC0DB`).
+
+use dco::core::guard::faults::{injection_enabled, FaultPlan, InjectedFault};
+use dco::prelude::*;
+use dco::store::{LogOp, Store, StoreError, StoreOptions};
+use std::path::PathBuf;
+
+/// Number of seeded cases; keep in sync with the CI chaos-store job.
+const CASES: u64 = 128;
+
+fn seed() -> u64 {
+    std::env::var("DCO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDC0_DB)
+}
+
+/// splitmix64, same scatter function as the evaluator chaos suite.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn interval(lo: i128, hi: i128) -> GeneralizedRelation {
+    GeneralizedRelation::from_raw(
+        1,
+        vec![
+            RawAtom::new(Term::cst(rat(lo, 1)), RawOp::Le, Term::var(0)),
+            RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(hi, 1))),
+        ],
+    )
+}
+
+/// A random committed prefix: create 1–3 relations, then a few inserts/
+/// replaces. Returns the ops actually acknowledged.
+fn committed_script(state: &mut u64) -> Vec<LogOp> {
+    let nrels = 1 + splitmix(state) % 3;
+    let mut ops = Vec::new();
+    for r in 0..nrels {
+        ops.push(LogOp::Create {
+            name: format!("r{r}"),
+            arity: 1,
+        });
+    }
+    let nwrites = splitmix(state) % 6;
+    for _ in 0..nwrites {
+        let r = splitmix(state) % nrels;
+        let lo = (splitmix(state) % 20) as i128 - 10;
+        let len = 1 + (splitmix(state) % 5) as i128;
+        let rel = interval(lo, lo + len);
+        ops.push(if splitmix(state) % 4 == 0 {
+            LogOp::Replace {
+                name: format!("r{r}"),
+                rel,
+            }
+        } else {
+            LogOp::InsertTuples {
+                name: format!("r{r}"),
+                rel,
+            }
+        });
+    }
+    ops
+}
+
+fn tmpdir(case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dco-store-chaos-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn seeded_crash_recovery_sweep() {
+    if !injection_enabled() {
+        eprintln!(
+            "fault injection compiled out (release without the fault-injection feature); skipping"
+        );
+        return;
+    }
+    let mut state = seed();
+    let mut outcomes = [0u64; 3]; // [wal-append, wal-fsync, snapshot-write]
+    for case in 0..CASES {
+        let dir = tmpdir(case);
+        let opts = StoreOptions {
+            snapshot_every: 0, // snapshots only where the case forces one
+            ..StoreOptions::default()
+        };
+        let store = Store::open(&dir, opts.clone()).unwrap();
+
+        // Committed prefix: every op here is acknowledged and fsynced.
+        let script = committed_script(&mut state);
+        for op in &script {
+            store.apply(op.clone()).unwrap();
+        }
+        // Maybe fold part of the history into a snapshot, so recovery
+        // exercises snapshot + replay rather than pure replay.
+        if splitmix(&mut state) % 2 == 0 {
+            store.snapshot().unwrap();
+        }
+        let committed = store.read().db.clone();
+        let committed_seq = store.read().seq;
+
+        // The in-flight op the crash will interrupt.
+        let inflight = LogOp::InsertTuples {
+            name: "r0".to_string(),
+            rel: interval(100, 101),
+        };
+
+        let (site, slot) = match splitmix(&mut state) % 3 {
+            0 => (ProbeSite::WalAppend, 0),
+            1 => (ProbeSite::WalFsync, 1),
+            _ => (ProbeSite::SnapshotWrite, 2),
+        };
+        outcomes[slot] += 1;
+        let fault = match splitmix(&mut state) % 3 {
+            0 => InjectedFault::Panic,
+            1 => InjectedFault::Overflow,
+            _ => InjectedFault::Cancel,
+        };
+        let limits = GuardLimits::none().with_fault(FaultPlan::new(Some(site), 1, fault));
+
+        // Crash exactly at the armed site. All three fault kinds unwind;
+        // run_guarded contains the unwind and reports a typed error.
+        let crashed: Result<Guarded<()>, GuardError> = run_guarded(limits, || {
+            if site == ProbeSite::SnapshotWrite {
+                let _ = store.snapshot();
+            } else {
+                let _ = store.apply(inflight.clone());
+            }
+        });
+        assert!(
+            crashed.is_err(),
+            "case {case}: armed fault at {site} did not fire"
+        );
+
+        // Invariant 1: the wounded store refuses writes, readers still work.
+        assert!(
+            !store.is_healthy(),
+            "case {case}: store claims health after crash"
+        );
+        assert!(
+            matches!(store.create("late", 1), Err(StoreError::Unhealthy)),
+            "case {case}: write accepted on unhealthy store"
+        );
+        assert_eq!(
+            store.read().db,
+            committed,
+            "case {case}: reader saw a state change from an unacknowledged write"
+        );
+        drop(store);
+
+        // Invariant 2: recovery restores exactly the committed state —
+        // plus, only for the pre-fsync site, possibly the in-flight op
+        // (its record was fully on disk when the crash hit).
+        let recovered = Store::open(&dir, opts.clone()).unwrap();
+        let rec_db = recovered.read().db.clone();
+        match site {
+            ProbeSite::WalFsync => {
+                let mut with_inflight = committed.clone();
+                let cur = with_inflight.get("r0").unwrap().clone();
+                with_inflight
+                    .set("r0", cur.union(&interval(100, 101)))
+                    .unwrap();
+                assert!(
+                    rec_db == committed || rec_db == with_inflight,
+                    "case {case}: recovery after pre-fsync crash produced a third state"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    rec_db, committed,
+                    "case {case}: recovery after {site} crash diverged from committed state"
+                );
+                assert_eq!(
+                    recovered.read().seq,
+                    committed_seq,
+                    "case {case}: seq drifted"
+                );
+            }
+        }
+
+        // Invariant 3: the recovered store is fully writable again, and a
+        // fault-free close/reopen (snapshot + replay) is the identity.
+        recovered.create("post", 2).unwrap();
+        recovered.snapshot().unwrap();
+        let expected = recovered.read().db.clone();
+        let expected_seq = recovered.read().seq;
+        drop(recovered);
+        let reopened = Store::open(&dir, opts).unwrap();
+        assert_eq!(
+            reopened.read().db,
+            expected,
+            "case {case}: clean reopen not identity"
+        );
+        assert_eq!(reopened.read().seq, expected_seq);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    eprintln!(
+        "store chaos: {CASES} cases — wal-append {}, wal-fsync {}, snapshot-write {}",
+        outcomes[0], outcomes[1], outcomes[2]
+    );
+    assert!(
+        outcomes.iter().all(|&n| n > 0),
+        "seed never exercised one of the probe sites; widen the sweep"
+    );
+}
+
+/// A fault armed on a site the operation never reaches must change
+/// nothing: the write completes and is acknowledged normally.
+#[test]
+fn unreached_fault_site_is_a_no_op() {
+    if !injection_enabled() {
+        return;
+    }
+    let dir = tmpdir(u64::MAX);
+    let store = Store::open(
+        &dir,
+        StoreOptions {
+            snapshot_every: 0,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    store.create("r", 1).unwrap();
+    // SnapshotWrite is never hit by a plain insert.
+    let limits = GuardLimits::none().with_fault(FaultPlan::new(
+        Some(ProbeSite::SnapshotWrite),
+        1,
+        InjectedFault::Panic,
+    ));
+    let out: Result<Guarded<Result<u64, StoreError>>, GuardError> =
+        run_guarded(limits, || store.insert("r", interval(0, 1)));
+    let seq = out.expect("no fault should fire").value.expect("write ok");
+    assert_eq!(seq, 2);
+    assert!(store.is_healthy());
+    assert_eq!(store.read().db.get("r").unwrap(), &interval(0, 1));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,184 @@
+//! Concurrent-server suite: N writers and M readers against one served
+//! store, over real TCP.
+//!
+//! The isolation argument under test: every response is computed against
+//! one immutable generation, so a reader can never observe a torn state.
+//! The writers insert pairwise-disjoint unit intervals, which makes the
+//! invariant *countable* — at generation `g` the relation holds exactly
+//! `g - 1` disjoint tuples (seq 1 is the CREATE) — so any torn read or
+//! lost write shows up as an off-by-one, not a heisenbug.
+
+use dco::prelude::*;
+use dco::store::{serve, Client, Store, StoreOptions};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dco-store-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The pairwise-disjoint unit interval `[3k, 3k+1]` — gaps of width 1
+/// between intervals keep subsumption pruning from ever merging two.
+fn unit(k: i128) -> GeneralizedRelation {
+    GeneralizedRelation::from_raw(
+        1,
+        vec![
+            RawAtom::new(Term::cst(rat(3 * k, 1)), RawOp::Le, Term::var(0)),
+            RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(3 * k + 1, 1))),
+        ],
+    )
+}
+
+#[test]
+fn concurrent_writers_and_readers_are_snapshot_isolated() {
+    const WRITERS: usize = 3;
+    const WRITES_EACH: i128 = 8;
+    const READERS: usize = 4;
+    const READS_EACH: usize = 12;
+
+    let dir = tmpdir("isolation");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    store.create("r", 1).unwrap();
+    let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut threads = Vec::new();
+    for w in 0..WRITERS {
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connect");
+            for i in 0..WRITES_EACH {
+                let k = w as i128 * WRITES_EACH + i;
+                let seq = client.insert("r", &unit(k)).expect("insert");
+                assert!(seq >= 2, "writer acks carry the WAL seq");
+            }
+            client.close().expect("close");
+        }));
+    }
+    for _ in 0..READERS {
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("reader connect");
+            let mut last_generation = 0;
+            for _ in 0..READS_EACH {
+                let out = client.query("r(x)").expect("query");
+                // Countable snapshot invariant: generation g ⇔ g−1 tuples.
+                assert_eq!(
+                    out.relation.tuples().len() as u64,
+                    out.generation - 1,
+                    "torn read: generation {} with {} tuples",
+                    out.generation,
+                    out.relation.tuples().len()
+                );
+                // Per-connection monotonicity: time never goes backwards.
+                assert!(
+                    out.generation >= last_generation,
+                    "generation regressed {last_generation} -> {}",
+                    out.generation
+                );
+                last_generation = out.generation;
+            }
+            client.close().expect("close");
+        }));
+    }
+    for t in threads {
+        t.join().expect("worker thread");
+    }
+
+    // Every write landed exactly once: 1 create + WRITERS×WRITES_EACH.
+    let total = WRITERS as u64 * WRITES_EACH as u64;
+    let generation = store.read();
+    assert_eq!(generation.seq, 1 + total);
+    assert_eq!(generation.db.get("r").unwrap().tuples().len() as u64, total);
+
+    handle.shutdown();
+    // The catalog survives a cold reopen with all concurrent writes.
+    drop(store);
+    let reopened = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(reopened.read().seq, 1 + total);
+    assert_eq!(
+        reopened.read().db.get("r").unwrap().tuples().len() as u64,
+        total
+    );
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prepared_cache_hits_are_structurally_identical_across_clients() {
+    let dir = tmpdir("cache");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    store.create("r", 1).unwrap();
+    for k in 0..4 {
+        store.insert("r", unit(k)).unwrap();
+    }
+    let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
+
+    let query = "exists y . (r(x) & r(y) & x < y)";
+    // Cold evaluation straight through the in-process path.
+    let direct = store.query(query).unwrap();
+    assert!(!direct.cached);
+
+    // Two independent TCP clients: the first hit is served from the cache
+    // warmed by the in-process query (same fingerprint, same generation);
+    // both must be byte-for-byte the cold result.
+    for _ in 0..2 {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let out = client.query(query).unwrap();
+        assert!(out.cached, "expected a prepared-query cache hit");
+        assert_eq!(out.generation, direct.generation);
+        assert_eq!(out.columns, direct.columns);
+        assert_eq!(
+            out.relation, direct.relation,
+            "cache hit diverged from cold eval"
+        );
+        client.close().unwrap();
+    }
+
+    // A write moves the generation: the same text becomes a cold query
+    // again and the new cold result is again structurally cached.
+    store.insert("r", unit(50)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let cold = client.query(query).unwrap();
+    assert!(!cold.cached);
+    let warm = client.query(query).unwrap();
+    assert!(warm.cached);
+    assert_eq!(warm.relation, cold.relation);
+    client.close().unwrap();
+
+    let stats = store.stats();
+    assert!(stats.cache_hits >= 3, "stats lost hits: {stats:?}");
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn more_clients_than_the_connection_cap_all_complete() {
+    let dir = tmpdir("overcap");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    store.create("r", 1).unwrap();
+    store.insert("r", unit(0)).unwrap();
+    let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    // Far more simultaneous connections than effective_threads: excess
+    // connections queue on the gate and must all eventually be served.
+    let clients = eval_config().effective_threads().max(2) * 3;
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.ping().expect("ping");
+                let out = c.query("r(x)").expect("query");
+                assert_eq!(out.relation.tuples().len(), 1);
+                c.close().expect("close");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
