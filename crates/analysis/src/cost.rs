@@ -154,7 +154,10 @@ pub fn predicted_cells(constants: usize, vars: usize) -> u128 {
 /// wall clocks are not, so deadlines are left to callers that own one
 /// (request handlers, the bench harness).
 pub fn suggested_limits(constants: usize, vars: usize) -> GuardLimits {
-    let cells = predicted_cells(constants, vars);
+    limits_for_cells(predicted_cells(constants, vars))
+}
+
+fn limits_for_cells(cells: u128) -> GuardLimits {
     let tuples = u64::try_from(cells.saturating_mul(64))
         .unwrap_or(u64::MAX)
         .clamp(100_000, 50_000_000);
@@ -164,15 +167,80 @@ pub fn suggested_limits(constants: usize, vars: usize) -> GuardLimits {
         .with_max_atoms(atoms)
 }
 
+/// Cell-decomposition bailout work the kernel pays for the complements a
+/// formula forces. Every `Not` node complements its operand's relation;
+/// `Implies(a, b)` rewrites to `¬a ∨ b`; `Iff` complements both sides;
+/// `Forall` is `¬∃¬` — two complements. When the operand's box structure
+/// defeats the syntactic complement path, the kernel falls back to full
+/// cell decomposition, whose size is `(2m+1)^n` cells refined by the
+/// `fubini(n)` ordered-partition factor — that bailout is what each
+/// complement is charged here, so budgets stop under-estimating negated
+/// subformulas.
+pub fn complement_charge(formula: &Formula) -> u128 {
+    let mut total: u128 = 0;
+    formula.walk(&mut |f| match f {
+        Formula::Not(g) => total = total.saturating_add(bailout_cells(g)),
+        Formula::Implies(a, _) => total = total.saturating_add(bailout_cells(a)),
+        Formula::Iff(a, b) => {
+            total = total
+                .saturating_add(bailout_cells(a))
+                .saturating_add(bailout_cells(b));
+        }
+        Formula::Forall(_, g) => {
+            total = total
+                .saturating_add(bailout_cells(g))
+                .saturating_add(bailout_cells(f));
+        }
+        _ => {}
+    });
+    total
+}
+
+/// The kernel's complement-bailout estimate for one subformula: cell count
+/// over its own constants and variables times the Fubini refinement
+/// factor, floored at the kernel's minimum decomposition work.
+fn bailout_cells(f: &Formula) -> u128 {
+    let m = constants_of_formula(f).len();
+    let n = all_vars(f).len().max(1);
+    let fub = dco_core::cell::fubini(n).map_or(u128::MAX, |v| v as u128);
+    predicted_cells(m, n).saturating_mul(fub).max(256)
+}
+
 /// [`suggested_limits`] computed from a formula and the database constants
-/// it will run against.
+/// it will run against, including the complement charge for its negated
+/// subformulas.
 pub fn suggested_limits_for_formula(
     formula: &Formula,
     db_constants: impl IntoIterator<Item = Rational>,
 ) -> GuardLimits {
     let mut constants = constants_of_formula(formula);
     constants.extend(db_constants);
-    suggested_limits(constants.len(), all_vars(formula).len())
+    let cells = predicted_cells(constants.len(), all_vars(formula).len())
+        .saturating_add(complement_charge(formula));
+    limits_for_cells(cells)
+}
+
+/// Estimate-derived guard budgets: the statistics-driven refinement of
+/// [`suggested_limits_for_formula`]. The planner's cardinality estimate
+/// sizes the tuple budget directly; the heuristic cell-count budget stays
+/// as a floor so an under-estimate can never *tighten* guards below what
+/// the un-statted path would grant.
+pub fn suggested_limits_with_stats(
+    formula: &Formula,
+    stats: &crate::stats::DbStats,
+    db_constants: impl IntoIterator<Item = Rational>,
+) -> GuardLimits {
+    let heuristic = suggested_limits_for_formula(formula, db_constants);
+    let est = crate::planner::estimate_formula(formula, stats);
+    let est_tuples = u64::try_from((est as u128).saturating_mul(1024))
+        .unwrap_or(u64::MAX)
+        .clamp(100_000, 50_000_000);
+    let tuples = heuristic
+        .max_tuples
+        .map_or(est_tuples, |t| t.max(est_tuples));
+    GuardLimits::none()
+        .with_max_tuples(tuples)
+        .with_max_atoms(tuples.saturating_mul(16))
 }
 
 /// Bound a formula's alternation depth and predicted cells (DCO501/DCO502).
@@ -241,6 +309,7 @@ pub fn check_rule(rule: &Rule, budget: &CostBudget) -> Option<Diagnostic> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_logic::parse_formula;
@@ -281,6 +350,33 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, "DCO501");
         assert!(check_formula(&f, &CostBudget::default()).is_empty());
+    }
+
+    #[test]
+    fn negated_subformulas_raise_budgets() {
+        let pos = parse_formula("x < 1 & y < 2 & z < 3").unwrap();
+        let neg = parse_formula("!(x < 1 & y < 2 & z < 3)").unwrap();
+        assert_eq!(complement_charge(&pos), 0);
+        assert!(complement_charge(&neg) >= 256);
+        let lp = suggested_limits_for_formula(&pos, []);
+        let ln = suggested_limits_for_formula(&neg, []);
+        assert!(
+            ln.max_tuples > lp.max_tuples,
+            "complement must be charged: {:?} vs {:?}",
+            ln.max_tuples,
+            lp.max_tuples
+        );
+        // Forall pays the double complement of its ¬∃¬ rewrite.
+        let fa = parse_formula("forall y . (x < 1 & y < 2 & z < 3)").unwrap();
+        assert!(complement_charge(&fa) > complement_charge(&neg));
+    }
+
+    #[test]
+    fn stats_limits_never_tighter_than_heuristic() {
+        let f = parse_formula("e(x, y)").unwrap();
+        let heuristic = suggested_limits_for_formula(&f, []);
+        let statted = suggested_limits_with_stats(&f, &crate::stats::DbStats::default(), []);
+        assert!(statted.max_tuples >= heuristic.max_tuples);
     }
 
     #[test]

@@ -216,6 +216,7 @@ impl DepGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_logic::datalog::parse_program;

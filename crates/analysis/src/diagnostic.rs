@@ -131,6 +131,7 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

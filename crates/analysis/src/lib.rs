@@ -34,17 +34,24 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod cost;
 pub mod depgraph;
 pub mod diagnostic;
+pub mod explain;
+pub mod planner;
 pub mod safety;
 pub mod schema_check;
+pub mod stats;
 pub mod unsat;
 
 pub use cost::CostBudget;
 pub use depgraph::{DepGraph, Polarity};
 pub use diagnostic::{has_errors, Diagnostic, Severity, Span};
+pub use explain::{PlanNode, QueryPlan};
+pub use planner::{estimate_formula, plan_formula, plan_rule};
+pub use stats::{ColumnStats, DbStats, RelStats};
 pub use unsat::OrderSystem;
 
 use dco_core::prelude::Schema;
@@ -200,6 +207,7 @@ fn negative_edge_span(program: &Program, cycle: &[String]) -> Span {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_logic::{parse_formula, parse_program};

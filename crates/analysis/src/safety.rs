@@ -106,6 +106,7 @@ pub fn check_program(program: &Program) -> Vec<Diagnostic> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_logic::datalog::parse_program;

@@ -145,6 +145,7 @@ pub fn check_program(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_logic::datalog::parse_program;

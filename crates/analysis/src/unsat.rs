@@ -247,6 +247,7 @@ fn sccs(n: usize, edges: &[(usize, usize, bool)]) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_core::prelude::rat;

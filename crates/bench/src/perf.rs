@@ -101,6 +101,37 @@ fn forced_parallel(threads: usize) -> EvalConfig {
     }
 }
 
+/// The adversarial star-join query over [`crate::workloads::star_join_db`].
+fn star_join_query() -> Formula {
+    parse_formula("hub(x, y) & wing1(x, y) & wing2(x, y) & pin(x, y)")
+        .expect("star join query parses")
+}
+
+/// One `join_order` row: the star join evaluated either in the written
+/// (syntactic) conjunct order or in the statistics-planned order. Both
+/// run sequentially — the row pair isolates the planner's contribution.
+fn join_order_record(size: usize, config: &str) -> PerfRecord {
+    let db = crate::workloads::star_join_db(size);
+    let formula = match config {
+        "planned" => {
+            let stats = dco::analysis::stats::DbStats::of_database(&db);
+            dco::analysis::plan_formula(&star_join_query(), &stats)
+        }
+        _ => star_join_query(),
+    };
+    relation_record(
+        "join_order",
+        size,
+        config,
+        EvalConfig::sequential(),
+        move || {
+            eval_fo(&db, &formula)
+                .expect("star join evaluates")
+                .relation
+        },
+    )
+}
+
 /// The seed kernel under a sequential schedule: the "before" row of the
 /// before/after pair (`seed` vs `interned` config labels). Same binary,
 /// same host — only the kernel fast paths differ.
@@ -308,6 +339,16 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
                 move || s.intersect(shifted),
             ));
         }
+    }
+
+    // Join-order planning: the star join whose syntactic conjunct order
+    // materialises an n×n strip grid that the cost-based order (pin
+    // first) never builds. Both rows are sequential, so the ratio is the
+    // planner's contribution alone.
+    let join_sizes: &[usize] = if quick { &[6, 10] } else { &[8, 16, 24] };
+    for &n in join_sizes {
+        out.push(join_order_record(n, "syntactic"));
+        out.push(join_order_record(n, "planned"));
     }
 
     // Guard-layer accounting: the same tc fixpoint under a no-limit guard
@@ -693,11 +734,12 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             ));
             continue;
         }
-        // Two gated row families: the engine's semi-naive fixpoint and
-        // the store's cold-open recovery. Both are deterministic and
-        // single-threaded, so a >30% wall-time jump is a real regression,
-        // not scheduler noise (`store_load`/`store_qc*` rows are
-        // informational only — they time the disk and the network stack).
+        // Three gated row families: the engine's semi-naive fixpoint,
+        // the store's cold-open recovery, and the planned star join. All
+        // are deterministic and single-threaded, so a >30% wall-time jump
+        // is a real regression, not scheduler noise (`store_load`/
+        // `store_qc*` rows are informational only — they time the disk
+        // and the network stack).
         let new = if rec.experiment == "tc_chain" && rec.config == "engine_delta" {
             let db = chain_db(rec.size);
             engine_record(
@@ -711,6 +753,8 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             )
         } else if rec.experiment == "store_throughput" && rec.config == "store_open" {
             store_open_record(rec.size)
+        } else if rec.experiment == "join_order" && rec.config == "planned" {
+            join_order_record(rec.size, "planned")
         } else {
             continue;
         };

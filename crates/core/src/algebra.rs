@@ -267,6 +267,121 @@ impl Plan {
         }
     }
 
+    /// Propagate estimated disjunct counts bottom-up through the plan.
+    ///
+    /// `scan_rows` supplies the estimate for each base relation (the
+    /// statistics layer of `dco-analysis` derives these from its per-
+    /// relation summaries; `1.0` is a safe default for unknown names).
+    /// The propagation rules mirror the DNF algebra: selection keeps at
+    /// most the input width, product/join multiply widths, union adds,
+    /// difference and complement can split tuples and are charged a
+    /// conservative blowup.
+    pub fn estimated_rows(&self, scan_rows: &impl Fn(&str) -> f64) -> f64 {
+        match self {
+            Plan::Scan(name) => scan_rows(name).max(0.0),
+            Plan::Literal(rel) => rel.len() as f64,
+            Plan::Select(p, _) => (p.estimated_rows(scan_rows) * 0.5).max(1.0),
+            Plan::Project(p, _) => p.estimated_rows(scan_rows),
+            Plan::Product(l, r) | Plan::Join(l, r, _) => {
+                let base = l.estimated_rows(scan_rows) * r.estimated_rows(scan_rows);
+                if let Plan::Join(..) = self {
+                    (base * 0.5).max(1.0)
+                } else {
+                    base
+                }
+            }
+            Plan::Union(l, r) => l.estimated_rows(scan_rows) + r.estimated_rows(scan_rows),
+            Plan::Difference(l, r) => {
+                l.estimated_rows(scan_rows) * (1.0 + r.estimated_rows(scan_rows))
+            }
+            Plan::Complement(p) => {
+                let n = p.estimated_rows(scan_rows);
+                (n * n + 1.0).min(1e12)
+            }
+        }
+    }
+
+    /// Cost-based optimization: selection pushdown (as [`Plan::optimize`])
+    /// plus cost-driven re-association of product chains. Association of
+    /// `×` preserves the flat column layout, so `(a × b) × c` may be
+    /// rebracketed freely; the greedy pass repeatedly merges the adjacent
+    /// pair with the smallest estimated intermediate, which minimizes the
+    /// width of the DNF intermediates the executor materializes. Join
+    /// nodes are left alone (their `on` columns are offsets into the left
+    /// operand and would need rewriting).
+    pub fn optimize_costed(self, scan_rows: &impl Fn(&str) -> f64) -> Plan {
+        let plan = self.optimize();
+        plan.reassociate_products(scan_rows)
+    }
+
+    fn reassociate_products(self, scan_rows: &impl Fn(&str) -> f64) -> Plan {
+        match self {
+            Plan::Product(..) => {
+                let mut chain = Vec::new();
+                self.flatten_products(&mut chain);
+                let mut chain: Vec<Plan> = chain
+                    .into_iter()
+                    .map(|p| p.reassociate_products(scan_rows))
+                    .collect();
+                // Greedy adjacent-pair merge: always combine the cheapest
+                // neighbouring pair first. Adjacency keeps column order.
+                while chain.len() > 1 {
+                    let mut best = 0;
+                    let mut best_cost = f64::INFINITY;
+                    for i in 0..chain.len() - 1 {
+                        let cost = chain[i].estimated_rows(scan_rows)
+                            * chain[i + 1].estimated_rows(scan_rows);
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best = i;
+                        }
+                    }
+                    let right = chain.remove(best + 1);
+                    let left = std::mem::replace(&mut chain[best], Plan::Scan(String::new()));
+                    chain[best] = Plan::Product(Box::new(left), Box::new(right));
+                }
+                match chain.pop() {
+                    Some(p) => p,
+                    None => Plan::Literal(GeneralizedRelation::universe(0)),
+                }
+            }
+            Plan::Select(p, atom) => {
+                Plan::Select(Box::new(p.reassociate_products(scan_rows)), atom)
+            }
+            Plan::Project(p, cols) => {
+                Plan::Project(Box::new(p.reassociate_products(scan_rows)), cols)
+            }
+            Plan::Join(l, r, on) => Plan::Join(
+                Box::new(l.reassociate_products(scan_rows)),
+                Box::new(r.reassociate_products(scan_rows)),
+                on,
+            ),
+            Plan::Union(l, r) => Plan::Union(
+                Box::new(l.reassociate_products(scan_rows)),
+                Box::new(r.reassociate_products(scan_rows)),
+            ),
+            Plan::Difference(l, r) => Plan::Difference(
+                Box::new(l.reassociate_products(scan_rows)),
+                Box::new(r.reassociate_products(scan_rows)),
+            ),
+            Plan::Complement(p) => Plan::Complement(Box::new(p.reassociate_products(scan_rows))),
+            leaf => leaf,
+        }
+    }
+
+    /// Flatten a left/right-nested product tree into its ordered factor
+    /// list (column order is the in-order traversal, which re-association
+    /// must preserve).
+    fn flatten_products(self, out: &mut Vec<Plan>) {
+        match self {
+            Plan::Product(l, r) => {
+                l.flatten_products(out);
+                r.flatten_products(out);
+            }
+            other => out.push(other),
+        }
+    }
+
     /// Static arity, when derivable without a database.
     fn arity_hint(&self) -> Option<u32> {
         match self {

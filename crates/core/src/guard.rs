@@ -735,6 +735,7 @@ pub mod faults {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

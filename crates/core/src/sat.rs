@@ -180,6 +180,20 @@ impl SatState {
         &self.boxes
     }
 
+    /// Number of *strict* edges in the order graph, including the built-in
+    /// chain edges between consecutive mentioned constants. Zero for
+    /// untracked states (no graph is maintained). The stats layer uses
+    /// this as the strict-obligation density of a tuple.
+    pub fn strict_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.strict).count()
+    }
+
+    /// Number of *weak* edges in the order graph (each equality contributes
+    /// two). Zero for untracked states.
+    pub fn weak_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.strict).count()
+    }
+
     /// Whether the two states' boxes prove the underlying point sets
     /// disjoint on some coordinate.
     pub fn box_disjoint(&self, other: &SatState) -> bool {

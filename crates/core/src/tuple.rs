@@ -182,6 +182,27 @@ impl GeneralizedTuple {
         self.sat.box_disjoint(&other.sat)
     }
 
+    /// `(strict, weak)` order-obligation counts of the conjunction. When
+    /// the tuple carries a tracked [`SatState`] these are the order-graph
+    /// edge counts (equalities as two weak edges, constant chaining
+    /// included); otherwise they are derived from the atom list directly,
+    /// so the measure is available under every evaluation config.
+    pub fn order_edge_counts(&self) -> (usize, usize) {
+        if self.sat.verdict().is_some() {
+            return (self.sat.strict_edge_count(), self.sat.weak_edge_count());
+        }
+        let mut strict = 0;
+        let mut weak = 0;
+        for a in &self.atoms {
+            match a.op() {
+                CompOp::Lt => strict += 1,
+                CompOp::Le => weak += 1,
+                CompOp::Eq => weak += 2,
+            }
+        }
+        (strict, weak)
+    }
+
     /// Whether the conjunction is empty (represents all of `Q^arity`).
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()

@@ -10,8 +10,9 @@
 use crate::ast::{Literal, Program};
 use crate::engine::{run_with, EngineConfig, EngineError, FixpointResult};
 use crate::stratified::{run_stratified_with, StratifiedResult, StratifyError};
+use dco_analysis::stats::DbStats;
 use dco_analysis::{
-    analyze_program, cost, has_errors, unsat, AnalysisOptions, Diagnostic, Severity,
+    analyze_program, cost, has_errors, plan_rule, unsat, AnalysisOptions, Diagnostic, Severity,
 };
 use dco_core::prelude::{with_eval_config, Database, EvalConfig};
 use dco_logic::Formula;
@@ -109,6 +110,18 @@ fn prune_dead_rules(program: &Program) -> (Program, usize) {
     }
 }
 
+/// Reorder every rule body by the input database's statistics (literal
+/// order is join order under the bottom-up engine). Planning permutes
+/// literals only — heads, variables, and source lines are untouched — so
+/// the fixpoint is unchanged; the property test in `dco-bench` holds the
+/// engines to that.
+fn plan_program(program: &Program, input: &Database) -> Program {
+    let stats = DbStats::of_database(input);
+    let rules: Vec<_> = program.rules.iter().map(|r| plan_rule(r, &stats)).collect();
+    // A permutation of valid rules revalidates; keep the original if not.
+    Program::new(rules).unwrap_or_else(|_| program.clone())
+}
+
 /// Analyze, prune dead rules, and run the inflationary engine.
 ///
 /// Uses [`AnalysisOptions::inflationary`]: unstratifiable programs and
@@ -136,8 +149,9 @@ pub fn checked_run_with(
         return Err(CheckedRunError::Rejected(diagnostics));
     }
     let (pruned_program, pruned_rules) = prune_dead_rules(program);
-    let cfg = eval_config_for(input, &pruned_program);
-    let result = with_eval_config(cfg, || run_with(&pruned_program, input, config))
+    let planned_program = plan_program(&pruned_program, input);
+    let cfg = eval_config_for(input, &planned_program);
+    let result = with_eval_config(cfg, || run_with(&planned_program, input, config))
         .map_err(CheckedRunError::Engine)?;
     Ok(CheckedFixpoint {
         result,
@@ -180,8 +194,9 @@ pub fn checked_run_stratified_with(
     if has_errors(&diagnostics) {
         return Err(CheckedRunError::Rejected(diagnostics));
     }
-    let cfg = eval_config_for(input, program);
-    let result = with_eval_config(cfg, || run_stratified_with(program, input, config))
+    let planned_program = plan_program(program, input);
+    let cfg = eval_config_for(input, &planned_program);
+    let result = with_eval_config(cfg, || run_stratified_with(&planned_program, input, config))
         .map_err(CheckedRunError::Stratify)?;
     Ok(CheckedStratified {
         result,

@@ -7,7 +7,8 @@
 //! the successful result.
 
 use crate::eval::{eval, EvalError, QueryResult};
-use dco_analysis::{analyze_formula, cost, AnalysisOptions, Diagnostic, Severity};
+use dco_analysis::stats::DbStats;
+use dco_analysis::{analyze_formula, cost, plan_formula, AnalysisOptions, Diagnostic, Severity};
 use dco_core::prelude::{with_eval_config, Database, EvalConfig};
 use dco_logic::{parse_formula, Formula, ParseError};
 use std::fmt;
@@ -72,9 +73,13 @@ pub fn checked_eval_with(
     }
     // Let the cost pass pick the evaluation configuration: queries whose
     // predicted cell count is small run sequentially (no fork overhead),
-    // expensive ones get the parallel layer.
+    // expensive ones get the parallel layer. The planner then reorders
+    // conjuncts and quantifier variables by the database's statistics —
+    // an equivalence-preserving rewrite, so the analysis above (which ran
+    // on the original) still applies.
     let cfg = eval_config_for(db, formula);
-    let result = with_eval_config(cfg, || eval(db, formula)).map_err(CheckedEvalError::Eval)?;
+    let planned = plan_formula(formula, &DbStats::of_database(db));
+    let result = with_eval_config(cfg, || eval(db, &planned)).map_err(CheckedEvalError::Eval)?;
     Ok(CheckedResult {
         result,
         diagnostics,

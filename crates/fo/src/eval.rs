@@ -179,7 +179,7 @@ pub fn eval_in_ctx(
     }
 }
 
-fn maybe_simplify(r: GeneralizedRelation) -> GeneralizedRelation {
+pub(crate) fn maybe_simplify(r: GeneralizedRelation) -> GeneralizedRelation {
     if r.len() > SIMPLIFY_THRESHOLD {
         r.simplify()
     } else {
@@ -188,7 +188,7 @@ fn maybe_simplify(r: GeneralizedRelation) -> GeneralizedRelation {
 }
 
 /// Convert a simple linear expression to a core term over context columns.
-fn simple_term(e: &LinExpr, col: &impl Fn(&str) -> Option<u32>) -> Option<Term> {
+pub(crate) fn simple_term(e: &LinExpr, col: &impl Fn(&str) -> Option<u32>) -> Option<Term> {
     if let Some(v) = e.as_simple_var() {
         // Free vars are always in ctx by construction; treat missing as a
         // caller bug surfaced as NotDenseOrder upstream.
@@ -201,7 +201,7 @@ fn simple_term(e: &LinExpr, col: &impl Fn(&str) -> Option<u32>) -> Option<Term> 
 ///
 /// The predicate's columns are appended as temporary columns, linked to the
 /// context (or pinned to constants), and projected away.
-fn eval_pred(
+pub(crate) fn eval_pred(
     db: &Database,
     name: &str,
     args: &[ArgTerm],
@@ -247,7 +247,7 @@ fn eval_pred(
 
 /// Alpha-rename quantified variables that collide with the enclosing
 /// context, rewriting the body accordingly.
-fn freshen(vs: &[String], body: &Formula, ctx: &[String]) -> (Vec<String>, Formula) {
+pub(crate) fn freshen(vs: &[String], body: &Formula, ctx: &[String]) -> (Vec<String>, Formula) {
     let mut taken: BTreeSet<String> = ctx.iter().cloned().collect();
     let mut out_vs = Vec::with_capacity(vs.len());
     let mut out_body = body.clone();

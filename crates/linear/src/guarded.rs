@@ -41,10 +41,15 @@ impl std::error::Error for TryLinEvalError {}
 /// Shorthand for the result of the `try_*` entry points.
 pub type TryLinResult = Result<Guarded<LinQueryResult>, TryLinEvalError>;
 
-/// Evaluate under the analyzer-suggested default budgets.
+/// Evaluate under the analyzer-suggested default budgets, with the
+/// statistics-driven planner choosing the conjunct and elimination order
+/// (an equivalence-preserving rewrite) and sizing the guard budgets from
+/// its cardinality estimate.
 pub fn try_eval_linear(db: &dco_core::prelude::Database, formula: &Formula) -> TryLinResult {
-    let limits = dco_analysis::cost::suggested_limits_for_formula(formula, db.constants());
-    try_eval_linear_with(db, formula, limits)
+    let stats = dco_analysis::stats::DbStats::of_database(db);
+    let limits = dco_analysis::cost::suggested_limits_with_stats(formula, &stats, db.constants());
+    let planned = dco_analysis::plan_formula(formula, &stats);
+    try_eval_linear_with(db, &planned, limits)
 }
 
 /// Evaluate under explicit guard limits.

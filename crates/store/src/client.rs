@@ -82,6 +82,12 @@ impl Client {
         wire::query_output_from_json(&body).map_err(ClientError::Protocol)
     }
 
+    /// Plan and evaluate a formula, returning the server's measured plan
+    /// tree (estimated and actual cardinality per node) as compact JSON.
+    pub fn explain(&mut self, formula: &str) -> Result<String, ClientError> {
+        self.call(&format!("EXPLAIN {formula}"))
+    }
+
     /// Declare a relation; returns the committed WAL seq.
     pub fn create(&mut self, name: &str, arity: u32) -> Result<u64, ClientError> {
         self.call(&format!("CREATE {name} {arity}"))

@@ -237,12 +237,16 @@ impl<'a> ByteReader<'a> {
 
     /// Fixed-width little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.get_bytes(4)?.try_into().unwrap()))
+        let mut w = [0u8; 4];
+        w.copy_from_slice(self.get_bytes(4)?);
+        Ok(u32::from_le_bytes(w))
     }
 
     /// Fixed-width little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.get_bytes(8)?.try_into().unwrap()))
+        let mut w = [0u8; 8];
+        w.copy_from_slice(self.get_bytes(8)?);
+        Ok(u64::from_le_bytes(w))
     }
 
     /// LEB128 varint.
@@ -477,6 +481,7 @@ pub fn get_database(r: &mut ByteReader) -> Result<Database> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_core::prelude::*;

@@ -38,6 +38,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod client;
 pub mod codec;

@@ -151,6 +151,9 @@ pub fn respond(store: &Store, line: &str) -> (String, bool) {
         Request::Query(src) => store
             .query(&src)
             .map(|out| wire::query_output_to_json(&out)),
+        Request::Explain(src) => store
+            .query_explain(&src)
+            .map(|out| wire::explain_output_to_json(&out)),
         Request::Create(name, arity) => store.create(&name, arity).map(|seq| seq.to_string()),
         Request::Drop(name) => store.drop_relation(&name).map(|seq| seq.to_string()),
         Request::Insert(name, body) => with_relation(&body, |rel| store.insert(&name, rel)),
@@ -190,6 +193,7 @@ fn stats_json(store: &Store) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::store::StoreOptions;
@@ -227,6 +231,12 @@ mod tests {
         assert_eq!(out.relation, rel);
         let (r, _) = respond(&store, "QUERY r(x, y, z)");
         assert!(r.starts_with("ERR query rejected"), "got {r}");
+        let (r, _) = respond(&store, "EXPLAIN r(x, y) & x < y");
+        assert!(r.starts_with("OK {"), "got {r}");
+        assert!(r.contains("\"est\":") && r.contains("\"act\":"), "got {r}");
+        assert!(!r.contains("\"act\":-1"), "every node measured: {r}");
+        let (r, _) = respond(&store, "EXPLAIN");
+        assert!(r.starts_with("ERR"), "got {r}");
         let (r, _) = respond(&store, "STATS");
         assert!(r.contains("\"cache_misses\":1"), "got {r}");
         let (r, close) = respond(&store, "CLOSE");

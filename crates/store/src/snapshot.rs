@@ -126,6 +126,7 @@ pub fn load_latest(dir: &Path) -> std::io::Result<Option<(u64, Database)>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_core::prelude::*;

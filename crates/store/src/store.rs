@@ -32,11 +32,13 @@
 use crate::codec::CodecError;
 use crate::snapshot;
 use crate::wal::{apply_op, LogOp, Wal};
-use dco_analysis::{preflight_formula, AnalysisOptions, Diagnostic};
+use dco_analysis::explain::QueryPlan;
+use dco_analysis::stats::DbStats;
+use dco_analysis::{cost, plan_formula, preflight_formula, AnalysisOptions, Diagnostic};
 use dco_core::guard::GuardStats;
 use dco_core::intern::{fold, mix64};
 use dco_core::prelude::{Database, GeneralizedRelation, Schema};
-use dco_fo::{default_limits, try_eval_with, TryEvalError};
+use dco_fo::{explain_with_stats, try_eval_with, TryEvalError};
 use dco_logic::{parse_formula, Formula};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
@@ -76,6 +78,11 @@ pub struct Generation {
     pub seq: u64,
     /// The catalog at that point.
     pub db: Database,
+    /// Per-relation statistics of the catalog, maintained incrementally:
+    /// each write recomputes only the relation it touched. A pure function
+    /// of the catalog content, so recovery (snapshot + WAL replay)
+    /// reproduces it byte-identically.
+    pub stats: DbStats,
 }
 
 /// A query answer, tagged with the generation it was computed against.
@@ -285,6 +292,7 @@ impl Store {
         wal.set_next_seq(seq + 1);
 
         let db = rebuild(schema, relations)?;
+        let stats = DbStats::of_database(&db);
         let inner = Inner {
             dir,
             prepared: Mutex::new(PreparedCache {
@@ -293,7 +301,7 @@ impl Store {
                 cap: opts.prepared_cache_cap,
             }),
             opts,
-            current: RwLock::new(Arc::new(Generation { seq, db })),
+            current: RwLock::new(Arc::new(Generation { seq, db, stats })),
             writer: Mutex::new(WriterState {
                 wal,
                 healthy: true,
@@ -382,6 +390,10 @@ impl Store {
             .collect();
         apply_op(&mut schema, &mut relations, &op).map_err(StoreError::Invalid)?;
         let db = rebuild(schema, relations)?;
+        // Incremental stats: every LogOp names exactly one relation, so
+        // only that relation's summary is recomputed for the successor
+        // generation.
+        let stats = advance_stats(&cur.stats, &op, &db);
 
         // Durability point. `healthy` is cleared across the append so a
         // contained panic (fault injection, crash) leaves the store
@@ -390,7 +402,7 @@ impl Store {
         let seq = w.wal.append(&op)?;
         w.healthy = true;
 
-        let generation = Arc::new(Generation { seq, db });
+        let generation = Arc::new(Generation { seq, db, stats });
         *self
             .inner
             .current
@@ -469,11 +481,19 @@ impl Store {
         )
         .map_err(StoreError::Rejected)?;
 
-        // Guarded evaluation under the analyzer-suggested budgets. Only
-        // queries that reach evaluation count as cache misses.
+        // Guarded evaluation under estimate-derived budgets, of the
+        // statistics-planned formula (an equivalence-preserving reorder,
+        // so the cache key — the *original* formula's fingerprint — still
+        // identifies the answer). Only queries that reach evaluation
+        // count as cache misses.
         self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let limits = default_limits(&generation.db, formula);
-        let guarded = try_eval_with(&generation.db, formula, limits).map_err(|e| match e {
+        let limits = cost::suggested_limits_with_stats(
+            formula,
+            &generation.stats,
+            generation.db.constants(),
+        );
+        let planned = plan_formula(formula, &generation.stats);
+        let guarded = try_eval_with(&generation.db, &planned, limits).map_err(|e| match e {
             TryEvalError::Parse(p) => StoreError::Parse(p.to_string()),
             TryEvalError::Invalid(i) => StoreError::Invalid(i.to_string()),
             TryEvalError::Fault(f) => StoreError::Fault(f.to_string()),
@@ -488,6 +508,30 @@ impl Store {
             relation,
             cached: false,
             stats: Some(guarded.stats),
+        })
+    }
+
+    /// Plan and evaluate a query, returning the measured plan instead of
+    /// the relation: every node carries the planner's estimated
+    /// cardinality and the actual intermediate width the evaluator
+    /// produced. Runs against the current generation's stats snapshot;
+    /// never consults or fills the prepared cache (EXPLAIN is for
+    /// inspection, not serving).
+    pub fn query_explain(&self, src: &str) -> Result<ExplainOutput, StoreError> {
+        let formula = parse_formula(src).map_err(|e| StoreError::Parse(e.to_string()))?;
+        let generation = self.read();
+        preflight_formula(
+            &formula,
+            Some(generation.db.schema()),
+            &AnalysisOptions::default(),
+        )
+        .map_err(StoreError::Rejected)?;
+        let explained = explain_with_stats(&generation.db, &formula, &generation.stats)
+            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+        Ok(ExplainOutput {
+            generation: generation.seq,
+            columns: explained.result.columns,
+            plan: explained.plan,
         })
     }
 
@@ -510,6 +554,35 @@ impl Store {
     }
 }
 
+/// An EXPLAIN answer: the measured plan tree, tagged with its generation.
+#[derive(Debug, Clone)]
+pub struct ExplainOutput {
+    /// Generation the plan was computed against.
+    pub generation: u64,
+    /// Output columns of the explained query.
+    pub columns: Vec<String>,
+    /// Plan tree with estimated and actual cardinality per node.
+    pub plan: QueryPlan,
+}
+
+/// Successor-generation statistics: recompute the one relation `op`
+/// touched on top of the previous generation's summaries.
+fn advance_stats(prev: &DbStats, op: &LogOp, db: &Database) -> DbStats {
+    let name = match op {
+        LogOp::Create { name, .. }
+        | LogOp::Drop { name }
+        | LogOp::InsertTuples { name, .. }
+        | LogOp::RemoveSubsumed { name, .. }
+        | LogOp::Replace { name, .. } => name,
+    };
+    let mut stats = prev.clone();
+    match db.get(name) {
+        Some(rel) => stats.update(name, rel),
+        None => stats.remove(name),
+    }
+    stats
+}
+
 fn lock_cache(m: &Mutex<PreparedCache>) -> MutexGuard<'_, PreparedCache> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
@@ -527,6 +600,7 @@ fn rebuild(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_core::prelude::*;
@@ -624,6 +698,84 @@ mod tests {
         let after = store.query(src).unwrap();
         assert!(!after.cached);
         assert_eq!(after.relation, cold.relation, "empty union is a no-op");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_stats_track_writes_incrementally() {
+        let dir = tmpdir("genstats");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.create("R", 2).unwrap();
+        store.insert("R", triangle()).unwrap();
+        store.create("S", 1).unwrap();
+        store
+            .insert(
+                "S",
+                GeneralizedRelation::from_raw(
+                    1,
+                    vec![RawAtom::new(Term::var(0), RawOp::Gt, Term::cst(rat(1, 2)))],
+                ),
+            )
+            .unwrap();
+        store.drop_relation("S").unwrap();
+        let generation = store.read();
+        let full = DbStats::of_database(&generation.db);
+        assert_eq!(generation.stats, full);
+        assert_eq!(generation.stats.canonical_string(), full.canonical_string());
+        assert!(generation.stats.get("S").is_none(), "dropped relation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_survive_wal_replay_byte_identically() {
+        let dir = tmpdir("statsreplay");
+        let before = {
+            let store = Store::open(&dir, StoreOptions::default()).unwrap();
+            store.create("R", 2).unwrap();
+            store.insert("R", triangle()).unwrap();
+            store.snapshot().unwrap();
+            // Post-snapshot writes force real WAL replay on reopen.
+            store.create("S", 1).unwrap();
+            store
+                .insert(
+                    "S",
+                    GeneralizedRelation::from_raw(
+                        1,
+                        vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::cst(rat(3, 7)))],
+                    ),
+                )
+                .unwrap();
+            store.read().stats.canonical_string()
+        };
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let after = store.read().stats.canonical_string();
+        assert_eq!(before, after, "stats must be a pure function of content");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_reports_estimates_and_actuals_for_every_node() {
+        let dir = tmpdir("explain");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.create("R", 2).unwrap();
+        store.insert("R", triangle()).unwrap();
+        let out = store
+            .query_explain("exists y . (R(x, y) & x < 5 & !R(y, x))")
+            .unwrap();
+        assert_eq!(out.generation, store.read().seq);
+        assert!(
+            out.plan.root.fully_measured(),
+            "unmeasured node:\n{}",
+            out.plan.render()
+        );
+        for line in out.plan.render().lines().skip(1) {
+            assert!(line.contains("est=") && line.contains("act="), "{line}");
+        }
+        // EXPLAIN result matches the serving path's relation width.
+        let q = store
+            .query("exists y . (R(x, y) & x < 5 & !R(y, x))")
+            .unwrap();
+        assert_eq!(out.plan.root.actual, Some(q.relation.len() as u64));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

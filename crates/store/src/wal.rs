@@ -383,6 +383,7 @@ impl Wal {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dco_core::prelude::*;

@@ -9,6 +9,7 @@
 //! |-----------------------------|-----------------------------------|
 //! | `PING`                      | `OK pong`                         |
 //! | `QUERY <formula>`           | `OK {json query output}`          |
+//! | `EXPLAIN <formula>`         | `OK {json plan tree}`             |
 //! | `CREATE <name> <arity>`     | `OK <seq>`                        |
 //! | `DROP <name>`               | `OK <seq>`                        |
 //! | `INSERT <name> <json rel>`  | `OK <seq>`                        |
@@ -22,7 +23,8 @@
 //! the query output object is `{"generation":n,"cached":0|1,`
 //! `"columns":[...],"relation":{...}}`.
 
-use crate::store::QueryOutput;
+use crate::store::{ExplainOutput, QueryOutput};
+use dco_analysis::explain::PlanNode;
 use dco_encoding::{relation_from_json, relation_to_json, Json};
 use std::io::{self, Read, Write};
 
@@ -77,6 +79,10 @@ pub enum Request {
     Ping,
     /// Evaluate a formula against the current generation.
     Query(String),
+    /// Plan and evaluate a formula, returning the measured plan tree
+    /// (estimated and actual cardinality per node) instead of the
+    /// relation.
+    Explain(String),
     /// Declare a relation.
     Create(String, u32),
     /// Drop a relation.
@@ -113,6 +119,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => Ok(Request::Ping),
         "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
         "QUERY" => Err("`QUERY` needs a formula".into()),
+        "EXPLAIN" if !rest.is_empty() => Ok(Request::Explain(rest.to_string())),
+        "EXPLAIN" => Err("`EXPLAIN` needs a formula".into()),
         "CREATE" => {
             let (name, arity) = name_and_body(rest)?;
             let arity: u32 = arity
@@ -149,6 +157,36 @@ pub fn query_output_to_json(out: &QueryOutput) -> String {
     .compact()
 }
 
+/// Render an EXPLAIN output as the wire's JSON object: generation, the
+/// planned formula text, output columns, and the recursive plan tree.
+/// Every node carries `est` and `act`; an unmeasured `act` encodes as -1
+/// (this wire JSON has no null).
+pub fn explain_output_to_json(out: &ExplainOutput) -> String {
+    Json::Obj(vec![
+        ("generation".into(), Json::Num(out.generation as f64)),
+        ("planned".into(), Json::Str(out.plan.planned.clone())),
+        (
+            "columns".into(),
+            Json::Arr(out.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+        ),
+        ("plan".into(), plan_node_to_json(&out.plan.root)),
+    ])
+    .compact()
+}
+
+fn plan_node_to_json(n: &PlanNode) -> Json {
+    Json::Obj(vec![
+        ("label".into(), Json::Str(n.label.clone())),
+        ("detail".into(), Json::Str(n.detail.clone())),
+        ("est".into(), Json::Num(n.estimated)),
+        ("act".into(), Json::Num(n.actual.map_or(-1.0, |a| a as f64))),
+        (
+            "children".into(),
+            Json::Arr(n.children.iter().map(plan_node_to_json).collect()),
+        ),
+    ])
+}
+
 /// Parse the wire's JSON object back into a [`QueryOutput`] (with
 /// `stats` absent — the wire does not carry guard statistics).
 pub fn query_output_from_json(src: &str) -> Result<QueryOutput, String> {
@@ -181,6 +219,7 @@ pub fn query_output_from_json(src: &str) -> Result<QueryOutput, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -224,9 +263,9 @@ mod tests {
             Request::Create("r".into(), 2)
         );
         assert_eq!(parse_request("DROP r").unwrap(), Request::Drop("r".into()));
-        assert!(matches!(parse_request("INSERT r"), Err(_)));
-        assert!(matches!(parse_request("CREATE r two"), Err(_)));
-        assert!(matches!(parse_request("FROB"), Err(_)));
+        assert!(parse_request("INSERT r").is_err());
+        assert!(parse_request("CREATE r two").is_err());
+        assert!(parse_request("FROB").is_err());
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
     }
