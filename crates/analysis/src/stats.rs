@@ -307,6 +307,18 @@ impl DbStats {
         self.relations.remove(name);
     }
 
+    /// Absorb another stats map (on overlap, `other` wins). The sharded
+    /// store maintains one `DbStats` per shard — recomputed at relation
+    /// granularity by that shard's writers — and composes the global
+    /// view by merging the per-shard maps; since the maps are summaries
+    /// keyed by relation name, the merge is pure bookkeeping and the
+    /// composite stays a pure function of the catalog content.
+    pub fn merge(&mut self, other: &DbStats) {
+        for (name, rs) in &other.relations {
+            self.relations.insert(name.clone(), rs.clone());
+        }
+    }
+
     /// The summary for a relation, if known.
     pub fn get(&self, name: &str) -> Option<&RelStats> {
         self.relations.get(name)

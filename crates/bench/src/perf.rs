@@ -47,6 +47,13 @@ pub struct PerfRecord {
     /// Parallel workers that panicked and were retried sequentially by
     /// the guard layer (0 for unguarded rows).
     pub worker_retries: u64,
+    /// WAL fsyncs the store issued during the run (0 for non-store rows
+    /// and for stores opened with fsync disabled). Under group commit
+    /// with concurrent writers, `fsyncs / tuples` drops below 1.
+    pub fsyncs: u64,
+    /// Largest commit batch a single fsync covered (0 for non-store
+    /// rows): direct evidence that group commit actually batched.
+    pub commit_batch_max: u64,
 }
 
 /// Median of three timed runs, in milliseconds.
@@ -169,6 +176,8 @@ fn relation_record(
         cache_hit_rate: stats.hit_rate(),
         aborted: 0,
         worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
     }
 }
 
@@ -204,6 +213,8 @@ fn engine_record(
         cache_hit_rate: stats.hit_rate(),
         aborted: 0,
         worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
     }
 }
 
@@ -291,6 +302,8 @@ pub fn run_perf(quick: bool, threads: usize) -> Vec<PerfRecord> {
                 cache_hit_rate: stats.hit_rate(),
                 aborted: 0,
                 worker_retries: 0,
+                fsyncs: 0,
+                commit_batch_max: 0,
             });
         }
     }
@@ -439,49 +452,208 @@ fn store_open_record(size: usize) -> PerfRecord {
         cache_hit_rate: 0.0,
         aborted: 0,
         worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
+    }
+}
+
+/// The first `count` relation names of the form `m{i}` that land in
+/// pairwise-distinct shards of an `nshards`-way store. The fingerprint
+/// is deterministic, so so is the search.
+fn spread_names(count: usize, nshards: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut used = std::collections::BTreeSet::new();
+    for i in 0..64 {
+        let cand = format!("m{i}");
+        if used.insert(dco::store::shard_of(&cand, nshards)) {
+            names.push(cand);
+            if names.len() == count {
+                break;
+            }
+        }
+    }
+    assert_eq!(names.len(), count, "could not spread names over shards");
+    names
+}
+
+/// Single-writer WAL-append throughput: `size` inserts into a fresh
+/// store (fsync off). Gated by [`bench_compare`] — the single-threaded
+/// baseline the multi-writer row is measured against.
+fn store_load_record(size: usize) -> PerfRecord {
+    let mut run = 0usize;
+    let wall_ms = time_ms(|| {
+        let dir = fresh_store_dir(&format!("load-{size}-{run}"));
+        run += 1;
+        let store = load_store(&dir, size);
+        assert_eq!(store.read().seq, 1 + size as u64);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    PerfRecord {
+        experiment: "store_throughput".to_string(),
+        size,
+        config: "store_load".to_string(),
+        wall_ms,
+        tuples: size,
+        atoms: 2 * size,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_hit_rate: 0.0,
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
+    }
+}
+
+/// Multi-writer throughput: `writers` threads each insert
+/// `size / writers` intervals into their *own* relation, the relations
+/// chosen to live in distinct shards, so validation and successor-state
+/// computation run genuinely in parallel. Same total commit count as
+/// the `store_load` row of the same size. Skipped by the gate on 1-CPU
+/// hosts, like the `par*` rows.
+fn store_load_mt_record(size: usize, writers: usize) -> PerfRecord {
+    let names = spread_names(writers, StoreOptions::default().shards);
+    let per = size / writers;
+    let mut run = 0usize;
+    let mut fsyncs = 0;
+    let mut batch_max = 0;
+    let wall_ms = time_ms(|| {
+        let dir = fresh_store_dir(&format!("load-mt{writers}-{size}-{run}"));
+        run += 1;
+        let store = Store::open(&dir, bench_store_options()).expect("open bench store");
+        for name in &names {
+            store.create(name, 1).expect("create");
+        }
+        let threads: Vec<_> = names
+            .iter()
+            .cloned()
+            .map(|name| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        store.insert(&name, store_interval(k)).expect("insert");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("bench writer");
+        }
+        assert_eq!(store.read().seq, (writers + writers * per) as u64);
+        let stats = store.stats();
+        fsyncs = stats.fsyncs;
+        batch_max = stats.commit_batch_max;
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    PerfRecord {
+        experiment: "store_throughput".to_string(),
+        size,
+        config: format!("store_load_mt{writers}"),
+        wall_ms,
+        tuples: writers * per,
+        atoms: 2 * writers * per,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_hit_rate: 0.0,
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs,
+        commit_batch_max: batch_max,
+    }
+}
+
+/// Group-commit row: `writers` threads issue `size / writers` durable
+/// (fsync ON) inserts each into distinct-shard relations. The paired
+/// `group_commit_w1` / `group_commit_w{N}` rows make the batching claim
+/// measurable: with one writer every commit pays its own fsync
+/// (`fsyncs == tuples`); with N concurrent writers followers ride the
+/// leader's fsync and `fsyncs / tuples` drops below 1 while
+/// `commit_batch_max` rises above 1. Informational (never gated): it
+/// times the host's disk-sync latency.
+fn group_commit_record(commits: usize, writers: usize) -> PerfRecord {
+    let names = spread_names(writers, StoreOptions::default().shards);
+    let per = commits / writers;
+    let opts = StoreOptions {
+        snapshot_every: 0,
+        fsync: true,
+        ..StoreOptions::default()
+    };
+    let mut run = 0usize;
+    let mut fsyncs = 0;
+    let mut batch_max = 0;
+    let wall_ms = time_ms(|| {
+        let dir = fresh_store_dir(&format!("gc{writers}-{commits}-{run}"));
+        run += 1;
+        let store = Store::open(&dir, opts.clone()).expect("open bench store");
+        for name in &names {
+            store.create(name, 1).expect("create");
+        }
+        let threads: Vec<_> = names
+            .iter()
+            .cloned()
+            .map(|name| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for k in 0..per {
+                        store.insert(&name, store_interval(k)).expect("insert");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("bench writer");
+        }
+        let stats = store.stats();
+        fsyncs = stats.fsyncs;
+        batch_max = stats.commit_batch_max;
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    PerfRecord {
+        experiment: "group_commit".to_string(),
+        size: commits,
+        config: format!("group_commit_w{writers}"),
+        wall_ms,
+        tuples: writers * per,
+        atoms: 2 * writers * per,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_hit_rate: 0.0,
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs,
+        commit_batch_max: batch_max,
     }
 }
 
 /// The store workload family:
 ///
 /// * `store_load` — `size` WAL-logged inserts into a fresh store;
+/// * `store_load_mt{N}` — the same commit count split over N writer
+///   threads on distinct-shard relations;
 /// * `store_open` — cold-open recovery replaying that WAL;
+/// * `group_commit_w{N}` — durable (fsync ON) commits under 1 vs N
+///   concurrent writers; the `fsyncs` and `commit_batch_max` columns
+///   carry the batching evidence;
 /// * `store_qc{C}` — C concurrent TCP clients each firing a burst of the
 ///   same prepared query (first evaluation cold, the rest answered by
-///   the fingerprint × generation cache); `cache_hits`/`cache_misses`
-///   are the store's own prepared-cache counters for the burst.
+///   the fingerprint × touched-shard epoch cache); `cache_hits`/
+///   `cache_misses` are the store's own prepared-cache counters.
 pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
     let sizes: &[usize] = if quick { &[32, 128] } else { &[64, 256] };
     let clients: usize = 4;
     let queries_each: usize = if quick { 8 } else { 16 };
+    let group_commits: usize = if quick { 16 } else { 64 };
     let mut out = Vec::new();
 
     for &n in sizes {
-        // WAL-append throughput: a fresh store per timed run.
-        let mut run = 0usize;
-        let wall_ms = time_ms(|| {
-            let dir = fresh_store_dir(&format!("load-{n}-{run}"));
-            run += 1;
-            let store = load_store(&dir, n);
-            assert_eq!(store.read().seq, 1 + n as u64);
-            drop(store);
-            let _ = std::fs::remove_dir_all(&dir);
-        });
-        out.push(PerfRecord {
-            experiment: "store_throughput".to_string(),
-            size: n,
-            config: "store_load".to_string(),
-            wall_ms,
-            tuples: n,
-            atoms: 2 * n,
-            cache_hits: 0,
-            cache_misses: 0,
-            cache_evictions: 0,
-            cache_hit_rate: 0.0,
-            aborted: 0,
-            worker_retries: 0,
-        });
-
+        out.push(store_load_record(n));
+        out.push(store_load_mt_record(n, 4));
         out.push(store_open_record(n));
 
         // Concurrent prepared-query burst over TCP.
@@ -533,8 +705,15 @@ pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
             },
             aborted: 0,
             worker_retries: 0,
+            fsyncs: stats.fsyncs,
+            commit_batch_max: stats.commit_batch_max,
         });
     }
+
+    // Durable group commit: one writer (every commit pays an fsync) vs
+    // four concurrent writers (followers ride the leader's fsync).
+    out.push(group_commit_record(group_commits, 1));
+    out.push(group_commit_record(group_commits, 4));
     out
 }
 
@@ -574,6 +753,8 @@ fn guarded_engine_record(
         cache_hit_rate: stats.hit_rate(),
         aborted: 0,
         worker_retries: retries,
+        fsyncs: 0,
+        commit_batch_max: 0,
     }
 }
 
@@ -618,6 +799,8 @@ fn guarded_abort_record(
         cache_hit_rate: stats.hit_rate(),
         aborted,
         worker_retries: retries,
+        fsyncs: 0,
+        commit_batch_max: 0,
     }
 }
 
@@ -636,7 +819,8 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
             "    {{\"experiment\": \"{}\", \"size\": {}, \"config\": \"{}\", \
              \"wall_ms\": {:.3}, \"tuples\": {}, \"atoms\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
-             \"cache_hit_rate\": {:.4}, \"aborted\": {}, \"worker_retries\": {}}}{}",
+             \"cache_hit_rate\": {:.4}, \"aborted\": {}, \"worker_retries\": {}, \
+             \"fsyncs\": {}, \"commit_batch_max\": {}}}{}",
             json_escape(&r.experiment),
             r.size,
             json_escape(&r.config),
@@ -649,6 +833,8 @@ pub fn write_json(records: &[PerfRecord], host_threads: usize) -> String {
             r.cache_hit_rate,
             r.aborted,
             r.worker_retries,
+            r.fsyncs,
+            r.commit_batch_max,
             if i + 1 == records.len() { "" } else { "," }
         ));
         out.push('\n');
@@ -703,11 +889,13 @@ fn parse_baseline_records(json: &str) -> Vec<BaselineRecord> {
         .collect()
 }
 
-/// CI regression gate: re-measure the baseline's `tc_chain`/`engine_delta`
-/// rows on this host and fail when any regresses more than 30% in wall
-/// time. Thread-scaling (`par*`) rows are skipped on 1-CPU hosts, where
-/// their timings are meaningless. Sub-millisecond deltas never fail the
-/// gate — at that scale a 30% ratio is timer noise, not a regression.
+/// CI regression gate: re-measure the baseline's gated rows on this
+/// host (`tc_chain`/`engine_delta`, `store_open`, `store_load`,
+/// `store_load_mt*`, the planned star join) and fail when any regresses
+/// more than 30% in wall time. Thread-scaling rows (`par*`,
+/// `store_load_mt*`) are skipped on 1-CPU hosts, where their timings
+/// are meaningless. Sub-millisecond deltas never fail the gate — at
+/// that scale a 30% ratio is timer noise, not a regression.
 ///
 /// Returns the per-row comparison report, or an error describing every
 /// regressed row (the caller exits nonzero).
@@ -718,7 +906,7 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
     let mut failures = Vec::new();
     let mut compared = 0usize;
     for rec in parse_baseline_records(baseline_json) {
-        if rec.config.starts_with("par") && host == 1 {
+        if (rec.config.starts_with("par") || rec.config.starts_with("store_load_mt")) && host == 1 {
             report.push(format!(
                 "skip  {}/{}/{}: thread-scaling row on a 1-CPU host",
                 rec.experiment, rec.size, rec.config
@@ -734,10 +922,11 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             ));
             continue;
         }
-        // Three gated row families: the engine's semi-naive fixpoint,
-        // the store's cold-open recovery, and the planned star join. All
-        // are deterministic and single-threaded, so a >30% wall-time jump
-        // is a real regression, not scheduler noise (`store_load`/
+        // Gated row families: the engine's semi-naive fixpoint, the
+        // store's cold-open recovery, the WAL-append load (single- and,
+        // on multi-core hosts, multi-writer), and the planned star join.
+        // All run with fsync off, so a >30% wall-time jump is a real
+        // regression, not disk or scheduler noise (`group_commit_*`/
         // `store_qc*` rows are informational only — they time the disk
         // and the network stack).
         let new = if rec.experiment == "tc_chain" && rec.config == "engine_delta" {
@@ -753,6 +942,11 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             )
         } else if rec.experiment == "store_throughput" && rec.config == "store_open" {
             store_open_record(rec.size)
+        } else if rec.experiment == "store_throughput" && rec.config == "store_load" {
+            store_load_record(rec.size)
+        } else if rec.experiment == "store_throughput" && rec.config.starts_with("store_load_mt") {
+            let writers: usize = rec.config["store_load_mt".len()..].parse().unwrap_or(4);
+            store_load_mt_record(rec.size, writers.max(1))
         } else if rec.experiment == "join_order" && rec.config == "planned" {
             join_order_record(rec.size, "planned")
         } else {

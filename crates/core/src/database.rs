@@ -11,6 +11,7 @@ use crate::relation::GeneralizedRelation;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A database schema: relation names with arities.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -88,10 +89,15 @@ impl fmt::Display for DatabaseError {
 impl std::error::Error for DatabaseError {}
 
 /// A dense-order constraint database instance.
+///
+/// Relation instances are stored behind `Arc`s, so cloning a database —
+/// or building a successor catalog that differs in one relation — is a
+/// handful of pointer bumps, not a deep copy of every DNF. This is the
+/// representation-level sharing that keeps MVCC generations cheap.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Database {
     schema: Schema,
-    relations: BTreeMap<String, GeneralizedRelation>,
+    relations: BTreeMap<String, Arc<GeneralizedRelation>>,
 }
 
 impl Database {
@@ -99,7 +105,7 @@ impl Database {
     pub fn new(schema: Schema) -> Database {
         let relations = schema
             .relations()
-            .map(|(n, a)| (n.to_string(), GeneralizedRelation::empty(a)))
+            .map(|(n, a)| (n.to_string(), Arc::new(GeneralizedRelation::empty(a))))
             .collect();
         Database { schema, relations }
     }
@@ -111,6 +117,17 @@ impl Database {
 
     /// Set a relation instance.
     pub fn set(&mut self, name: &str, rel: GeneralizedRelation) -> Result<(), DatabaseError> {
+        self.set_shared(name, Arc::new(rel))
+    }
+
+    /// Set a relation instance from an existing shared handle without
+    /// copying its representation (the MVCC store composes catalogs from
+    /// per-shard relation maps this way).
+    pub fn set_shared(
+        &mut self,
+        name: &str,
+        rel: Arc<GeneralizedRelation>,
+    ) -> Result<(), DatabaseError> {
         match self.schema.arity(name) {
             None => Err(DatabaseError::UnknownRelation(name.to_string())),
             Some(a) if a != rel.arity() => Err(DatabaseError::ArityMismatch {
@@ -125,6 +142,11 @@ impl Database {
         }
     }
 
+    /// Shared handle to a relation instance (cheap: bumps the refcount).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<GeneralizedRelation>> {
+        self.relations.get(name).cloned()
+    }
+
     /// Builder-style `set` that panics on schema violations (tests/examples).
     pub fn with(mut self, name: &str, rel: GeneralizedRelation) -> Database {
         self.set(name, rel).expect("schema violation");
@@ -133,12 +155,12 @@ impl Database {
 
     /// Get a relation instance.
     pub fn get(&self, name: &str) -> Option<&GeneralizedRelation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| r.as_ref())
     }
 
     /// Iterate relation instances.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &GeneralizedRelation)> {
-        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+        self.relations.iter().map(|(n, r)| (n.as_str(), r.as_ref()))
     }
 
     /// All constants appearing anywhere in the instance — the finite data
@@ -164,7 +186,7 @@ impl Database {
             relations: self
                 .relations
                 .iter()
-                .map(|(n, r)| (n.clone(), f.apply_relation(r)))
+                .map(|(n, r)| (n.clone(), Arc::new(f.apply_relation(r))))
                 .collect(),
         }
     }

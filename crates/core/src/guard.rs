@@ -74,6 +74,14 @@ pub enum ProbeSite {
     /// Mid-write of a store snapshot file, before the atomic rename that
     /// publishes it. A fault here abandons the temporary file.
     SnapshotWrite,
+    /// After a group-commit batch's records are fully written to the WAL
+    /// but before the single batch fsync: the durability point for every
+    /// committer waiting on the batch (`dco-store`).
+    GroupCommitFsync,
+    /// Between the per-shard generation swaps that publish a durable
+    /// batch to readers. A fault here leaves a seq-prefix of the batch
+    /// visible — never a torn interleaving (`dco-store`).
+    ShardPublish,
 }
 
 impl fmt::Display for ProbeSite {
@@ -87,6 +95,8 @@ impl fmt::Display for ProbeSite {
             ProbeSite::WalAppend => "wal-append",
             ProbeSite::WalFsync => "wal-fsync",
             ProbeSite::SnapshotWrite => "snapshot-write",
+            ProbeSite::GroupCommitFsync => "group-commit-fsync",
+            ProbeSite::ShardPublish => "shard-publish",
         };
         f.write_str(s)
     }

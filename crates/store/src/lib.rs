@@ -10,19 +10,29 @@
 //!   records of relations, linear tuples, and whole catalogs, layered on
 //!   `dco-encoding`'s standard bit encoding (exact rationals preserved);
 //! * [`wal`] — an append-only write-ahead log of catalog updates with
-//!   torn-record detection;
-//! * [`snapshot`] — periodic whole-catalog checkpoints published by
-//!   atomic rename, with log truncation;
-//! * [`store`] — the durable database: open ≡ latest valid snapshot +
-//!   WAL replay; snapshot-isolated reads via immutable, atomically
-//!   swapped catalog generations; writes serialized through the WAL.
-//!   Fsync and append points carry [`dco_core::guard`] probes so the
-//!   chaos suite can kill a write mid-append deterministically;
+//!   torn-record detection and a group-commit batch append (one write
+//!   pass + one fsync for a whole batch of commits);
+//! * [`snapshot`] — per-shard checkpoint slices published by atomic
+//!   rename, with log truncation; each slice records the shard
+//!   coordinates it was written under, so recovery resolves relations
+//!   by newest-owner-wins even across shard-count changes;
+//! * [`store`] — the durable database, sharded by relation-name
+//!   fingerprint ([`store::shard_of`]): writers to different shards
+//!   validate and compute successor states in parallel, a global commit
+//!   sequencer assigns monotone seqs, and one *leader* per batch makes
+//!   the whole batch durable before anyone is acknowledged. Reads are
+//!   snapshot-isolated via immutable, atomically swapped catalog
+//!   generations carrying per-shard watermarks. Open ≡ newest owning
+//!   slices + WAL replay. The WAL append, batch fsync, shard
+//!   publication, and slice-write instants carry [`dco_core::guard`]
+//!   probes so the chaos suite can kill a commit mid-batch
+//!   deterministically;
 //! * [`server`] / [`client`] — a dependency-free `std::net` TCP server
 //!   (thread per connection, capped by the `par` config) plus a matching
 //!   client. Every query runs through `dco-analysis` preflight and the
 //!   guarded evaluator, and a prepared-query cache keyed by formula
-//!   fingerprint × catalog generation makes repeated queries cheap.
+//!   fingerprint × touched-shard watermark epoch makes repeated queries
+//!   cheap — and writes to unrelated shards don't invalidate them.
 //!
 //! ```no_run
 //! use dco_store::{Store, StoreOptions};
@@ -51,5 +61,5 @@ pub mod wire;
 pub use client::Client;
 pub use codec::{CodecError, RecordKind};
 pub use server::{serve, ServerHandle};
-pub use store::{Generation, QueryOutput, Store, StoreError, StoreOptions, StoreStats};
+pub use store::{shard_of, Generation, QueryOutput, Store, StoreError, StoreOptions, StoreStats};
 pub use wal::LogOp;

@@ -185,6 +185,14 @@ fn stats_json(store: &Store) -> String {
     Json::Obj(vec![
         ("generation".into(), Json::Num(s.generation as f64)),
         ("relations".into(), Json::Num(s.relations as f64)),
+        ("shards".into(), Json::Num(s.shards as f64)),
+        ("commits".into(), Json::Num(s.commits as f64)),
+        ("batches".into(), Json::Num(s.batches as f64)),
+        ("fsyncs".into(), Json::Num(s.fsyncs as f64)),
+        (
+            "commit_batch_max".into(),
+            Json::Num(s.commit_batch_max as f64),
+        ),
         ("cache_hits".into(), Json::Num(s.cache_hits as f64)),
         ("cache_misses".into(), Json::Num(s.cache_misses as f64)),
         ("cache_entries".into(), Json::Num(s.cache_entries as f64)),
@@ -239,6 +247,10 @@ mod tests {
         assert!(r.starts_with("ERR"), "got {r}");
         let (r, _) = respond(&store, "STATS");
         assert!(r.contains("\"cache_misses\":1"), "got {r}");
+        assert!(r.contains("\"shards\":"), "got {r}");
+        assert!(r.contains("\"commits\":2"), "got {r}");
+        assert!(r.contains("\"fsyncs\":"), "got {r}");
+        assert!(r.contains("\"commit_batch_max\":1"), "got {r}");
         let (r, close) = respond(&store, "CLOSE");
         assert_eq!((r.as_str(), close), ("OK bye", true));
         std::fs::remove_dir_all(&dir).unwrap();

@@ -1,72 +1,160 @@
-//! Whole-catalog checkpoints with atomic publication.
+//! Per-shard checkpoint slices with atomic publication.
 //!
-//! A snapshot is one sealed [`codec`](crate::codec) record containing the
-//! WAL sequence number it covers plus the full catalog (§3's standard
-//! encoding of every relation, plus names). Publication is crash-safe by
-//! construction:
+//! The sharded store checkpoints each shard independently: a *slice* is
+//! one sealed [`codec`](crate::codec) record containing the WAL sequence
+//! number it covers, the shard's coordinates `(shard, nshards)`, and the
+//! shard's relations (§3's standard encoding of every relation, plus
+//! names). The slice's coverage contract is relation-granular:
 //!
-//! 1. the record is written to `snapshot-<seq>.dcs.tmp`;
+//! > Every operation with `seq <= covered` targeting a relation `R`
+//! > with `shard_of(R, nshards) == shard` is folded into the slice. If
+//! > such an `R` is absent from the slice, it was dropped.
+//!
+//! Recovery therefore needs no global snapshot metadata: for each
+//! relation, the newest slice *owning* it (by the slice's own recorded
+//! coordinates) supplies its state, and WAL replay skips entries at or
+//! below that slice's covered seq. This stays correct even when the
+//! shard count changes across reopens — old slices keep their own
+//! `nshards` and keep covering exactly the relations they owned.
+//!
+//! Publication of each slice is crash-safe by construction:
+//!
+//! 1. the record is written to a `.tmp` file;
 //! 2. the temp file is fsynced;
-//! 3. it is atomically renamed to `snapshot-<seq>.dcs`;
+//! 3. it is atomically renamed to `snapshot-<seq>-s<shard>of<n>.dcs`;
 //! 4. the directory is fsynced so the rename itself is durable;
-//! 5. older snapshot files are deleted.
+//! 5. older slices of the same `(shard, nshards)` are deleted.
 //!
 //! A crash anywhere before step 3 leaves only a `.tmp` file, which
-//! recovery ignores. A crash after step 3 leaves a valid snapshot plus
-//! possibly stale older ones; recovery picks the newest *valid* one and
-//! falls back over corrupt files. [`ProbeSite::SnapshotWrite`] fires
-//! mid-write of the temp file so the chaos suite can crash exactly in
-//! the window where a torn snapshot exists on disk.
+//! recovery ignores. A crash after step 3 leaves a valid slice plus
+//! possibly stale older ones; recovery reads every valid slice and lets
+//! per-relation newest-owner-wins resolve them. A hot shard snapshotting
+//! often never invalidates a cold shard's old slice — that is the point:
+//! WAL truncation only needs every *dirty* shard re-sliced, so one hot
+//! relation cannot starve the coverage of cold ones.
+//! [`ProbeSite::SnapshotWrite`] fires mid-write of the temp file so the
+//! chaos suite can crash exactly in the window where a torn slice exists
+//! on disk.
 
 use crate::codec::{open_record, seal_record, ByteReader, ByteWriter, CodecError, RecordKind};
 use dco_core::guard::{self, ProbeSite};
-use dco_core::prelude::Database;
+use dco_core::prelude::GeneralizedRelation;
+use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Snapshot file extension.
 pub const SNAPSHOT_EXT: &str = "dcs";
 
-fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
-    dir.join(format!("snapshot-{seq:016x}.{SNAPSHOT_EXT}"))
+/// One shard's checkpoint, as loaded from disk.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// Every WAL entry `<= seq` targeting a relation this slice owns is
+    /// folded in.
+    pub seq: u64,
+    /// Shard index the slice was written for.
+    pub shard: usize,
+    /// Shard count the slice was written under (defines ownership).
+    pub nshards: usize,
+    /// The shard's relation instances at `seq`.
+    pub relations: BTreeMap<String, Arc<GeneralizedRelation>>,
 }
 
-/// Parse `snapshot-<hex seq>.dcs` back to its seq; `None` for foreign files.
-fn parse_snapshot_name(name: &str) -> Option<u64> {
+impl ShardSlice {
+    /// Whether this slice's coordinates own relation `name` under its
+    /// own recorded shard count.
+    pub fn owns(&self, name: &str) -> bool {
+        crate::store::shard_of(name, self.nshards) == self.shard
+    }
+}
+
+fn slice_path(dir: &Path, seq: u64, shard: usize, nshards: usize) -> PathBuf {
+    dir.join(format!(
+        "snapshot-{seq:016x}-s{shard}of{nshards}.{SNAPSHOT_EXT}"
+    ))
+}
+
+/// Parse `snapshot-<hex seq>-s<shard>of<n>.dcs` back to its coordinates;
+/// `None` for foreign files (including pre-shard whole-catalog names).
+fn parse_slice_name(name: &str) -> Option<(u64, usize, usize)> {
     let rest = name.strip_prefix("snapshot-")?;
-    let hex = rest.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
-    u64::from_str_radix(hex, 16).ok()
+    let rest = rest.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+    let (hex, coords) = rest.split_once("-s")?;
+    let (shard, nshards) = coords.split_once("of")?;
+    Some((
+        u64::from_str_radix(hex, 16).ok()?,
+        shard.parse().ok()?,
+        nshards.parse().ok()?,
+    ))
 }
 
-/// Serialize `(seq, db)` into one sealed catalog record.
-pub fn encode_snapshot(seq: u64, db: &Database) -> Vec<u8> {
+/// Serialize one shard slice into a sealed catalog record.
+pub fn encode_slice(
+    seq: u64,
+    shard: usize,
+    nshards: usize,
+    relations: &BTreeMap<String, Arc<GeneralizedRelation>>,
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(seq);
-    crate::codec::put_database(&mut w, db);
+    w.put_varint(shard as u128);
+    w.put_varint(nshards as u128);
+    w.put_varint(relations.len() as u128);
+    for (name, rel) in relations {
+        w.put_str(name);
+        crate::codec::put_relation(&mut w, rel);
+    }
     seal_record(RecordKind::Catalog, &w.into_bytes())
 }
 
-/// Inverse of [`encode_snapshot`].
-pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, Database), CodecError> {
+/// Inverse of [`encode_slice`].
+pub fn decode_slice(bytes: &[u8]) -> Result<ShardSlice, CodecError> {
     let (payload, _) = open_record(bytes, RecordKind::Catalog)?;
     let mut r = ByteReader::new(payload);
     let seq = r.get_u64()?;
-    let db = crate::codec::get_database(&mut r)?;
+    let shard = r.get_varint()? as usize;
+    let nshards = r.get_varint()? as usize;
+    let count = r.get_varint()? as usize;
+    let mut relations = BTreeMap::new();
+    for _ in 0..count {
+        let name = r.get_str()?;
+        let rel = crate::codec::get_relation(&mut r)?;
+        relations.insert(name, Arc::new(rel));
+    }
     if r.remaining() != 0 {
         return Err(CodecError::BadPayload(
-            "trailing bytes after catalog".into(),
+            "trailing bytes after shard slice".into(),
         ));
     }
-    Ok((seq, db))
+    if nshards == 0 || shard >= nshards {
+        return Err(CodecError::BadPayload(format!(
+            "shard slice coordinates out of range: {shard} of {nshards}"
+        )));
+    }
+    Ok(ShardSlice {
+        seq,
+        shard,
+        nshards,
+        relations,
+    })
 }
 
-/// Write and atomically publish a snapshot covering WAL entries `..= seq`.
-/// Returns the number of on-disk bytes of the published file — the
-/// store's realization of the paper's standard-encoding size measure.
-pub fn write_snapshot(dir: &Path, seq: u64, db: &Database, fsync: bool) -> std::io::Result<u64> {
-    let bytes = encode_snapshot(seq, db);
-    let final_path = snapshot_path(dir, seq);
+/// Write and atomically publish one shard's slice covering WAL entries
+/// `..= seq` for the relations it owns. Returns the number of on-disk
+/// bytes of the published file — the store's realization of the paper's
+/// standard-encoding size measure, per shard.
+pub fn write_slice(
+    dir: &Path,
+    seq: u64,
+    shard: usize,
+    nshards: usize,
+    relations: &BTreeMap<String, Arc<GeneralizedRelation>>,
+    fsync: bool,
+) -> std::io::Result<u64> {
+    let bytes = encode_slice(seq, shard, nshards, relations);
+    let final_path = slice_path(dir, seq, shard, nshards);
     let tmp_path = final_path.with_extension(format!("{SNAPSHOT_EXT}.tmp"));
 
     let mut f = File::create(&tmp_path)?;
@@ -89,12 +177,15 @@ pub fn write_snapshot(dir: &Path, seq: u64, db: &Database, fsync: bool) -> std::
         }
     }
 
-    // Older snapshots (and any leftover temp files) are now redundant.
+    // Older slices of the same coordinates (and leftover temp files) are
+    // now redundant: the fresh slice lists this shard's entire state.
+    // Slices of *other* coordinates are left alone — they may still be
+    // the newest owner of relations this slice does not own.
     for entry in fs::read_dir(dir)?.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        let stale = match parse_snapshot_name(&name) {
-            Some(s) => s < seq,
+        let stale = match parse_slice_name(&name) {
+            Some((s, sh, n)) => sh == shard && n == nshards && s < seq,
             None => name.starts_with("snapshot-") && name.ends_with(".tmp"),
         };
         if stale {
@@ -104,25 +195,39 @@ pub fn write_snapshot(dir: &Path, seq: u64, db: &Database, fsync: bool) -> std::
     Ok(bytes.len() as u64)
 }
 
-/// Find and load the newest *valid* snapshot in `dir`, skipping over
-/// corrupt or torn files (newest first). Returns `None` when no valid
-/// snapshot exists — recovery then starts from the empty catalog.
-pub fn load_latest(dir: &Path) -> std::io::Result<Option<(u64, Database)>> {
-    let mut seqs: Vec<u64> = Vec::new();
+/// Load every valid slice in `dir`, skipping torn or corrupt files (a
+/// crash mid-publication leaves at worst a `.tmp` or a torn file, and an
+/// older valid slice of the same shard still covers it). Order is
+/// unspecified; recovery resolves overlaps per relation by newest owner.
+pub fn load_slices(dir: &Path) -> std::io::Result<Vec<ShardSlice>> {
+    let mut slices = Vec::new();
     for entry in fs::read_dir(dir)?.flatten() {
-        if let Some(seq) = parse_snapshot_name(&entry.file_name().to_string_lossy()) {
-            seqs.push(seq);
+        let name = entry.file_name();
+        let Some((seq, shard, nshards)) = parse_slice_name(&name.to_string_lossy()) else {
+            continue;
+        };
+        let bytes = fs::read(entry.path())?;
+        match decode_slice(&bytes) {
+            Ok(slice) => {
+                debug_assert_eq!((slice.seq, slice.shard), (seq, shard));
+                debug_assert_eq!(slice.nshards, nshards);
+                slices.push(slice);
+            }
+            Err(_) => continue, // torn/corrupt slice: older owners cover it
         }
     }
-    seqs.sort_unstable_by(|a, b| b.cmp(a));
-    for seq in seqs {
-        let bytes = fs::read(snapshot_path(dir, seq))?;
-        match decode_snapshot(&bytes) {
-            Ok((covered, db)) => return Ok(Some((covered, db))),
-            Err(_) => continue, // torn/corrupt snapshot: fall back to older
-        }
-    }
-    Ok(None)
+    Ok(slices)
+}
+
+/// The highest covered seq among slices owning `name` — WAL replay skips
+/// entries at or below it. 0 when no slice owns the relation.
+pub fn covered_seq(slices: &[ShardSlice], name: &str) -> u64 {
+    slices
+        .iter()
+        .filter(|s| s.owns(name))
+        .map(|s| s.seq)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -138,56 +243,86 @@ mod tests {
         dir
     }
 
-    fn sample_db() -> Database {
-        Database::new(Schema::new().with("r", 2).with("s", 1))
-            .with(
-                "r",
-                GeneralizedRelation::from_raw(
-                    2,
-                    vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1))],
-                ),
-            )
-            .with(
-                "s",
-                GeneralizedRelation::from_raw(
-                    1,
-                    vec![RawAtom::new(Term::var(0), RawOp::Eq, Term::cst(rat(1, 3)))],
-                ),
-            )
+    fn rel2() -> Arc<GeneralizedRelation> {
+        Arc::new(GeneralizedRelation::from_raw(
+            2,
+            vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1))],
+        ))
+    }
+
+    fn rel1() -> Arc<GeneralizedRelation> {
+        Arc::new(GeneralizedRelation::from_raw(
+            1,
+            vec![RawAtom::new(Term::var(0), RawOp::Eq, Term::cst(rat(1, 3)))],
+        ))
+    }
+
+    fn shard_map(
+        entries: &[(&str, Arc<GeneralizedRelation>)],
+    ) -> BTreeMap<String, Arc<GeneralizedRelation>> {
+        entries
+            .iter()
+            .map(|(n, r)| (n.to_string(), r.clone()))
+            .collect()
     }
 
     #[test]
     fn publish_and_load_roundtrip() {
         let dir = tmpdir("roundtrip");
-        let db = sample_db();
-        write_snapshot(&dir, 7, &db, true).unwrap();
-        let (seq, back) = load_latest(&dir).unwrap().unwrap();
-        assert_eq!(seq, 7);
-        assert_eq!(back, db);
+        let rels = shard_map(&[("r", rel2()), ("s", rel1())]);
+        write_slice(&dir, 7, 2, 8, &rels, true).unwrap();
+        let slices = load_slices(&dir).unwrap();
+        assert_eq!(slices.len(), 1);
+        let s = &slices[0];
+        assert_eq!((s.seq, s.shard, s.nshards), (7, 2, 8));
+        assert_eq!(s.relations.len(), 2);
+        assert_eq!(s.relations["r"].as_ref(), rel2().as_ref());
+        assert_eq!(s.relations["s"].as_ref(), rel1().as_ref());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn newest_valid_snapshot_wins_and_corrupt_falls_back() {
+    fn newer_same_shard_slice_supersedes_and_corrupt_falls_back() {
         let dir = tmpdir("fallback");
-        let db = sample_db();
-        write_snapshot(&dir, 3, &db, true).unwrap();
-        // Publishing seq 9 deletes seq 3; re-create 3 manually to simulate
-        // a crash between rename and cleanup.
-        let old = encode_snapshot(3, &db);
-        write_snapshot(&dir, 9, &Database::new(Schema::new()), true).unwrap();
-        std::fs::write(snapshot_path(&dir, 3), &old).unwrap();
-        let (seq, _) = load_latest(&dir).unwrap().unwrap();
-        assert_eq!(seq, 9, "newest valid snapshot wins");
-        // Corrupt the newest: loader must fall back to seq 3.
-        let path9 = snapshot_path(&dir, 9);
+        // Use the shard that actually owns "r" under 4 shards, so the
+        // ownership-based coverage resolution applies to these slices.
+        let sh = crate::store::shard_of("r", 4);
+        let old = encode_slice(3, sh, 4, &shard_map(&[("r", rel2())]));
+        write_slice(&dir, 3, sh, 4, &shard_map(&[("r", rel2())]), true).unwrap();
+        // Publishing seq 9 for the same (shard, nshards) deletes seq 3;
+        // re-create 3 manually to simulate a crash between rename and
+        // cleanup.
+        write_slice(&dir, 9, sh, 4, &shard_map(&[]), true).unwrap();
+        std::fs::write(slice_path(&dir, 3, sh, 4), &old).unwrap();
+        let slices = load_slices(&dir).unwrap();
+        // Relation-granular resolution: the seq-9 empty slice owns "r"
+        // and does not list it => dropped at 9.
+        assert_eq!(covered_seq(&slices, "r"), 9);
+        // Corrupt the newest: the loader must skip it and fall back.
+        let path9 = slice_path(&dir, 9, sh, 4);
         let mut bytes = std::fs::read(&path9).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path9, &bytes).unwrap();
-        let (seq, back) = load_latest(&dir).unwrap().unwrap();
-        assert_eq!(seq, 3);
-        assert_eq!(back, db);
+        let slices = load_slices(&dir).unwrap();
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].seq, 3);
+        assert_eq!(slices[0].relations["r"].as_ref(), rel2().as_ref());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cross_coordinate_slices_coexist() {
+        let dir = tmpdir("coords");
+        // A hot shard re-sliced at 20 must not delete a cold shard's
+        // older slice — different coordinates cover different relations.
+        write_slice(&dir, 5, 0, 2, &shard_map(&[("cold", rel1())]), true).unwrap();
+        write_slice(&dir, 20, 1, 2, &shard_map(&[("hot", rel1())]), true).unwrap();
+        let slices = load_slices(&dir).unwrap();
+        assert_eq!(slices.len(), 2);
+        let cold = slices.iter().find(|s| s.shard == 0).unwrap();
+        assert_eq!(cold.seq, 5);
+        assert!(cold.relations.contains_key("cold"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -195,11 +330,11 @@ mod tests {
     fn tmp_files_are_ignored() {
         let dir = tmpdir("tmpfiles");
         std::fs::write(
-            dir.join(format!("snapshot-{:016x}.{SNAPSHOT_EXT}.tmp", 5u64)),
+            dir.join(format!("snapshot-{:016x}-s0of8.{SNAPSHOT_EXT}.tmp", 5u64)),
             b"half-written",
         )
         .unwrap();
-        assert!(load_latest(&dir).unwrap().is_none());
+        assert!(load_slices(&dir).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,33 +1,56 @@
-//! The durable, snapshot-isolated constraint database.
+//! The durable, snapshot-isolated constraint database — sharded write
+//! path with group-commit WAL batching.
+//!
+//! ## Write path
+//!
+//! The catalog is partitioned into `N` *shards* by relation-name
+//! fingerprint ([`shard_of`]). Every [`LogOp`] targets exactly one
+//! relation, so validation and successor-state computation are entirely
+//! shard-local: concurrent writers to different shards do the expensive
+//! work (DNF union, incremental stats recompute) in parallel, each under
+//! its own shard mutex. A global *commit queue* then assigns monotone
+//! WAL sequence numbers and batches the pre-sealed records: the first
+//! committer to find the queue leaderless becomes the **leader**, drains
+//! the batch, performs one write pass + one fsync for all of it
+//! ([`Wal::append_records`]), publishes each shard's new state in seq
+//! order, and only then acknowledges every waiter. Under contention the
+//! fsync cost is amortized over the whole batch (fsyncs/commit → 1/batch
+//! size); a lone writer degenerates to the classic one-fsync-per-commit
+//! discipline.
 //!
 //! ## Recovery invariant
 //!
-//! `Store::open(dir)` ≡ latest valid snapshot + in-order WAL replay of
-//! every entry with `seq >` the snapshot's covered seq, with any torn WAL
-//! tail truncated. Because every mutation is fsynced to the WAL *before*
-//! it is applied in memory, a crash at any instant loses at most the
-//! single in-flight (unacknowledged) operation — acknowledged writes are
-//! always recovered.
+//! `Store::open(dir)` ≡ per-relation newest snapshot slice + in-order
+//! WAL replay of every entry past that relation's covered seq, with any
+//! torn WAL tail truncated. Acknowledged writes are always recovered:
+//! an ack happens only after the batch fsync, and because records are
+//! written in seq order a crash mid-batch leaves a seq-*prefix* on disk
+//! — never a gap — so recovery is always a prefix of issued commits that
+//! contains every acknowledged one.
 //!
 //! ## Isolation argument
 //!
 //! Readers never lock out writers and vice versa: the entire catalog
-//! lives in an immutable [`Generation`] behind an `Arc`, and a write
-//! installs a *new* generation with an atomic pointer swap. A reader
-//! that clones the `Arc` therefore sees one frozen catalog for as long
-//! as it likes — snapshot isolation — while writers proceed. Writes are
-//! serialized through a single writer mutex (the WAL makes them totally
-//! ordered anyway), so write-write conflicts cannot occur; the
-//! generation seq doubles as the transaction timestamp.
+//! lives in an immutable [`Generation`] behind an `Arc`, and the leader
+//! installs a *new* generation with an atomic pointer swap after each
+//! batch. Cross-shard consistency comes from the commit sequencer:
+//! shard states are published in global seq order by a single leader at
+//! a time, so every published generation is the catalog after a
+//! *prefix* of the commit order — a reader holding a generation at seq
+//! `s` sees exactly commits `1..=s`, regardless of which shards they
+//! touched. The per-shard watermarks ride along in
+//! [`Generation::shard_marks`] and key the prepared-query cache.
 //!
 //! ## Fault containment
 //!
-//! The WAL append and snapshot write carry [`dco_core::guard`] probes.
-//! When a chaos test injects a panic there, the unwind poisons the
-//! writer mutex *after* `healthy` was cleared; every later write is
-//! refused with [`StoreError::Unhealthy`] until the store is reopened
-//! (which truncates the torn tail). Readers are unaffected — their
-//! generation is immutable.
+//! The WAL batch write, batch fsync, shard publication, and snapshot
+//! slice writes carry [`dco_core::guard`] probes. When a chaos test
+//! injects a panic there, the unwinding leader's drop guard fails every
+//! waiting committer's ticket, clears the `healthy` flag, and releases
+//! leadership; every later write is refused with
+//! [`StoreError::Unhealthy`] until the store is reopened (which
+//! truncates the torn tail). Readers are unaffected — their generation
+//! is immutable, and nothing is published before it is durable.
 
 use crate::codec::CodecError;
 use crate::snapshot;
@@ -35,7 +58,7 @@ use crate::wal::{apply_op, LogOp, Wal};
 use dco_analysis::explain::QueryPlan;
 use dco_analysis::stats::DbStats;
 use dco_analysis::{cost, plan_formula, preflight_formula, AnalysisOptions, Diagnostic};
-use dco_core::guard::GuardStats;
+use dco_core::guard::{self, GuardStats, ProbeSite};
 use dco_core::intern::{fold, mix64};
 use dco_core::prelude::{Database, GeneralizedRelation, Schema};
 use dco_fo::{explain_with_stats, try_eval_with, TryEvalError};
@@ -43,21 +66,26 @@ use dco_logic::{parse_formula, Formula};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 
 /// Tuning knobs for a store.
 #[derive(Debug, Clone)]
 pub struct StoreOptions {
-    /// Take an automatic snapshot (and truncate the WAL) after this many
+    /// Take an automatic snapshot cycle (re-slice every dirty shard and
+    /// truncate the WAL) once any single shard has accumulated this many
     /// logged operations. `0` disables automatic snapshots.
     pub snapshot_every: u64,
-    /// Fsync the WAL after every append and snapshots before publishing.
-    /// Turning this off trades the durability guarantee for speed
-    /// (benchmarks, throwaway stores).
+    /// Fsync WAL batches after every append and snapshot slices before
+    /// publishing. Turning this off trades the durability guarantee for
+    /// speed (benchmarks, throwaway stores).
     pub fsync: bool,
     /// Maximum number of prepared-query results kept per store.
     pub prepared_cache_cap: usize,
+    /// Number of write shards the catalog is partitioned into. Writers
+    /// to different shards validate and compute successor states in
+    /// parallel; `0` is treated as `1`.
+    pub shards: usize,
 }
 
 impl Default for StoreOptions {
@@ -66,6 +94,7 @@ impl Default for StoreOptions {
             snapshot_every: 256,
             fsync: true,
             prepared_cache_cap: 256,
+            shards: 8,
         }
     }
 }
@@ -75,14 +104,22 @@ impl Default for StoreOptions {
 #[derive(Debug)]
 pub struct Generation {
     /// WAL sequence number of the last operation applied (0 = empty).
+    /// The catalog is the state after exactly commits `1..=seq` — a
+    /// prefix of the global commit order, never a partial batch.
     pub seq: u64,
     /// The catalog at that point.
     pub db: Database,
-    /// Per-relation statistics of the catalog, maintained incrementally:
-    /// each write recomputes only the relation it touched. A pure function
-    /// of the catalog content, so recovery (snapshot + WAL replay)
-    /// reproduces it byte-identically.
+    /// Per-relation statistics of the catalog, maintained incrementally
+    /// per shard: each write recomputes only the relation it touched. A
+    /// pure function of the catalog content, so recovery (slices + WAL
+    /// replay) reproduces it byte-identically.
     pub stats: DbStats,
+    /// Per-shard watermarks: `shard_marks[i]` is the seq of the last
+    /// commit that touched shard `i` (or the recovery seq right after
+    /// open). Two generations with equal marks for a set of shards have
+    /// byte-identical state on those shards — the fact the prepared-
+    /// query cache keys on.
+    pub shard_marks: Vec<u64>,
 }
 
 /// A query answer, tagged with the generation it was computed against.
@@ -108,6 +145,17 @@ pub struct StoreStats {
     pub generation: u64,
     /// Number of relations in the catalog.
     pub relations: usize,
+    /// Number of write shards.
+    pub shards: usize,
+    /// Acknowledged commits since open.
+    pub commits: u64,
+    /// Group-commit batches written since open (= WAL write passes).
+    pub batches: u64,
+    /// WAL fsyncs since open (0 with `fsync: false`). Under contention
+    /// `fsyncs / commits` drops toward `1 / batch size`.
+    pub fsyncs: u64,
+    /// Largest group-commit batch observed.
+    pub commit_batch_max: u64,
     /// Prepared-query cache hits.
     pub cache_hits: u64,
     /// Prepared-query cache misses (cold evaluations).
@@ -133,7 +181,7 @@ pub enum StoreError {
     /// The guarded evaluation tripped a budget, deadline, or contained
     /// fault.
     Fault(String),
-    /// A previous write crashed mid-append; the store refuses further
+    /// A previous write crashed mid-commit; the store refuses further
     /// writes until reopened (which truncates the torn WAL tail).
     Unhealthy,
 }
@@ -179,13 +227,32 @@ impl From<CodecError> for StoreError {
 /// prepared-query keys survive server restarts.
 pub fn formula_fingerprint(formula: &Formula) -> u64 {
     let text = formula.to_string();
-    let mut h = mix64(0x5353_4f52_4551_5546 ^ text.len() as u64);
-    for chunk in text.as_bytes().chunks(8) {
+    fingerprint_bytes(0x5353_4f52_4551_5546, text.as_bytes())
+}
+
+/// Deterministic fingerprint of a relation name — the shard key. Same
+/// mixer family as [`formula_fingerprint`] with a distinct seed, so the
+/// two key spaces cannot alias.
+pub fn relation_fingerprint(name: &str) -> u64 {
+    fingerprint_bytes(0x5348_4152_444b_4559, name.as_bytes())
+}
+
+fn fingerprint_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = mix64(seed ^ bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
         let mut word = [0u8; 8];
         word[..chunk.len()].copy_from_slice(chunk);
         h = fold(h, u64::from_le_bytes(word));
     }
     h
+}
+
+/// The shard owning relation `name` in an `nshards`-way partition.
+/// Deterministic across processes — snapshot slices record the shard
+/// count they were written under, so recovery resolves ownership even
+/// when the configured count changes between opens.
+pub fn shard_of(name: &str, nshards: usize) -> usize {
+    (relation_fingerprint(name) % nshards.max(1) as u64) as usize
 }
 
 /// A cached query answer: output columns plus the canonical relation.
@@ -219,24 +286,109 @@ impl PreparedCache {
     }
 }
 
-struct WriterState {
-    wal: Wal,
-    healthy: bool,
-    since_snapshot: u64,
+/// One shard's immutable state: its slice of the catalog plus its slice
+/// of the statistics, stamped with the seq of the last commit that
+/// produced it. Successor states share untouched relations by `Arc`.
+#[derive(Debug)]
+struct ShardState {
+    watermark: u64,
+    relations: BTreeMap<String, Arc<GeneralizedRelation>>,
+    stats: DbStats,
+}
+
+/// A shard: the pending head (latest *assigned* state, serialized by
+/// the writer mutex), the published head (latest *durable* state,
+/// swapped by the commit leader), and the count of published ops since
+/// this shard was last folded into a snapshot slice.
+struct Shard {
+    writer: Mutex<Arc<ShardState>>,
+    published: RwLock<Arc<ShardState>>,
+    since_snapshot: AtomicU64,
+}
+
+/// A committer's wait handle: completed (with its seq) only after the
+/// whole batch is durable, failed if the batch or the leader died.
+struct Ticket {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+#[derive(Clone, Copy)]
+enum TicketState {
+    Pending,
+    Durable(u64),
+    Failed,
+}
+
+impl Ticket {
+    fn new() -> Ticket {
+        Ticket {
+            state: Mutex::new(TicketState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, outcome: TicketState) {
+        *plock(&self.state) = outcome;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<u64, StoreError> {
+        let mut s = plock(&self.state);
+        loop {
+            match *s {
+                TicketState::Pending => {
+                    s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+                }
+                TicketState::Durable(seq) => return Ok(seq),
+                TicketState::Failed => return Err(StoreError::Unhealthy),
+            }
+        }
+    }
+}
+
+/// One enqueued commit: its sealed WAL record and the shard state to
+/// publish once the record is durable.
+struct BatchEntry {
+    seq: u64,
+    record: Vec<u8>,
+    shard: usize,
+    state: Arc<ShardState>,
+    ticket: Arc<Ticket>,
+}
+
+/// The global commit sequencer. `leader_active == false` implies
+/// `batch.is_empty()`: an enqueuer finding no leader claims leadership
+/// in the same critical section as its push, and a leader only steps
+/// down after observing an empty batch under this lock.
+struct CommitQueue {
+    batch: Vec<BatchEntry>,
+    next_seq: u64,
+    leader_active: bool,
 }
 
 struct Inner {
     dir: PathBuf,
     opts: StoreOptions,
+    shards: Vec<Shard>,
     current: RwLock<Arc<Generation>>,
-    writer: Mutex<WriterState>,
+    queue: Mutex<CommitQueue>,
+    /// Signaled whenever leadership is released (manual snapshots wait
+    /// here to take over the commit pipeline).
+    leader_idle: Condvar,
+    wal: Mutex<Wal>,
+    healthy: AtomicBool,
     prepared: Mutex<PreparedCache>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    commits: AtomicU64,
+    batches: AtomicU64,
+    fsyncs: AtomicU64,
+    batch_max: AtomicU64,
 }
 
 /// Handle to an open store. Cheap to clone; all clones share the same
-/// WAL, generation chain, and prepared-query cache.
+/// WAL, shard set, generation chain, and prepared-query cache.
 #[derive(Clone)]
 pub struct Store {
     inner: Arc<Inner>,
@@ -247,52 +399,131 @@ impl fmt::Debug for Store {
         f.debug_struct("Store")
             .field("dir", &self.inner.dir)
             .field("generation", &self.read().seq)
+            .field("shards", &self.inner.shards.len())
             .finish()
     }
 }
 
-/// Poison-tolerant mutex lock: a panic while holding the lock (e.g. an
+/// Poison-tolerant mutex lock: a panic while holding a lock (e.g. an
 /// injected fault at a WAL probe) must not wedge the store — the
 /// `healthy` flag, not lock poison, is the source of truth.
-fn lock_writer(m: &Mutex<WriterState>) -> MutexGuard<'_, WriterState> {
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Releases leadership and fails every pending committer if the leader
+/// unwinds (injected fault, I/O error) between claiming the batch and
+/// acknowledging it. Disarmed on the success path. This is what keeps
+/// "acknowledged" honest: a ticket can only ever complete after the
+/// fsync, and any leader death converts every in-flight ticket into
+/// [`StoreError::Unhealthy`] instead of leaving threads parked forever.
+struct LeaderGuard<'a> {
+    inner: &'a Inner,
+    tickets: Vec<Arc<Ticket>>,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.inner.healthy.store(false, Ordering::SeqCst);
+        for t in &self.tickets {
+            t.finish(TicketState::Failed);
+        }
+        let drained = {
+            let mut q = plock(&self.inner.queue);
+            q.leader_active = false;
+            std::mem::take(&mut q.batch)
+        };
+        self.inner.leader_idle.notify_all();
+        for e in drained {
+            e.ticket.finish(TicketState::Failed);
+        }
+    }
 }
 
 impl Store {
     /// Open (creating if needed) the store in directory `dir`.
     ///
-    /// Recovery: load the newest valid snapshot, replay every WAL entry
-    /// with a later seq, truncate any torn tail. A fault-free reopen is
-    /// always an identity: `open` after clean writes reproduces the
-    /// exact pre-close catalog (the chaos suite asserts this).
+    /// Recovery: load every valid snapshot slice, resolve each relation
+    /// from the newest slice *owning* it (under the slice's own recorded
+    /// shard count), replay every WAL entry past that relation's covered
+    /// seq, truncate any torn tail. A fault-free reopen is always an
+    /// identity: `open` after clean writes reproduces the exact
+    /// pre-close catalog (the chaos suite asserts this).
     pub fn open(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Store, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let nshards = opts.shards.max(1);
 
-        let (snap_seq, snap_db) = match snapshot::load_latest(&dir)? {
-            Some((seq, db)) => (seq, db),
-            None => (0, Database::new(Schema::new())),
-        };
-
+        let slices = snapshot::load_slices(&dir)?;
         let (mut wal, scan) = Wal::open(&dir.join("wal.log"), opts.fsync)?;
 
-        let mut schema = snap_db.schema().clone();
-        let mut relations: BTreeMap<String, GeneralizedRelation> = snap_db
-            .relations()
-            .map(|(n, r)| (n.to_string(), r.clone()))
-            .collect();
-        let mut seq = snap_seq;
-        for entry in &scan.entries {
-            if entry.seq <= snap_seq {
-                continue; // already folded into the snapshot
+        // Per-relation resolution: newest owning slice wins; a newer
+        // owning slice that omits the relation records a drop.
+        let mut resolved: BTreeMap<String, (u64, Arc<GeneralizedRelation>)> = BTreeMap::new();
+        for slice in &slices {
+            for (name, rel) in &slice.relations {
+                match resolved.get(name) {
+                    Some((at, _)) if *at >= slice.seq => {}
+                    _ => {
+                        resolved.insert(name.clone(), (slice.seq, rel.clone()));
+                    }
+                }
             }
-            apply_op(&mut schema, &mut relations, &entry.op).map_err(StoreError::Invalid)?;
-            seq = entry.seq;
+        }
+        let mut relations: BTreeMap<String, Arc<GeneralizedRelation>> = resolved
+            .into_iter()
+            .filter(|(name, (at, _))| snapshot::covered_seq(&slices, name) <= *at)
+            .map(|(name, (_, rel))| (name, rel))
+            .collect();
+
+        let mut seq = slices.iter().map(|s| s.seq).max().unwrap_or(0);
+        let mut replayed = vec![0u64; nshards];
+        for entry in &scan.entries {
+            seq = seq.max(entry.seq);
+            if entry.seq <= snapshot::covered_seq(&slices, entry.op.target()) {
+                continue; // already folded into an owning slice
+            }
+            apply_op(&mut relations, &entry.op).map_err(StoreError::Invalid)?;
+            replayed[shard_of(entry.op.target(), nshards)] += 1;
         }
         wal.set_next_seq(seq + 1);
 
-        let db = rebuild(schema, relations)?;
-        let stats = DbStats::of_database(&db);
+        // Partition the recovered catalog into shard states. Every shard
+        // is current as of `seq` (all entries <= seq were applied), so
+        // each legitimately claims `seq` as its initial watermark.
+        let mut per_shard: Vec<BTreeMap<String, Arc<GeneralizedRelation>>> =
+            vec![BTreeMap::new(); nshards];
+        for (name, rel) in relations {
+            let s = shard_of(&name, nshards);
+            per_shard[s].insert(name, rel);
+        }
+        let mut states = Vec::with_capacity(nshards);
+        for rels in per_shard {
+            let mut stats = DbStats::default();
+            for (name, rel) in &rels {
+                stats.update(name, rel);
+            }
+            states.push(Arc::new(ShardState {
+                watermark: seq,
+                relations: rels,
+                stats,
+            }));
+        }
+        let shards = states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| Shard {
+                writer: Mutex::new(st.clone()),
+                published: RwLock::new(st.clone()),
+                since_snapshot: AtomicU64::new(replayed[i]),
+            })
+            .collect();
+
+        let generation = Arc::new(compose_generation(seq, &states));
         let inner = Inner {
             dir,
             prepared: Mutex::new(PreparedCache {
@@ -301,14 +532,22 @@ impl Store {
                 cap: opts.prepared_cache_cap,
             }),
             opts,
-            current: RwLock::new(Arc::new(Generation { seq, db, stats })),
-            writer: Mutex::new(WriterState {
-                wal,
-                healthy: true,
-                since_snapshot: 0,
+            shards,
+            current: RwLock::new(generation),
+            queue: Mutex::new(CommitQueue {
+                batch: Vec::new(),
+                next_seq: seq + 1,
+                leader_active: false,
             }),
+            leader_idle: Condvar::new(),
+            wal: Mutex::new(wal),
+            healthy: AtomicBool::new(true),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            batch_max: AtomicU64::new(0),
         };
         Ok(Store {
             inner: Arc::new(inner),
@@ -369,84 +608,275 @@ impl Store {
         })
     }
 
-    /// Log and apply one operation; returns its WAL seq (= the new
-    /// generation). This is the single write path: WAL first (fsynced),
-    /// then the in-memory generation swap — so an acknowledged seq is
-    /// durable by the time the caller sees it.
+    /// Log and apply one operation; returns its WAL seq. The caller is
+    /// acknowledged only after its record's group-commit batch is
+    /// durable and published — so an acknowledged seq is on disk and
+    /// visible to readers by the time the caller sees it.
+    ///
+    /// Concurrency: validation and successor-state computation run under
+    /// the target relation's *shard* mutex (parallel across shards); seq
+    /// assignment and batching under the global queue mutex (cheap); the
+    /// WAL write + fsync is done once per batch by whichever committer
+    /// is leading.
     pub fn apply(&self, op: LogOp) -> Result<u64, StoreError> {
-        let mut w = lock_writer(&self.inner.writer);
-        if !w.healthy {
+        if !self.inner.healthy.load(Ordering::SeqCst) {
             return Err(StoreError::Unhealthy);
         }
+        let shard_idx = shard_of(op.target(), self.inner.shards.len());
+        // Expensive, shard-independent work first: payload encoding.
+        let payload = crate::wal::encode_op(&op);
 
-        // Validate and compute the successor catalog *before* logging, so
-        // the WAL never contains an inapplicable op.
-        let cur = self.read();
-        let mut schema = cur.db.schema().clone();
-        let mut relations: BTreeMap<String, GeneralizedRelation> = cur
-            .db
-            .relations()
-            .map(|(n, r)| (n.to_string(), r.clone()))
-            .collect();
-        apply_op(&mut schema, &mut relations, &op).map_err(StoreError::Invalid)?;
-        let db = rebuild(schema, relations)?;
-        // Incremental stats: every LogOp names exactly one relation, so
-        // only that relation's summary is recomputed for the successor
-        // generation.
-        let stats = advance_stats(&cur.stats, &op, &db);
+        let shard = &self.inner.shards[shard_idx];
+        let mut head = plock(&shard.writer);
 
-        // Durability point. `healthy` is cleared across the append so a
-        // contained panic (fault injection, crash) leaves the store
-        // refusing writes rather than silently diverging from the log.
-        w.healthy = false;
-        let seq = w.wal.append(&op)?;
-        w.healthy = true;
+        // Validate and compute the successor shard state against the
+        // pending head *before* enqueueing, so the WAL never contains an
+        // inapplicable op and invalid ops consume no seq (the assigned
+        // seq sequence must stay gap-free — recovery treats a seq break
+        // as a torn tail).
+        let mut relations = head.relations.clone();
+        apply_op(&mut relations, &op).map_err(StoreError::Invalid)?;
+        let mut stats = head.stats.clone();
+        match relations.get(op.target()) {
+            Some(rel) => stats.update(op.target(), rel),
+            None => stats.remove(op.target()),
+        }
 
-        let generation = Arc::new(Generation { seq, db, stats });
+        let ticket = Arc::new(Ticket::new());
+        let lead = {
+            let mut q = plock(&self.inner.queue);
+            if !self.inner.healthy.load(Ordering::SeqCst) {
+                // A leader died while we were computing: our base state
+                // may include never-durable pending writes. Refuse
+                // before taking a seq.
+                return Err(StoreError::Unhealthy);
+            }
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            let state = Arc::new(ShardState {
+                watermark: seq,
+                relations,
+                stats,
+            });
+            *head = state.clone();
+            q.batch.push(BatchEntry {
+                seq,
+                record: crate::wal::seal_entry(seq, &payload),
+                shard: shard_idx,
+                state,
+                ticket: ticket.clone(),
+            });
+            if q.leader_active {
+                false
+            } else {
+                q.leader_active = true;
+                true
+            }
+        };
+        drop(head); // writers to this shard may now stack on our pending state
+
+        if lead {
+            self.lead();
+        }
+        ticket.wait()
+    }
+
+    /// The leader loop: drain batches until the queue is empty, then
+    /// step down. At most one thread runs this at a time.
+    fn lead(&self) {
+        loop {
+            let batch = {
+                let mut q = plock(&self.inner.queue);
+                if q.batch.is_empty() {
+                    q.leader_active = false;
+                    self.inner.leader_idle.notify_all();
+                    return;
+                }
+                std::mem::take(&mut q.batch)
+            };
+            if !self.commit_batch(batch) {
+                return; // guard already failed tickets + released leadership
+            }
+            if self.auto_snapshot_due() {
+                let mut guard = LeaderGuard {
+                    inner: &self.inner,
+                    tickets: Vec::new(),
+                    armed: true,
+                };
+                if self.snapshot_cycle(false).is_err() {
+                    return; // guard cleans up on drop
+                }
+                guard.armed = false;
+            }
+        }
+    }
+
+    /// Commit one batch: single WAL write pass + fsync, then publish
+    /// each shard state in seq order, swap the global generation, and
+    /// acknowledge every ticket. Returns false (after guard cleanup) on
+    /// any failure.
+    fn commit_batch(&self, batch: Vec<BatchEntry>) -> bool {
+        let mut guard = LeaderGuard {
+            inner: &self.inner,
+            tickets: batch.iter().map(|e| e.ticket.clone()).collect(),
+            armed: true,
+        };
+        if !self.inner.healthy.load(Ordering::SeqCst) {
+            return false;
+        }
+        let last_seq = match batch.last() {
+            Some(e) => e.seq,
+            None => return false,
+        };
+
+        // Durability point: one write pass, one fsync, for the whole
+        // batch. Probes inside may unwind (chaos); the guard converts
+        // that into failed tickets + an unhealthy store.
+        {
+            let mut wal = plock(&self.inner.wal);
+            if wal
+                .append_records(batch.iter().map(|e| e.record.as_slice()))
+                .is_err()
+            {
+                return false;
+            }
+            wal.set_next_seq(last_seq + 1);
+        }
+        if self.inner.opts.fsync {
+            self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Publish in seq order: a fault between swaps leaves a seq-
+        // prefix of the batch visible — never a torn interleaving — and
+        // everything visible is already durable.
+        for e in &batch {
+            guard::probe(ProbeSite::ShardPublish);
+            let shard = &self.inner.shards[e.shard];
+            *shard.published.write().unwrap_or_else(|p| p.into_inner()) = e.state.clone();
+            shard.since_snapshot.fetch_add(1, Ordering::Relaxed);
+        }
+        let generation = Arc::new(self.compose(last_seq));
         *self
             .inner
             .current
             .write()
-            .unwrap_or_else(|p| p.into_inner()) = generation.clone();
+            .unwrap_or_else(|p| p.into_inner()) = generation;
 
-        w.since_snapshot += 1;
-        if self.inner.opts.snapshot_every > 0 && w.since_snapshot >= self.inner.opts.snapshot_every
-        {
-            self.snapshot_locked(&mut w, &generation)?;
+        self.inner
+            .commits
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.inner.batches.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .batch_max
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+        guard.armed = false;
+        for e in &batch {
+            e.ticket.finish(TicketState::Durable(e.seq));
         }
-        Ok(seq)
+        true
     }
 
-    /// Force a snapshot of the current generation and truncate the WAL.
-    /// Returns the snapshot's on-disk size in bytes — the standard-
+    /// Compose the global generation from the published shard states.
+    fn compose(&self, seq: u64) -> Generation {
+        let states: Vec<Arc<ShardState>> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.published
+                    .read()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone()
+            })
+            .collect();
+        compose_generation(seq, &states)
+    }
+
+    fn auto_snapshot_due(&self) -> bool {
+        let every = self.inner.opts.snapshot_every;
+        every > 0
+            && self
+                .inner
+                .shards
+                .iter()
+                .any(|s| s.since_snapshot.load(Ordering::Relaxed) >= every)
+    }
+
+    /// Force a snapshot cycle over every shard and truncate the WAL.
+    /// Returns the slices' total on-disk size in bytes — the standard-
     /// encoding measure of the catalog (§3) plus envelope overhead.
     pub fn snapshot(&self) -> Result<u64, StoreError> {
-        let mut w = lock_writer(&self.inner.writer);
-        if !w.healthy {
+        if !self.inner.healthy.load(Ordering::SeqCst) {
             return Err(StoreError::Unhealthy);
         }
-        let generation = self.read();
-        self.snapshot_locked(&mut w, &generation)
+        // Take over the commit pipeline: wait for the current leader (if
+        // any) to drain and step down, then claim leadership so no WAL
+        // write can interleave with slice writes + truncation.
+        {
+            let mut q = plock(&self.inner.queue);
+            while q.leader_active {
+                q = self
+                    .inner
+                    .leader_idle
+                    .wait(q)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            if !self.inner.healthy.load(Ordering::SeqCst) {
+                return Err(StoreError::Unhealthy);
+            }
+            q.leader_active = true;
+        }
+        let mut guard = LeaderGuard {
+            inner: &self.inner,
+            tickets: Vec::new(),
+            armed: true,
+        };
+        let bytes = self.snapshot_cycle(true)?;
+        guard.armed = false;
+        // Commits may have queued behind us while we were slicing; they
+        // have no leader (they saw `leader_active`), so drain them now.
+        self.lead();
+        Ok(bytes)
     }
 
-    fn snapshot_locked(
-        &self,
-        w: &mut WriterState,
-        generation: &Generation,
-    ) -> Result<u64, StoreError> {
-        // Same containment discipline as appends: a crash mid-snapshot
-        // leaves only a temp file, but also an unhealthy writer until
-        // reopen (the WAL was not yet truncated, so nothing is lost).
-        w.healthy = false;
-        let bytes = snapshot::write_snapshot(
-            &self.inner.dir,
-            generation.seq,
-            &generation.db,
-            self.inner.opts.fsync,
-        )?;
-        w.wal.truncate()?;
-        w.healthy = true;
-        w.since_snapshot = 0;
+    /// Re-slice shards and truncate the WAL. With `force_all` every
+    /// shard holding data is written; otherwise only *dirty* shards
+    /// (published ops since their last slice). Truncation is safe either
+    /// way: the caller holds leadership (no concurrent WAL writes), and
+    /// every WAL entry's target shard is by definition dirty, so each
+    /// entry is covered by the fresh slice of its shard — while clean
+    /// shards stay covered by their existing slices. This is what makes
+    /// the trigger per-shard: a hot relation forcing frequent cycles
+    /// only rewrites its own shard's slice, and cold shards' coverage
+    /// never goes stale.
+    fn snapshot_cycle(&self, force_all: bool) -> Result<u64, StoreError> {
+        let nshards = self.inner.shards.len();
+        let mut bytes = 0;
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let dirty = shard.since_snapshot.load(Ordering::Relaxed) > 0;
+            if !dirty && !force_all {
+                continue;
+            }
+            let state = shard
+                .published
+                .read()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            if !dirty && state.relations.is_empty() && state.watermark == 0 {
+                continue; // nothing was ever recorded for this shard
+            }
+            bytes += snapshot::write_slice(
+                &self.inner.dir,
+                state.watermark,
+                i,
+                nshards,
+                &state.relations,
+                self.inner.opts.fsync,
+            )?;
+            shard.since_snapshot.store(0, Ordering::Relaxed);
+        }
+        plock(&self.inner.wal).truncate()?;
         Ok(bytes)
     }
 
@@ -457,13 +887,32 @@ impl Store {
         self.query_formula(&formula)
     }
 
+    /// Cache epoch of a formula under a generation: a fold over the
+    /// shard watermarks of every relation the formula touches. Writes to
+    /// other shards leave the epoch — and thus the cached entry — valid;
+    /// a formula touching no relation at all (pure order constraints)
+    /// has the constant epoch 0 and caches forever.
+    fn cache_epoch(&self, formula: &Formula, generation: &Generation) -> u64 {
+        let preds = formula.predicates();
+        if preds.is_empty() {
+            return 0;
+        }
+        let nshards = generation.shard_marks.len();
+        let mut h = mix64(0x4550_4f43_4856_4543 ^ preds.len() as u64);
+        for name in preds.keys() {
+            h = fold(h, relation_fingerprint(name));
+            h = fold(h, generation.shard_marks[shard_of(name, nshards)]);
+        }
+        h
+    }
+
     /// [`Store::query`] for an already-parsed formula.
     pub fn query_formula(&self, formula: &Formula) -> Result<QueryOutput, StoreError> {
         let generation = self.read();
         let fp = formula_fingerprint(formula);
-        let key = (fp, generation.seq);
+        let key = (fp, self.cache_epoch(formula, &generation));
 
-        if let Some(hit) = lock_cache(&self.inner.prepared).get(key) {
+        if let Some(hit) = plock(&self.inner.prepared).get(key) {
             self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(QueryOutput {
                 generation: generation.seq,
@@ -501,7 +950,7 @@ impl Store {
 
         let columns = guarded.value.columns;
         let relation = guarded.value.relation;
-        lock_cache(&self.inner.prepared).put(key, Arc::new((columns.clone(), relation.clone())));
+        plock(&self.inner.prepared).put(key, Arc::new((columns.clone(), relation.clone())));
         Ok(QueryOutput {
             generation: generation.seq,
             columns,
@@ -541,16 +990,21 @@ impl Store {
         StoreStats {
             generation: generation.seq,
             relations: generation.db.schema().relations().count(),
+            shards: self.inner.shards.len(),
+            commits: self.inner.commits.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+            commit_batch_max: self.inner.batch_max.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
-            cache_entries: lock_cache(&self.inner.prepared).results.len(),
+            cache_entries: plock(&self.inner.prepared).results.len(),
         }
     }
 
     /// Whether the writer is healthy (false after a crashed write until
     /// the store is reopened).
     pub fn is_healthy(&self) -> bool {
-        lock_writer(&self.inner.writer).healthy
+        self.inner.healthy.load(Ordering::SeqCst)
     }
 }
 
@@ -565,38 +1019,31 @@ pub struct ExplainOutput {
     pub plan: QueryPlan,
 }
 
-/// Successor-generation statistics: recompute the one relation `op`
-/// touched on top of the previous generation's summaries.
-fn advance_stats(prev: &DbStats, op: &LogOp, db: &Database) -> DbStats {
-    let name = match op {
-        LogOp::Create { name, .. }
-        | LogOp::Drop { name }
-        | LogOp::InsertTuples { name, .. }
-        | LogOp::RemoveSubsumed { name, .. }
-        | LogOp::Replace { name, .. } => name,
-    };
-    let mut stats = prev.clone();
-    match db.get(name) {
-        Some(rel) => stats.update(name, rel),
-        None => stats.remove(name),
+/// Assemble the global catalog + stats + watermark vector from per-shard
+/// states. Relations are shared by `Arc`, so this is O(#relations)
+/// pointer work, not a copy of any DNF.
+fn compose_generation(seq: u64, states: &[Arc<ShardState>]) -> Generation {
+    let mut schema = Schema::new();
+    for st in states {
+        for (name, rel) in &st.relations {
+            schema = schema.with(name, rel.arity());
+        }
     }
-    stats
-}
-
-fn lock_cache(m: &Mutex<PreparedCache>) -> MutexGuard<'_, PreparedCache> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
-}
-
-fn rebuild(
-    schema: Schema,
-    relations: BTreeMap<String, GeneralizedRelation>,
-) -> Result<Database, StoreError> {
     let mut db = Database::new(schema);
-    for (name, rel) in relations {
-        db.set(&name, rel)
-            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+    let mut stats = DbStats::default();
+    for st in states {
+        for (name, rel) in &st.relations {
+            db.set_shared(name, rel.clone())
+                .expect("composed relation matches its own declared arity");
+        }
+        stats.merge(&st.stats);
     }
-    Ok(db)
+    Generation {
+        seq,
+        db,
+        stats,
+        shard_marks: states.iter().map(|s| s.watermark).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +1065,16 @@ mod tests {
                 RawAtom::new(Term::cst(rat(0, 1)), RawOp::Le, Term::var(0)),
                 RawAtom::new(Term::var(0), RawOp::Le, Term::var(1)),
                 RawAtom::new(Term::var(1), RawOp::Le, Term::cst(rat(10, 1))),
+            ],
+        )
+    }
+
+    fn interval(lo: i64, hi: i64) -> GeneralizedRelation {
+        GeneralizedRelation::from_raw(
+            1,
+            vec![
+                RawAtom::new(Term::cst(rat(lo as i128, 1)), RawOp::Le, Term::var(0)),
+                RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(hi as i128, 1))),
             ],
         )
     }
@@ -693,11 +1150,50 @@ mod tests {
         assert_eq!(warm.columns, cold.columns);
         assert_eq!(warm.relation, cold.relation);
         assert_eq!(warm.generation, cold.generation);
-        // A write invalidates by key (generation changes), not by flush.
+        // A write to R invalidates by key (R's shard mark changes), not
+        // by flush.
         store.insert("R", GeneralizedRelation::empty(2)).unwrap();
         let after = store.query(src).unwrap();
         assert!(!after.cached);
         assert_eq!(after.relation, cold.relation, "empty union is a no-op");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_survives_writes_to_other_shards() {
+        let dir = tmpdir("cacheshard");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let nshards = store.stats().shards;
+        // Pick two relations that live in different shards (the
+        // fingerprint is deterministic, so this search is too).
+        let names: Vec<String> = (0..32).map(|i| format!("t{i}")).collect();
+        let a = names[0].clone();
+        let b = names
+            .iter()
+            .find(|n| shard_of(n, nshards) != shard_of(&a, nshards))
+            .expect("32 names cannot all collide into one shard")
+            .clone();
+        store.create(&a, 1).unwrap();
+        store.create(&b, 1).unwrap();
+        store.insert(&b, interval(0, 5)).unwrap();
+
+        let src = format!("{b}(x) & x < 3");
+        let cold = store.query(&src).unwrap();
+        assert!(!cold.cached);
+        // A write to relation `a` (a different shard) must not evict
+        // queries touching only `b`.
+        store.insert(&a, interval(7, 9)).unwrap();
+        let warm = store.query(&src).unwrap();
+        assert!(
+            warm.cached,
+            "write to {a} (shard {}) evicted a query on {b} (shard {})",
+            shard_of(&a, nshards),
+            shard_of(&b, nshards)
+        );
+        assert_eq!(warm.relation, cold.relation);
+        // A write to `b` itself does invalidate.
+        store.insert(&b, interval(100, 101)).unwrap();
+        assert!(!store.query(&src).unwrap().cached);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -750,6 +1246,40 @@ mod tests {
         let store = Store::open(&dir, StoreOptions::default()).unwrap();
         let after = store.read().stats.canonical_string();
         assert_eq!(before, after, "stats must be a pure function of content");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multi_shard_catalog_survives_slices_plus_replay() {
+        let dir = tmpdir("multishard");
+        let opts = StoreOptions {
+            shards: 4,
+            ..StoreOptions::default()
+        };
+        let (expected_db, expected_stats, expected_seq) = {
+            let store = Store::open(&dir, opts.clone()).unwrap();
+            // Spread relations over all shards; mix covered (sliced) and
+            // replayed (post-snapshot) history.
+            for i in 0..8 {
+                store.create(&format!("m{i}"), 1).unwrap();
+                store.insert(&format!("m{i}"), interval(i, i + 2)).unwrap();
+            }
+            store.snapshot().unwrap();
+            for i in 0..8 {
+                store
+                    .insert(&format!("m{i}"), interval(50 + i, 51 + i))
+                    .unwrap();
+            }
+            store.drop_relation("m3").unwrap();
+            let g = store.read();
+            (g.db.clone(), g.stats.canonical_string(), g.seq)
+        };
+        let store = Store::open(&dir, opts).unwrap();
+        let g = store.read();
+        assert_eq!(g.db, expected_db);
+        assert_eq!(g.stats.canonical_string(), expected_stats);
+        assert_eq!(g.seq, expected_seq);
+        assert!(g.db.get("m3").is_none(), "drop must survive recovery");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -828,8 +1358,8 @@ mod tests {
             store.insert("R", triangle()).unwrap();
         }
         drop(store);
-        // After ≥4 ops an automatic snapshot ran; the WAL holds only the
-        // suffix. Recovery must still see everything.
+        // After ≥4 ops on R's shard an automatic cycle ran; the WAL
+        // holds only the suffix. Recovery must still see everything.
         let wal_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
         assert!(
             wal_len < 200,
@@ -839,5 +1369,83 @@ mod tests {
         assert_eq!(store.read().seq, 7);
         assert_eq!(store.read().db.get("R"), Some(&triangle()));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hot_shard_auto_snapshots_do_not_starve_cold_shards() {
+        let dir = tmpdir("hotcold");
+        let opts = StoreOptions {
+            snapshot_every: 4,
+            shards: 8,
+            ..StoreOptions::default()
+        };
+        let store = Store::open(&dir, opts.clone()).unwrap();
+        // Find a "cold" name in a different shard than the hot one.
+        let hot = "hot".to_string();
+        let cold = (0..32)
+            .map(|i| format!("cold{i}"))
+            .find(|n| shard_of(n, 8) != shard_of(&hot, 8))
+            .unwrap();
+        store.create(&cold, 1).unwrap();
+        store.insert(&cold, interval(-5, -1)).unwrap();
+        store.create(&hot, 1).unwrap();
+        // Hammer the hot relation: several auto cycles fire, but after
+        // the first one the cold shard is clean and must not be
+        // re-sliced — nor may truncation orphan its data.
+        for i in 0..16 {
+            store.insert(&hot, interval(i, i + 1)).unwrap();
+        }
+        let expected = store.read().db.clone();
+        let expected_seq = store.read().seq;
+        drop(store);
+
+        let cold_shard = shard_of(&cold, 8);
+        let hot_shard = shard_of(&hot, 8);
+        let mut cold_slices = Vec::new();
+        let mut hot_slices = Vec::new();
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(&format!("-s{cold_shard}of8.dcs")) {
+                cold_slices.push(name.clone());
+            }
+            if name.ends_with(&format!("-s{hot_shard}of8.dcs")) {
+                hot_slices.push(name.clone());
+            }
+        }
+        assert_eq!(
+            cold_slices.len(),
+            1,
+            "cold shard should be sliced exactly once: {cold_slices:?}"
+        );
+        assert_eq!(hot_slices.len(), 1, "stale hot slices must be deleted");
+        // The cold slice froze at the cold shard's own watermark, far
+        // behind the hot shard's — per-shard triggers, per-shard seqs.
+        assert!(
+            cold_slices[0] < hot_slices[0],
+            "{cold_slices:?} {hot_slices:?}"
+        );
+
+        let store = Store::open(&dir, opts).unwrap();
+        assert_eq!(store.read().db, expected, "cold data lost by hot cycles");
+        assert_eq!(store.read().seq, expected_seq);
+        assert_eq!(store.read().db.get(&cold), Some(&interval(-5, -1)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for n in [1usize, 2, 8, 13] {
+            for i in 0..64 {
+                let name = format!("rel{i}");
+                let s = shard_of(&name, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(&name, n), "must be deterministic");
+            }
+        }
+        // The partition actually spreads: 64 names over 8 shards must
+        // hit more than one shard (fingerprint quality sanity check).
+        let hit: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| shard_of(&format!("rel{i}"), 8)).collect();
+        assert!(hit.len() > 4, "degenerate shard distribution: {hit:?}");
     }
 }

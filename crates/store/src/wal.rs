@@ -8,20 +8,33 @@
 //! sequence-number chain, and the torn tail is truncated — a crashed
 //! append can never resurrect as data.
 //!
-//! The two durability-critical instants carry [`guard`] probes so the
-//! chaos suite can crash the process *exactly there*:
+//! Group commit: [`Wal::append_records`] writes a whole *batch* of
+//! pre-sealed records with one write pass and one fsync. The store's
+//! commit leader drains the shared commit queue into it, so under
+//! contention the fsync cost is amortized over every committer in the
+//! batch, while a single writer degenerates to the classic one-fsync-
+//! per-commit discipline. Replay needs no batch awareness: records are
+//! self-delimiting and written in seq order, so a crash mid-batch leaves
+//! a (possibly torn) seq-prefix exactly like a crash mid-record.
 //!
-//! * [`ProbeSite::WalAppend`] — after part of the record is on disk but
-//!   before the rest (produces a torn record);
-//! * [`ProbeSite::WalFsync`] — after the full record is written but
-//!   before the durability point.
+//! The durability-critical instants carry [`guard`] probes so the chaos
+//! suite can crash the process *exactly there*:
+//!
+//! * [`ProbeSite::WalAppend`] — after part of the first record of the
+//!   batch is on disk but before the rest (produces a torn record);
+//! * [`ProbeSite::GroupCommitFsync`] — after every record of the batch
+//!   is written but before the single batch fsync;
+//! * [`ProbeSite::WalFsync`] — immediately before the durability point
+//!   (kept distinct from the batch probe for single-writer chaos cases).
 
 use crate::codec::{open_record, seal_record, ByteReader, ByteWriter, CodecError, RecordKind};
 use dco_core::guard::{self, ProbeSite};
-use dco_core::prelude::{GeneralizedRelation, Schema};
+use dco_core::prelude::GeneralizedRelation;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File-header magic for `wal.log` — identifies the file and its layout
 /// revision independently of the per-record envelopes.
@@ -144,8 +157,25 @@ pub struct LogEntry {
 
 fn encode_entry(entry: &LogEntry) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_u64(entry.seq);
     entry.op.encode(&mut w);
+    seal_entry(entry.seq, &w.into_bytes())
+}
+
+/// Encode an op's payload bytes (no seq, no envelope). Committers do
+/// this expensive part outside the commit queue lock; sealing with the
+/// assigned seq ([`seal_entry`]) happens once the seq is known.
+pub fn encode_op(op: &LogOp) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    op.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Seal a pre-encoded op payload (from [`encode_op`]) with its assigned
+/// seq into a complete on-disk WAL record.
+pub fn seal_entry(seq: u64, op_payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(seq);
+    w.put_bytes(op_payload);
     seal_record(RecordKind::WalOp, &w.into_bytes())
 }
 
@@ -160,54 +190,44 @@ fn decode_entry(bytes: &[u8]) -> Result<(LogEntry, usize), CodecError> {
     Ok((LogEntry { seq, op }, consumed))
 }
 
-/// Apply one op to a schema + relation map, as replay does. Returns an
-/// error string for ops that are invalid against the current catalog
-/// (replay treats these as corruption; the live path validates first).
+/// Apply one op to a map of shared relation instances, as both replay
+/// and the live per-shard write path do. The map is self-describing — a
+/// created relation is present (possibly empty) until dropped, and its
+/// handle carries its arity — so no separate schema is threaded through.
+/// Untouched relations are shared by `Arc`, not copied. Returns an error
+/// string for ops invalid against the current map (replay treats these
+/// as corruption; the live path validates before logging).
 pub fn apply_op(
-    schema: &mut Schema,
-    relations: &mut std::collections::BTreeMap<String, GeneralizedRelation>,
+    relations: &mut BTreeMap<String, Arc<GeneralizedRelation>>,
     op: &LogOp,
 ) -> Result<(), String> {
     match op {
         LogOp::Create { name, arity } => {
-            if schema.arity(name).is_some() {
+            if relations.contains_key(name) {
                 return Err(format!("create: relation `{name}` already exists"));
             }
-            *schema = schema.clone().with(name, *arity);
-            relations.insert(name.clone(), GeneralizedRelation::empty(*arity));
+            relations.insert(name.clone(), Arc::new(GeneralizedRelation::empty(*arity)));
             Ok(())
         }
         LogOp::Drop { name } => {
-            if schema.arity(name).is_none() {
+            if relations.remove(name).is_none() {
                 return Err(format!("drop: unknown relation `{name}`"));
             }
-            // `Schema` has no removal API: rebuild it without the name.
-            let mut next = Schema::new();
-            for (n, a) in schema.relations() {
-                if n != name {
-                    next = next.with(n, a);
-                }
-            }
-            *schema = next;
-            relations.remove(name);
             Ok(())
         }
         LogOp::InsertTuples { name, rel }
         | LogOp::RemoveSubsumed { name, rel }
         | LogOp::Replace { name, rel } => {
-            let declared = schema
-                .arity(name)
+            let current = relations
+                .get(name)
                 .ok_or_else(|| format!("update: unknown relation `{name}`"))?;
+            let declared = current.arity();
             if declared != rel.arity() {
                 return Err(format!(
                     "update: relation `{name}` has arity {declared}, got {}",
                     rel.arity()
                 ));
             }
-            let current = relations
-                .get(name)
-                .cloned()
-                .unwrap_or_else(|| GeneralizedRelation::empty(declared));
             let next = match op {
                 LogOp::InsertTuples { .. } => current.union(rel),
                 LogOp::RemoveSubsumed { .. } => GeneralizedRelation::from_tuples(
@@ -221,7 +241,7 @@ pub fn apply_op(
                 LogOp::Replace { .. } => rel.clone(),
                 _ => unreachable!(),
             };
-            relations.insert(name.clone(), next);
+            relations.insert(name.clone(), Arc::new(next));
             Ok(())
         }
     }
@@ -340,10 +360,8 @@ impl Wal {
         self.next_seq = self.next_seq.max(seq);
     }
 
-    /// Append one op, returning its sequence number. The record hits the
-    /// disk in two writes with a [`ProbeSite::WalAppend`] probe between
-    /// them (so fault injection leaves a *torn* record, exactly like a
-    /// crash), then a [`ProbeSite::WalFsync`] probe guards the fsync.
+    /// Append one op, returning its sequence number: a group-commit
+    /// batch of one (see [`Wal::append_records`] for the probe layout).
     ///
     /// On any error the log file state is unspecified; the caller must
     /// mark the store unhealthy and force a reopen (which truncates).
@@ -353,18 +371,49 @@ impl Wal {
             seq,
             op: op.clone(),
         });
-        // Two-phase write with a probe in the gap: a fault injected at
-        // WalAppend leaves the header half of the record on disk.
-        let split = record.len() / 2;
-        self.file.write_all(&record[..split])?;
-        guard::probe(ProbeSite::WalAppend);
-        self.file.write_all(&record[split..])?;
+        self.append_records(std::iter::once(record.as_slice()))?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Append a batch of pre-sealed records (from [`seal_entry`], in seq
+    /// order) with one write pass and one fsync — the group-commit
+    /// durability primitive. Probe layout, in order:
+    ///
+    /// 1. [`ProbeSite::WalAppend`] fires after the first half of the
+    ///    first record is on disk (a fault leaves a *torn* record,
+    ///    exactly like a crash mid-write);
+    /// 2. [`ProbeSite::GroupCommitFsync`] fires after every record of
+    ///    the batch is written, before the batch fsync;
+    /// 3. [`ProbeSite::WalFsync`] fires immediately before the fsync
+    ///    itself (the single-writer chaos site, kept for batch-of-one
+    ///    compatibility).
+    ///
+    /// On any error the log file state is unspecified; the caller must
+    /// mark the store unhealthy and force a reopen (which truncates).
+    pub fn append_records<'a>(
+        &mut self,
+        records: impl Iterator<Item = &'a [u8]>,
+    ) -> std::io::Result<()> {
+        let mut first = true;
+        for record in records {
+            if first {
+                // Two-phase write with a probe in the gap.
+                let split = record.len() / 2;
+                self.file.write_all(&record[..split])?;
+                guard::probe(ProbeSite::WalAppend);
+                self.file.write_all(&record[split..])?;
+                first = false;
+            } else {
+                self.file.write_all(record)?;
+            }
+        }
+        guard::probe(ProbeSite::GroupCommitFsync);
         guard::probe(ProbeSite::WalFsync);
         if self.fsync {
             self.file.sync_data()?;
         }
-        self.next_seq = seq + 1;
-        Ok(seq)
+        Ok(())
     }
 
     /// Truncate the log to empty (after a snapshot has made it
@@ -476,10 +525,8 @@ mod tests {
 
     #[test]
     fn apply_op_full_vocabulary() {
-        let mut schema = Schema::new();
         let mut rels = BTreeMap::new();
         apply_op(
-            &mut schema,
             &mut rels,
             &LogOp::Create {
                 name: "r".into(),
@@ -488,7 +535,6 @@ mod tests {
         )
         .unwrap();
         apply_op(
-            &mut schema,
             &mut rels,
             &LogOp::InsertTuples {
                 name: "r".into(),
@@ -497,9 +543,17 @@ mod tests {
         )
         .unwrap();
         assert!(!rels["r"].is_empty());
+        // Arity mismatches are rejected against the live instance.
+        assert!(apply_op(
+            &mut rels,
+            &LogOp::InsertTuples {
+                name: "r".into(),
+                rel: GeneralizedRelation::empty(3),
+            },
+        )
+        .is_err());
         // Removing the exact same region empties the relation.
         apply_op(
-            &mut schema,
             &mut rels,
             &LogOp::RemoveSubsumed {
                 name: "r".into(),
@@ -508,8 +562,84 @@ mod tests {
         )
         .unwrap();
         assert!(rels["r"].is_empty());
-        apply_op(&mut schema, &mut rels, &LogOp::Drop { name: "r".into() }).unwrap();
-        assert!(schema.arity("r").is_none());
-        assert!(apply_op(&mut schema, &mut rels, &LogOp::Drop { name: "r".into() }).is_err());
+        apply_op(&mut rels, &LogOp::Drop { name: "r".into() }).unwrap();
+        assert!(!rels.contains_key("r"));
+        assert!(apply_op(&mut rels, &LogOp::Drop { name: "r".into() }).is_err());
+    }
+
+    #[test]
+    fn batch_append_scans_like_sequential_appends() {
+        let dir = tmpdir("batch");
+        let path = dir.join("wal.log");
+        let ops = vec![
+            LogOp::Create {
+                name: "r".into(),
+                arity: 2,
+            },
+            LogOp::InsertTuples {
+                name: "r".into(),
+                rel: halfplane(),
+            },
+            LogOp::Drop { name: "r".into() },
+        ];
+        {
+            let (mut wal, _) = Wal::open(&path, true).unwrap();
+            let records: Vec<Vec<u8>> = ops
+                .iter()
+                .enumerate()
+                .map(|(i, op)| seal_entry(1 + i as u64, &encode_op(op)))
+                .collect();
+            wal.append_records(records.iter().map(|r| r.as_slice()))
+                .unwrap();
+        }
+        let (_, scan) = Wal::open(&path, true).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(
+            scan.entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            scan.entries
+                .iter()
+                .map(|e| e.op.clone())
+                .collect::<Vec<_>>(),
+            ops
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_batch_tail_recovers_the_record_prefix() {
+        let dir = tmpdir("tornbatch");
+        let path = dir.join("wal.log");
+        {
+            let (mut wal, _) = Wal::open(&path, true).unwrap();
+            let records: Vec<Vec<u8>> = (0..3)
+                .map(|i| {
+                    seal_entry(
+                        1 + i as u64,
+                        &encode_op(&LogOp::Create {
+                            name: format!("r{i}"),
+                            arity: 1,
+                        }),
+                    )
+                })
+                .collect();
+            wal.append_records(records.iter().map(|r| r.as_slice()))
+                .unwrap();
+        }
+        // Tear the last record of the batch: the first two must survive.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 4).unwrap();
+        drop(f);
+        let (_, scan) = Wal::open(&path, true).unwrap();
+        assert!(scan.torn);
+        assert_eq!(
+            scan.entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "a torn batch must recover as a seq-prefix"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

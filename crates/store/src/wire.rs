@@ -21,7 +21,12 @@
 //!
 //! Relations travel as `dco-encoding` JSON (exact rationals as strings);
 //! the query output object is `{"generation":n,"cached":0|1,`
-//! `"columns":[...],"relation":{...}}`.
+//! `"columns":[...],"relation":{...}}`. The `STATS` counters object
+//! carries `generation`, `relations`, `shards`, `commits`, `batches`,
+//! `fsyncs`, `commit_batch_max` (group-commit observability: under
+//! concurrent writers `fsyncs/commits` drops toward `1/batch`),
+//! and the prepared-cache counters `cache_hits`/`cache_misses`/
+//! `cache_entries`.
 
 use crate::store::{ExplainOutput, QueryOutput};
 use dco_analysis::explain::PlanNode;

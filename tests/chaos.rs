@@ -54,7 +54,7 @@ fn seed() -> u64 {
     std::env::var("DCO_CHAOS_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0xDC0_DB)
+        .unwrap_or(0xDC0DB)
 }
 
 /// splitmix64: tiny, deterministic, and good enough to scatter cases.

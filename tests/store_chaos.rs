@@ -28,7 +28,7 @@ fn seed() -> u64 {
     std::env::var("DCO_CHAOS_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0xDC0_DB)
+        .unwrap_or(0xDC0DB)
 }
 
 /// splitmix64, same scatter function as the evaluator chaos suite.
@@ -67,7 +67,7 @@ fn committed_script(state: &mut u64) -> Vec<LogOp> {
         let lo = (splitmix(state) % 20) as i128 - 10;
         let len = 1 + (splitmix(state) % 5) as i128;
         let rel = interval(lo, lo + len);
-        ops.push(if splitmix(state) % 4 == 0 {
+        ops.push(if splitmix(state).is_multiple_of(4) {
             LogOp::Replace {
                 name: format!("r{r}"),
                 rel,
@@ -113,7 +113,7 @@ fn seeded_crash_recovery_sweep() {
         }
         // Maybe fold part of the history into a snapshot, so recovery
         // exercises snapshot + replay rather than pure replay.
-        if splitmix(&mut state) % 2 == 0 {
+        if splitmix(&mut state).is_multiple_of(2) {
             store.snapshot().unwrap();
         }
         let committed = store.read().db.clone();
@@ -223,6 +223,148 @@ fn seeded_crash_recovery_sweep() {
         outcomes.iter().all(|&n| n > 0),
         "seed never exercised one of the probe sites; widen the sweep"
     );
+}
+
+/// Multi-writer group-commit kills: K writers on disjoint relations,
+/// every thread armed with the same seeded fault at a *batch* site —
+/// mid-batch-append, pre-batch-fsync, or mid-shard-publication. The
+/// writer that happens to lead the first batch crashes there; its drop
+/// guard must fail every waiting committer's ticket (no thread parks
+/// forever) and wound the store. The recovery contract is per relation:
+///
+/// > recovered(r) is a *program-order prefix* of the inserts issued to
+/// > `r`, and `acked(r) ≤ recovered(r) ≤ issued(r)` — never a
+/// > partially-acknowledged batch, never a reordering.
+///
+/// Acked-only-after-fsync makes the lower bound hold at the
+/// `GroupCommitFsync` site (records complete on disk, durability
+/// unforced); seq-ordered batch writes make the prefix property hold at
+/// `WalAppend` (torn tail); publish-after-durable makes `ShardPublish`
+/// recover the *whole* batch even though nobody was acked.
+#[test]
+fn multi_writer_group_commit_kills() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    if !injection_enabled() {
+        eprintln!(
+            "fault injection compiled out (release without the fault-injection feature); skipping"
+        );
+        return;
+    }
+    const WRITERS: usize = 3;
+    const ISSUES: i128 = 6;
+    const MW_CASES: u64 = 12;
+
+    let mut state = seed() ^ 0x6D77; // decorrelate from the single-writer sweep
+    for case in 0..MW_CASES {
+        let dir = tmpdir(1_000_000 + case);
+        let opts = StoreOptions {
+            snapshot_every: 0,
+            ..StoreOptions::default()
+        };
+        let store = Store::open(&dir, opts.clone()).unwrap();
+        for w in 0..WRITERS {
+            store.create(&format!("w{w}"), 1).unwrap();
+        }
+
+        // Hit count 1: leadership rotates between threads and plans are
+        // thread-local, so only the first hit is guaranteed to
+        // accumulate on whichever thread leads the first batch.
+        let (site, hit) = match splitmix(&mut state) % 3 {
+            0 => (ProbeSite::WalAppend, 1u64),
+            1 => (ProbeSite::GroupCommitFsync, 1),
+            _ => (ProbeSite::ShardPublish, 1),
+        };
+        let fault = match splitmix(&mut state) % 3 {
+            0 => InjectedFault::Panic,
+            1 => InjectedFault::Overflow,
+            _ => InjectedFault::Cancel,
+        };
+
+        // Every writer arms the same plan; only whoever leads a batch
+        // reaches the probe, so the crashing thread is schedule-
+        // dependent — the invariants must hold regardless.
+        let acked: Vec<Arc<AtomicU64>> =
+            (0..WRITERS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let issued: Vec<Arc<AtomicU64>> =
+            (0..WRITERS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut threads = Vec::new();
+        for w in 0..WRITERS {
+            let store = store.clone();
+            let acked = acked[w].clone();
+            let issued = issued[w].clone();
+            threads.push(std::thread::spawn(move || {
+                let limits = GuardLimits::none().with_fault(FaultPlan::new(Some(site), hit, fault));
+                let crashed: Result<Guarded<()>, GuardError> = run_guarded(limits, || {
+                    for i in 0..ISSUES {
+                        let k = w as i128 * 100 + i;
+                        issued.fetch_add(1, Ordering::SeqCst);
+                        match store.insert(&format!("w{w}"), interval(3 * k, 3 * k + 1)) {
+                            Ok(_) => {
+                                acked.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(StoreError::Unhealthy) => break,
+                            Err(e) => panic!("writer {w}: unexpected error {e}"),
+                        }
+                    }
+                });
+                crashed.is_err()
+            }));
+        }
+        let mut any_crashed = false;
+        for t in threads {
+            any_crashed |= t.join().expect("writer thread must not park forever");
+        }
+        assert!(
+            any_crashed,
+            "case {case}: armed fault at {site} (hit {hit}) never fired"
+        );
+        assert!(
+            !store.is_healthy(),
+            "case {case}: store healthy after crash"
+        );
+        assert!(
+            matches!(store.create("late", 1), Err(StoreError::Unhealthy)),
+            "case {case}: write accepted on wounded store"
+        );
+        drop(store);
+
+        // Recovery: per-relation program-order prefix, bounded by what
+        // was acknowledged (below) and issued (above).
+        let recovered = Store::open(&dir, opts).unwrap();
+        let db = recovered.read().db.clone();
+        for w in 0..WRITERS {
+            let a = acked[w].load(Ordering::SeqCst) as i128;
+            let iss = issued[w].load(Ordering::SeqCst) as i128;
+            let rel = db.get(&format!("w{w}")).unwrap();
+            let n = rel.tuples().len() as i128;
+            assert!(
+                a <= n && n <= iss,
+                "case {case} writer {w}: acked {a} <= recovered {n} <= issued {iss} violated"
+            );
+            // Prefix, not just count: exactly inserts 0..n survive.
+            for i in 0..iss {
+                let k = w as i128 * 100 + i;
+                let inside = rel.contains_point(&[rat(6 * k + 1, 2)]);
+                assert_eq!(
+                    inside,
+                    i < n,
+                    "case {case} writer {w}: insert {i} {} but {n} recovered",
+                    if inside { "present" } else { "missing" }
+                );
+            }
+        }
+        // The recovered store is writable and reopens cleanly.
+        recovered.create("post", 2).unwrap();
+        recovered.snapshot().unwrap();
+        let expected = recovered.read().db.clone();
+        drop(recovered);
+        let reopened = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(reopened.read().db, expected, "case {case}: reopen drifted");
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// A fault armed on a site the operation never reaches must change
