@@ -631,6 +631,115 @@ fn group_commit_record(commits: usize, writers: usize) -> PerfRecord {
     }
 }
 
+/// Sustained serving throughput at `conns` simultaneous connections:
+/// every connection sends one `QUERY s(x)` per round, all written before
+/// any reply is read, so the reactor holds `conns` outstanding requests
+/// at once. After the first (cold) evaluation every reply is a
+/// prepared-cache hit, so the row measures the serving path — reactor
+/// frame handling, worker-pool dispatch, write-back — not evaluation.
+/// `tuples` = total requests answered. Connections are dialed once,
+/// outside the timed region, and reused across the median-of-3 runs.
+fn store_conc_record(conns: usize, rounds: usize) -> PerfRecord {
+    let dir = fresh_store_dir(&format!("conc-{conns}"));
+    let store = load_store(&dir, 8);
+    let handle = serve(store.clone(), "127.0.0.1:0").expect("bind bench server");
+    let addr = handle.addr();
+    let mut socks: Vec<std::net::TcpStream> = (0..conns)
+        .map(|i| {
+            let s = std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("bench connect #{i}: {e}"));
+            s.set_nodelay(true).expect("nodelay");
+            s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                .expect("read timeout");
+            s
+        })
+        .collect();
+    let wall_ms = time_ms(|| {
+        for _ in 0..rounds {
+            for s in socks.iter_mut() {
+                dco::store::wire::write_frame(s, "QUERY s(x)").expect("request");
+            }
+            for s in socks.iter_mut() {
+                let reply = dco::store::wire::read_frame(s)
+                    .expect("well-framed reply")
+                    .expect("connection open");
+                assert!(reply.starts_with("OK {"), "bad reply: {reply}");
+            }
+        }
+    });
+    let stats = store.stats();
+    drop(socks);
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    PerfRecord {
+        experiment: "store_serve".to_string(),
+        size: conns,
+        config: format!("store_conc{conns}"),
+        wall_ms,
+        tuples: conns * rounds,
+        atoms: 0,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: 0,
+        cache_hit_rate: if stats.cache_hits + stats.cache_misses > 0 {
+            stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+        } else {
+            0.0
+        },
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
+    }
+}
+
+/// Replica catch-up: time for a fresh replica to dial the primary
+/// (`REPL 0`), stream its full `size`-commit history as batch frames,
+/// and apply it through the validate→publish path. One stream, no
+/// thread scaling — gated on every host.
+fn repl_lag_record(size: usize) -> PerfRecord {
+    let pdir = fresh_store_dir(&format!("repl-primary-{size}"));
+    let store = load_store(&pdir, size);
+    let handle = serve(store.clone(), "127.0.0.1:0").expect("bind bench server");
+    let addr = handle.addr();
+    let target = store.read().seq;
+    let mut run = 0usize;
+    let wall_ms = time_ms(|| {
+        let rdir = fresh_store_dir(&format!("repl-replica-{size}-{run}"));
+        run += 1;
+        let replica = Store::open(&rdir, bench_store_options()).expect("open replica");
+        let stream = dco::store::replicate(replica.clone(), addr.to_string());
+        assert!(
+            stream.wait_for_seq(target, std::time::Duration::from_secs(60)),
+            "replica never caught up to seq {target}"
+        );
+        stream.shutdown();
+        assert_eq!(replica.read().seq, target, "replica stopped short");
+        drop(replica);
+        let _ = std::fs::remove_dir_all(&rdir);
+    });
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&pdir);
+    PerfRecord {
+        experiment: "store_serve".to_string(),
+        size,
+        config: "repl_lag".to_string(),
+        wall_ms,
+        tuples: size,
+        atoms: 2 * size,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_hit_rate: 0.0,
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
+    }
+}
+
 /// The store workload family:
 ///
 /// * `store_load` — `size` WAL-logged inserts into a fresh store;
@@ -643,7 +752,11 @@ fn group_commit_record(commits: usize, writers: usize) -> PerfRecord {
 /// * `store_qc{C}` — C concurrent TCP clients each firing a burst of the
 ///   same prepared query (first evaluation cold, the rest answered by
 ///   the fingerprint × touched-shard epoch cache); `cache_hits`/
-///   `cache_misses` are the store's own prepared-cache counters.
+///   `cache_misses` are the store's own prepared-cache counters;
+/// * `store_conc{C}` — sustained request rounds over C simultaneous
+///   reactor connections (see [`store_conc_record`]);
+/// * `repl_lag` — fresh-replica catch-up over the replication stream
+///   (see [`repl_lag_record`]).
 pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
     let sizes: &[usize] = if quick { &[32, 128] } else { &[64, 256] };
     let clients: usize = 4;
@@ -714,6 +827,17 @@ pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
     // four concurrent writers (followers ride the leader's fsync).
     out.push(group_commit_record(group_commits, 1));
     out.push(group_commit_record(group_commits, 4));
+
+    // Reactor serving scale: sustained rounds at 64 / 256 / 1024
+    // simultaneous connections (quick mode keeps one small row so the
+    // JSON shape is covered without the connection herd).
+    let conc: &[usize] = if quick { &[16] } else { &[64, 256, 1024] };
+    let conc_rounds: usize = if quick { 2 } else { 4 };
+    for &c in conc {
+        out.push(store_conc_record(c, conc_rounds));
+    }
+    // Replication catch-up over TCP.
+    out.push(repl_lag_record(if quick { 16 } else { 128 }));
     out
 }
 
@@ -891,11 +1015,13 @@ fn parse_baseline_records(json: &str) -> Vec<BaselineRecord> {
 
 /// CI regression gate: re-measure the baseline's gated rows on this
 /// host (`tc_chain`/`engine_delta`, `store_open`, `store_load`,
-/// `store_load_mt*`, the planned star join) and fail when any regresses
-/// more than 30% in wall time. Thread-scaling rows (`par*`,
-/// `store_load_mt*`) are skipped on 1-CPU hosts, where their timings
-/// are meaningless. Sub-millisecond deltas never fail the gate — at
-/// that scale a 30% ratio is timer noise, not a regression.
+/// `store_load_mt*`, `store_conc*`, `repl_lag`, the planned star join)
+/// and fail when any regresses more than 30% in wall time. Thread-
+/// scaling rows (`par*`, `store_load_mt*`, and the multi-connection
+/// `store_conc*` serving rows) are skipped on 1-CPU hosts, where their
+/// timings are meaningless; `repl_lag` is a single stream and gates
+/// everywhere. Sub-millisecond deltas never fail the gate — at that
+/// scale a 30% ratio is timer noise, not a regression.
 ///
 /// Returns the per-row comparison report, or an error describing every
 /// regressed row (the caller exits nonzero).
@@ -906,7 +1032,11 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
     let mut failures = Vec::new();
     let mut compared = 0usize;
     for rec in parse_baseline_records(baseline_json) {
-        if (rec.config.starts_with("par") || rec.config.starts_with("store_load_mt")) && host == 1 {
+        if (rec.config.starts_with("par")
+            || rec.config.starts_with("store_load_mt")
+            || rec.config.starts_with("store_conc"))
+            && host == 1
+        {
             report.push(format!(
                 "skip  {}/{}/{}: thread-scaling row on a 1-CPU host",
                 rec.experiment, rec.size, rec.config
@@ -947,6 +1077,10 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
         } else if rec.experiment == "store_throughput" && rec.config.starts_with("store_load_mt") {
             let writers: usize = rec.config["store_load_mt".len()..].parse().unwrap_or(4);
             store_load_mt_record(rec.size, writers.max(1))
+        } else if rec.experiment == "store_serve" && rec.config.starts_with("store_conc") {
+            store_conc_record(rec.size, 4)
+        } else if rec.experiment == "store_serve" && rec.config == "repl_lag" {
+            repl_lag_record(rec.size)
         } else if rec.experiment == "join_order" && rec.config == "planned" {
             join_order_record(rec.size, "planned")
         } else {

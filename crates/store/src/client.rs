@@ -48,11 +48,27 @@ impl From<io::Error> for ClientError {
 }
 
 impl Client {
-    /// Connect to a serving store.
+    /// Connect to a serving store and perform the version handshake:
+    /// the first frame announces this build's protocol and WAL codec
+    /// versions, and a server speaking a different dialect answers with
+    /// a typed `version mismatch` error (surfaced as
+    /// [`ClientError::Server`]) instead of silently misparsing frames.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let mut client = Client { stream };
+        let ours = format!(
+            "{} {}",
+            wire::PROTOCOL_VERSION,
+            crate::codec::FORMAT_VERSION
+        );
+        let echoed = client.call(&format!("HELLO {ours}"))?;
+        if echoed != ours {
+            return Err(ClientError::Protocol(format!(
+                "handshake answered `{echoed}`, expected `{ours}`"
+            )));
+        }
+        Ok(client)
     }
 
     /// Send one raw command line and return the server's `OK` payload.

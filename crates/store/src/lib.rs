@@ -28,11 +28,23 @@
 //!   probes so the chaos suite can kill a commit mid-batch
 //!   deterministically;
 //! * [`server`] / [`client`] — a dependency-free `std::net` TCP server
-//!   (thread per connection, capped by the `par` config) plus a matching
-//!   client. Every query runs through `dco-analysis` preflight and the
-//!   guarded evaluator, and a prepared-query cache keyed by formula
-//!   fingerprint × touched-shard watermark epoch makes repeated queries
-//!   cheap — and writes to unrelated shards don't invalidate them.
+//!   built on an event-driven reactor ([`reactor`]: nonblocking sockets
+//!   plus `poll(2)` declared directly against the C runtime): one thread
+//!   multiplexes thousands of connections through per-connection frame
+//!   state machines, while a small evaluator worker pool runs the
+//!   actual queries, so a slow query never stalls the event loop.
+//!   Connections open with a `HELLO` protocol/codec version handshake.
+//!   Every query runs through `dco-analysis` preflight and the guarded
+//!   evaluator, and a prepared-query cache keyed by formula fingerprint
+//!   × touched-shard watermark epoch makes repeated queries cheap —
+//!   and writes to unrelated shards don't invalidate them;
+//! * [`repl`] — primary→replica replication: replicas dial in with
+//!   `REPL <last_seq>`, the primary streams sealed WAL records (group-
+//!   commit batches verbatim) or a checkpoint when the replica is too
+//!   far behind its backlog ring, and replicas apply through the same
+//!   validate→publish path as local commits — replica generations are
+//!   prefixes of the primary's commit order. [`repl::ReplicaClient`]
+//!   fans reads across replicas and pins writes to the primary.
 //!
 //! ```no_run
 //! use dco_store::{Store, StoreOptions};
@@ -52,6 +64,8 @@
 
 pub mod client;
 pub mod codec;
+pub mod reactor;
+pub mod repl;
 pub mod server;
 pub mod snapshot;
 pub mod store;
@@ -60,6 +74,9 @@ pub mod wire;
 
 pub use client::Client;
 pub use codec::{CodecError, RecordKind};
+pub use repl::{replicate, ReplicaClient, ReplicaHandle};
 pub use server::{serve, ServerHandle};
-pub use store::{shard_of, Generation, QueryOutput, Store, StoreError, StoreOptions, StoreStats};
+pub use store::{
+    shard_of, Generation, QueryOutput, ReplBacklog, Store, StoreError, StoreOptions, StoreStats,
+};
 pub use wal::LogOp;

@@ -1,0 +1,484 @@
+//! WAL-streaming read replicas and a read-fanout client.
+//!
+//! A replica is an ordinary [`Store`] (own directory, own WAL, own
+//! snapshots) kept in sync by a background thread that dials the
+//! primary, announces its last applied seq with `REPL <seq>`, and
+//! applies whatever the primary streams back:
+//!
+//! - **Batch frames** (`b'B'` + concatenated sealed WAL records): the
+//!   primary's group-commit output forwarded verbatim. The replica
+//!   validates every record (envelope, CRC, seq contiguity, op
+//!   applicability) *before* touching its own WAL, then appends the
+//!   primary's bytes unchanged and publishes through the same
+//!   validate→publish path local commits use — so a replica generation
+//!   is always a prefix of the primary's commit order, and replica
+//!   reads are snapshot-isolated exactly like primary reads.
+//! - **Checkpoint frames** (`b'S'` + a snapshot slice): sent when the
+//!   replica is too far behind the primary's backlog ring to catch up
+//!   record-by-record; installed atomically as a new baseline.
+//!
+//! Every applied frame is acknowledged with `ACK <seq>`, which feeds
+//! the primary's `repl_lag` gauge. A torn stream (bad CRC, seq gap,
+//! short record) never corrupts the replica: validation rejects the
+//! frame while the store is still untouched, the connection is dropped,
+//! and the next dial resumes from the last *applied* seq.
+//!
+//! [`ReplicaClient`] is the routing layer: reads round-robin across
+//! replicas (failing over to the next replica, then the primary),
+//! writes always pin to the primary.
+
+use crate::client::{Client, ClientError};
+use crate::store::{QueryOutput, Store, StoreError};
+use crate::{snapshot, wal, wire};
+use dco_core::prelude::GeneralizedRelation;
+use std::io::{self, Read};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// How long a broken replica connection waits before redialing.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Read timeout on the replica's socket: the granularity at which the
+/// stream loop notices a shutdown request.
+const STREAM_TICK: Duration = Duration::from_millis(100);
+
+/// Live counters for one replication stream.
+#[derive(Default)]
+pub struct ReplStatus {
+    last_applied: AtomicU64,
+    connected: AtomicBool,
+    resyncs: AtomicU64,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl ReplStatus {
+    /// Seq of the last record durably applied to the replica store.
+    pub fn last_applied(&self) -> u64 {
+        self.last_applied.load(Ordering::SeqCst)
+    }
+
+    /// Whether the stream to the primary is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Checkpoint resyncs performed (replica fell off the backlog ring).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs.load(Ordering::SeqCst)
+    }
+
+    /// Batch frames applied.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::SeqCst)
+    }
+
+    /// Replication payload bytes received.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for ReplStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplStatus")
+            .field("last_applied", &self.last_applied())
+            .field("connected", &self.is_connected())
+            .field("resyncs", &self.resyncs())
+            .finish()
+    }
+}
+
+/// Handle to a running replication stream. [`ReplicaHandle::shutdown`]
+/// stops the background thread; dropping the handle does not.
+#[derive(Debug)]
+pub struct ReplicaHandle {
+    stop: Arc<AtomicBool>,
+    status: Arc<ReplStatus>,
+    /// Clone of the live socket, so shutdown can unblock a read in
+    /// progress instead of waiting out its timeout tick.
+    conn: Arc<Mutex<Option<TcpStream>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReplicaHandle {
+    /// The stream's live counters.
+    pub fn status(&self) -> &ReplStatus {
+        &self.status
+    }
+
+    /// Seq of the last record applied to the replica.
+    pub fn last_applied(&self) -> u64 {
+        self.status.last_applied()
+    }
+
+    /// Whether the stream to the primary is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.status.is_connected()
+    }
+
+    /// Block until the replica has applied `seq` or `timeout` passes.
+    /// Returns whether the seq was reached.
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.status.last_applied() < seq {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stop streaming and join the background thread. The replica
+    /// store itself stays open and serves reads at its last applied
+    /// generation.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(s) = plock(&self.conn).take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start replicating `primary` into `store` (which should be an empty
+/// or previously-replicated directory — its seq must come from the
+/// primary's history). Returns immediately; the stream runs on a
+/// background thread and redials with backoff until shut down, so it
+/// survives primary restarts.
+pub fn replicate(store: Store, primary: impl Into<String>) -> ReplicaHandle {
+    let primary = primary.into();
+    let stop = Arc::new(AtomicBool::new(false));
+    let status = Arc::new(ReplStatus::default());
+    let conn: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
+    status
+        .last_applied
+        .store(store.read().seq, Ordering::SeqCst);
+    let thread = {
+        let stop = stop.clone();
+        let status = status.clone();
+        let conn = conn.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let outcome = run_stream(&store, &primary, &stop, &status, &conn);
+                *plock(&conn) = None;
+                status.connected.store(false, Ordering::SeqCst);
+                match outcome {
+                    StreamEnd::Stopped => break,
+                    StreamEnd::StoreDown => break, // wounded store: stop, don't hammer
+                    StreamEnd::Disconnected => {
+                        // Torn stream or dead primary: redial and resume
+                        // from the last seq we actually applied. A
+                        // shutdown sets `stop` before shutting the
+                        // socket, so the EOF it provokes must not pay
+                        // the redial backoff.
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(RECONNECT_BACKOFF);
+                    }
+                }
+            }
+        })
+    };
+    ReplicaHandle {
+        stop,
+        status,
+        conn,
+        thread: Some(thread),
+    }
+}
+
+enum StreamEnd {
+    /// Shutdown was requested.
+    Stopped,
+    /// Transport failed or the primary sent an unusable frame; redial.
+    Disconnected,
+    /// The replica store refused an apply (unhealthy / version drift);
+    /// retrying cannot help.
+    StoreDown,
+}
+
+/// Dial the primary and pump one replication session.
+fn run_stream(
+    store: &Store,
+    primary: &str,
+    stop: &AtomicBool,
+    status: &ReplStatus,
+    conn: &Mutex<Option<TcpStream>>,
+) -> StreamEnd {
+    let Ok(stream) = TcpStream::connect(primary) else {
+        return StreamEnd::Disconnected;
+    };
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(STREAM_TICK)).is_err() {
+        return StreamEnd::Disconnected;
+    }
+    *plock(conn) = stream.try_clone().ok();
+    if stop.load(Ordering::SeqCst) {
+        return StreamEnd::Stopped; // raced a shutdown during the dial
+    }
+    let mut stream = stream;
+    let mut rbuf: Vec<u8> = Vec::new();
+
+    // Version handshake first: a primary from a different protocol or
+    // WAL codec generation refuses us here, before any record flows.
+    let hello = format!(
+        "HELLO {} {}",
+        wire::PROTOCOL_VERSION,
+        crate::codec::FORMAT_VERSION
+    );
+    if wire::write_frame(&mut stream, &hello).is_err() {
+        return StreamEnd::Disconnected;
+    }
+    match next_text_frame(&mut stream, &mut rbuf, stop) {
+        Some(reply) if reply.starts_with("OK ") => {}
+        Some(_) => return StreamEnd::StoreDown, // typed version mismatch
+        None => {
+            return if stop.load(Ordering::SeqCst) {
+                StreamEnd::Stopped
+            } else {
+                StreamEnd::Disconnected
+            }
+        }
+    }
+
+    // Announce where our history ends; the primary streams from there.
+    let from = store.read().seq;
+    if wire::write_frame(&mut stream, &format!("REPL {from}")).is_err() {
+        return StreamEnd::Disconnected;
+    }
+    match next_text_frame(&mut stream, &mut rbuf, stop) {
+        Some(reply) if reply.starts_with("OK repl") => {}
+        Some(_) => return StreamEnd::StoreDown,
+        None => {
+            return if stop.load(Ordering::SeqCst) {
+                StreamEnd::Stopped
+            } else {
+                StreamEnd::Disconnected
+            }
+        }
+    }
+    status.connected.store(true, Ordering::SeqCst);
+
+    loop {
+        let frame = match next_frame(&mut stream, &mut rbuf, stop) {
+            Ok(Some(f)) => f,
+            Ok(None) => return StreamEnd::Stopped,
+            Err(_) => return StreamEnd::Disconnected,
+        };
+        status.bytes.fetch_add(frame.len() as u64, Ordering::SeqCst);
+        let applied = match frame.split_first() {
+            Some((&wire::REPL_FRAME_BATCH, body)) => {
+                let records = match wal::split_records(body) {
+                    Ok(r) => r,
+                    Err(_) => return StreamEnd::Disconnected, // torn mid-flight
+                };
+                match store.apply_replicated(records) {
+                    Ok(seq) => {
+                        status.batches.fetch_add(1, Ordering::SeqCst);
+                        seq
+                    }
+                    // A stream the validator rejects (gap, bad op) is a
+                    // transport problem: resume from the applied prefix.
+                    Err(StoreError::Codec(_)) | Err(StoreError::Invalid(_)) => {
+                        return StreamEnd::Disconnected
+                    }
+                    Err(_) => return StreamEnd::StoreDown,
+                }
+            }
+            Some((&wire::REPL_FRAME_CHECKPOINT, body)) => {
+                let slice = match snapshot::decode_slice(body) {
+                    Ok(s) => s,
+                    Err(_) => return StreamEnd::Disconnected,
+                };
+                let seq = slice.seq;
+                match store.install_checkpoint(seq, slice.relations) {
+                    Ok(()) => {
+                        status.resyncs.fetch_add(1, Ordering::SeqCst);
+                        seq
+                    }
+                    Err(StoreError::Codec(_)) | Err(StoreError::Invalid(_)) => {
+                        return StreamEnd::Disconnected
+                    }
+                    Err(_) => return StreamEnd::StoreDown,
+                }
+            }
+            _ => return StreamEnd::Disconnected, // not a replication frame
+        };
+        status.last_applied.store(applied, Ordering::SeqCst);
+        if wire::write_frame(&mut stream, &format!("ACK {applied}")).is_err() {
+            return StreamEnd::Disconnected;
+        }
+    }
+}
+
+/// Read one frame, ticking the socket timeout so `stop` is honored.
+/// `Ok(None)` = stop requested; `Err` = transport failure or EOF.
+fn next_frame(
+    stream: &mut TcpStream,
+    rbuf: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some(frame) = wire::take_frame(rbuf)? {
+            return Ok(Some(frame));
+        }
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`next_frame`] narrowed to UTF-8 (handshake replies). `None` folds
+/// together stop, EOF, and non-text frames; callers disambiguate via
+/// the stop flag.
+fn next_text_frame(
+    stream: &mut TcpStream,
+    rbuf: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> Option<String> {
+    match next_frame(stream, rbuf, stop) {
+        Ok(Some(frame)) => String::from_utf8(frame).ok(),
+        _ => None,
+    }
+}
+
+/// Routing client: reads round-robin across replicas with failover,
+/// writes pin to the primary. Like [`Client`], not thread-safe — one
+/// per thread.
+#[derive(Debug)]
+pub struct ReplicaClient {
+    primary_addr: String,
+    replica_addrs: Vec<String>,
+    primary: Option<Client>,
+    replicas: Vec<Option<Client>>,
+    next: usize,
+}
+
+impl ReplicaClient {
+    /// Build a router over one primary and any number of replicas.
+    /// Connections are dialed lazily and redialed after failures.
+    pub fn new(primary: impl Into<String>, replicas: Vec<String>) -> ReplicaClient {
+        let n = replicas.len();
+        ReplicaClient {
+            primary_addr: primary.into(),
+            replica_addrs: replicas,
+            primary: None,
+            replicas: (0..n).map(|_| None).collect(),
+            next: 0,
+        }
+    }
+
+    /// The pinned write connection (dialed on first use).
+    pub fn primary(&mut self) -> Result<&mut Client, ClientError> {
+        if self.primary.is_none() {
+            self.primary = Some(Client::connect(&self.primary_addr)?);
+        }
+        self.primary
+            .as_mut()
+            .ok_or_else(|| ClientError::Protocol("primary connection unavailable".into()))
+    }
+
+    /// Evaluate a read on a replica (failing over to the next replica,
+    /// then the primary). The result carries the generation it was
+    /// computed against, so callers can see replica staleness.
+    pub fn query(&mut self, formula: &str) -> Result<QueryOutput, ClientError> {
+        let body = self.read_call(&format!("QUERY {formula}"))?;
+        wire::query_output_from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    /// `EXPLAIN` on a replica, with the same failover as [`Self::query`].
+    pub fn explain(&mut self, formula: &str) -> Result<String, ClientError> {
+        self.read_call(&format!("EXPLAIN {formula}"))
+    }
+
+    /// Declare a relation on the primary; returns the committed seq.
+    pub fn create(&mut self, name: &str, arity: u32) -> Result<u64, ClientError> {
+        self.on_primary(|c| c.create(name, arity))
+    }
+
+    /// Drop a relation on the primary; returns the committed seq.
+    pub fn drop_relation(&mut self, name: &str) -> Result<u64, ClientError> {
+        self.on_primary(|c| c.drop_relation(name))
+    }
+
+    /// Union tuples on the primary; returns the committed seq.
+    pub fn insert(&mut self, name: &str, rel: &GeneralizedRelation) -> Result<u64, ClientError> {
+        self.on_primary(|c| c.insert(name, rel))
+    }
+
+    /// Remove subsumed tuples on the primary; returns the committed seq.
+    pub fn remove_subsumed(
+        &mut self,
+        name: &str,
+        rel: &GeneralizedRelation,
+    ) -> Result<u64, ClientError> {
+        self.on_primary(|c| c.remove_subsumed(name, rel))
+    }
+
+    /// Replace a relation's instance on the primary; returns the seq.
+    pub fn replace(&mut self, name: &str, rel: &GeneralizedRelation) -> Result<u64, ClientError> {
+        self.on_primary(|c| c.replace(name, rel))
+    }
+
+    fn on_primary<T>(
+        &mut self,
+        f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let out = f(self.primary()?);
+        if matches!(out, Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))) {
+            self.primary = None; // redial next time
+        }
+        out
+    }
+
+    /// Route one read: try each replica once starting from the round-
+    /// robin cursor, then fall back to the primary. `ERR` replies are
+    /// authoritative answers and end the search; only transport and
+    /// framing failures fail over.
+    fn read_call(&mut self, line: &str) -> Result<String, ClientError> {
+        let n = self.replica_addrs.len();
+        for attempt in 0..n {
+            let i = (self.next + attempt) % n;
+            if self.replicas[i].is_none() {
+                match Client::connect(&self.replica_addrs[i]) {
+                    Ok(c) => self.replicas[i] = Some(c),
+                    Err(_) => continue,
+                }
+            }
+            let Some(conn) = self.replicas[i].as_mut() else {
+                continue;
+            };
+            match conn.call(line) {
+                Ok(body) => {
+                    self.next = (i + 1) % n.max(1);
+                    return Ok(body);
+                }
+                Err(ClientError::Server(m)) => return Err(ClientError::Server(m)),
+                Err(_) => self.replicas[i] = None, // dead: fail over
+            }
+        }
+        self.on_primary(|c| c.call(line))
+    }
+}

@@ -1,56 +1,286 @@
-//! Multi-client TCP query server.
+//! Event-driven multi-client TCP query server.
 //!
-//! Dependency-free `std::net`: one acceptor thread plus one thread per
-//! connection, with the number of simultaneously *served* connections
-//! capped by the session's parallel-evaluation configuration
-//! ([`EvalConfig::effective_threads`]) — the same knob that sizes the
-//! evaluator's worker pool, so a saturated server cannot oversubscribe
-//! the machine. Excess connections queue on a condvar, not in the
-//! kernel backlog.
+//! One *reactor* thread owns every socket: a nonblocking `poll(2)` loop
+//! (see [`crate::reactor`]) drives accepts, per-connection state
+//! machines for the 4-byte length-framed protocol — partial reads,
+//! partial writes, write backpressure, idle timeouts — and the
+//! replication streams. Requests are handed to a small evaluator worker
+//! pool over a queue, so a slow query never stalls the event loop, and
+//! each connection has at most one request in flight at a time, which
+//! is what keeps responses in request order. The old thread-per-
+//! connection server capped simultaneous clients at the evaluator's
+//! thread budget; the reactor holds thousands of connections open while
+//! the same small pool does the actual evaluation.
 //!
-//! Each request is served against whatever generation is current when it
-//! arrives (snapshot isolation per request); writes go through the one
-//! serialized store write path. Shutdown is cooperative: the handle
-//! flips a flag and pokes the listener with a loopback connection so
-//! `accept` wakes up.
+//! ## Connection state machine
+//!
+//! ```text
+//!             read gated while pending full or write buffer over cap
+//!                 ┌──────────────────────────────────────────┐
+//!                 v                                          │
+//!   accept → [reading frames] → pending queue → [in-flight] ─┤
+//!                 │     ACK (repl conns)             │ reply │
+//!                 │ REPL                             v       │
+//!                 └────→ [streaming WAL records] → write buf ┘
+//!                                                    │ drained & close-requested
+//!                                                    v
+//!                                                  close
+//! ```
+//!
+//! Backpressure: a connection whose write buffer exceeds
+//! [`WRITE_BUF_CAP`] stops being read and stops dispatching queued
+//! requests (counted once per stall in the `backpressure_stalls`
+//! counter) until the peer drains it; a replication stream simply stops
+//! pumping until there is room. Shutdown is a wake-token flip — no
+//! loopback self-connect, no acceptor poke.
+//!
+//! ## Replication
+//!
+//! A replica's connection upgrades with the `REPL <last_seq>` verb: the
+//! reactor answers `OK repl <seq>` and from then on pushes binary
+//! frames — sealed WAL records from [`Store::repl_backlog`] (group-
+//! commit batches forwarded verbatim), or a full checkpoint when the
+//! replica is too far behind — and parses `ACK <seq>` frames coming
+//! back to maintain the `repl_lag` gauge (primary seq − slowest replica
+//! seq). A store commit watcher pokes the wake token, so records flow
+//! the moment a batch publishes instead of on the next poll tick.
 
-use crate::store::{Store, StoreError};
+use crate::reactor::{self, PollFd, WakeReader, WakeToken, POLLERR, POLLHUP, POLLIN, POLLOUT};
+use crate::store::{ReplBacklog, Store, StoreError};
 use crate::wire::{self, Request};
 use dco_core::prelude::eval_config;
 use dco_encoding::relation_from_json_str;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Simple counting semaphore (std has none): caps concurrently served
-/// connections at the evaluator's thread budget.
-struct ConnGate {
-    slots: Mutex<usize>,
-    freed: Condvar,
+/// A connection whose write buffer holds more than this many bytes is
+/// backpressured: no more reads, no more dispatch, no more replication
+/// pumping until the peer drains it.
+pub const WRITE_BUF_CAP: usize = 1 << 20;
+
+/// Maximum parsed-but-undispatched requests buffered per connection
+/// before reads are gated (bounds memory under pipelining abuse).
+const PENDING_CAP: usize = 256;
+
+/// Soft per-tick read budget per connection: fairness, not a limit.
+const RBUF_SOFT_CAP: usize = 1 << 20;
+
+/// Idle connections (no traffic, nothing queued, not a replication
+/// stream) are closed after this long.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Poll tick: upper bound on how stale the idle sweep and any missed
+/// wakeup can get. Readiness and wake-token events interrupt it.
+const POLL_TICK_MS: i32 = 100;
+
+/// Max sealed records fetched from the backlog per replication frame.
+const REPL_CHUNK: usize = 256;
+
+/// Soft byte budget per replication batch frame (a single oversized
+/// record still goes out alone).
+const REPL_BATCH_BYTES: usize = 1 << 20;
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-impl ConnGate {
-    fn new(cap: usize) -> ConnGate {
-        ConnGate {
-            slots: Mutex::new(cap),
-            freed: Condvar::new(),
+#[cfg(unix)]
+fn os_fd<T: std::os::fd::AsRawFd>(t: &T) -> reactor::OsFd {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn os_fd<T>(_t: &T) -> reactor::OsFd {
+    -1
+}
+
+/// Serving/replication counters, shared between the reactor, the worker
+/// pool, and `STATS` rendering.
+#[derive(Default)]
+pub(crate) struct ServeCounters {
+    conns_open: AtomicU64,
+    conns_total: AtomicU64,
+    queued: AtomicU64,
+    backpressure_stalls: AtomicU64,
+    repl_streams: AtomicU64,
+    repl_lag: AtomicU64,
+    repl_bytes: AtomicU64,
+}
+
+/// One request handed to the worker pool: (connection id, command line).
+type Job = (u64, String);
+
+/// One finished request: (connection id, reply, close-after-reply).
+type Completion = (u64, String, bool);
+
+/// Shared state between the reactor and the evaluator workers.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    stop: AtomicBool,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        plock(&self.jobs).push_back(job);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut jobs = plock(&self.jobs);
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            jobs = self.available.wait(jobs).unwrap_or_else(|p| p.into_inner());
         }
     }
 
-    fn acquire(&self) {
-        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-        while *slots == 0 {
-            slots = self.freed.wait(slots).unwrap_or_else(|p| p.into_inner());
-        }
-        *slots -= 1;
+    fn complete(&self, done: Completion) {
+        plock(&self.completions).push(done);
     }
 
-    fn release(&self) {
-        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-        *slots += 1;
-        self.freed.notify_one();
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+/// Per-connection replication state: the next seq to stream and the
+/// last seq the replica acknowledged.
+struct ReplConn {
+    next_seq: u64,
+    acked_seq: u64,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    pending: VecDeque<String>,
+    in_flight: bool,
+    closed_read: bool,
+    close_after_flush: bool,
+    stalled: bool,
+    last_active: Instant,
+    repl: Option<ReplConn>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            in_flight: false,
+            closed_read: false,
+            close_after_flush: false,
+            stalled: false,
+            last_active: Instant::now(),
+            repl: None,
+        }
+    }
+
+    /// Unflushed bytes queued for the peer.
+    fn buffered(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Over the backpressure threshold: stop reading and dispatching.
+    fn gated(&self) -> bool {
+        self.buffered() >= WRITE_BUF_CAP
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.closed_read
+            && !self.close_after_flush
+            && !self.gated()
+            && self.pending.len() < PENDING_CAP
+    }
+
+    fn wants_write(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Nothing left to do for this peer.
+    fn is_done(&self) -> bool {
+        if self.close_after_flush && self.buffered() == 0 {
+            return true;
+        }
+        self.closed_read
+            && self.buffered() == 0
+            && !self.in_flight
+            && self.pending.is_empty()
+            && self.repl.is_none()
+    }
+
+    /// Frame a reply (text or binary) onto the write buffer.
+    fn push_frame(&mut self, payload: &[u8]) -> Result<(), ()> {
+        if payload.len() > wire::MAX_FRAME {
+            return Err(());
+        }
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.wbuf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Nonblocking read into `rbuf`. Returns `Ok(true)` at EOF.
+    fn fill(&mut self) -> io::Result<bool> {
+        let mut chunk = [0u8; 16 * 1024];
+        let start = self.rbuf.len();
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(true),
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.last_active = Instant::now();
+                    if self.rbuf.len() - start >= RBUF_SOFT_CAP {
+                        return Ok(false); // yield to other connections
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Nonblocking flush of the write buffer.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_active = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > RBUF_SOFT_CAP {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
     }
 }
 
@@ -59,7 +289,8 @@ impl ConnGate {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    wake: Arc<WakeToken>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -68,14 +299,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting connections and join the acceptor thread.
-    /// In-flight connections finish their current request and then see
-    /// the connection closed.
+    /// Stop the reactor and join it. In-flight requests finish in the
+    /// worker pool (writes are acknowledged durable before any reply is
+    /// sent), but their connections are closed without the final reply.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Poke the blocking accept() so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
+        self.wake.notify();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
@@ -90,62 +320,446 @@ impl std::fmt::Debug for ServerHandle {
 }
 
 /// Serve `store` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
-/// Returns once the listener is bound; connections are handled on
-/// background threads until [`ServerHandle::shutdown`].
+/// Returns once the listener is bound; the reactor and its evaluator
+/// worker pool run on background threads until [`ServerHandle::shutdown`].
 pub fn serve(store: Store, addr: &str) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let gate = Arc::new(ConnGate::new(eval_config().effective_threads().max(2)));
+    let (wake, wake_reader) = reactor::wake_pair()?;
 
-    let acceptor = {
+    let reactor = {
         let stop = stop.clone();
+        let wake = wake.clone();
         std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let store = store.clone();
-                let gate = gate.clone();
-                std::thread::spawn(move || {
-                    gate.acquire();
-                    let _ = handle_connection(&store, stream);
-                    gate.release();
-                });
-            }
+            reactor_loop(store, listener, stop, wake, wake_reader);
         })
     };
 
     Ok(ServerHandle {
         addr: bound,
         stop,
-        acceptor: Some(acceptor),
+        wake,
+        reactor: Some(reactor),
     })
 }
 
-fn handle_connection(store: &Store, stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream;
-    while let Some(line) = wire::read_frame(&mut reader)? {
-        let (reply, close) = respond(store, &line);
-        wire::write_frame(&mut writer, &reply)?;
-        if close {
+/// Spawn the evaluator worker pool: a few threads draining the job
+/// queue through [`respond_ctx`]. Sized by the evaluator's thread
+/// budget — the reactor multiplexes any number of connections onto it.
+fn spawn_workers(
+    store: &Store,
+    jobs: &Arc<JobQueue>,
+    counters: &Arc<ServeCounters>,
+    wake: &Arc<WakeToken>,
+) -> Vec<JoinHandle<()>> {
+    let n = eval_config().effective_threads().max(2);
+    (0..n)
+        .map(|_| {
+            let store = store.clone();
+            let jobs = jobs.clone();
+            let counters = counters.clone();
+            let wake = wake.clone();
+            std::thread::spawn(move || {
+                while let Some((conn_id, line)) = jobs.pop() {
+                    let (reply, close) = respond_ctx(&store, &line, Some(&counters));
+                    jobs.complete((conn_id, reply, close));
+                    wake.notify();
+                }
+            })
+        })
+        .collect()
+}
+
+/// The reactor: the single thread that owns the listener, every
+/// connection, and the wake pipe.
+fn reactor_loop(
+    store: Store,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    wake: Arc<WakeToken>,
+    mut wake_reader: WakeReader,
+) {
+    let counters = Arc::new(ServeCounters::default());
+    let jobs = Arc::new(JobQueue {
+        jobs: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        completions: Mutex::new(Vec::new()),
+        stop: AtomicBool::new(false),
+    });
+    let workers = spawn_workers(&store, &jobs, &counters, &wake);
+    // Committed batches wake the reactor so replication frames flow
+    // immediately, not on the next poll tick.
+    let watcher_id = store.on_commit({
+        let wake = wake.clone();
+        move |_| wake.notify()
+    });
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
+
+    loop {
+        // Registration set: wake pipe, listener, then every connection.
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd::new(wake_reader.fd(), POLLIN));
+        fds.push(PollFd::new(os_fd(&listener), POLLIN));
+        let mut order = Vec::with_capacity(conns.len());
+        for (&id, c) in conns.iter() {
+            let mut events = 0i16;
+            if c.wants_read() {
+                events |= POLLIN;
+            }
+            if c.wants_write() {
+                events |= POLLOUT;
+            }
+            order.push(id);
+            fds.push(PollFd::new(os_fd(&c.stream), events));
+        }
+        if reactor::poll(&mut fds, POLL_TICK_MS).is_err() {
+            break; // poll itself failing is unrecoverable
+        }
+        if fds[0].ready(POLLIN) {
+            wake_reader.drain(&wake);
+        }
+        if stop.load(Ordering::SeqCst) {
             break;
         }
+
+        let mut dead: Vec<u64> = Vec::new();
+
+        // Finished evaluations: frame the reply, dispatch the next
+        // queued request on that connection.
+        let done = std::mem::take(&mut *plock(&jobs.completions));
+        for (id, reply, close) in done {
+            counters.queued.fetch_sub(1, Ordering::Relaxed);
+            let Some(conn) = conns.get_mut(&id) else {
+                continue; // connection died while the request ran
+            };
+            conn.in_flight = false;
+            if conn.push_frame(reply.as_bytes()).is_err() {
+                dead.push(id);
+                continue;
+            }
+            if close {
+                conn.close_after_flush = true;
+                conn.pending.clear();
+            } else {
+                dispatch(&store, conn, id, &jobs, &counters);
+            }
+        }
+
+        // New connections: accept until the backlog is dry.
+        if fds[1].ready(POLLIN) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        conns.insert(next_id, Conn::new(stream));
+                        next_id += 1;
+                        counters.conns_open.fetch_add(1, Ordering::Relaxed);
+                        counters.conns_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Readable connections: pull bytes, pop frames, queue requests.
+        for (i, &id) in order.iter().enumerate() {
+            let pfd = &fds[i + 2];
+            if !pfd.ready(POLLIN | POLLHUP | POLLERR) {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if pfd.ready(POLLERR) {
+                dead.push(id);
+                continue;
+            }
+            if !conn.wants_read() {
+                continue;
+            }
+            match conn.fill() {
+                Ok(eof) => conn.closed_read |= eof,
+                Err(_) => {
+                    dead.push(id);
+                    continue;
+                }
+            }
+            if drain_frames(&store, conn, id, &jobs, &counters).is_err() {
+                dead.push(id);
+            }
+        }
+
+        // Replication: push whatever each stream is owed, within its
+        // write budget; recompute the lag gauge.
+        pump_replication(&store, &mut conns, &counters, &mut dead);
+
+        // Flush + lifecycle sweep. Opportunistic write on every
+        // connection with buffered output (not just POLLOUT-flagged
+        // ones): a freshly framed reply almost always fits the socket
+        // buffer, and waiting a tick would add up to 100 ms latency.
+        let now = Instant::now();
+        for (&id, conn) in conns.iter_mut() {
+            if conn.wants_write() && conn.flush().is_err() {
+                dead.push(id);
+                continue;
+            }
+            if conn.stalled && !conn.gated() {
+                conn.stalled = false;
+                dispatch(&store, conn, id, &jobs, &counters);
+            }
+            let idle = conn.repl.is_none()
+                && !conn.in_flight
+                && conn.pending.is_empty()
+                && conn.buffered() == 0
+                && now.duration_since(conn.last_active) > IDLE_TIMEOUT;
+            if conn.is_done() || idle {
+                dead.push(id);
+            }
+        }
+
+        for id in dead {
+            if let Some(conn) = conns.remove(&id) {
+                counters.conns_open.fetch_sub(1, Ordering::Relaxed);
+                if conn.repl.is_some() {
+                    counters.repl_streams.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
-    Ok(())
+
+    store.remove_commit_watcher(watcher_id);
+    drop(conns); // RST/close every socket before the workers drain
+    jobs.shutdown();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Pop every complete frame from `conn.rbuf` and route it: `ACK`s on
+/// replication streams update the acked seq; everything else joins the
+/// pending request queue. `Err` means protocol violation → close.
+fn drain_frames(
+    store: &Store,
+    conn: &mut Conn,
+    id: u64,
+    jobs: &Arc<JobQueue>,
+    counters: &Arc<ServeCounters>,
+) -> Result<(), ()> {
+    loop {
+        let frame = match wire::take_frame(&mut conn.rbuf) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()),
+            Err(_) => return Err(()),
+        };
+        let Ok(text) = String::from_utf8(frame) else {
+            return Err(()); // requests and ACKs are text; binary is ours to send
+        };
+        if conn.repl.is_some() {
+            let Some(repl) = conn.repl.as_mut() else {
+                return Err(());
+            };
+            match text.trim().strip_prefix("ACK ") {
+                Some(rest) => match rest.trim().parse::<u64>() {
+                    Ok(seq) => repl.acked_seq = repl.acked_seq.max(seq),
+                    Err(_) => return Err(()),
+                },
+                None => return Err(()), // a replica speaks only ACK
+            }
+            continue;
+        }
+        if conn.pending.len() >= PENDING_CAP {
+            return Err(()); // peer ignored the read gate by miles
+        }
+        conn.pending.push_back(text);
+        dispatch(store, conn, id, jobs, counters);
+    }
+}
+
+/// Move queued requests toward the worker pool: at most one in flight
+/// per connection (response order == request order), none while the
+/// write buffer is over its cap. `HELLO` and `REPL` never reach the
+/// pool — they are connection-state transitions the reactor answers
+/// inline, in queue order.
+fn dispatch(
+    store: &Store,
+    conn: &mut Conn,
+    id: u64,
+    jobs: &Arc<JobQueue>,
+    counters: &Arc<ServeCounters>,
+) {
+    while !conn.in_flight && !conn.close_after_flush && conn.repl.is_none() {
+        if conn.gated() {
+            if !conn.stalled && !conn.pending.is_empty() {
+                conn.stalled = true;
+                counters.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let Some(line) = conn.pending.pop_front() else {
+            return;
+        };
+        match wire::parse_request(&line) {
+            Ok(Request::Hello(proto, codec)) => {
+                let ours = (wire::PROTOCOL_VERSION, crate::codec::FORMAT_VERSION);
+                if (proto, codec) == ours {
+                    let reply = format!("OK {proto} {codec}");
+                    let _ = conn.push_frame(reply.as_bytes());
+                } else {
+                    let err = StoreError::VersionMismatch {
+                        ours,
+                        theirs: (proto, codec),
+                    };
+                    let _ = conn.push_frame(format!("ERR {err}").as_bytes());
+                    conn.close_after_flush = true;
+                    conn.pending.clear();
+                    return;
+                }
+            }
+            Ok(Request::Repl(last_seq)) => {
+                // The OK carries our current seq; the stream itself is
+                // pushed by the replication pump.
+                let reply = format!("OK repl {}", store.read().seq);
+                let _ = conn.push_frame(reply.as_bytes());
+                conn.repl = Some(ReplConn {
+                    next_seq: last_seq + 1,
+                    acked_seq: last_seq,
+                });
+                conn.pending.clear(); // a replica sends no further requests
+                counters.repl_streams.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            _ => {
+                // Everything else (including parse errors, which the
+                // worker turns into `ERR …`) evaluates off-thread.
+                conn.in_flight = true;
+                counters.queued.fetch_add(1, Ordering::Relaxed);
+                jobs.push((id, line));
+                return;
+            }
+        }
+    }
+}
+
+/// Stream backlog to every replication connection with write-buffer
+/// room, then refresh the lag gauge.
+fn pump_replication(
+    store: &Store,
+    conns: &mut HashMap<u64, Conn>,
+    counters: &Arc<ServeCounters>,
+    dead: &mut Vec<u64>,
+) {
+    let mut have_repl = false;
+    let mut min_acked = u64::MAX;
+    for (&id, conn) in conns.iter_mut() {
+        if conn.repl.is_none() {
+            continue;
+        }
+        have_repl = true;
+        if pump_one(store, conn, counters).is_err() {
+            dead.push(id);
+            continue;
+        }
+        if let Some(repl) = conn.repl.as_ref() {
+            min_acked = min_acked.min(repl.acked_seq);
+        }
+    }
+    let lag = if have_repl && min_acked != u64::MAX {
+        store.read().seq.saturating_sub(min_acked)
+    } else {
+        0
+    };
+    counters.repl_lag.store(lag, Ordering::Relaxed);
+}
+
+/// Push frames at one replication connection until it is caught up or
+/// its write buffer is full. `Err` = the stream is broken (replica from
+/// a different history, or a frame that cannot be framed) → close.
+fn pump_one(store: &Store, conn: &mut Conn, counters: &Arc<ServeCounters>) -> Result<(), ()> {
+    loop {
+        if conn.gated() {
+            return Ok(());
+        }
+        let Some(next_seq) = conn.repl.as_ref().map(|r| r.next_seq) else {
+            return Ok(());
+        };
+        if next_seq > store.read().seq {
+            return Ok(()); // caught up
+        }
+        let advanced_to = match store.repl_backlog(next_seq, REPL_CHUNK) {
+            Ok(ReplBacklog::Records { records, .. }) => {
+                if records.is_empty() {
+                    return Ok(());
+                }
+                // Records are contiguous from `next_seq`; include a
+                // byte-budgeted prefix and advance by that many.
+                let mut payload = vec![wire::REPL_FRAME_BATCH];
+                let mut included = 0u64;
+                for rec in &records {
+                    if included > 0 && payload.len() + rec.len() > REPL_BATCH_BYTES {
+                        break;
+                    }
+                    payload.extend_from_slice(rec);
+                    included += 1;
+                }
+                conn.push_frame(&payload)?;
+                counters
+                    .repl_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                next_seq + included
+            }
+            Ok(ReplBacklog::Checkpoint { seq, bytes }) => {
+                let mut payload = Vec::with_capacity(bytes.len() + 1);
+                payload.push(wire::REPL_FRAME_CHECKPOINT);
+                payload.extend_from_slice(&bytes);
+                conn.push_frame(&payload)?;
+                counters
+                    .repl_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                seq + 1
+            }
+            Err(_) => return Err(()),
+        };
+        if let Some(repl) = conn.repl.as_mut() {
+            repl.next_seq = advanced_to;
+        }
+    }
 }
 
 /// Compute the response for one request line. Pure with respect to the
 /// connection: also the in-process entry point the tests use.
 pub fn respond(store: &Store, line: &str) -> (String, bool) {
+    respond_ctx(store, line, None)
+}
+
+/// [`respond`] with the serving counters in scope (the worker-pool
+/// entry point): `STATS` then includes the serving/replication section.
+fn respond_ctx(store: &Store, line: &str, serve: Option<&ServeCounters>) -> (String, bool) {
     let request = match wire::parse_request(line) {
         Ok(r) => r,
         Err(e) => return (format!("ERR {e}"), false),
     };
     let reply = match request {
+        Request::Hello(proto, codec) => {
+            let ours = (wire::PROTOCOL_VERSION, crate::codec::FORMAT_VERSION);
+            if (proto, codec) == ours {
+                Ok(format!("{proto} {codec}"))
+            } else {
+                let err = StoreError::VersionMismatch {
+                    ours,
+                    theirs: (proto, codec),
+                };
+                return (format!("ERR {err}"), true);
+            }
+        }
         Request::Ping => Ok("pong".to_string()),
         Request::Close => return ("OK bye".to_string(), true),
         Request::Query(src) => store
@@ -162,7 +776,10 @@ pub fn respond(store: &Store, line: &str) -> (String, bool) {
         }
         Request::Replace(name, body) => with_relation(&body, |rel| store.replace(&name, rel)),
         Request::Snapshot => store.snapshot().map(|bytes| bytes.to_string()),
-        Request::Stats => Ok(stats_json(store)),
+        Request::Stats => Ok(stats_json(store, serve)),
+        Request::Repl(_) => Err(StoreError::Invalid(
+            "REPL requires a streaming server connection".into(),
+        )),
     };
     match reply {
         Ok(body) => (format!("OK {body}"), false),
@@ -179,10 +796,10 @@ fn with_relation(
     f(rel).map(|seq| seq.to_string())
 }
 
-fn stats_json(store: &Store) -> String {
+fn stats_json(store: &Store, serve: Option<&ServeCounters>) -> String {
     use dco_encoding::Json;
     let s = store.stats();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("generation".into(), Json::Num(s.generation as f64)),
         ("relations".into(), Json::Num(s.relations as f64)),
         ("shards".into(), Json::Num(s.shards as f64)),
@@ -196,8 +813,20 @@ fn stats_json(store: &Store) -> String {
         ("cache_hits".into(), Json::Num(s.cache_hits as f64)),
         ("cache_misses".into(), Json::Num(s.cache_misses as f64)),
         ("cache_entries".into(), Json::Num(s.cache_entries as f64)),
-    ])
-    .compact()
+    ];
+    if let Some(c) = serve {
+        let n = |v: &AtomicU64| Json::Num(v.load(Ordering::Relaxed) as f64);
+        fields.extend([
+            ("conns_open".into(), n(&c.conns_open)),
+            ("conns_total".into(), n(&c.conns_total)),
+            ("queued_requests".into(), n(&c.queued)),
+            ("backpressure_stalls".into(), n(&c.backpressure_stalls)),
+            ("repl_streams".into(), n(&c.repl_streams)),
+            ("repl_lag".into(), n(&c.repl_lag)),
+            ("repl_bytes".into(), n(&c.repl_bytes)),
+        ]);
+    }
+    Json::Obj(fields).compact()
 }
 
 #[cfg(test)]
@@ -253,6 +882,66 @@ mod tests {
         assert!(r.contains("\"commit_batch_max\":1"), "got {r}");
         let (r, close) = respond(&store, "CLOSE");
         assert_eq!((r.as_str(), close), ("OK bye", true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hello_handshake_accepts_matching_versions_and_refuses_others() {
+        let dir = tmpdir("hello");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let line = format!(
+            "HELLO {} {}",
+            wire::PROTOCOL_VERSION,
+            crate::codec::FORMAT_VERSION
+        );
+        let (r, close) = respond(&store, &line);
+        assert_eq!(
+            r,
+            format!(
+                "OK {} {}",
+                wire::PROTOCOL_VERSION,
+                crate::codec::FORMAT_VERSION
+            )
+        );
+        assert!(!close);
+        // Wrong protocol: typed version mismatch, connection closes.
+        let (r, close) = respond(&store, "HELLO 999 1");
+        assert!(r.starts_with("ERR version mismatch"), "got {r}");
+        assert!(r.contains("999"), "mismatch names the peer's version: {r}");
+        assert!(close, "a mismatched peer must be hung up on");
+        // Wrong codec version: same treatment.
+        let (r, close) = respond(&store, "HELLO 2 99");
+        assert!(r.starts_with("ERR version mismatch"), "got {r}");
+        assert!(close);
+        // REPL outside a server connection is a typed refusal, not a hang.
+        let (r, close) = respond(&store, "REPL 0");
+        assert!(r.starts_with("ERR invalid operation"), "got {r}");
+        assert!(!close);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_includes_serving_counters_when_in_server_context() {
+        let dir = tmpdir("servestats");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let counters = ServeCounters::default();
+        counters.conns_open.store(3, Ordering::Relaxed);
+        counters.repl_lag.store(7, Ordering::Relaxed);
+        let (r, _) = respond_ctx(&store, "STATS", Some(&counters));
+        for key in [
+            "\"conns_open\":3",
+            "\"conns_total\":",
+            "\"queued_requests\":",
+            "\"backpressure_stalls\":",
+            "\"repl_streams\":",
+            "\"repl_lag\":7",
+            "\"repl_bytes\":",
+        ] {
+            assert!(r.contains(key), "missing {key} in {r}");
+        }
+        // Plain respond (no server) keeps the original surface only.
+        let (r, _) = respond(&store, "STATS");
+        assert!(!r.contains("conns_open"), "got {r}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -86,6 +86,12 @@ pub struct StoreOptions {
     /// to different shards validate and compute successor states in
     /// parallel; `0` is treated as `1`.
     pub shards: usize,
+    /// Number of committed WAL records retained in memory for
+    /// replication catch-up ([`Store::repl_backlog`]). A replica whose
+    /// last-applied seq has fallen out of this window is resynced with a
+    /// full checkpoint instead of a record stream. `0` disables the
+    /// backlog (every resume becomes a checkpoint).
+    pub repl_backlog: usize,
 }
 
 impl Default for StoreOptions {
@@ -95,6 +101,7 @@ impl Default for StoreOptions {
             fsync: true,
             prepared_cache_cap: 256,
             shards: 8,
+            repl_backlog: 1024,
         }
     }
 }
@@ -164,6 +171,31 @@ pub struct StoreStats {
     pub cache_entries: usize,
 }
 
+/// What a primary has for a replica resuming from some seq: either the
+/// exact sealed records it missed, or — when that seq has fallen out of
+/// the retained window — a full checkpoint to reset from.
+#[derive(Debug)]
+pub enum ReplBacklog {
+    /// Contiguous sealed WAL records starting exactly at the requested
+    /// seq, byte-identical to the primary's log. Empty means the replica
+    /// is caught up.
+    Records {
+        /// Seq of the last record included (`from_seq - 1` when empty).
+        last_seq: u64,
+        /// The records, in seq order.
+        records: Vec<Arc<Vec<u8>>>,
+    },
+    /// The requested seq left the retained window: a full catalog
+    /// checkpoint, encoded as one snapshot slice (shard 0 of 1), cut
+    /// under commit leadership so it is a true commit-order prefix.
+    Checkpoint {
+        /// Generation the checkpoint freezes.
+        seq: u64,
+        /// [`snapshot::encode_slice`] bytes.
+        bytes: Vec<u8>,
+    },
+}
+
 /// Everything that can go wrong talking to a store.
 #[derive(Debug)]
 pub enum StoreError {
@@ -184,6 +216,15 @@ pub enum StoreError {
     /// A previous write crashed mid-commit; the store refuses further
     /// writes until reopened (which truncates the torn WAL tail).
     Unhealthy,
+    /// The peer announced an incompatible wire-protocol or WAL-codec
+    /// version in the `HELLO` handshake. Caught *before* any replication
+    /// bytes flow — the alternative is a CRC failure mid-stream.
+    VersionMismatch {
+        /// `(protocol, codec)` this build speaks.
+        ours: (u32, u8),
+        /// `(protocol, codec)` the peer announced.
+        theirs: (u32, u8),
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -204,6 +245,12 @@ impl fmt::Display for StoreError {
             StoreError::Unhealthy => {
                 f.write_str("store is unhealthy after a failed write; reopen to recover")
             }
+            StoreError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "version mismatch: this build speaks protocol {} / codec {}, \
+                 peer announced protocol {} / codec {}",
+                ours.0, ours.1, theirs.0, theirs.1
+            ),
         }
     }
 }
@@ -348,10 +395,12 @@ impl Ticket {
 }
 
 /// One enqueued commit: its sealed WAL record and the shard state to
-/// publish once the record is durable.
+/// publish once the record is durable. The record is `Arc`d because it
+/// outlives the commit: the replication backlog retains it verbatim so
+/// replicas receive the exact bytes the primary's WAL holds.
 struct BatchEntry {
     seq: u64,
-    record: Vec<u8>,
+    record: Arc<Vec<u8>>,
     shard: usize,
     state: Arc<ShardState>,
     ticket: Arc<Ticket>,
@@ -367,6 +416,54 @@ struct CommitQueue {
     leader_active: bool,
 }
 
+/// Bounded in-memory window of the most recent committed WAL records,
+/// kept verbatim (sealed bytes) for replica catch-up. `floor()` is the
+/// oldest seq still servable from memory; a replica resuming below it
+/// gets a checkpoint instead.
+struct ReplRing {
+    /// Seq the *next* committed record will carry (so an empty ring
+    /// means "everything up to `next - 1` is already applied").
+    next: u64,
+    records: VecDeque<(u64, Arc<Vec<u8>>)>,
+    cap: usize,
+}
+
+impl ReplRing {
+    fn floor(&self) -> u64 {
+        self.records.front().map_or(self.next, |(s, _)| *s)
+    }
+
+    fn push(&mut self, seq: u64, record: Arc<Vec<u8>>) {
+        self.next = seq + 1;
+        if self.cap == 0 {
+            return;
+        }
+        self.records.push_back((seq, record));
+        while self.records.len() > self.cap {
+            self.records.pop_front();
+        }
+    }
+
+    fn reset(&mut self, next: u64) {
+        self.next = next;
+        self.records.clear();
+    }
+}
+
+/// A commit subscriber: invoked (under the watcher lock, so keep it
+/// cheap — flip a flag, write a wake byte) with the last seq of every
+/// successfully published batch.
+type CommitWatcher = Box<dyn Fn(u64) + Send + Sync>;
+
+/// Per-shard successor state staged during a replicated apply:
+/// (watermark, relations, stats, ops applied to this shard).
+type StagedShard = (
+    u64,
+    BTreeMap<String, Arc<GeneralizedRelation>>,
+    DbStats,
+    u64,
+);
+
 struct Inner {
     dir: PathBuf,
     opts: StoreOptions,
@@ -378,6 +475,9 @@ struct Inner {
     leader_idle: Condvar,
     wal: Mutex<Wal>,
     healthy: AtomicBool,
+    repl: Mutex<ReplRing>,
+    watchers: Mutex<Vec<(u64, CommitWatcher)>>,
+    watcher_seq: AtomicU64,
     prepared: Mutex<PreparedCache>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -524,6 +624,7 @@ impl Store {
             .collect();
 
         let generation = Arc::new(compose_generation(seq, &states));
+        let repl_backlog_cap = opts.repl_backlog;
         let inner = Inner {
             dir,
             prepared: Mutex::new(PreparedCache {
@@ -542,6 +643,13 @@ impl Store {
             leader_idle: Condvar::new(),
             wal: Mutex::new(wal),
             healthy: AtomicBool::new(true),
+            repl: Mutex::new(ReplRing {
+                next: seq + 1,
+                records: VecDeque::new(),
+                cap: repl_backlog_cap,
+            }),
+            watchers: Mutex::new(Vec::new()),
+            watcher_seq: AtomicU64::new(1),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             commits: AtomicU64::new(0),
@@ -661,7 +769,7 @@ impl Store {
             *head = state.clone();
             q.batch.push(BatchEntry {
                 seq,
-                record: crate::wal::seal_entry(seq, &payload),
+                record: Arc::new(crate::wal::seal_entry(seq, &payload)),
                 shard: shard_idx,
                 state,
                 ticket: ticket.clone(),
@@ -770,11 +878,32 @@ impl Store {
             .batch_max
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
 
+        // Retain the batch's records (verbatim sealed bytes) for replica
+        // catch-up *before* acknowledging: once a committer sees its
+        // seq, that seq must be streamable.
+        {
+            let mut ring = plock(&self.inner.repl);
+            for e in &batch {
+                ring.push(e.seq, e.record.clone());
+            }
+        }
+
         guard.armed = false;
         for e in &batch {
             e.ticket.finish(TicketState::Durable(e.seq));
         }
+        self.notify_watchers(last_seq);
         true
+    }
+
+    /// Run every commit watcher with the just-published seq. Called by
+    /// the leader after acknowledging a batch; watchers run under the
+    /// registration lock, so they must be cheap and non-reentrant (the
+    /// server's watcher just pokes a wake token).
+    fn notify_watchers(&self, seq: u64) {
+        for (_, w) in plock(&self.inner.watchers).iter() {
+            w(seq);
+        }
     }
 
     /// Compose the global generation from the published shard states.
@@ -807,26 +936,7 @@ impl Store {
     /// Returns the slices' total on-disk size in bytes — the standard-
     /// encoding measure of the catalog (§3) plus envelope overhead.
     pub fn snapshot(&self) -> Result<u64, StoreError> {
-        if !self.inner.healthy.load(Ordering::SeqCst) {
-            return Err(StoreError::Unhealthy);
-        }
-        // Take over the commit pipeline: wait for the current leader (if
-        // any) to drain and step down, then claim leadership so no WAL
-        // write can interleave with slice writes + truncation.
-        {
-            let mut q = plock(&self.inner.queue);
-            while q.leader_active {
-                q = self
-                    .inner
-                    .leader_idle
-                    .wait(q)
-                    .unwrap_or_else(|p| p.into_inner());
-            }
-            if !self.inner.healthy.load(Ordering::SeqCst) {
-                return Err(StoreError::Unhealthy);
-            }
-            q.leader_active = true;
-        }
+        self.claim_leadership()?;
         let mut guard = LeaderGuard {
             inner: &self.inner,
             tickets: Vec::new(),
@@ -838,6 +948,32 @@ impl Store {
         // have no leader (they saw `leader_active`), so drain them now.
         self.lead();
         Ok(bytes)
+    }
+
+    /// Take over the commit pipeline: wait for the current leader (if
+    /// any) to drain and step down, then claim leadership so nothing can
+    /// interleave with the caller's critical section. The caller *must*
+    /// hand leadership back by calling [`Store::lead`] (which drains any
+    /// commits that queued behind it and steps down) — unless its
+    /// `LeaderGuard` fired, which already released leadership while
+    /// wounding the store.
+    fn claim_leadership(&self) -> Result<(), StoreError> {
+        if !self.inner.healthy.load(Ordering::SeqCst) {
+            return Err(StoreError::Unhealthy);
+        }
+        let mut q = plock(&self.inner.queue);
+        while q.leader_active {
+            q = self
+                .inner
+                .leader_idle
+                .wait(q)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        if !self.inner.healthy.load(Ordering::SeqCst) {
+            return Err(StoreError::Unhealthy);
+        }
+        q.leader_active = true;
+        Ok(())
     }
 
     /// Re-slice shards and truncate the WAL. With `force_all` every
@@ -878,6 +1014,320 @@ impl Store {
         }
         plock(&self.inner.wal).truncate()?;
         Ok(bytes)
+    }
+
+    /// Subscribe to commit publications: `watcher` runs with the last
+    /// seq of every successfully published batch (local commits,
+    /// replicated batches, and installed checkpoints alike). Returns an
+    /// id for [`Store::remove_commit_watcher`]. Watchers run on the
+    /// committing leader's thread under the registration lock — keep
+    /// them to a flag flip or a wake-token poke.
+    pub fn on_commit(&self, watcher: impl Fn(u64) + Send + Sync + 'static) -> u64 {
+        let id = self.inner.watcher_seq.fetch_add(1, Ordering::Relaxed);
+        plock(&self.inner.watchers).push((id, Box::new(watcher)));
+        id
+    }
+
+    /// Unsubscribe a watcher registered with [`Store::on_commit`].
+    pub fn remove_commit_watcher(&self, id: u64) {
+        plock(&self.inner.watchers).retain(|(wid, _)| *wid != id);
+    }
+
+    /// What a replica that has applied everything up to `from_seq - 1`
+    /// should receive next: at most `max_records` sealed records from
+    /// the in-memory backlog, or a full checkpoint when `from_seq` has
+    /// fallen out of the retained window. A `from_seq` *ahead* of this
+    /// store's history is refused — it means the replica was paired with
+    /// a different primary (or a wiped one).
+    pub fn repl_backlog(
+        &self,
+        from_seq: u64,
+        max_records: usize,
+    ) -> Result<ReplBacklog, StoreError> {
+        {
+            let ring = plock(&self.inner.repl);
+            if from_seq > ring.next {
+                return Err(StoreError::Invalid(format!(
+                    "replica resumes from seq {from_seq} but this primary's history \
+                     ends at {}",
+                    ring.next - 1
+                )));
+            }
+            if from_seq >= ring.floor() {
+                let mut records = Vec::new();
+                let mut last_seq = from_seq.saturating_sub(1);
+                for (seq, rec) in ring.records.iter() {
+                    if *seq < from_seq {
+                        continue;
+                    }
+                    if records.len() >= max_records {
+                        break;
+                    }
+                    records.push(rec.clone());
+                    last_seq = *seq;
+                }
+                return Ok(ReplBacklog::Records { last_seq, records });
+            }
+        }
+        // Too far behind: cut a checkpoint. Claim commit leadership so
+        // the published shard states are quiescent — the checkpoint must
+        // be the catalog after a *prefix* of the commit order, never a
+        // torn interleaving of a batch mid-publication.
+        self.claim_leadership()?;
+        let seq = self.read().seq;
+        let mut relations: BTreeMap<String, Arc<GeneralizedRelation>> = BTreeMap::new();
+        for shard in &self.inner.shards {
+            let st = shard
+                .published
+                .read()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            for (name, rel) in &st.relations {
+                relations.insert(name.clone(), rel.clone());
+            }
+        }
+        let bytes = snapshot::encode_slice(seq, 0, 1, &relations);
+        self.lead();
+        Ok(ReplBacklog::Checkpoint { seq, bytes })
+    }
+
+    /// Apply a batch of sealed WAL records streamed from a primary,
+    /// through the same validate → append → fsync → publish path a
+    /// local commit takes. Returns the last applied seq.
+    ///
+    /// The records must be byte-identical primary WAL records forming a
+    /// contiguous run starting at this store's `seq + 1`; they are fully
+    /// decoded, CRC-checked, and validated against the catalog *before*
+    /// anything is written, so a torn or gapped stream is refused with a
+    /// typed error while the replica stays healthy and untouched. Once
+    /// the mutation starts it is guarded exactly like a primary commit:
+    /// a crash mid-apply wounds the store, and reopening recovers the
+    /// acknowledged prefix (the WAL bytes are the primary's own, so the
+    /// recovery machinery — torn-tail truncation included — is shared).
+    ///
+    /// A store applying replicated records must not take local writes
+    /// (the routing layer pins writes to the primary); local commits
+    /// interleaved with replication would fork the seq history.
+    pub fn apply_replicated(&self, records: Vec<Vec<u8>>) -> Result<u64, StoreError> {
+        if !self.inner.healthy.load(Ordering::SeqCst) {
+            return Err(StoreError::Unhealthy);
+        }
+        if records.is_empty() {
+            return Ok(self.read().seq);
+        }
+        self.claim_leadership()?;
+        let out = self.apply_replicated_as_leader(records);
+        // On success or a pre-mutation refusal we still hold leadership;
+        // hand it back (draining any queued commits). If the guard fired
+        // it already released leadership and wounded the store.
+        if self.inner.healthy.load(Ordering::SeqCst) {
+            self.lead();
+        }
+        out
+    }
+
+    fn apply_replicated_as_leader(&self, records: Vec<Vec<u8>>) -> Result<u64, StoreError> {
+        // Phase 1 — decode + validate, no mutation: a bad stream must
+        // leave the replica healthy and byte-identical to before.
+        let base = self.read().seq;
+        let mut entries = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            let (entry, consumed) = crate::wal::decode_entry(rec)?;
+            if consumed != rec.len() {
+                return Err(StoreError::Invalid(format!(
+                    "replication record {i} carries {} trailing bytes",
+                    rec.len() - consumed
+                )));
+            }
+            let expected = base + 1 + i as u64;
+            if entry.seq != expected {
+                return Err(StoreError::Invalid(format!(
+                    "replication stream gap: expected seq {expected}, got {}",
+                    entry.seq
+                )));
+            }
+            entries.push(entry);
+        }
+        let nshards = self.inner.shards.len();
+        // Successor state per touched shard, staged off the published
+        // heads (we hold leadership, so published == latest).
+        let mut staged: BTreeMap<usize, StagedShard> = BTreeMap::new();
+        for entry in &entries {
+            let sh = shard_of(entry.op.target(), nshards);
+            let slot = staged.entry(sh).or_insert_with(|| {
+                let st = self.inner.shards[sh]
+                    .published
+                    .read()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone();
+                (st.watermark, st.relations.clone(), st.stats.clone(), 0)
+            });
+            apply_op(&mut slot.1, &entry.op).map_err(|e| {
+                StoreError::Invalid(format!("replicated op at seq {}: {e}", entry.seq))
+            })?;
+            match slot.1.get(entry.op.target()) {
+                Some(rel) => slot.2.update(entry.op.target(), rel),
+                None => slot.2.remove(entry.op.target()),
+            }
+            slot.0 = entry.seq;
+            slot.3 += 1;
+        }
+        let last_seq = base + entries.len() as u64;
+
+        // Phase 2 — mutate, guarded exactly like a primary commit: the
+        // primary's record bytes go into our WAL verbatim (one write
+        // pass + one fsync, same probe sites), then each staged shard
+        // publishes and the generation swaps.
+        let mut guard = LeaderGuard {
+            inner: &self.inner,
+            tickets: Vec::new(),
+            armed: true,
+        };
+        {
+            let mut wal = plock(&self.inner.wal);
+            wal.append_records(records.iter().map(|r| r.as_slice()))?;
+            wal.set_next_seq(last_seq + 1);
+        }
+        if self.inner.opts.fsync {
+            self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        for (sh, (watermark, relations, stats, count)) in staged {
+            guard::probe(ProbeSite::ShardPublish);
+            let state = Arc::new(ShardState {
+                watermark,
+                relations,
+                stats,
+            });
+            let shard = &self.inner.shards[sh];
+            *plock(&shard.writer) = state.clone();
+            *shard.published.write().unwrap_or_else(|p| p.into_inner()) = state;
+            shard.since_snapshot.fetch_add(count, Ordering::Relaxed);
+        }
+        {
+            let mut q = plock(&self.inner.queue);
+            q.next_seq = q.next_seq.max(last_seq + 1);
+        }
+        let generation = Arc::new(self.compose(last_seq));
+        *self
+            .inner
+            .current
+            .write()
+            .unwrap_or_else(|p| p.into_inner()) = generation;
+        self.inner
+            .commits
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        self.inner.batches.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .batch_max
+            .fetch_max(entries.len() as u64, Ordering::Relaxed);
+        // Feed our own backlog so replicas can chain off this store.
+        {
+            let mut ring = plock(&self.inner.repl);
+            for (entry, rec) in entries.iter().zip(records) {
+                ring.push(entry.seq, Arc::new(rec));
+            }
+        }
+        if self.auto_snapshot_due() {
+            self.snapshot_cycle(false)?;
+        }
+        guard.armed = false;
+        self.notify_watchers(last_seq);
+        Ok(last_seq)
+    }
+
+    /// Replace this store's entire catalog with a checkpoint at `seq`
+    /// (a replica resync after falling out of the primary's backlog
+    /// window). The checkpoint is written as a single snapshot slice
+    /// under 1-way sharding — its atomic rename is the cut-over point,
+    /// so a crash leaves either the old state or the complete new one —
+    /// then the WAL is truncated and every shard republished.
+    pub fn install_checkpoint(
+        &self,
+        seq: u64,
+        relations: BTreeMap<String, Arc<GeneralizedRelation>>,
+    ) -> Result<(), StoreError> {
+        if !self.inner.healthy.load(Ordering::SeqCst) {
+            return Err(StoreError::Unhealthy);
+        }
+        self.claim_leadership()?;
+        let out = self.install_checkpoint_as_leader(seq, relations);
+        if self.inner.healthy.load(Ordering::SeqCst) {
+            self.lead();
+        }
+        out
+    }
+
+    fn install_checkpoint_as_leader(
+        &self,
+        seq: u64,
+        relations: BTreeMap<String, Arc<GeneralizedRelation>>,
+    ) -> Result<(), StoreError> {
+        let current = self.read().seq;
+        if seq < current {
+            return Err(StoreError::Invalid(format!(
+                "checkpoint at seq {seq} is behind current generation {current}"
+            )));
+        }
+        let mut guard = LeaderGuard {
+            inner: &self.inner,
+            tickets: Vec::new(),
+            armed: true,
+        };
+        // One slice, nshards = 1: it owns every relation name, so the
+        // newest-owning-slice resolution on recovery sees exactly this
+        // catalog once the rename lands (and the old state before it).
+        // Stale WAL entries all have seq <= checkpoint seq and are
+        // dropped by the covered-seq filter even before truncation.
+        snapshot::write_slice(
+            &self.inner.dir,
+            seq,
+            0,
+            1,
+            &relations,
+            self.inner.opts.fsync,
+        )?;
+        {
+            let mut wal = plock(&self.inner.wal);
+            wal.truncate()?;
+            wal.set_next_seq(seq + 1);
+        }
+        let nshards = self.inner.shards.len();
+        let mut per_shard: Vec<BTreeMap<String, Arc<GeneralizedRelation>>> =
+            vec![BTreeMap::new(); nshards];
+        for (name, rel) in relations {
+            let sh = shard_of(&name, nshards);
+            per_shard[sh].insert(name, rel);
+        }
+        let mut states = Vec::with_capacity(nshards);
+        for rels in per_shard {
+            let mut stats = DbStats::default();
+            for (name, rel) in &rels {
+                stats.update(name, rel);
+            }
+            states.push(Arc::new(ShardState {
+                watermark: seq,
+                relations: rels,
+                stats,
+            }));
+        }
+        for (shard, st) in self.inner.shards.iter().zip(&states) {
+            *plock(&shard.writer) = st.clone();
+            *shard.published.write().unwrap_or_else(|p| p.into_inner()) = st.clone();
+            shard.since_snapshot.store(0, Ordering::Relaxed);
+        }
+        {
+            let mut q = plock(&self.inner.queue);
+            q.next_seq = q.next_seq.max(seq + 1);
+        }
+        *self
+            .inner
+            .current
+            .write()
+            .unwrap_or_else(|p| p.into_inner()) = Arc::new(compose_generation(seq, &states));
+        plock(&self.inner.repl).reset(seq + 1);
+        guard.armed = false;
+        self.notify_watchers(seq);
+        Ok(())
     }
 
     /// Parse, preflight, and evaluate a query against the current

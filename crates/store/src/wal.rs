@@ -179,7 +179,10 @@ pub fn seal_entry(seq: u64, op_payload: &[u8]) -> Vec<u8> {
     seal_record(RecordKind::WalOp, &w.into_bytes())
 }
 
-fn decode_entry(bytes: &[u8]) -> Result<(LogEntry, usize), CodecError> {
+/// Decode one sealed WAL record from the front of `bytes`, returning
+/// the entry and the number of bytes it occupied. Also the unit the
+/// replication path validates records with before applying them.
+pub(crate) fn decode_entry(bytes: &[u8]) -> Result<(LogEntry, usize), CodecError> {
     let (payload, consumed) = open_record(bytes, RecordKind::WalOp)?;
     let mut r = ByteReader::new(payload);
     let seq = r.get_u64()?;
@@ -188,6 +191,22 @@ fn decode_entry(bytes: &[u8]) -> Result<(LogEntry, usize), CodecError> {
         return Err(CodecError::BadPayload("trailing bytes after log op".into()));
     }
     Ok((LogEntry { seq, op }, consumed))
+}
+
+/// Split a byte stream of concatenated sealed WAL records — the payload
+/// of a replication batch frame — into individual records, validating
+/// each envelope (magic, version, CRC) along the way. A torn or corrupt
+/// record surfaces as the codec error it is, *before* anything is
+/// applied.
+pub fn split_records(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut out = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let (_, consumed) = decode_entry(rest)?;
+        out.push(rest[..consumed].to_vec());
+        rest = &rest[consumed..];
+    }
+    Ok(out)
 }
 
 /// Apply one op to a map of shared relation instances, as both replay

@@ -7,6 +7,7 @@
 //!
 //! | request                     | response                          |
 //! |-----------------------------|-----------------------------------|
+//! | `HELLO <proto> <codec>`     | `OK <proto> <codec>`              |
 //! | `PING`                      | `OK pong`                         |
 //! | `QUERY <formula>`           | `OK {json query output}`          |
 //! | `EXPLAIN <formula>`         | `OK {json plan tree}`             |
@@ -17,6 +18,7 @@
 //! | `REPLACE <name> <json rel>` | `OK <seq>`                        |
 //! | `SNAPSHOT`                  | `OK <bytes>`                      |
 //! | `STATS`                     | `OK {json counters}`              |
+//! | `REPL <last_seq>`           | `OK repl <seq>`, then streaming   |
 //! | `CLOSE`                     | `OK bye`, then the peer hangs up  |
 //!
 //! Relations travel as `dco-encoding` JSON (exact rationals as strings);
@@ -25,8 +27,39 @@
 //! carries `generation`, `relations`, `shards`, `commits`, `batches`,
 //! `fsyncs`, `commit_batch_max` (group-commit observability: under
 //! concurrent writers `fsyncs/commits` drops toward `1/batch`),
-//! and the prepared-cache counters `cache_hits`/`cache_misses`/
-//! `cache_entries`.
+//! the prepared-cache counters `cache_hits`/`cache_misses`/
+//! `cache_entries`, and the serving/replication counters `conns_open`,
+//! `conns_total`, `queued_requests`, `backpressure_stalls`,
+//! `repl_streams`, `repl_lag`, `repl_bytes`.
+//!
+//! ## Version handshake
+//!
+//! A well-behaved peer's *first* frame is `HELLO <proto> <codec>`:
+//! the wire [`PROTOCOL_VERSION`] plus the WAL codec
+//! [`FORMAT_VERSION`](crate::codec::FORMAT_VERSION) it was built
+//! against. A mismatch on either is answered with a typed
+//! `ERR version mismatch …` (see `StoreError::VersionMismatch`) and the
+//! connection is closed — *before* any replication bytes flow, so an
+//! incompatible replica fails the handshake instead of dying on a CRC
+//! error mid-stream. Servers still accept peers that skip the handshake
+//! (the pre-handshake dialect is a strict subset).
+//!
+//! ## Replication stream
+//!
+//! `REPL <last_seq>` upgrades the connection: after the `OK repl <seq>`
+//! acknowledgement (carrying the primary's current generation), the
+//! server pushes *binary* frames (same 4-byte length framing) whose
+//! first payload byte is a tag:
+//!
+//! * [`REPL_FRAME_BATCH`] (`'B'`) — concatenated sealed WAL records,
+//!   byte-identical to the primary's log, in seq order (group-commit
+//!   batches forwarded as-is);
+//! * [`REPL_FRAME_CHECKPOINT`] (`'S'`) — a full catalog checkpoint as
+//!   one snapshot slice (shard 0 of 1), sent when the requested seq has
+//!   already left the primary's retained backlog window.
+//!
+//! The replica applies each frame and answers with a text frame
+//! `ACK <seq>`; the primary folds those into its `repl_lag` gauge.
 
 use crate::store::{ExplainOutput, QueryOutput};
 use dco_analysis::explain::PlanNode;
@@ -36,9 +69,26 @@ use std::io::{self, Read, Write};
 /// Hard cap on a single frame (64 MiB) — bounds allocation per peer.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Write one length-prefixed frame.
+/// Wire protocol version announced in the `HELLO` handshake. Version 1
+/// is the pre-handshake dialect (no `HELLO`, no `REPL`); version 2
+/// added both. Bump on any framing or verb-semantics change.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Tag byte of a binary replication frame carrying concatenated sealed
+/// WAL records (a forwarded group-commit batch).
+pub const REPL_FRAME_BATCH: u8 = b'B';
+
+/// Tag byte of a binary replication frame carrying a full catalog
+/// checkpoint (one snapshot slice, shard 0 of 1).
+pub const REPL_FRAME_CHECKPOINT: u8 = b'S';
+
+/// Write one length-prefixed text frame.
 pub fn write_frame(w: &mut impl Write, msg: &str) -> io::Result<()> {
-    let bytes = msg.as_bytes();
+    write_frame_bytes(w, msg.as_bytes())
+}
+
+/// Write one length-prefixed frame of raw bytes (replication frames).
+pub fn write_frame_bytes(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
     if bytes.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -54,9 +104,29 @@ pub fn write_frame(w: &mut impl Write, msg: &str) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one frame. `Ok(None)` means the peer closed the connection
+/// Frame a payload for hand-off to a buffered writer (the reactor's
+/// per-connection write buffer): header + body, no I/O.
+pub fn frame_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    frame
+}
+
+/// Read one text frame. `Ok(None)` means the peer closed the connection
 /// cleanly (EOF at a frame boundary).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    match read_frame_bytes(r)? {
+        None => Ok(None),
+        Some(buf) => String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8")),
+    }
+}
+
+/// Read one frame as raw bytes (replication frames are not UTF-8).
+/// `Ok(None)` means the peer closed cleanly at a frame boundary.
+pub fn read_frame_bytes(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -72,14 +142,38 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+    Ok(Some(buf))
+}
+
+/// Pop one complete frame off an accumulation buffer (the reactor's
+/// nonblocking read path). `Ok(None)` = not enough bytes yet; errors
+/// are protocol violations (oversized frame) that must close the
+/// connection.
+pub fn take_frame(buf: &mut Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds 64 MiB cap",
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let frame = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(frame))
 }
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version handshake: wire protocol version + WAL codec version the
+    /// peer was built against.
+    Hello(u32, u8),
     /// Liveness check.
     Ping,
     /// Evaluate a formula against the current generation.
@@ -102,6 +196,9 @@ pub enum Request {
     Snapshot,
     /// Fetch store counters.
     Stats,
+    /// Upgrade this connection to a replication stream, resuming after
+    /// the given last-applied seq.
+    Repl(u64),
     /// End the session.
     Close,
 }
@@ -121,6 +218,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
     };
     match verb.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            let (proto, codec) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("`HELLO` needs a protocol and a codec version")?;
+            let proto: u32 = proto
+                .trim()
+                .parse()
+                .map_err(|_| format!("`HELLO`: bad protocol version `{proto}`"))?;
+            let codec: u8 = codec
+                .trim()
+                .parse()
+                .map_err(|_| format!("`HELLO`: bad codec version `{codec}`"))?;
+            Ok(Request::Hello(proto, codec))
+        }
         "PING" => Ok(Request::Ping),
         "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
         "QUERY" => Err("`QUERY` needs a formula".into()),
@@ -140,6 +251,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "REPLACE" => name_and_body(rest).map(|(n, b)| Request::Replace(n, b)),
         "SNAPSHOT" => Ok(Request::Snapshot),
         "STATS" => Ok(Request::Stats),
+        "REPL" => {
+            let seq: u64 = rest
+                .parse()
+                .map_err(|_| format!("`REPL`: bad last-applied seq `{rest}`"))?;
+            Ok(Request::Repl(seq))
+        }
         "CLOSE" => Ok(Request::Close),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -273,5 +390,45 @@ mod tests {
         assert!(parse_request("FROB").is_err());
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
+        assert_eq!(parse_request("HELLO 2 1").unwrap(), Request::Hello(2, 1));
+        assert_eq!(parse_request("hello 2 1").unwrap(), Request::Hello(2, 1));
+        assert!(parse_request("HELLO 2").is_err());
+        assert!(parse_request("HELLO x y").is_err());
+        assert_eq!(parse_request("REPL 42").unwrap(), Request::Repl(42));
+        assert!(parse_request("REPL").is_err());
+        assert!(parse_request("REPL -1").is_err());
+    }
+
+    #[test]
+    fn take_frame_handles_partial_and_pipelined_input() {
+        let mut buf = Vec::new();
+        assert_eq!(take_frame(&mut buf).unwrap(), None, "empty");
+        // Two pipelined frames plus a partial third.
+        buf.extend_from_slice(&frame_bytes(b"PING"));
+        buf.extend_from_slice(&frame_bytes(b"STATS"));
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.push(b'x');
+        assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"PING");
+        assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"STATS");
+        assert_eq!(take_frame(&mut buf).unwrap(), None, "incomplete body");
+        buf.extend_from_slice(b"yz");
+        assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"xyz");
+        assert!(buf.is_empty());
+        // Oversized declared length is a protocol error, not an alloc.
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(take_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn byte_frames_roundtrip_binary_payloads() {
+        let payload = [REPL_FRAME_BATCH, 0x00, 0xff, 0x80];
+        let mut buf = Vec::new();
+        write_frame_bytes(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame_bytes(&mut r).unwrap().unwrap(), payload);
+        assert_eq!(read_frame_bytes(&mut r).unwrap(), None);
+        // The same bytes are not a valid *text* frame.
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
     }
 }

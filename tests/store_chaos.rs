@@ -367,6 +367,226 @@ fn multi_writer_group_commit_kills() {
     }
 }
 
+/// Replica kills: a replica applying a replication batch is killed at a
+/// seeded durability site — mid-record append (torn record on the
+/// replica's disk), pre-fsync, or mid-shard-publication. The replication
+/// apply path runs through the same WAL-append → publish machinery as
+/// local commits, so the recovery contract is the same shape:
+///
+/// > The reopened replica sits at a seq in `[acked, issued]` — at least
+/// > everything it acknowledged to the primary, never past what was
+/// > streamed — and its database is **exactly** the primary's commit-
+/// > order prefix at that seq. Re-syncing from the recovered seq (the
+/// > redial protocol: `REPL <last_applied>`) converges it to the
+/// > primary, byte-for-byte record re-application included.
+#[test]
+fn killed_replica_recovers_to_acknowledged_prefix_and_resyncs() {
+    use dco::store::ReplBacklog;
+
+    if !injection_enabled() {
+        eprintln!(
+            "fault injection compiled out (release without the fault-injection feature); skipping"
+        );
+        return;
+    }
+    const REPLICA_CASES: u64 = 18;
+    const WRITES: i128 = 8;
+
+    let mut state = seed() ^ 0x5EC0; // decorrelate from the other sweeps
+    let mut outcomes = [0u64; 3]; // [wal-append, group-commit-fsync, shard-publish]
+    for case in 0..REPLICA_CASES {
+        let pdir = tmpdir(2_000_000 + case);
+        let rdir = tmpdir(3_000_000 + case);
+        let opts = StoreOptions {
+            snapshot_every: 0,
+            ..StoreOptions::default()
+        };
+        // Primary history: 1 create + WRITES disjoint unit inserts, so
+        // the replica invariant is countable — at seq s the relation
+        // holds exactly s − 1 tuples, and they are inserts 0..s−1.
+        let primary = Store::open(&pdir, opts.clone()).unwrap();
+        primary.create("r0", 1).unwrap();
+        for i in 0..WRITES {
+            primary.insert("r0", interval(3 * i, 3 * i + 1)).unwrap();
+        }
+        let issued_seq = primary.read().seq;
+        let records: Vec<Vec<u8>> = match primary.repl_backlog(1, usize::MAX).unwrap() {
+            ReplBacklog::Records { records, .. } => {
+                records.iter().map(|r| r.as_ref().clone()).collect()
+            }
+            ReplBacklog::Checkpoint { .. } => panic!("full backlog must stream as records"),
+        };
+        assert_eq!(records.len() as u64, issued_seq, "case {case}");
+
+        // Replica applies an acknowledged prefix cleanly...
+        let replica = Store::open(&rdir, opts.clone()).unwrap();
+        let split = 1 + (splitmix(&mut state) % (records.len() as u64 - 1)) as usize;
+        let acked_seq = replica.apply_replicated(records[..split].to_vec()).unwrap();
+        assert_eq!(acked_seq, split as u64);
+
+        // ...and is killed partway through applying the rest.
+        let (site, slot) = match splitmix(&mut state) % 3 {
+            0 => (ProbeSite::WalAppend, 0),
+            1 => (ProbeSite::GroupCommitFsync, 1),
+            _ => (ProbeSite::ShardPublish, 2),
+        };
+        outcomes[slot] += 1;
+        let fault = match splitmix(&mut state) % 3 {
+            0 => InjectedFault::Panic,
+            1 => InjectedFault::Overflow,
+            _ => InjectedFault::Cancel,
+        };
+        let limits = GuardLimits::none().with_fault(FaultPlan::new(Some(site), 1, fault));
+        let crashed: Result<Guarded<()>, GuardError> = run_guarded(limits, || {
+            let _ = replica.apply_replicated(records[split..].to_vec());
+        });
+        assert!(
+            crashed.is_err(),
+            "case {case}: armed fault at {site} did not fire"
+        );
+
+        // Wounded replica: writes refused, readers pinned to the
+        // acknowledged prefix (the generation never swapped).
+        assert!(!replica.is_healthy(), "case {case}");
+        assert!(
+            matches!(replica.create("late", 1), Err(StoreError::Unhealthy)),
+            "case {case}: wounded replica accepted a write"
+        );
+        assert_eq!(
+            replica.read().seq,
+            acked_seq,
+            "case {case}: reader saw an unpublished replication batch"
+        );
+        drop(replica);
+
+        // Recovery: a commit-order prefix, bounded by ack and issue.
+        let recovered = Store::open(&rdir, opts.clone()).unwrap();
+        let rseq = recovered.read().seq;
+        assert!(
+            acked_seq <= rseq && rseq <= issued_seq,
+            "case {case}: recovered seq {rseq} outside [{acked_seq}, {issued_seq}]"
+        );
+        let rel = recovered.read().db.get("r0").unwrap().clone();
+        assert_eq!(
+            rel.tuples().len() as u64,
+            rseq - 1,
+            "case {case}: tuple count is not the seq-{rseq} prefix"
+        );
+        for i in 0..WRITES {
+            let inside = rel.contains_point(&[rat(6 * i + 1, 2)]);
+            assert_eq!(
+                inside,
+                (i as u64) < rseq - 1,
+                "case {case}: insert {i} {} at recovered seq {rseq}",
+                if inside { "present" } else { "missing" }
+            );
+        }
+
+        // Redial: resume from the recovered seq, converge to the primary.
+        if rseq < issued_seq {
+            let resume = records[rseq as usize..].to_vec();
+            assert_eq!(
+                recovered.apply_replicated(resume).unwrap(),
+                issued_seq,
+                "case {case}: resync did not reach the primary's seq"
+            );
+        }
+        assert_eq!(
+            recovered.read().db,
+            primary.read().db,
+            "case {case}: resynced replica diverged from the primary"
+        );
+        assert_eq!(recovered.read().seq, issued_seq);
+        drop(recovered);
+        drop(primary);
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&rdir);
+    }
+    eprintln!(
+        "replica chaos: {REPLICA_CASES} cases — wal-append {}, group-commit-fsync {}, shard-publish {}",
+        outcomes[0], outcomes[1], outcomes[2]
+    );
+    assert!(
+        outcomes.iter().all(|&n| n > 0),
+        "seed never exercised one of the replica kill sites; widen the sweep"
+    );
+}
+
+/// Torn replication streams: a corrupted, truncated, or gapped batch is
+/// rejected *before* the replica mutates anything — validation runs
+/// against staged state, so a bad stream leaves the replica healthy,
+/// unchanged, and able to apply the pristine records afterwards. (No
+/// fault injection needed: the torn bytes themselves are the fault.)
+#[test]
+fn torn_replication_stream_is_rejected_without_corrupting_the_replica() {
+    use dco::store::ReplBacklog;
+
+    let pdir = tmpdir(4_000_000);
+    let rdir = tmpdir(4_000_001);
+    let opts = StoreOptions {
+        snapshot_every: 0,
+        ..StoreOptions::default()
+    };
+    let primary = Store::open(&pdir, opts.clone()).unwrap();
+    primary.create("r0", 1).unwrap();
+    for i in 0..6 {
+        primary.insert("r0", interval(3 * i, 3 * i + 1)).unwrap();
+    }
+    let records: Vec<Vec<u8>> = match primary.repl_backlog(1, usize::MAX).unwrap() {
+        ReplBacklog::Records { records, .. } => {
+            records.iter().map(|r| r.as_ref().clone()).collect()
+        }
+        ReplBacklog::Checkpoint { .. } => panic!("full backlog must stream as records"),
+    };
+
+    let replica = Store::open(&rdir, opts.clone()).unwrap();
+    replica.apply_replicated(records[..3].to_vec()).unwrap();
+    let frozen = replica.read().db.clone();
+
+    // Bit flip anywhere in a sealed record: CRC (or envelope) rejects it.
+    let mut flipped = records[3..].to_vec();
+    let mid = flipped[0].len() / 2;
+    flipped[0][mid] ^= 0x40;
+    assert!(
+        matches!(replica.apply_replicated(flipped), Err(StoreError::Codec(_))),
+        "bit flip must surface as a codec error"
+    );
+    // Truncated final record: torn, same rejection.
+    let mut torn = records[3..].to_vec();
+    let last = torn.last_mut().unwrap();
+    let cut = last.len() - 3;
+    last.truncate(cut);
+    assert!(matches!(
+        replica.apply_replicated(torn),
+        Err(StoreError::Codec(_))
+    ));
+    // Dropped record: the seq gap is named in a typed refusal.
+    match replica.apply_replicated(records[4..].to_vec()) {
+        Err(StoreError::Invalid(msg)) => {
+            assert!(msg.contains("gap"), "gap refusal must say so: {msg}")
+        }
+        other => panic!("seq gap accepted: {other:?}"),
+    }
+
+    // None of it touched the replica.
+    assert!(
+        replica.is_healthy(),
+        "torn streams must not wound the store"
+    );
+    assert_eq!(replica.read().seq, 3);
+    assert_eq!(replica.read().db, frozen);
+
+    // The pristine records still apply and converge to the primary.
+    replica.apply_replicated(records[3..].to_vec()).unwrap();
+    assert_eq!(replica.read().db, primary.read().db);
+    assert_eq!(replica.read().seq, primary.read().seq);
+
+    drop(replica);
+    drop(primary);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
 /// A fault armed on a site the operation never reaches must change
 /// nothing: the write completes and is acknowledged normally.
 #[test]

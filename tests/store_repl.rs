@@ -1,0 +1,249 @@
+//! Replication suite: primary→replica WAL streaming over real TCP.
+//!
+//! The consistency argument under test: a replica applies the primary's
+//! sealed WAL records through the same validate→publish path as local
+//! commits, so every generation a replica ever serves is a *prefix* of
+//! the primary's commit order — a replica read is a snapshot-isolated
+//! read of a slightly older primary. The suite covers the streaming
+//! happy path, the checkpoint resync taken when a replica falls off the
+//! primary's backlog ring, the read-fanout/write-pinning client with
+//! replica failover, and the version handshake's typed refusal.
+
+use dco::prelude::*;
+use dco::store::{replicate, serve, wire, Client, ReplicaClient, Store, StoreOptions};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dco-store-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pairwise-disjoint unit interval `[3k, 3k+1]` (gaps keep subsumption
+/// from merging adjacent inserts, so tuple counts stay countable).
+fn unit(k: i128) -> GeneralizedRelation {
+    GeneralizedRelation::from_raw(
+        1,
+        vec![
+            RawAtom::new(Term::cst(rat(3 * k, 1)), RawOp::Le, Term::var(0)),
+            RawAtom::new(Term::var(0), RawOp::Le, Term::cst(rat(3 * k + 1, 1))),
+        ],
+    )
+}
+
+const SYNC_WAIT: Duration = Duration::from_secs(30);
+
+#[test]
+fn replica_streams_the_primary_and_serves_snapshot_isolated_reads() {
+    let pdir = tmpdir("stream-p");
+    let rdir = tmpdir("stream-r");
+    let primary = Store::open(&pdir, StoreOptions::default()).unwrap();
+    primary.create("r", 1).unwrap();
+    for k in 0..5 {
+        primary.insert("r", unit(k)).unwrap();
+    }
+    let phandle = serve(primary.clone(), "127.0.0.1:0").unwrap();
+
+    // The replica dials in mid-history and catches up.
+    let replica = Store::open(&rdir, StoreOptions::default()).unwrap();
+    let stream = replicate(replica.clone(), phandle.addr().to_string());
+    assert!(
+        stream.wait_for_seq(primary.read().seq, SYNC_WAIT),
+        "replica never caught up: applied {} of {}",
+        stream.last_applied(),
+        primary.read().seq
+    );
+    assert_eq!(replica.read().db, primary.read().db);
+    assert_eq!(replica.read().seq, primary.read().seq);
+
+    // Live tail: new commits stream without a reconnect.
+    for k in 5..12 {
+        primary.insert("r", unit(k)).unwrap();
+    }
+    assert!(stream.wait_for_seq(primary.read().seq, SYNC_WAIT));
+    assert_eq!(replica.read().db, primary.read().db);
+    assert!(stream.is_connected(), "live tail must not redial");
+    assert_eq!(stream.status().resyncs(), 0, "in-ring catch-up only");
+    assert!(stream.status().bytes() > 0);
+
+    // The replica serves reads over TCP at the replicated generation.
+    let rhandle = serve(replica.clone(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(rhandle.addr()).unwrap();
+    let out = client.query("r(x)").unwrap();
+    assert_eq!(out.generation, primary.read().seq);
+    assert_eq!(out.relation.tuples().len(), 12);
+    client.close().unwrap();
+
+    rhandle.shutdown();
+    stream.shutdown();
+    phandle.shutdown();
+    drop(replica);
+    drop(primary);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+#[test]
+fn checkpoint_resync_catches_up_a_replica_that_fell_off_the_backlog() {
+    let pdir = tmpdir("ckpt-p");
+    let rdir = tmpdir("ckpt-r");
+    // A tiny backlog ring: anything that connects late is beyond
+    // record-by-record catch-up and must take the checkpoint path.
+    let primary = Store::open(
+        &pdir,
+        StoreOptions {
+            repl_backlog: 4,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    primary.create("r", 1).unwrap();
+    for k in 0..20 {
+        primary.insert("r", unit(k)).unwrap();
+    }
+    let phandle = serve(primary.clone(), "127.0.0.1:0").unwrap();
+
+    let replica = Store::open(&rdir, StoreOptions::default()).unwrap();
+    let stream = replicate(replica.clone(), phandle.addr().to_string());
+    assert!(
+        stream.wait_for_seq(primary.read().seq, SYNC_WAIT),
+        "replica stuck at {}",
+        stream.last_applied()
+    );
+    assert!(
+        stream.status().resyncs() >= 1,
+        "a late replica against a 4-record ring must checkpoint-resync"
+    );
+    assert_eq!(replica.read().db, primary.read().db);
+    assert_eq!(replica.read().seq, primary.read().seq);
+
+    // After the checkpoint baseline, the live tail streams as records.
+    let before = stream.status().batches();
+    for k in 20..24 {
+        primary.insert("r", unit(k)).unwrap();
+    }
+    assert!(stream.wait_for_seq(primary.read().seq, SYNC_WAIT));
+    assert_eq!(replica.read().db, primary.read().db);
+    assert!(
+        stream.status().batches() > before,
+        "post-checkpoint tail must arrive as record batches"
+    );
+
+    // The resynced replica survives a cold reopen at the same state.
+    stream.shutdown();
+    let expected = replica.read().db.clone();
+    let expected_seq = replica.read().seq;
+    drop(replica);
+    let reopened = Store::open(&rdir, StoreOptions::default()).unwrap();
+    assert_eq!(reopened.read().db, expected);
+    assert_eq!(reopened.read().seq, expected_seq);
+
+    phandle.shutdown();
+    drop(reopened);
+    drop(primary);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+#[test]
+fn replica_client_fans_reads_out_and_survives_a_killed_replica() {
+    let pdir = tmpdir("fan-p");
+    let r1dir = tmpdir("fan-r1");
+    let r2dir = tmpdir("fan-r2");
+    let primary = Store::open(&pdir, StoreOptions::default()).unwrap();
+    let phandle = serve(primary.clone(), "127.0.0.1:0").unwrap();
+
+    let replica1 = Store::open(&r1dir, StoreOptions::default()).unwrap();
+    let replica2 = Store::open(&r2dir, StoreOptions::default()).unwrap();
+    let stream1 = replicate(replica1.clone(), phandle.addr().to_string());
+    let stream2 = replicate(replica2.clone(), phandle.addr().to_string());
+    let r1handle = serve(replica1.clone(), "127.0.0.1:0").unwrap();
+    let r2handle = serve(replica2.clone(), "127.0.0.1:0").unwrap();
+
+    let mut router = ReplicaClient::new(
+        phandle.addr().to_string(),
+        vec![r1handle.addr().to_string(), r2handle.addr().to_string()],
+    );
+
+    // Writes pin to the primary: the seq acks come from its WAL.
+    assert_eq!(router.create("t", 1).unwrap(), 1);
+    for k in 0..6 {
+        assert_eq!(router.insert("t", &unit(k)).unwrap(), 2 + k as u64);
+    }
+    assert_eq!(primary.read().seq, 7, "writes must land on the primary");
+    for s in [&stream1, &stream2] {
+        assert!(s.wait_for_seq(7, SYNC_WAIT), "replica lagging");
+    }
+
+    // Reads round-robin across both replicas; every answer is a full
+    // snapshot at the replicated generation.
+    for _ in 0..4 {
+        let out = router.query("t(x)").unwrap();
+        assert_eq!(out.generation, 7);
+        assert_eq!(out.relation.tuples().len(), 6);
+    }
+
+    // Kill one replica server: reads fail over to the survivor.
+    r1handle.shutdown();
+    stream1.shutdown();
+    for _ in 0..4 {
+        let out = router.query("t(x)").unwrap();
+        assert_eq!(out.relation.tuples().len(), 6);
+    }
+
+    // Kill the other too: reads fall back to the primary itself.
+    r2handle.shutdown();
+    stream2.shutdown();
+    let out = router.query("t(x)").unwrap();
+    assert_eq!(out.generation, 7);
+    assert_eq!(out.relation.tuples().len(), 6);
+
+    phandle.shutdown();
+    drop(replica1);
+    drop(replica2);
+    drop(primary);
+    for d in [&pdir, &r1dir, &r2dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn version_mismatch_is_a_typed_refusal_and_a_hangup() {
+    let dir = tmpdir("vers");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
+
+    // A peer from a different protocol generation is told exactly what
+    // both sides speak, then hung up on — before any frame could be
+    // misparsed.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    wire::write_frame(&mut raw, "HELLO 999 1").unwrap();
+    let reply = wire::read_frame(&mut raw).unwrap().expect("reply");
+    assert!(
+        reply.starts_with("ERR version mismatch"),
+        "typed refusal expected, got: {reply}"
+    );
+    assert!(reply.contains("999"), "refusal names the peer's version");
+    assert!(
+        wire::read_frame(&mut raw).unwrap().is_none(),
+        "server must close after a version mismatch"
+    );
+
+    // A wrong WAL codec version gets the same treatment.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    wire::write_frame(&mut raw, &format!("HELLO {} 99", wire::PROTOCOL_VERSION)).unwrap();
+    let reply = wire::read_frame(&mut raw).unwrap().expect("reply");
+    assert!(reply.starts_with("ERR version mismatch"), "got: {reply}");
+
+    // The real client's handshake still goes through.
+    let mut ok = Client::connect(handle.addr()).unwrap();
+    ok.ping().unwrap();
+    ok.close().unwrap();
+
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -277,6 +277,97 @@ fn prepared_cache_hits_are_structurally_identical_across_clients() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reactor soak: 1k simultaneous connections, several pipelined rounds,
+/// every request answered exactly once, in order, well-framed. This is
+/// the scale the thread-per-connection server could not hold open (it
+/// gated admissions at the evaluator thread budget); the reactor keeps
+/// all 1k established while the same small worker pool evaluates.
+#[test]
+fn soak_one_thousand_connections_each_request_gets_exactly_one_reply() {
+    use dco::store::wire;
+
+    const CONNS: usize = 1000;
+    const ROUNDS: usize = 3;
+
+    let dir = tmpdir("soak");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    store.create("r", 1).unwrap();
+    store.insert("r", unit(0)).unwrap();
+    let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut socks: Vec<std::net::TcpStream> = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let s = std::net::TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("connect #{i} refused: {e}"));
+        s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+            .unwrap();
+        s.set_nodelay(true).unwrap();
+        socks.push(s);
+    }
+
+    let line_for = |i: usize, round: usize| match (i + round) % 3 {
+        0 => "PING",
+        1 => "QUERY r(x)",
+        _ => "STATS",
+    };
+    for round in 0..ROUNDS {
+        // Write phase: every connection sends before any reply is read,
+        // so the server is holding ~1k outstanding requests at once.
+        for (i, s) in socks.iter_mut().enumerate() {
+            wire::write_frame(s, line_for(i, round)).expect("request write");
+        }
+        // Read phase: exactly one well-framed reply each, matching the
+        // request that connection sent.
+        for (i, s) in socks.iter_mut().enumerate() {
+            let reply = wire::read_frame(s)
+                .unwrap_or_else(|e| panic!("conn {i} round {round}: bad frame: {e}"))
+                .unwrap_or_else(|| panic!("conn {i} round {round}: server hung up"));
+            match (i + round) % 3 {
+                0 => assert_eq!(reply, "OK pong", "conn {i} round {round}"),
+                1 => {
+                    assert!(reply.starts_with("OK {"), "conn {i}: {reply}");
+                    let out = wire::query_output_from_json(&reply[3..]).expect("query json");
+                    assert_eq!(out.relation.tuples().len(), 1);
+                }
+                _ => {
+                    assert!(reply.starts_with("OK {"), "conn {i}: {reply}");
+                    // Served STATS sees the whole herd connected.
+                    let open = json_u64(&reply, "conns_open")
+                        .unwrap_or_else(|| panic!("no conns_open in {reply}"));
+                    assert!(open >= CONNS as u64, "only {open} connections open");
+                }
+            }
+        }
+    }
+
+    // No request was dropped or double-answered: an extra probe client
+    // still gets a clean, in-sync connection.
+    let mut probe = Client::connect(addr).unwrap();
+    let stats = probe.stats().unwrap();
+    let open = json_u64(&format!("OK {stats}"), "conns_open").expect("conns_open");
+    assert!(open >= CONNS as u64 + 1, "probe sees the herd: {open}");
+    let total = json_u64(&format!("OK {stats}"), "conns_total").expect("conns_total");
+    assert!(total >= CONNS as u64 + 1);
+    probe.close().unwrap();
+
+    drop(socks);
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pull an integer counter out of a compact-JSON reply.
+fn json_u64(reply: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = reply.find(&pat)? + pat.len();
+    let digits: String = reply[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
 #[test]
 fn more_clients_than_the_connection_cap_all_complete() {
     let dir = tmpdir("overcap");
