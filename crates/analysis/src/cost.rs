@@ -243,6 +243,20 @@ pub fn suggested_limits_with_stats(
         .with_max_atoms(tuples.saturating_mul(16))
 }
 
+/// Project a wall-clock completion time from a planner cost estimate
+/// and a calibrated nanoseconds-per-unit rate (the server maintains an
+/// EWMA of `elapsed_ns / estimate` over completed queries). A rate of
+/// zero means "not yet calibrated" and projects zero — admission
+/// control then cannot shed on cost, only on queue depth, which is the
+/// safe cold-start default (no false rejections before data exists).
+pub fn projected_eval_time(cost_units: f64, ns_per_unit: u64) -> std::time::Duration {
+    if ns_per_unit == 0 || !cost_units.is_finite() || cost_units <= 0.0 {
+        return std::time::Duration::ZERO;
+    }
+    let ns = (cost_units * ns_per_unit as f64).min(u64::MAX as f64) as u64;
+    std::time::Duration::from_nanos(ns)
+}
+
 /// Bound a formula's alternation depth and predicted cells (DCO501/DCO502).
 pub fn check_formula(formula: &Formula, budget: &CostBudget) -> Vec<Diagnostic> {
     let mut diags = Vec::new();

@@ -694,6 +694,72 @@ fn store_conc_record(conns: usize, rounds: usize) -> PerfRecord {
     }
 }
 
+/// Admission-controlled serving throughput: like `store_conc`, but
+/// every request carries a propagated deadline and tuple budget, so
+/// each round pays the full request-lifecycle machinery — option
+/// parsing, queue-wait projection against the EWMA-calibrated service
+/// time, budget derivation and guard tightening, and the served-late
+/// check — on top of the plain serving path. The deadline is generous,
+/// so nothing is actually shed (shed *behavior* is pass/fail, covered
+/// by the overload acceptance test); what this row gates is the
+/// overhead the lifecycle hardening adds to every served request.
+/// `tuples` = total requests answered.
+fn store_overload_record(conns: usize, rounds: usize) -> PerfRecord {
+    let dir = fresh_store_dir(&format!("overload-{conns}"));
+    let store = load_store(&dir, 8);
+    let handle = serve(store.clone(), "127.0.0.1:0").expect("bind bench server");
+    let addr = handle.addr();
+    let mut socks: Vec<std::net::TcpStream> = (0..conns)
+        .map(|i| {
+            let s = std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("bench connect #{i}: {e}"));
+            s.set_nodelay(true).expect("nodelay");
+            s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                .expect("read timeout");
+            s
+        })
+        .collect();
+    let line = "QUERY @deadline_ms=60000,max_tuples=1000000 s(x)";
+    let wall_ms = time_ms(|| {
+        for _ in 0..rounds {
+            for s in socks.iter_mut() {
+                dco::store::wire::write_frame(s, line).expect("request");
+            }
+            for s in socks.iter_mut() {
+                let reply = dco::store::wire::read_frame(s)
+                    .expect("well-framed reply")
+                    .expect("connection open");
+                assert!(reply.starts_with("OK {"), "bad reply: {reply}");
+            }
+        }
+    });
+    let stats = store.stats();
+    drop(socks);
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    PerfRecord {
+        experiment: "store_serve".to_string(),
+        size: conns,
+        config: format!("store_overload{conns}"),
+        wall_ms,
+        tuples: conns * rounds,
+        atoms: 0,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: 0,
+        cache_hit_rate: if stats.cache_hits + stats.cache_misses > 0 {
+            stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+        } else {
+            0.0
+        },
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs: 0,
+        commit_batch_max: 0,
+    }
+}
+
 /// Replica catch-up: time for a fresh replica to dial the primary
 /// (`REPL 0`), stream its full `size`-commit history as batch frames,
 /// and apply it through the validate→publish path. One stream, no
@@ -836,6 +902,14 @@ pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
     for &c in conc {
         out.push(store_conc_record(c, conc_rounds));
     }
+    // Deadline-carrying serving rows: the request-lifecycle machinery's
+    // overhead on the hot path (option parsing, budget derivation,
+    // queue-wait projection) with a deadline generous enough that
+    // nothing sheds.
+    out.push(store_overload_record(
+        if quick { 8 } else { 32 },
+        conc_rounds,
+    ));
     // Replication catch-up over TCP.
     out.push(repl_lag_record(if quick { 16 } else { 128 }));
     out
@@ -1034,7 +1108,8 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
     for rec in parse_baseline_records(baseline_json) {
         if (rec.config.starts_with("par")
             || rec.config.starts_with("store_load_mt")
-            || rec.config.starts_with("store_conc"))
+            || rec.config.starts_with("store_conc")
+            || rec.config.starts_with("store_overload"))
             && host == 1
         {
             report.push(format!(
@@ -1079,6 +1154,8 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
             store_load_mt_record(rec.size, writers.max(1))
         } else if rec.experiment == "store_serve" && rec.config.starts_with("store_conc") {
             store_conc_record(rec.size, 4)
+        } else if rec.experiment == "store_serve" && rec.config.starts_with("store_overload") {
+            store_overload_record(rec.size, 4)
         } else if rec.experiment == "store_serve" && rec.config == "repl_lag" {
             repl_lag_record(rec.size)
         } else if rec.experiment == "join_order" && rec.config == "planned" {

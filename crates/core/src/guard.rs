@@ -263,6 +263,29 @@ impl GuardLimits {
         self.fault_plan = Some(Arc::new(plan));
         self
     }
+
+    /// Intersect with another limit set: the result enforces *both* —
+    /// the minimum of each pair of limits, with `None` meaning
+    /// unbounded on that axis. This is how a server combines the
+    /// client's requested deadline/budgets with its own caps: a client
+    /// can only ever tighten what the server would have enforced. The
+    /// fault plan is taken from `self` (fault injection is never
+    /// client-requestable).
+    pub fn tightened(self, other: &GuardLimits) -> GuardLimits {
+        fn min_opt<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        GuardLimits {
+            deadline: min_opt(self.deadline, other.deadline),
+            max_tuples: min_opt(self.max_tuples, other.max_tuples),
+            max_atoms: min_opt(self.max_atoms, other.max_atoms),
+            fault_plan: self.fault_plan,
+        }
+    }
 }
 
 /// Shared state behind an [`EvalGuard`] / [`CancelToken`].
@@ -893,5 +916,29 @@ mod tests {
         .unwrap();
         assert_eq!(outer.value, 7);
         assert_eq!(outer.stats.probes, 2);
+    }
+
+    #[test]
+    fn tightened_takes_the_minimum_on_every_axis() {
+        let server = GuardLimits::none()
+            .with_deadline(Duration::from_millis(500))
+            .with_max_tuples(1000);
+        let client = GuardLimits::none()
+            .with_deadline(Duration::from_millis(200))
+            .with_max_atoms(64);
+        let both = server.clone().tightened(&client);
+        assert_eq!(both.deadline, Some(Duration::from_millis(200)));
+        assert_eq!(both.max_tuples, Some(1000), "unset on one side: kept");
+        assert_eq!(both.max_atoms, Some(64));
+        // A client cannot loosen the server's limits.
+        let loose = GuardLimits::none().with_deadline(Duration::from_secs(3600));
+        assert_eq!(
+            server.tightened(&loose).deadline,
+            Some(Duration::from_millis(500))
+        );
+        assert!(GuardLimits::none()
+            .tightened(&GuardLimits::none())
+            .deadline
+            .is_none());
     }
 }

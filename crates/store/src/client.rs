@@ -1,29 +1,213 @@
-//! TCP client mirroring the server's command surface.
+//! TCP client mirroring the server's command surface, with the
+//! resilience half of the request lifecycle.
 //!
 //! One [`Client`] wraps one connection; it is intentionally *not*
 //! thread-safe (the protocol is strictly request/response per
 //! connection) — open one client per thread, which is also how the
 //! concurrency tests exercise the server.
+//!
+//! ## Timeouts, retries, and the circuit breaker
+//!
+//! Every connection is dialed with a connect timeout and reads under a
+//! read timeout, so a dead or wedged peer surfaces as a typed
+//! [`ClientError::Timeout`] instead of a hang. Idempotent reads
+//! (`PING`, `QUERY`, `EXPLAIN`, `STATS`) retry through
+//! [`Client::call_with_retry`]: capped exponential backoff with
+//! deterministic seeded jitter, honoring the server's
+//! `retry_after_ms` hint on [`ClientError::Overloaded`] and never
+//! sleeping past the request's own deadline. Transport failures feed a
+//! per-endpoint circuit breaker (closed → open → half-open): after
+//! [`BreakerOptions::failure_threshold`] consecutive failures the
+//! breaker opens and reads fail fast with [`ClientError::CircuitOpen`]
+//! until a cooldown elapses, then a single half-open probe decides
+//! whether to close it again. Writes never retry (they are not known
+//! idempotent at this layer) and never consult the breaker.
 
 use crate::store::QueryOutput;
-use crate::wire::{self};
+use crate::wire::{self, QueryOpts};
 use dco_core::prelude::GeneralizedRelation;
 use dco_encoding::relation_to_json_str;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Retry policy for idempotent reads: `attempts` tries total, sleeping
+/// `min(cap, base × 2^n)` × jitter between them. Jitter is drawn from a
+/// seeded splitmix64 stream, so a fixed seed replays the exact same
+/// backoff schedule — which is what makes the chaos suites
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// First backoff.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED_C0DE,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerOptions {
+    /// Consecutive transport failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing one half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerOptions {
+    fn default() -> BreakerOptions {
+        BreakerOptions {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Connection and resilience options.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Dial timeout per resolved address.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (`None` = block forever; the default bounds
+    /// every read so a silent peer becomes [`ClientError::Timeout`]).
+    pub read_timeout: Option<Duration>,
+    /// Retry policy for idempotent reads.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning for this endpoint.
+    pub breaker: BreakerOptions,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+            breaker: BreakerOptions::default(),
+        }
+    }
+}
+
+/// splitmix64 — the same scatter function the chaos suites use, so a
+/// pinned seed reproduces the whole jitter schedule.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic backoff for attempt `n` (0-based): `min(cap, base·2ⁿ)`
+/// scaled by a jitter factor in [0.5, 1.5) drawn from the seeded
+/// stream.
+pub fn backoff_with_jitter(policy: &RetryPolicy, attempt: u32, jitter_state: &mut u64) -> Duration {
+    let exp = policy
+        .base
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(policy.cap);
+    let factor = 0.5 + (splitmix(jitter_state) as f64 / u64::MAX as f64);
+    Duration::from_nanos((exp.as_nanos() as f64 * factor).min(u64::MAX as f64) as u64)
+}
+
+/// Per-endpoint circuit breaker: closed → open (after consecutive
+/// transport failures) → half-open (one probe after the cooldown) →
+/// closed again on success, re-open on failure.
+#[derive(Debug)]
+struct Breaker {
+    opts: BreakerOptions,
+    failures: u32,
+    open_until: Option<Instant>,
+    half_open: bool,
+}
+
+impl Breaker {
+    fn new(opts: BreakerOptions) -> Breaker {
+        Breaker {
+            opts,
+            failures: 0,
+            open_until: None,
+            half_open: false,
+        }
+    }
+
+    /// Gate a read. `Err` = fail fast, the breaker is open.
+    fn admit(&mut self) -> Result<(), ClientError> {
+        if let Some(until) = self.open_until {
+            if Instant::now() < until {
+                return Err(ClientError::CircuitOpen);
+            }
+            // Cooldown over: allow exactly one half-open probe.
+            self.open_until = None;
+            self.half_open = true;
+        }
+        Ok(())
+    }
+
+    fn record_success(&mut self) {
+        self.failures = 0;
+        self.half_open = false;
+        self.open_until = None;
+    }
+
+    fn record_failure(&mut self) {
+        self.failures += 1;
+        if self.half_open || self.failures >= self.opts.failure_threshold {
+            self.half_open = false;
+            self.failures = 0;
+            self.open_until = Some(Instant::now() + self.opts.cooldown);
+        }
+    }
+}
 
 /// A connected client.
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    conn: Option<TcpStream>,
+    /// Redial target — known when connected via an address string;
+    /// `None` disables reconnection (single-shot semantics).
+    addr: Option<String>,
+    opts: ClientOptions,
+    breaker: Breaker,
+    jitter_state: u64,
 }
 
-/// Client-side errors: transport failures vs. server `ERR` replies.
+/// Client-side errors: transport failures vs. typed server replies.
 #[derive(Debug)]
 pub enum ClientError {
     /// The connection failed or the framing was violated.
     Io(io::Error),
-    /// The server answered `ERR <message>`.
+    /// A connect or read timed out (dead peer, slow-loris server).
+    Timeout(String),
+    /// The server shed the request before evaluating it; retry after
+    /// the hinted backoff.
+    Overloaded {
+        /// The server's suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's propagated deadline elapsed (queued too long or
+    /// the evaluation guard tripped it).
+    DeadlineExceeded(String),
+    /// The per-endpoint circuit breaker is open: recent calls failed at
+    /// the transport layer, so this one failed fast without touching
+    /// the network.
+    CircuitOpen,
+    /// The server answered `ERR <message>` (any other message).
     Server(String),
     /// The server's `OK` payload did not have the expected shape.
     Protocol(String),
@@ -33,6 +217,12 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Timeout(m) => write!(f, "timeout: {m}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded: retry after {retry_after_ms} ms")
+            }
+            ClientError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            ClientError::CircuitOpen => f.write_str("circuit breaker open: failing fast"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
@@ -43,45 +233,207 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
-        ClientError::Io(e)
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            ClientError::Timeout(e.to_string())
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
+/// Classify a server `ERR` payload into the typed error surface. The
+/// machine-readable tokens (`DEADLINE_EXCEEDED`, `OVERLOADED
+/// retry_after_ms=…`) lead the message, so no prose parsing is needed.
+fn classify_err(msg: &str) -> ClientError {
+    if msg.starts_with("DEADLINE_EXCEEDED") {
+        return ClientError::DeadlineExceeded(msg.to_string());
+    }
+    if let Some(rest) = msg.strip_prefix("OVERLOADED") {
+        let retry_after_ms = rest
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("retry_after_ms="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        return ClientError::Overloaded { retry_after_ms };
+    }
+    ClientError::Server(msg.to_string())
+}
+
+/// Dial with a connect timeout against every resolved address, then arm
+/// the read timeout. The untimed `TcpStream::connect` can block for
+/// minutes on an unroutable peer; this bounds it.
+fn dial(addr: impl ToSocketAddrs, opts: &ClientOptions) -> Result<TcpStream, ClientError> {
+    let mut last: Option<io::Error> = None;
+    for sockaddr in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sockaddr, opts.connect_timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(opts.read_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.map_or_else(
+        || ClientError::Protocol("address resolved to nothing".into()),
+        ClientError::from,
+    ))
+}
+
+/// One request/response exchange on a raw stream.
+fn raw_call(stream: &mut TcpStream, line: &str) -> Result<String, ClientError> {
+    wire::write_frame(stream, line)?;
+    let reply = wire::read_frame(stream)?
+        .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+    if let Some(body) = reply.strip_prefix("OK") {
+        Ok(body.trim_start().to_string())
+    } else if let Some(msg) = reply.strip_prefix("ERR") {
+        Err(classify_err(msg.trim_start()))
+    } else {
+        Err(ClientError::Protocol(format!("malformed reply: {reply}")))
     }
 }
 
 impl Client {
-    /// Connect to a serving store and perform the version handshake:
-    /// the first frame announces this build's protocol and WAL codec
-    /// versions, and a server speaking a different dialect answers with
-    /// a typed `version mismatch` error (surfaced as
-    /// [`ClientError::Server`]) instead of silently misparsing frames.
+    /// Connect to a serving store with default options and perform the
+    /// version handshake: the first frame announces this build's
+    /// protocol and WAL codec versions, and a server speaking a
+    /// different dialect answers with a typed `version mismatch` error
+    /// (surfaced as [`ClientError::Server`]) instead of silently
+    /// misparsing frames.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let mut client = Client { stream };
+        let opts = ClientOptions::default();
+        let stream = dial(addr, &opts)?;
+        let mut client = Client {
+            conn: Some(stream),
+            addr: None,
+            jitter_state: opts.retry.seed,
+            breaker: Breaker::new(opts.breaker),
+            opts,
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// [`Client::connect`] with explicit options and a string address,
+    /// which also enables transparent redial inside
+    /// [`Client::call_with_retry`].
+    pub fn connect_with(addr: &str, opts: ClientOptions) -> Result<Client, ClientError> {
+        let stream = dial(addr, &opts)?;
+        let mut client = Client {
+            conn: Some(stream),
+            addr: Some(addr.to_string()),
+            jitter_state: opts.retry.seed,
+            breaker: Breaker::new(opts.breaker),
+            opts,
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    fn handshake(&mut self) -> Result<(), ClientError> {
         let ours = format!(
             "{} {}",
             wire::PROTOCOL_VERSION,
             crate::codec::FORMAT_VERSION
         );
-        let echoed = client.call(&format!("HELLO {ours}"))?;
+        let echoed = self.call(&format!("HELLO {ours}"))?;
         if echoed != ours {
             return Err(ClientError::Protocol(format!(
                 "handshake answered `{echoed}`, expected `{ours}`"
             )));
         }
-        Ok(client)
+        Ok(())
+    }
+
+    /// Redial and re-handshake if the connection was torn down by an
+    /// earlier transport failure.
+    fn ensure_conn(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let addr = self.addr.clone().ok_or_else(|| {
+            ClientError::Protocol("connection lost and no redial address known".into())
+        })?;
+        self.conn = Some(dial(addr.as_str(), &self.opts)?);
+        if let Err(e) = self.handshake() {
+            self.conn = None;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Send one raw command line and return the server's `OK` payload.
+    /// Single attempt; a transport failure tears the connection down so
+    /// the next retrying call redials.
     pub fn call(&mut self, line: &str) -> Result<String, ClientError> {
-        wire::write_frame(&mut self.stream, line)?;
-        let reply = wire::read_frame(&mut self.stream)?
-            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
-        if let Some(body) = reply.strip_prefix("OK") {
-            Ok(body.trim_start().to_string())
-        } else if let Some(msg) = reply.strip_prefix("ERR") {
-            Err(ClientError::Server(msg.trim_start().to_string()))
-        } else {
-            Err(ClientError::Protocol(format!("malformed reply: {reply}")))
+        self.ensure_conn()?;
+        let Some(stream) = self.conn.as_mut() else {
+            return Err(ClientError::Protocol("no live connection".into()));
+        };
+        let out = raw_call(stream, line);
+        if matches!(out, Err(ClientError::Io(_)) | Err(ClientError::Timeout(_))) {
+            self.conn = None;
+        }
+        out
+    }
+
+    /// [`Client::call`] under the retry policy and circuit breaker, for
+    /// idempotent requests only. Retries transport failures, timeouts,
+    /// and `OVERLOADED` sheds; backoff is capped-exponential with
+    /// deterministic seeded jitter, raised to the server's
+    /// `retry_after_ms` hint when one is given, and never sleeps past
+    /// `deadline`.
+    pub fn call_with_retry(
+        &mut self,
+        line: &str,
+        deadline: Option<Instant>,
+    ) -> Result<String, ClientError> {
+        self.breaker.admit()?;
+        let attempts = self.opts.retry.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let out = self.call(line);
+            match &out {
+                Ok(_) => {
+                    self.breaker.record_success();
+                    return out;
+                }
+                Err(ClientError::Io(_)) | Err(ClientError::Timeout(_)) => {
+                    self.breaker.record_failure()
+                }
+                // Overloaded is the server protecting itself, not the
+                // endpoint dying: it does not open the breaker.
+                Err(_) => {}
+            }
+            let retryable = matches!(
+                out,
+                Err(ClientError::Io(_))
+                    | Err(ClientError::Timeout(_))
+                    | Err(ClientError::Overloaded { .. })
+            );
+            attempt += 1;
+            if !retryable || attempt >= attempts || (self.addr.is_none() && self.conn.is_none()) {
+                return out;
+            }
+            let mut pause =
+                backoff_with_jitter(&self.opts.retry, attempt - 1, &mut self.jitter_state);
+            if let Err(ClientError::Overloaded { retry_after_ms }) = &out {
+                pause = pause.max(Duration::from_millis(*retry_after_ms));
+            }
+            if let Some(d) = deadline {
+                let now = Instant::now();
+                if now + pause >= d {
+                    return out; // no budget left to retry in
+                }
+            }
+            std::thread::sleep(pause);
+            if self.breaker.admit().is_err() {
+                return out; // breaker opened mid-loop: surface the real error
+            }
         }
     }
 
@@ -94,14 +446,29 @@ impl Client {
     /// was computed against and whether the server's prepared-query
     /// cache answered it.
     pub fn query(&mut self, formula: &str) -> Result<QueryOutput, ClientError> {
-        let body = self.call(&format!("QUERY {formula}"))?;
+        self.query_with(formula, QueryOpts::none())
+    }
+
+    /// [`Client::query`] with per-request options: the deadline and
+    /// budgets propagate to the server (which derives the evaluation
+    /// guard from them), and the retry loop treats the deadline as its
+    /// own budget — it never sleeps past it.
+    pub fn query_with(
+        &mut self,
+        formula: &str,
+        opts: QueryOpts,
+    ) -> Result<QueryOutput, ClientError> {
+        let deadline = opts
+            .deadline_ms
+            .map(|d| Instant::now() + Duration::from_millis(d));
+        let body = self.call_with_retry(&format!("QUERY {}{formula}", opts.render()), deadline)?;
         wire::query_output_from_json(&body).map_err(ClientError::Protocol)
     }
 
     /// Plan and evaluate a formula, returning the server's measured plan
     /// tree (estimated and actual cardinality per node) as compact JSON.
     pub fn explain(&mut self, formula: &str) -> Result<String, ClientError> {
-        self.call(&format!("EXPLAIN {formula}"))
+        self.call_with_retry(&format!("EXPLAIN {formula}"), None)
     }
 
     /// Declare a relation; returns the committed WAL seq.
@@ -156,4 +523,81 @@ impl Client {
 fn parse_seq(body: String) -> Result<u64, ClientError> {
     body.parse()
         .map_err(|_| ClientError::Protocol(format!("expected a number, got `{body}`")))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy::default();
+        let mut a = policy.seed;
+        let mut b = policy.seed;
+        let s1: Vec<Duration> = (0..6)
+            .map(|n| backoff_with_jitter(&policy, n, &mut a))
+            .collect();
+        let s2: Vec<Duration> = (0..6)
+            .map(|n| backoff_with_jitter(&policy, n, &mut b))
+            .collect();
+        assert_eq!(s1, s2, "same seed, same schedule");
+        for (n, d) in s1.iter().enumerate() {
+            let nominal = policy.base.saturating_mul(1 << n).min(policy.cap);
+            assert!(
+                *d >= nominal / 2 && *d < nominal * 3 / 2,
+                "attempt {n}: {d:?} outside jitter band of {nominal:?}"
+            );
+        }
+        let mut c = policy.seed ^ 1;
+        let other: Vec<Duration> = (0..6)
+            .map(|n| backoff_with_jitter(&policy, n, &mut c))
+            .collect();
+        assert_ne!(s1, other, "different seed, different jitter");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut b = Breaker::new(BreakerOptions {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(20),
+        });
+        assert!(b.admit().is_ok());
+        b.record_failure();
+        assert!(b.admit().is_ok(), "one failure: still closed");
+        b.record_failure();
+        assert!(
+            matches!(b.admit(), Err(ClientError::CircuitOpen)),
+            "threshold reached: open"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit().is_ok(), "cooldown over: half-open probe allowed");
+        b.record_failure();
+        assert!(
+            matches!(b.admit(), Err(ClientError::CircuitOpen)),
+            "half-open probe failed: open again"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit().is_ok());
+        b.record_success();
+        assert!(b.admit().is_ok(), "half-open probe succeeded: closed");
+        b.record_failure();
+        assert!(b.admit().is_ok(), "success reset the failure count");
+    }
+
+    #[test]
+    fn err_classification_reads_the_typed_tokens() {
+        assert!(matches!(
+            classify_err("DEADLINE_EXCEEDED 12 ms elapsed of 10 ms allowed"),
+            ClientError::DeadlineExceeded(_)
+        ));
+        match classify_err("OVERLOADED retry_after_ms=250 server shed this request") {
+            ClientError::Overloaded { retry_after_ms } => assert_eq!(retry_after_ms, 250),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(matches!(
+            classify_err("invalid operation: nope"),
+            ClientError::Server(_)
+        ));
+    }
 }

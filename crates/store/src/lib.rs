@@ -44,7 +44,19 @@
 //!   far behind its backlog ring, and replicas apply through the same
 //!   validate→publish path as local commits — replica generations are
 //!   prefixes of the primary's commit order. [`repl::ReplicaClient`]
-//!   fans reads across replicas and pins writes to the primary.
+//!   fans reads across replicas and pins writes to the primary;
+//! * [`netfault`] — an in-process TCP fault-injection proxy (seeded
+//!   latency, torn frames, mid-frame hangups, byte corruption,
+//!   slow-loris) that the network chaos suite routes clients and
+//!   replicas through, asserting every fault surfaces as a typed error
+//!   or a verified-correct reply — never a hang.
+//!
+//! Requests carry optional deadlines and budgets end to end: the wire
+//! protocol propagates them ([`wire::QueryOpts`]), the server sheds
+//! work it cannot finish in time (typed `OVERLOADED` /
+//! `DEADLINE_EXCEEDED` replies), and the client pairs timeouts with
+//! deadline-aware seeded-jitter retries and a per-endpoint circuit
+//! breaker ([`client::ClientOptions`]).
 //!
 //! ```no_run
 //! use dco_store::{Store, StoreOptions};
@@ -64,6 +76,7 @@
 
 pub mod client;
 pub mod codec;
+pub mod netfault;
 pub mod reactor;
 pub mod repl;
 pub mod server;
@@ -72,11 +85,13 @@ pub mod store;
 pub mod wal;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ClientError, ClientOptions, RetryPolicy};
 pub use codec::{CodecError, RecordKind};
+pub use netfault::{ConnFault, Fault, FaultProxy};
 pub use repl::{replicate, ReplicaClient, ReplicaHandle};
 pub use server::{serve, ServerHandle};
 pub use store::{
     shard_of, Generation, QueryOutput, ReplBacklog, Store, StoreError, StoreOptions, StoreStats,
 };
 pub use wal::LogOp;
+pub use wire::QueryOpts;

@@ -1,0 +1,491 @@
+//! In-process network fault-injection proxy.
+//!
+//! The transport-layer sibling of [`dco_core::guard`]'s crash-fault
+//! probes: where `guard::faults` kills a commit *inside* the process at
+//! a deterministic probe site, this module breaks the *wire* between
+//! two processes-worth of state — a TCP relay that injects seeded
+//! latency, torn frames, mid-frame hangups, byte corruption, and
+//! slow-loris dribbling between a client (or replica) and a serving
+//! store. `tests/store_netchaos.rs` drives it: every injected fault
+//! must surface as a typed error or a verified-correct reply, never a
+//! hang and never replica-state corruption.
+//!
+//! The proxy is std-only and runs entirely in-process: bind an
+//! ephemeral listener, point the client at [`FaultProxy::addr`], and
+//! each accepted connection is relayed to the upstream address with the
+//! next fault from the schedule applied to one direction of the stream.
+//! Connections beyond the schedule relay untouched, which is what lets
+//! redial-after-fault scenarios (the replica's reconnect loop, the
+//! client's retry loop) converge.
+//!
+//! Faults are plain data ([`Fault`], [`ConnFault`]) so tests can
+//! generate them from a pinned seed ([`ConnFault::seeded`] uses the
+//! same splitmix64 generator as the chaos suites) and print the failing
+//! case verbatim.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Tick at which pump threads re-check the stop flag while blocked on a
+/// read; also the granularity of injected delays.
+const PUMP_TICK: Duration = Duration::from_millis(50);
+
+/// One injected fault, applied to a single direction of one proxied
+/// connection. Byte offsets count from the start of that direction's
+/// stream, so a fault at offset 0–3 lands in the first frame's length
+/// prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Relay every byte unchanged.
+    None,
+    /// Hold the stream back for this long before relaying anything,
+    /// then relay unchanged — pure added latency.
+    Delay {
+        /// Injected latency in milliseconds.
+        ms: u64,
+    },
+    /// Relay `after` bytes, then silently swallow the rest while
+    /// keeping the connection open: the receiver stalls mid-frame until
+    /// its own read timeout fires. This is the fault a read timeout
+    /// exists to catch.
+    TornFrame {
+        /// Bytes relayed before the stream goes dark.
+        after: u64,
+    },
+    /// Relay `after` bytes, then hard-close both sockets — a peer
+    /// dying mid-frame.
+    Hangup {
+        /// Bytes relayed before the connection is destroyed.
+        after: u64,
+    },
+    /// XOR the byte at stream offset `at` with `mask` (forced nonzero),
+    /// relay everything else unchanged — a single flipped byte in
+    /// flight.
+    CorruptByte {
+        /// Stream offset of the corrupted byte.
+        at: u64,
+        /// XOR mask; 0 is promoted to 1 so the byte always changes.
+        mask: u8,
+    },
+    /// Dribble the stream one byte per pause — a slow-loris peer. Each
+    /// byte still arrives within any sane read timeout, so the
+    /// exchange completes, just slowly.
+    SlowLoris {
+        /// Pause between relayed bytes, in milliseconds.
+        pause_ms: u64,
+    },
+}
+
+/// Which direction of a proxied connection a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bytes flowing from the connecting client toward the upstream
+    /// server (requests, replica ACKs).
+    ToUpstream,
+    /// Bytes flowing from the upstream server back to the client
+    /// (replies, replication frames).
+    ToClient,
+}
+
+/// The fault assignment for one accepted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnFault {
+    /// What to inject.
+    pub fault: Fault,
+    /// Which direction to inject it into (the other relays untouched).
+    pub direction: Direction,
+}
+
+impl ConnFault {
+    /// A connection that relays both directions untouched.
+    pub fn passthrough() -> ConnFault {
+        ConnFault {
+            fault: Fault::None,
+            direction: Direction::ToClient,
+        }
+    }
+
+    /// Draw a fault from a splitmix64 stream (same generator as the
+    /// chaos suites, so a pinned seed reproduces the schedule). Offsets
+    /// are kept small so they land in the first frames of the
+    /// conversation, where all the interesting framing state lives.
+    pub fn seeded(state: &mut u64) -> ConnFault {
+        let r = splitmix(state);
+        let direction = if r & 1 == 0 {
+            Direction::ToUpstream
+        } else {
+            Direction::ToClient
+        };
+        let fault = match (r >> 1) % 6 {
+            0 => Fault::None,
+            1 => Fault::Delay {
+                ms: 1 + (splitmix(state) % 120),
+            },
+            2 => Fault::TornFrame {
+                after: splitmix(state) % 64,
+            },
+            3 => Fault::Hangup {
+                after: splitmix(state) % 64,
+            },
+            4 => Fault::CorruptByte {
+                at: splitmix(state) % 4, // inside the length prefix
+                mask: (splitmix(state) % 255) as u8 + 1,
+            },
+            _ => Fault::SlowLoris {
+                pause_ms: 1 + (splitmix(state) % 8),
+            },
+        };
+        ConnFault { fault, direction }
+    }
+}
+
+/// splitmix64, the repo's standard deterministic scatter.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Handle to a running proxy. [`FaultProxy::stop`] tears down the
+/// listener, every live relay, and joins all threads; dropping the
+/// handle without stopping leaks the threads until process exit (fine
+/// in tests, which always stop).
+#[derive(Debug)]
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Start a relay on an ephemeral local port toward `upstream`. The
+    /// `i`-th accepted connection gets `schedule[i]`; connections past
+    /// the end of the schedule relay untouched.
+    pub fn start(upstream: impl Into<String>, schedule: Vec<ConnFault>) -> io::Result<FaultProxy> {
+        let upstream = upstream.into();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let stop = stop.clone();
+            let conns = conns.clone();
+            Some(std::thread::spawn(move || {
+                accept_loop(&listener, &upstream, &schedule, &stop, &conns)
+            }))
+        };
+        Ok(FaultProxy {
+            addr,
+            stop,
+            conns,
+            accept_thread,
+        })
+    }
+
+    /// The address clients should dial instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, destroy every live relay, and join all threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for s in plock(&self.conns).drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &str,
+    schedule: &[ConnFault],
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<TcpStream>>>,
+) {
+    let mut next = 0usize;
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let assigned = schedule
+                    .get(next)
+                    .copied()
+                    .unwrap_or_else(ConnFault::passthrough);
+                next += 1;
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                {
+                    let mut live = plock(conns);
+                    if let Ok(c) = client.try_clone() {
+                        live.push(c);
+                    }
+                    if let Ok(s) = server.try_clone() {
+                        live.push(s);
+                    }
+                }
+                let (up_fault, down_fault) = match assigned.direction {
+                    Direction::ToUpstream => (assigned.fault, Fault::None),
+                    Direction::ToClient => (Fault::None, assigned.fault),
+                };
+                if let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) {
+                    let stop_up = stop.clone();
+                    let stop_down = stop.clone();
+                    pumps.push(std::thread::spawn(move || {
+                        pump(client, server, up_fault, &stop_up)
+                    }));
+                    pumps.push(std::thread::spawn(move || {
+                        pump(s2, c2, down_fault, &stop_down)
+                    }));
+                } else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    let _ = server.shutdown(Shutdown::Both);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for p in pumps {
+        let _ = p.join();
+    }
+}
+
+/// Sleep `ms` in stop-aware ticks.
+fn tick_sleep(ms: u64, stop: &AtomicBool) {
+    let mut left = Duration::from_millis(ms);
+    while !left.is_zero() && !stop.load(Ordering::SeqCst) {
+        let step = left.min(PUMP_TICK);
+        std::thread::sleep(step);
+        left -= step;
+    }
+}
+
+/// Relay one direction of one connection, applying `fault`. Exits on
+/// EOF (propagated as a write-side shutdown so half-closes behave),
+/// transport failure, an exhausted fault (hangup), or the stop flag.
+fn pump(mut from: TcpStream, mut to: TcpStream, fault: Fault, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(PUMP_TICK));
+    let _ = to.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut seen: u64 = 0; // bytes read off `from` so far
+    let mut delayed = false;
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let mut chunk = buf[..n].to_vec();
+        let offset = seen;
+        seen += n as u64;
+        match fault {
+            Fault::None => {}
+            Fault::Delay { ms } => {
+                if !delayed {
+                    tick_sleep(ms, stop);
+                    delayed = true;
+                }
+            }
+            Fault::TornFrame { after } => {
+                if offset >= after {
+                    continue; // swallow: the stream has gone dark
+                }
+                chunk.truncate((after - offset).min(n as u64) as usize);
+                if chunk.is_empty() {
+                    continue;
+                }
+            }
+            Fault::Hangup { after } => {
+                if offset >= after {
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+                chunk.truncate((after - offset).min(n as u64) as usize);
+            }
+            Fault::CorruptByte { at, mask } => {
+                if at >= offset && at < offset + n as u64 {
+                    chunk[(at - offset) as usize] ^= mask.max(1);
+                }
+            }
+            Fault::SlowLoris { pause_ms } => {
+                for &b in &chunk {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if to.write_all(&[b]).is_err() {
+                        let _ = from.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    tick_sleep(pause_ms, stop);
+                }
+                continue;
+            }
+        }
+        if to.write_all(&chunk).is_err() {
+            let _ = from.shutdown(Shutdown::Both);
+            return;
+        }
+        if let Fault::Hangup { after } = fault {
+            if seen >= after {
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    /// An echo server good for one line per connection.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                let mut buf = [0u8; 256];
+                let Ok(n) = s.read(&mut buf) else { break };
+                if n == 0 || s.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        });
+        (addr, t)
+    }
+
+    #[test]
+    fn passthrough_relays_and_corrupt_flips_exactly_one_byte() {
+        let (up, _t) = echo_server();
+        let proxy = FaultProxy::start(
+            up.to_string(),
+            vec![
+                ConnFault::passthrough(),
+                ConnFault {
+                    fault: Fault::CorruptByte { at: 2, mask: 0xFF },
+                    direction: Direction::ToClient,
+                },
+            ],
+        )
+        .unwrap();
+
+        let mut clean = TcpStream::connect(proxy.addr()).unwrap();
+        clean
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        clean.write_all(b"hello").unwrap();
+        let mut got = [0u8; 5];
+        clean.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello");
+
+        let mut dirty = TcpStream::connect(proxy.addr()).unwrap();
+        dirty
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        dirty.write_all(b"hello").unwrap();
+        dirty.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"he\x93lo", "byte 2 XOR 0xFF");
+
+        proxy.stop();
+    }
+
+    #[test]
+    fn hangup_closes_and_torn_frame_stalls_until_the_read_timeout() {
+        let (up, _t) = echo_server();
+        let proxy = FaultProxy::start(
+            up.to_string(),
+            vec![
+                ConnFault {
+                    fault: Fault::Hangup { after: 2 },
+                    direction: Direction::ToClient,
+                },
+                ConnFault {
+                    fault: Fault::TornFrame { after: 0 },
+                    direction: Direction::ToUpstream,
+                },
+            ],
+        )
+        .unwrap();
+
+        // Hangup: at most 2 bytes arrive, then EOF/reset — never a hang.
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        let mut total = 0;
+        loop {
+            match c.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => total += n,
+            }
+        }
+        assert!(total <= 2, "hangup relayed {total} bytes, cap is 2");
+
+        // Torn request: the echo server never hears us, so the read
+        // times out instead of hanging.
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        c.write_all(b"hello").unwrap();
+        let err = c.read(&mut buf).expect_err("stalled stream must time out");
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ));
+
+        proxy.stop();
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let sa: Vec<ConnFault> = (0..32).map(|_| ConnFault::seeded(&mut a)).collect();
+        let sb: Vec<ConnFault> = (0..32).map(|_| ConnFault::seeded(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -27,14 +27,14 @@
 //! replicas (failing over to the next replica, then the primary),
 //! writes always pin to the primary.
 
-use crate::client::{Client, ClientError};
+use crate::client::{backoff_with_jitter, Client, ClientError, RetryPolicy};
 use crate::store::{QueryOutput, Store, StoreError};
 use crate::{snapshot, wal, wire};
 use dco_core::prelude::GeneralizedRelation;
 use std::io::{self, Read};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -42,12 +42,39 @@ fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-/// How long a broken replica connection waits before redialing.
+/// First redial pause after a broken replica connection; consecutive
+/// failures double it (with seeded jitter) up to [`RECONNECT_CAP`], and
+/// a session that actually reached streaming resets the ladder.
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Redial backoff ceiling.
+const RECONNECT_CAP: Duration = Duration::from_secs(5);
+
+/// Deterministic redial backoff for consecutive failure `attempt`
+/// (0-based). Shares the client's seeded-jitter generator so chaos runs
+/// with a pinned seed replay the exact redial schedule.
+fn reconnect_backoff(attempt: u32, jitter_state: &mut u64) -> Duration {
+    let policy = RetryPolicy {
+        attempts: u32::MAX,
+        base: RECONNECT_BACKOFF,
+        cap: RECONNECT_CAP,
+        seed: 0, // unused: the caller threads jitter_state explicitly
+    };
+    backoff_with_jitter(&policy, attempt, jitter_state)
+}
 
 /// Read timeout on the replica's socket: the granularity at which the
 /// stream loop notices a shutdown request.
 const STREAM_TICK: Duration = Duration::from_millis(100);
+
+/// How long a partially-received frame may sit without a single new
+/// byte before the stream is declared wedged and redialed; also bounds
+/// the whole wait for a handshake reply. An idle stream with *no*
+/// partial frame is legitimate (a quiet primary) and never trips this —
+/// but a peer that stalls mid-frame (torn frame, corrupted length
+/// prefix pointing past the data) would otherwise hang the stream
+/// forever.
+const STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Live counters for one replication stream.
 #[derive(Default)]
@@ -57,12 +84,25 @@ pub struct ReplStatus {
     resyncs: AtomicU64,
     batches: AtomicU64,
     bytes: AtomicU64,
+    /// Mirror of `last_applied` under a lock, so waiters can park on
+    /// the condvar instead of busy-polling the atomic.
+    applied: Mutex<u64>,
+    applied_cv: Condvar,
 }
 
 impl ReplStatus {
     /// Seq of the last record durably applied to the replica store.
     pub fn last_applied(&self) -> u64 {
         self.last_applied.load(Ordering::SeqCst)
+    }
+
+    /// Publish a newly applied seq: lock-free readers see the atomic,
+    /// parked [`ReplicaHandle::wait_for_seq`] callers are woken through
+    /// the condvar.
+    fn note_applied(&self, seq: u64) {
+        self.last_applied.store(seq, Ordering::SeqCst);
+        *plock(&self.applied) = seq;
+        self.applied_cv.notify_all();
     }
 
     /// Whether the stream to the primary is currently up.
@@ -125,14 +165,25 @@ impl ReplicaHandle {
     }
 
     /// Block until the replica has applied `seq` or `timeout` passes.
-    /// Returns whether the seq was reached.
+    /// Returns whether the seq was reached. Waiters park on a condvar
+    /// the apply path notifies, so they wake at the apply that crosses
+    /// `seq` instead of polling.
     pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        while self.status.last_applied() < seq {
-            if Instant::now() >= deadline {
+        let mut applied = plock(&self.status.applied);
+        while *applied < seq {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, wait) = self
+                .status
+                .applied_cv
+                .wait_timeout(applied, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            applied = guard;
+            if wait.timed_out() && *applied < seq {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(2));
         }
         true
     }
@@ -161,16 +212,22 @@ pub fn replicate(store: Store, primary: impl Into<String>) -> ReplicaHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let status = Arc::new(ReplStatus::default());
     let conn: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
-    status
-        .last_applied
-        .store(store.read().seq, Ordering::SeqCst);
+    status.note_applied(store.read().seq);
     let thread = {
         let stop = stop.clone();
         let status = status.clone();
         let conn = conn.clone();
         std::thread::spawn(move || {
+            let mut attempt = 0u32;
+            let mut jitter_state = 0xD1A1_5EED_u64;
             while !stop.load(Ordering::SeqCst) {
                 let outcome = run_stream(&store, &primary, &stop, &status, &conn);
+                // A session that reached streaming resets the backoff
+                // ladder: the next failure is a fresh incident, not the
+                // continuation of this one.
+                if status.is_connected() {
+                    attempt = 0;
+                }
                 *plock(&conn) = None;
                 status.connected.store(false, Ordering::SeqCst);
                 match outcome {
@@ -178,14 +235,17 @@ pub fn replicate(store: Store, primary: impl Into<String>) -> ReplicaHandle {
                     StreamEnd::StoreDown => break, // wounded store: stop, don't hammer
                     StreamEnd::Disconnected => {
                         // Torn stream or dead primary: redial and resume
-                        // from the last seq we actually applied. A
-                        // shutdown sets `stop` before shutting the
-                        // socket, so the EOF it provokes must not pay
-                        // the redial backoff.
+                        // from the last seq we actually applied, waiting
+                        // out a capped-exponential, seeded-jitter pause
+                        // so a down primary isn't hammered at a fixed
+                        // cadence. A shutdown sets `stop` before
+                        // shutting the socket, so the EOF it provokes
+                        // must not pay the redial backoff.
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        std::thread::sleep(RECONNECT_BACKOFF);
+                        std::thread::sleep(reconnect_backoff(attempt, &mut jitter_state));
+                        attempt = attempt.saturating_add(1);
                     }
                 }
             }
@@ -272,7 +332,7 @@ fn run_stream(
     status.connected.store(true, Ordering::SeqCst);
 
     loop {
-        let frame = match next_frame(&mut stream, &mut rbuf, stop) {
+        let frame = match next_frame(&mut stream, &mut rbuf, stop, None) {
             Ok(Some(f)) => f,
             Ok(None) => return StreamEnd::Stopped,
             Err(_) => return StreamEnd::Disconnected,
@@ -316,7 +376,7 @@ fn run_stream(
             }
             _ => return StreamEnd::Disconnected, // not a replication frame
         };
-        status.last_applied.store(applied, Ordering::SeqCst);
+        status.note_applied(applied);
         if wire::write_frame(&mut stream, &format!("ACK {applied}")).is_err() {
             return StreamEnd::Disconnected;
         }
@@ -324,13 +384,16 @@ fn run_stream(
 }
 
 /// Read one frame, ticking the socket timeout so `stop` is honored.
-/// `Ok(None)` = stop requested; `Err` = transport failure or EOF.
+/// `Ok(None)` = stop requested; `Err` = transport failure, EOF, a frame
+/// stalled mid-flight past [`STALL_TIMEOUT`], or `overall` elapsing.
 fn next_frame(
     stream: &mut TcpStream,
     rbuf: &mut Vec<u8>,
     stop: &AtomicBool,
+    overall: Option<Instant>,
 ) -> io::Result<Option<Vec<u8>>> {
     let mut chunk = [0u8; 16 * 1024];
+    let mut last_progress = Instant::now();
     loop {
         if let Some(frame) = wire::take_frame(rbuf)? {
             return Ok(Some(frame));
@@ -338,9 +401,25 @@ fn next_frame(
         if stop.load(Ordering::SeqCst) {
             return Ok(None);
         }
+        let now = Instant::now();
+        if !rbuf.is_empty() && now.duration_since(last_progress) >= STALL_TIMEOUT {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "replication frame stalled mid-flight",
+            ));
+        }
+        if overall.is_some_and(|d| now >= d) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "timed out waiting for a reply",
+            ));
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                rbuf.extend_from_slice(&chunk[..n]);
+                last_progress = Instant::now();
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut
@@ -350,15 +429,17 @@ fn next_frame(
     }
 }
 
-/// [`next_frame`] narrowed to UTF-8 (handshake replies). `None` folds
-/// together stop, EOF, and non-text frames; callers disambiguate via
-/// the stop flag.
+/// [`next_frame`] narrowed to UTF-8 (handshake replies), with the whole
+/// wait bounded by [`STALL_TIMEOUT`] — a healthy peer answers a
+/// handshake immediately, so an absent reply means the connection is
+/// wedged, not idle. `None` folds together stop, timeout, EOF, and
+/// non-text frames; callers disambiguate via the stop flag.
 fn next_text_frame(
     stream: &mut TcpStream,
     rbuf: &mut Vec<u8>,
     stop: &AtomicBool,
 ) -> Option<String> {
-    match next_frame(stream, rbuf, stop) {
+    match next_frame(stream, rbuf, stop, Some(Instant::now() + STALL_TIMEOUT)) {
         Ok(Some(frame)) => String::from_utf8(frame).ok(),
         _ => None,
     }
@@ -367,6 +448,13 @@ fn next_text_frame(
 /// Routing client: reads round-robin across replicas with failover,
 /// writes pin to the primary. Like [`Client`], not thread-safe — one
 /// per thread.
+///
+/// With [`ReplicaClient::with_max_lag`] the routing inverts into a
+/// freshness-first mode: reads pin to the primary, and when the primary
+/// sheds a read with `OVERLOADED` the client degrades to a replica —
+/// but only one whose answer is within `max_lag` generations of the
+/// newest primary seq this client has observed. Bounded-stale answers
+/// under overload instead of errors; unboundedly-stale answers never.
 #[derive(Debug)]
 pub struct ReplicaClient {
     primary_addr: String,
@@ -374,6 +462,13 @@ pub struct ReplicaClient {
     primary: Option<Client>,
     replicas: Vec<Option<Client>>,
     next: usize,
+    /// Staleness bound (in generations) for overload-degraded reads;
+    /// `None` keeps the default replica-first routing.
+    max_lag: Option<u64>,
+    /// Highest primary seq observed through this client (write acks and
+    /// primary read generations) — the freshness yardstick replicas are
+    /// measured against.
+    write_high: u64,
 }
 
 impl ReplicaClient {
@@ -387,7 +482,17 @@ impl ReplicaClient {
             primary: None,
             replicas: (0..n).map(|_| None).collect(),
             next: 0,
+            max_lag: None,
+            write_high: 0,
         }
+    }
+
+    /// Switch reads to freshness-first routing: primary first, and on
+    /// `OVERLOADED` degrade to a replica at most `lag` generations
+    /// behind the newest primary seq this client has observed.
+    pub fn with_max_lag(mut self, lag: u64) -> ReplicaClient {
+        self.max_lag = Some(lag);
+        self
     }
 
     /// The pinned write connection (dialed on first use).
@@ -400,12 +505,66 @@ impl ReplicaClient {
             .ok_or_else(|| ClientError::Protocol("primary connection unavailable".into()))
     }
 
-    /// Evaluate a read on a replica (failing over to the next replica,
-    /// then the primary). The result carries the generation it was
-    /// computed against, so callers can see replica staleness.
+    /// Evaluate a read. Default routing: a replica, failing over to the
+    /// next replica, then the primary. With [`Self::with_max_lag`]:
+    /// the primary, degrading to a bounded-staleness replica only when
+    /// the primary sheds the read with `OVERLOADED`. The result carries
+    /// the generation it was computed against, so callers can see
+    /// replica staleness.
     pub fn query(&mut self, formula: &str) -> Result<QueryOutput, ClientError> {
-        let body = self.read_call(&format!("QUERY {formula}"))?;
-        wire::query_output_from_json(&body).map_err(ClientError::Protocol)
+        let line = format!("QUERY {formula}");
+        if self.max_lag.is_none() {
+            let body = self.read_call(&line)?;
+            return wire::query_output_from_json(&body).map_err(ClientError::Protocol);
+        }
+        match self.on_primary(|c| c.call(&line)) {
+            Ok(body) => {
+                let out = wire::query_output_from_json(&body).map_err(ClientError::Protocol)?;
+                self.write_high = self.write_high.max(out.generation);
+                Ok(out)
+            }
+            Err(ClientError::Overloaded { retry_after_ms }) => self
+                .query_replica_bounded(&line)
+                .ok_or(ClientError::Overloaded { retry_after_ms }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Degraded read path: sweep the replicas once from the round-robin
+    /// cursor and return the first answer within `max_lag` generations
+    /// of the newest observed primary seq. `None` = no replica close
+    /// enough (the caller surfaces the primary's original error).
+    fn query_replica_bounded(&mut self, line: &str) -> Option<QueryOutput> {
+        let bound = self.max_lag?;
+        let n = self.replica_addrs.len();
+        for attempt in 0..n {
+            let i = (self.next + attempt) % n;
+            if self.replicas[i].is_none() {
+                match Client::connect(self.replica_addrs[i].as_str()) {
+                    Ok(c) => self.replicas[i] = Some(c),
+                    Err(_) => continue,
+                }
+            }
+            let Some(conn) = self.replicas[i].as_mut() else {
+                continue;
+            };
+            match conn.call(line) {
+                Ok(body) => {
+                    let Ok(out) = wire::query_output_from_json(&body) else {
+                        self.replicas[i] = None;
+                        continue;
+                    };
+                    if self.write_high.saturating_sub(out.generation) <= bound {
+                        self.next = (i + 1) % n.max(1);
+                        return Some(out);
+                    }
+                    // Too stale: the connection is healthy, the data is
+                    // just behind — leave it up and try the next one.
+                }
+                Err(_) => self.replicas[i] = None,
+            }
+        }
+        None
     }
 
     /// `EXPLAIN` on a replica, with the same failover as [`Self::query`].
@@ -415,17 +574,17 @@ impl ReplicaClient {
 
     /// Declare a relation on the primary; returns the committed seq.
     pub fn create(&mut self, name: &str, arity: u32) -> Result<u64, ClientError> {
-        self.on_primary(|c| c.create(name, arity))
+        self.write_seq(|c| c.create(name, arity))
     }
 
     /// Drop a relation on the primary; returns the committed seq.
     pub fn drop_relation(&mut self, name: &str) -> Result<u64, ClientError> {
-        self.on_primary(|c| c.drop_relation(name))
+        self.write_seq(|c| c.drop_relation(name))
     }
 
     /// Union tuples on the primary; returns the committed seq.
     pub fn insert(&mut self, name: &str, rel: &GeneralizedRelation) -> Result<u64, ClientError> {
-        self.on_primary(|c| c.insert(name, rel))
+        self.write_seq(|c| c.insert(name, rel))
     }
 
     /// Remove subsumed tuples on the primary; returns the committed seq.
@@ -434,12 +593,23 @@ impl ReplicaClient {
         name: &str,
         rel: &GeneralizedRelation,
     ) -> Result<u64, ClientError> {
-        self.on_primary(|c| c.remove_subsumed(name, rel))
+        self.write_seq(|c| c.remove_subsumed(name, rel))
     }
 
     /// Replace a relation's instance on the primary; returns the seq.
     pub fn replace(&mut self, name: &str, rel: &GeneralizedRelation) -> Result<u64, ClientError> {
-        self.on_primary(|c| c.replace(name, rel))
+        self.write_seq(|c| c.replace(name, rel))
+    }
+
+    /// A primary write whose committed seq advances the freshness
+    /// yardstick degraded reads are bounded against.
+    fn write_seq(
+        &mut self,
+        f: impl FnOnce(&mut Client) -> Result<u64, ClientError>,
+    ) -> Result<u64, ClientError> {
+        let seq = self.on_primary(f)?;
+        self.write_high = self.write_high.max(seq);
+        Ok(seq)
     }
 
     fn on_primary<T>(
@@ -447,7 +617,10 @@ impl ReplicaClient {
         f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
         let out = f(self.primary()?);
-        if matches!(out, Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))) {
+        if matches!(
+            out,
+            Err(ClientError::Io(_)) | Err(ClientError::Timeout(_)) | Err(ClientError::Protocol(_))
+        ) {
             self.primary = None; // redial next time
         }
         out

@@ -34,6 +34,29 @@
 //! pumping until there is room. Shutdown is a wake-token flip — no
 //! loopback self-connect, no acceptor poke.
 //!
+//! ## Request lifecycle: deadlines and load shedding
+//!
+//! `QUERY`/`EXPLAIN` may carry a client deadline and budgets (the
+//! wire's `@deadline_ms=…` options). The lifecycle enforces them at
+//! three points:
+//!
+//! 1. **Admission (reactor)** — before a request is handed to the
+//!    pool, the reactor projects its queue wait from the current depth
+//!    and a calibrated per-job service-time EWMA; when the projection
+//!    alone exceeds the request's deadline, or the queue is past its
+//!    high-water mark, the request is shed *immediately* with a typed
+//!    `ERR OVERLOADED retry_after_ms=…` (counted in `shed_overload`).
+//! 2. **Dequeue (worker)** — a request whose deadline elapsed while it
+//!    sat in the queue is answered `ERR DEADLINE_EXCEEDED` without
+//!    evaluating (never spend cycles on dead work; counted in
+//!    `expired_deadline`). Otherwise the per-request guard deadline is
+//!    `min(client deadline − queue wait, `[`SERVER_DEADLINE_CAP`]`)`,
+//!    and the planner's cost estimate × a calibrated ns-per-cost-unit
+//!    EWMA projects completion: a query that cannot finish in time
+//!    (and is not already in the prepared cache) is shed here too.
+//! 3. **Completion** — a successful reply that still slipped past the
+//!    client's deadline (scheduling skew) increments `served_late`.
+//!
 //! ## Replication
 //!
 //! A replica's connection upgrades with the `REPL <last_seq>` verb: the
@@ -47,7 +70,9 @@
 
 use crate::reactor::{self, PollFd, WakeReader, WakeToken, POLLERR, POLLHUP, POLLIN, POLLOUT};
 use crate::store::{ReplBacklog, Store, StoreError};
-use crate::wire::{self, Request};
+use crate::wire::{self, QueryOpts, Request};
+use dco_analysis::cost;
+use dco_core::guard::GuardLimits;
 use dco_core::prelude::eval_config;
 use dco_encoding::relation_from_json_str;
 use std::collections::{HashMap, VecDeque};
@@ -77,6 +102,20 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 /// Poll tick: upper bound on how stale the idle sweep and any missed
 /// wakeup can get. Readiness and wake-token events interrupt it.
 const POLL_TICK_MS: i32 = 100;
+
+/// Server-side cap on any single evaluation's wall clock. Every query
+/// runs under `min(client deadline − queue wait, this cap)` — a client
+/// that sends no deadline still cannot pin a worker forever.
+pub const SERVER_DEADLINE_CAP: Duration = Duration::from_secs(30);
+
+/// Queue high-water mark, per worker: past `workers × this`, new
+/// queries are shed with `OVERLOADED` regardless of their deadline.
+/// This is the last-ditch guard against a runaway queue, not the
+/// primary shedding signal (deadline projection is) — it sits well
+/// above the reactor's documented burst scale (a thousand simultaneous
+/// connections, one in-flight request each), which must queue, not
+/// shed.
+const HIGH_WATER_PER_WORKER: u64 = 1024;
 
 /// Max sealed records fetched from the backlog per replication frame.
 const REPL_CHUNK: usize = 256;
@@ -110,10 +149,72 @@ pub(crate) struct ServeCounters {
     repl_streams: AtomicU64,
     repl_lag: AtomicU64,
     repl_bytes: AtomicU64,
+    /// Requests shed with `OVERLOADED` (admission or cost projection).
+    shed_overload: AtomicU64,
+    /// Requests whose deadline elapsed in the queue (never evaluated).
+    expired_deadline: AtomicU64,
+    /// Successful replies that still slipped past their deadline.
+    served_late: AtomicU64,
+    /// Worker-pool size, for queue-wait projection.
+    workers: AtomicU64,
+    /// EWMA of per-job service time in ns (all verbs).
+    ewma_job_ns: AtomicU64,
+    /// EWMA of evaluation ns per planner cost unit (calibration for the
+    /// cost-aware shed decision); 0 = not yet calibrated.
+    ewma_cost_ns: AtomicU64,
 }
 
-/// One request handed to the worker pool: (connection id, command line).
-type Job = (u64, String);
+/// Decaying average with 1/8 gain; the first sample seeds it outright.
+/// Relaxed load/store races can drop an update — these are heuristics,
+/// not ledgers.
+fn ewma_update(cell: &AtomicU64, sample: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        sample
+    } else {
+        old - old / 8 + sample / 8
+    };
+    cell.store(new.max(1), Ordering::Relaxed);
+}
+
+/// Suggested client backoff: the projected time for the current queue
+/// to drain (plus `floor` for cost-shed requests), clamped to [1 ms, 5 s].
+fn retry_hint(counters: &ServeCounters, floor: Duration) -> u64 {
+    let queued = counters.queued.load(Ordering::Relaxed);
+    let workers = counters.workers.load(Ordering::Relaxed).max(1);
+    let drain_ms =
+        queued.saturating_mul(counters.ewma_job_ns.load(Ordering::Relaxed)) / workers / 1_000_000;
+    drain_ms.max(floor.as_millis() as u64).clamp(1, 5_000)
+}
+
+/// The reactor-side shed decision, made before a query is queued: shed
+/// when the queue is past its high-water mark, or when the projected
+/// queue wait alone already exceeds the request's whole deadline. Cheap
+/// on purpose — two atomic loads — because it runs on the event loop.
+fn admission_shed(opts: &QueryOpts, counters: &ServeCounters) -> Option<StoreError> {
+    let queued = counters.queued.load(Ordering::Relaxed);
+    let workers = counters.workers.load(Ordering::Relaxed).max(1);
+    if queued >= workers.saturating_mul(HIGH_WATER_PER_WORKER) {
+        return Some(StoreError::Overloaded {
+            retry_after_ms: retry_hint(counters, Duration::ZERO),
+        });
+    }
+    if let Some(d) = opts.deadline_ms {
+        let wait_ms = queued.saturating_mul(counters.ewma_job_ns.load(Ordering::Relaxed))
+            / workers
+            / 1_000_000;
+        if wait_ms >= d {
+            return Some(StoreError::Overloaded {
+                retry_after_ms: retry_hint(counters, Duration::ZERO),
+            });
+        }
+    }
+    None
+}
+
+/// One request handed to the worker pool: (connection id, command line,
+/// enqueue instant — the queue-wait clock for deadline propagation).
+type Job = (u64, String, Instant);
 
 /// One finished request: (connection id, reply, close-after-reply).
 type Completion = (u64, String, bool);
@@ -355,6 +456,7 @@ fn spawn_workers(
     wake: &Arc<WakeToken>,
 ) -> Vec<JoinHandle<()>> {
     let n = eval_config().effective_threads().max(2);
+    counters.workers.store(n as u64, Ordering::Relaxed);
     (0..n)
         .map(|_| {
             let store = store.clone();
@@ -362,8 +464,11 @@ fn spawn_workers(
             let counters = counters.clone();
             let wake = wake.clone();
             std::thread::spawn(move || {
-                while let Some((conn_id, line)) = jobs.pop() {
-                    let (reply, close) = respond_ctx(&store, &line, Some(&counters));
+                while let Some((conn_id, line, enqueued)) = jobs.pop() {
+                    let started = Instant::now();
+                    let (reply, close) =
+                        respond_timed(&store, &line, Some(&counters), Some(enqueued));
+                    ewma_update(&counters.ewma_job_ns, started.elapsed().as_nanos() as u64);
                     jobs.complete((conn_id, reply, close));
                     wake.notify();
                 }
@@ -637,12 +742,30 @@ fn dispatch(
                 counters.repl_streams.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+            Ok(Request::Query(opts, _)) | Ok(Request::Explain(opts, _)) => {
+                // Cost-aware admission: shed now, with a typed reply and
+                // a retry hint, rather than queue work that cannot make
+                // its deadline. Shed replies keep request order — the
+                // loop only runs while nothing is in flight.
+                if let Some(err) = admission_shed(&opts, counters) {
+                    counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+                    if conn.push_frame(format!("ERR {err}").as_bytes()).is_err() {
+                        conn.close_after_flush = true;
+                        return;
+                    }
+                    continue;
+                }
+                conn.in_flight = true;
+                counters.queued.fetch_add(1, Ordering::Relaxed);
+                jobs.push((id, line, Instant::now()));
+                return;
+            }
             _ => {
                 // Everything else (including parse errors, which the
                 // worker turns into `ERR …`) evaluates off-thread.
                 conn.in_flight = true;
                 counters.queued.fetch_add(1, Ordering::Relaxed);
-                jobs.push((id, line));
+                jobs.push((id, line, Instant::now()));
                 return;
             }
         }
@@ -743,6 +866,115 @@ pub fn respond(store: &Store, line: &str) -> (String, bool) {
 /// [`respond`] with the serving counters in scope (the worker-pool
 /// entry point): `STATS` then includes the serving/replication section.
 fn respond_ctx(store: &Store, line: &str, serve: Option<&ServeCounters>) -> (String, bool) {
+    respond_timed(store, line, serve, None)
+}
+
+/// Evaluate a `QUERY`/`EXPLAIN` under the request's deadline/budget
+/// options. `enqueued` (when known) is the queue-wait clock: a request
+/// whose deadline elapsed while queued is rejected without evaluating,
+/// and the evaluation guard gets the *remaining* deadline, capped by
+/// [`SERVER_DEADLINE_CAP`]. With calibrated cost data, a query whose
+/// projected evaluation cannot finish in the remainder is shed instead
+/// of started (unless the prepared cache already holds its answer).
+fn run_read(
+    store: &Store,
+    opts: QueryOpts,
+    src: &str,
+    serve: Option<&ServeCounters>,
+    enqueued: Option<Instant>,
+) -> Result<String, StoreError> {
+    let waited = enqueued.map_or(Duration::ZERO, |t| t.elapsed());
+    if let Some(d) = opts.deadline_ms {
+        if waited >= Duration::from_millis(d) {
+            if let Some(c) = serve {
+                c.expired_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(StoreError::DeadlineExceeded {
+                elapsed_ms: waited.as_millis() as u64,
+                limit_ms: d,
+            });
+        }
+    }
+    let budget = opts
+        .deadline_ms
+        .map_or(SERVER_DEADLINE_CAP, |d| {
+            Duration::from_millis(d).saturating_sub(waited)
+        })
+        .min(SERVER_DEADLINE_CAP);
+    let formula = dco_logic::parse_formula(src).map_err(|e| StoreError::Parse(e.to_string()))?;
+    let est = store.estimate_query_cost(&formula);
+    if let Some(c) = serve {
+        let rate = c.ewma_cost_ns.load(Ordering::Relaxed);
+        if rate > 0 && !store.has_prepared(&formula) {
+            let projected = cost::projected_eval_time(est, rate);
+            if projected > budget {
+                c.shed_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Overloaded {
+                    retry_after_ms: retry_hint(c, projected.saturating_sub(budget)),
+                });
+            }
+        }
+    }
+    let started = Instant::now();
+    let mut limits = GuardLimits::none().with_deadline(budget);
+    if let Some(n) = opts.max_tuples {
+        limits = limits.with_max_tuples(n);
+    }
+    if let Some(n) = opts.max_atoms {
+        limits = limits.with_max_atoms(n);
+    }
+    let out = store.query_formula_limited(&formula, limits)?;
+    if let Some(c) = serve {
+        if !out.cached {
+            let per_unit = started.elapsed().as_nanos() as f64 / est.max(1.0);
+            ewma_update(&c.ewma_cost_ns, per_unit as u64);
+        }
+        if let Some(d) = opts.deadline_ms {
+            let total = enqueued.map_or_else(|| started.elapsed(), |t| t.elapsed());
+            if total > Duration::from_millis(d) {
+                c.served_late.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    Ok(wire::query_output_to_json(&out))
+}
+
+/// `EXPLAIN` under the same admission rules as [`run_read`] — deadline
+/// expiry is honored at dequeue, but the plan measurement itself runs
+/// unguarded (EXPLAIN is for inspection, not serving).
+fn run_explain(
+    store: &Store,
+    opts: QueryOpts,
+    src: &str,
+    serve: Option<&ServeCounters>,
+    enqueued: Option<Instant>,
+) -> Result<String, StoreError> {
+    let waited = enqueued.map_or(Duration::ZERO, |t| t.elapsed());
+    if let Some(d) = opts.deadline_ms {
+        if waited >= Duration::from_millis(d) {
+            if let Some(c) = serve {
+                c.expired_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(StoreError::DeadlineExceeded {
+                elapsed_ms: waited.as_millis() as u64,
+                limit_ms: d,
+            });
+        }
+    }
+    store
+        .query_explain(src)
+        .map(|out| wire::explain_output_to_json(&out))
+}
+
+/// [`respond_ctx`] with the enqueue instant in scope — the full serving
+/// path, including deadline expiry, cost-aware shedding, and late-reply
+/// accounting for `QUERY`/`EXPLAIN`.
+fn respond_timed(
+    store: &Store,
+    line: &str,
+    serve: Option<&ServeCounters>,
+    enqueued: Option<Instant>,
+) -> (String, bool) {
     let request = match wire::parse_request(line) {
         Ok(r) => r,
         Err(e) => return (format!("ERR {e}"), false),
@@ -762,12 +994,8 @@ fn respond_ctx(store: &Store, line: &str, serve: Option<&ServeCounters>) -> (Str
         }
         Request::Ping => Ok("pong".to_string()),
         Request::Close => return ("OK bye".to_string(), true),
-        Request::Query(src) => store
-            .query(&src)
-            .map(|out| wire::query_output_to_json(&out)),
-        Request::Explain(src) => store
-            .query_explain(&src)
-            .map(|out| wire::explain_output_to_json(&out)),
+        Request::Query(opts, src) => run_read(store, opts, &src, serve, enqueued),
+        Request::Explain(opts, src) => run_explain(store, opts, &src, serve, enqueued),
         Request::Create(name, arity) => store.create(&name, arity).map(|seq| seq.to_string()),
         Request::Drop(name) => store.drop_relation(&name).map(|seq| seq.to_string()),
         Request::Insert(name, body) => with_relation(&body, |rel| store.insert(&name, rel)),
@@ -821,6 +1049,9 @@ fn stats_json(store: &Store, serve: Option<&ServeCounters>) -> String {
             ("conns_total".into(), n(&c.conns_total)),
             ("queued_requests".into(), n(&c.queued)),
             ("backpressure_stalls".into(), n(&c.backpressure_stalls)),
+            ("shed_overload".into(), n(&c.shed_overload)),
+            ("expired_deadline".into(), n(&c.expired_deadline)),
+            ("served_late".into(), n(&c.served_late)),
             ("repl_streams".into(), n(&c.repl_streams)),
             ("repl_lag".into(), n(&c.repl_lag)),
             ("repl_bytes".into(), n(&c.repl_bytes)),
@@ -910,7 +1141,8 @@ mod tests {
         assert!(r.contains("999"), "mismatch names the peer's version: {r}");
         assert!(close, "a mismatched peer must be hung up on");
         // Wrong codec version: same treatment.
-        let (r, close) = respond(&store, "HELLO 2 99");
+        let line = format!("HELLO {} 99", wire::PROTOCOL_VERSION);
+        let (r, close) = respond(&store, &line);
         assert!(r.starts_with("ERR version mismatch"), "got {r}");
         assert!(close);
         // REPL outside a server connection is a typed refusal, not a hang.
@@ -918,6 +1150,80 @@ mod tests {
         assert!(r.starts_with("ERR invalid operation"), "got {r}");
         assert!(!close);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deadline_and_budget_options_produce_typed_errors() {
+        let dir = tmpdir("deadline");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let (r, _) = respond(&store, "CREATE r 2");
+        assert_eq!(r, "OK 1");
+        let rel = GeneralizedRelation::from_raw(
+            2,
+            vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1))],
+        );
+        let (r, _) = respond(
+            &store,
+            &format!("INSERT r {}", dco_encoding::relation_to_json_str(&rel)),
+        );
+        assert_eq!(r, "OK 2");
+        // A zero deadline has already elapsed: rejected before eval,
+        // with the machine-readable token leading the message.
+        let counters = ServeCounters::default();
+        let (r, close) = respond_timed(
+            &store,
+            "QUERY @deadline_ms=0 r(x, y)",
+            Some(&counters),
+            Some(Instant::now()),
+        );
+        assert!(r.starts_with("ERR DEADLINE_EXCEEDED"), "got {r}");
+        assert!(!close);
+        assert_eq!(counters.expired_deadline.load(Ordering::Relaxed), 1);
+        // A starved tuple budget trips the guard, typed as a fault.
+        let (r, _) = respond(&store, "QUERY @max_tuples=1 !(r(x, y) | r(y, x) | x < y)");
+        assert!(r.starts_with("ERR"), "got {r}");
+        assert!(r.contains("budget exceeded"), "got {r}");
+        // A generous deadline changes nothing about the answer.
+        let (r, _) = respond(&store, "QUERY @deadline_ms=60000 r(x, y) & x < y");
+        assert!(r.starts_with("OK {"), "got {r}");
+        let out = wire::query_output_from_json(&r[3..]).unwrap();
+        assert_eq!(out.relation, rel);
+        // EXPLAIN honors deadline expiry the same way.
+        let (r, _) = respond_timed(
+            &store,
+            "EXPLAIN @deadline_ms=0 r(x, y)",
+            Some(&counters),
+            Some(Instant::now()),
+        );
+        assert!(r.starts_with("ERR DEADLINE_EXCEEDED"), "got {r}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overloaded_error_renders_a_machine_readable_retry_hint() {
+        let counters = ServeCounters::default();
+        counters.workers.store(2, Ordering::Relaxed);
+        counters
+            .queued
+            .store(2 * HIGH_WATER_PER_WORKER, Ordering::Relaxed);
+        counters.ewma_job_ns.store(1_000_000, Ordering::Relaxed); // 1 ms/job
+        let err = admission_shed(&QueryOpts::none(), &counters).expect("past high water");
+        let msg = format!("ERR {err}");
+        assert!(
+            msg.starts_with("ERR OVERLOADED retry_after_ms="),
+            "got {msg}"
+        );
+        // Below high water, a request with no deadline is admitted …
+        counters.queued.store(8, Ordering::Relaxed);
+        assert!(admission_shed(&QueryOpts::none(), &counters).is_none());
+        // … but one whose whole deadline is eaten by queue wait is shed.
+        let tight = QueryOpts::none().with_deadline_ms(3);
+        assert!(
+            admission_shed(&tight, &counters).is_some(),
+            "8 jobs × 1 ms / 2 workers = 4 ms wait > 3 ms deadline"
+        );
+        let loose = QueryOpts::none().with_deadline_ms(100);
+        assert!(admission_shed(&loose, &counters).is_none());
     }
 
     #[test]
@@ -933,6 +1239,9 @@ mod tests {
             "\"conns_total\":",
             "\"queued_requests\":",
             "\"backpressure_stalls\":",
+            "\"shed_overload\":",
+            "\"expired_deadline\":",
+            "\"served_late\":",
             "\"repl_streams\":",
             "\"repl_lag\":7",
             "\"repl_bytes\":",

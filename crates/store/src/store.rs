@@ -58,7 +58,7 @@ use crate::wal::{apply_op, LogOp, Wal};
 use dco_analysis::explain::QueryPlan;
 use dco_analysis::stats::DbStats;
 use dco_analysis::{cost, plan_formula, preflight_formula, AnalysisOptions, Diagnostic};
-use dco_core::guard::{self, GuardStats, ProbeSite};
+use dco_core::guard::{self, EvalErrorKind, GuardLimits, GuardStats, ProbeSite};
 use dco_core::intern::{fold, mix64};
 use dco_core::prelude::{Database, GeneralizedRelation, Schema};
 use dco_fo::{explain_with_stats, try_eval_with, TryEvalError};
@@ -213,6 +213,27 @@ pub enum StoreError {
     /// The guarded evaluation tripped a budget, deadline, or contained
     /// fault.
     Fault(String),
+    /// The request's deadline elapsed — either while it sat in the
+    /// server queue (never evaluated) or during the guarded evaluation.
+    /// The wire form starts with the `DEADLINE_EXCEEDED` token so
+    /// clients can match it without parsing prose.
+    DeadlineExceeded {
+        /// Milliseconds elapsed when the request was abandoned.
+        elapsed_ms: u64,
+        /// The propagated deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The server shed this request before evaluating it: projected
+    /// completion exceeded the deadline, or the server is past its
+    /// high-water mark. The wire form starts with the `OVERLOADED`
+    /// token and carries a machine-readable retry hint.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A network operation timed out (client-side connect/read
+    /// timeouts surface this instead of hanging on a dead peer).
+    Timeout(String),
     /// A previous write crashed mid-commit; the store refuses further
     /// writes until reopened (which truncates the torn WAL tail).
     Unhealthy,
@@ -242,6 +263,18 @@ impl fmt::Display for StoreError {
                 Ok(())
             }
             StoreError::Fault(m) => write!(f, "evaluation fault: {m}"),
+            StoreError::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "DEADLINE_EXCEEDED {elapsed_ms} ms elapsed of {limit_ms} ms allowed"
+            ),
+            StoreError::Overloaded { retry_after_ms } => write!(
+                f,
+                "OVERLOADED retry_after_ms={retry_after_ms} server shed this request"
+            ),
+            StoreError::Timeout(m) => write!(f, "timeout: {m}"),
             StoreError::Unhealthy => {
                 f.write_str("store is unhealthy after a failed write; reopen to recover")
             }
@@ -1358,6 +1391,44 @@ impl Store {
 
     /// [`Store::query`] for an already-parsed formula.
     pub fn query_formula(&self, formula: &Formula) -> Result<QueryOutput, StoreError> {
+        self.query_formula_limited(formula, GuardLimits::none())
+    }
+
+    /// The planner's cost estimate for `formula` against the current
+    /// generation's statistics, in the planner's abstract cost units.
+    /// This is the admission-control signal: the server multiplies it
+    /// by a calibrated ms-per-unit rate to project completion time
+    /// before committing a worker to the evaluation.
+    pub fn estimate_query_cost(&self, formula: &Formula) -> f64 {
+        let generation = self.read();
+        dco_analysis::planner::estimate_formula(formula, &generation.stats)
+    }
+
+    /// Whether the prepared-query cache holds a still-valid answer for
+    /// `formula` under the current generation. Admission control uses
+    /// this to avoid shedding a query whose answer is already sitting
+    /// in memory — a cache hit costs microseconds regardless of the
+    /// planner's estimate.
+    pub fn has_prepared(&self, formula: &Formula) -> bool {
+        let generation = self.read();
+        let key = (
+            formula_fingerprint(formula),
+            self.cache_epoch(formula, &generation),
+        );
+        plock(&self.inner.prepared).get(key).is_some()
+    }
+
+    /// [`Store::query_formula`] with extra per-request guard limits
+    /// (the wire's `@deadline_ms=…` options). The request's limits are
+    /// *intersected* with the statistics-derived defaults — a client
+    /// can tighten the budgets the server would enforce, never loosen
+    /// them. A deadline trip surfaces as the typed
+    /// [`StoreError::DeadlineExceeded`], not a generic fault.
+    pub fn query_formula_limited(
+        &self,
+        formula: &Formula,
+        extra: GuardLimits,
+    ) -> Result<QueryOutput, StoreError> {
         let generation = self.read();
         let fp = formula_fingerprint(formula);
         let key = (fp, self.cache_epoch(formula, &generation));
@@ -1390,12 +1461,22 @@ impl Store {
             formula,
             &generation.stats,
             generation.db.constants(),
-        );
+        )
+        .tightened(&extra);
         let planned = plan_formula(formula, &generation.stats);
         let guarded = try_eval_with(&generation.db, &planned, limits).map_err(|e| match e {
             TryEvalError::Parse(p) => StoreError::Parse(p.to_string()),
             TryEvalError::Invalid(i) => StoreError::Invalid(i.to_string()),
-            TryEvalError::Fault(f) => StoreError::Fault(f.to_string()),
+            TryEvalError::Fault(f) => match f.kind {
+                EvalErrorKind::DeadlineExceeded {
+                    elapsed_ms,
+                    limit_ms,
+                } => StoreError::DeadlineExceeded {
+                    elapsed_ms,
+                    limit_ms,
+                },
+                _ => StoreError::Fault(f.to_string()),
+            },
         })?;
 
         let columns = guarded.value.columns;

@@ -9,8 +9,8 @@
 //! |-----------------------------|-----------------------------------|
 //! | `HELLO <proto> <codec>`     | `OK <proto> <codec>`              |
 //! | `PING`                      | `OK pong`                         |
-//! | `QUERY <formula>`           | `OK {json query output}`          |
-//! | `EXPLAIN <formula>`         | `OK {json plan tree}`             |
+//! | `QUERY [@opts] <formula>`   | `OK {json query output}`          |
+//! | `EXPLAIN [@opts] <formula>` | `OK {json plan tree}`             |
 //! | `CREATE <name> <arity>`     | `OK <seq>`                        |
 //! | `DROP <name>`               | `OK <seq>`                        |
 //! | `INSERT <name> <json rel>`  | `OK <seq>`                        |
@@ -30,7 +30,28 @@
 //! the prepared-cache counters `cache_hits`/`cache_misses`/
 //! `cache_entries`, and the serving/replication counters `conns_open`,
 //! `conns_total`, `queued_requests`, `backpressure_stalls`,
-//! `repl_streams`, `repl_lag`, `repl_bytes`.
+//! `shed_overload`, `expired_deadline`, `served_late`, `repl_streams`,
+//! `repl_lag`, `repl_bytes`.
+//!
+//! ## Request deadlines and budgets
+//!
+//! `QUERY` and `EXPLAIN` accept an optional *option token* right after
+//! the verb: a single `@`-prefixed word of comma-separated `key=value`
+//! pairs, e.g. `QUERY @deadline_ms=200,max_tuples=100000 R(x, y)`.
+//! Recognized keys (all `u64`):
+//!
+//! * `deadline_ms` — the client's end-to-end deadline. The server
+//!   subtracts the time the request waited in its queue, clamps by its
+//!   own cap, and hands the remainder to the evaluation guard; a
+//!   request whose deadline already elapsed while queued is answered
+//!   `ERR DEADLINE_EXCEEDED …` without being evaluated, and one whose
+//!   projected completion exceeds the remainder is shed with
+//!   `ERR OVERLOADED retry_after_ms=<n> …`.
+//! * `max_tuples` / `max_atoms` — materialization budgets, intersected
+//!   with (never loosening) the server's statistics-derived limits.
+//!
+//! Formulas never start with `@`, so the token is unambiguous; a bare
+//! `QUERY <formula>` keeps its protocol-2 meaning.
 //!
 //! ## Version handshake
 //!
@@ -71,8 +92,11 @@ pub const MAX_FRAME: usize = 64 << 20;
 
 /// Wire protocol version announced in the `HELLO` handshake. Version 1
 /// is the pre-handshake dialect (no `HELLO`, no `REPL`); version 2
-/// added both. Bump on any framing or verb-semantics change.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// added both; version 3 added the optional `@deadline_ms=…` option
+/// token on `QUERY`/`EXPLAIN` and the typed `DEADLINE_EXCEEDED` /
+/// `OVERLOADED` error replies. Bump on any framing or verb-semantics
+/// change.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Tag byte of a binary replication frame carrying concatenated sealed
 /// WAL records (a forwarded group-commit batch).
@@ -168,6 +192,103 @@ pub fn take_frame(buf: &mut Vec<u8>) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(frame))
 }
 
+/// Per-request evaluation limits carried on the wire: the client's
+/// end-to-end deadline and materialization budgets. All fields are
+/// optional; [`QueryOpts::default`] (everything `None`) renders as the
+/// empty string and round-trips to itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOpts {
+    /// End-to-end deadline in milliseconds, measured from the moment
+    /// the client sent the request.
+    pub deadline_ms: Option<u64>,
+    /// Cap on generalized tuples (disjuncts) materialized.
+    pub max_tuples: Option<u64>,
+    /// Cap on atoms (constraints) materialized.
+    pub max_atoms: Option<u64>,
+}
+
+impl QueryOpts {
+    /// No limits requested.
+    pub fn none() -> QueryOpts {
+        QueryOpts::default()
+    }
+
+    /// Request a deadline.
+    pub fn with_deadline_ms(mut self, ms: u64) -> QueryOpts {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Request a tuple budget.
+    pub fn with_max_tuples(mut self, n: u64) -> QueryOpts {
+        self.max_tuples = Some(n);
+        self
+    }
+
+    /// Request an atom budget.
+    pub fn with_max_atoms(mut self, n: u64) -> QueryOpts {
+        self.max_atoms = Some(n);
+        self
+    }
+
+    /// True when no option is set (renders as no token at all).
+    pub fn is_none(&self) -> bool {
+        self.deadline_ms.is_none() && self.max_tuples.is_none() && self.max_atoms.is_none()
+    }
+
+    /// Render as the wire's `@k=v,…` token followed by a space, or the
+    /// empty string when nothing is set — so
+    /// `format!("QUERY {}{formula}", opts.render())` is valid either way.
+    pub fn render(&self) -> String {
+        if self.is_none() {
+            return String::new();
+        }
+        let mut parts = Vec::new();
+        if let Some(ms) = self.deadline_ms {
+            parts.push(format!("deadline_ms={ms}"));
+        }
+        if let Some(n) = self.max_tuples {
+            parts.push(format!("max_tuples={n}"));
+        }
+        if let Some(n) = self.max_atoms {
+            parts.push(format!("max_atoms={n}"));
+        }
+        format!("@{} ", parts.join(","))
+    }
+
+    /// Parse the body of an option token (everything after the `@`).
+    pub fn parse(body: &str) -> Result<QueryOpts, String> {
+        let mut opts = QueryOpts::default();
+        for pair in body.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("option `{pair}` is not `key=value`"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("option `{key}`: bad value `{value}`"))?;
+            match key {
+                "deadline_ms" => opts.deadline_ms = Some(value),
+                "max_tuples" => opts.max_tuples = Some(value),
+                "max_atoms" => opts.max_atoms = Some(value),
+                other => return Err(format!("unknown query option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Split an optional leading `@opts` token off a `QUERY`/`EXPLAIN` body.
+fn split_opts(rest: &str) -> Result<(QueryOpts, &str), String> {
+    let Some(tail) = rest.strip_prefix('@') else {
+        return Ok((QueryOpts::default(), rest));
+    };
+    let (token, formula) = match tail.split_once(char::is_whitespace) {
+        Some((t, f)) => (t, f.trim()),
+        None => (tail, ""),
+    };
+    Ok((QueryOpts::parse(token)?, formula))
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -176,12 +297,13 @@ pub enum Request {
     Hello(u32, u8),
     /// Liveness check.
     Ping,
-    /// Evaluate a formula against the current generation.
-    Query(String),
+    /// Evaluate a formula against the current generation, under the
+    /// request's deadline/budget options.
+    Query(QueryOpts, String),
     /// Plan and evaluate a formula, returning the measured plan tree
     /// (estimated and actual cardinality per node) instead of the
-    /// relation.
-    Explain(String),
+    /// relation. Options bound admission the same way as `Query`.
+    Explain(QueryOpts, String),
     /// Declare a relation.
     Create(String, u32),
     /// Drop a relation.
@@ -233,10 +355,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Hello(proto, codec))
         }
         "PING" => Ok(Request::Ping),
-        "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
-        "QUERY" => Err("`QUERY` needs a formula".into()),
-        "EXPLAIN" if !rest.is_empty() => Ok(Request::Explain(rest.to_string())),
-        "EXPLAIN" => Err("`EXPLAIN` needs a formula".into()),
+        "QUERY" | "EXPLAIN" => {
+            let (opts, formula) = split_opts(rest)?;
+            if formula.is_empty() {
+                return Err(format!("`{}` needs a formula", verb.to_ascii_uppercase()));
+            }
+            if verb.eq_ignore_ascii_case("QUERY") {
+                Ok(Request::Query(opts, formula.to_string()))
+            } else {
+                Ok(Request::Explain(opts, formula.to_string()))
+            }
+        }
         "CREATE" => {
             let (name, arity) = name_and_body(rest)?;
             let arity: u32 = arity
@@ -378,7 +507,7 @@ mod tests {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(
             parse_request("query exists y . R(x, y)").unwrap(),
-            Request::Query("exists y . R(x, y)".into())
+            Request::Query(QueryOpts::none(), "exists y . R(x, y)".into())
         );
         assert_eq!(
             parse_request("CREATE r 2").unwrap(),
@@ -397,6 +526,41 @@ mod tests {
         assert_eq!(parse_request("REPL 42").unwrap(), Request::Repl(42));
         assert!(parse_request("REPL").is_err());
         assert!(parse_request("REPL -1").is_err());
+    }
+
+    #[test]
+    fn query_options_parse_render_and_reject_garbage() {
+        let opts = QueryOpts::none()
+            .with_deadline_ms(200)
+            .with_max_tuples(1000)
+            .with_max_atoms(16000);
+        assert_eq!(
+            opts.render(),
+            "@deadline_ms=200,max_tuples=1000,max_atoms=16000 "
+        );
+        assert_eq!(
+            parse_request(&format!("QUERY {}R(x, y)", opts.render())).unwrap(),
+            Request::Query(opts, "R(x, y)".into())
+        );
+        assert_eq!(QueryOpts::none().render(), "");
+        assert_eq!(
+            parse_request("EXPLAIN @deadline_ms=50 R(x)").unwrap(),
+            Request::Explain(QueryOpts::none().with_deadline_ms(50), "R(x)".into())
+        );
+        // An option token with no formula is an error, as is a bare verb.
+        assert!(parse_request("QUERY @deadline_ms=50").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("EXPLAIN").is_err());
+        // Unknown keys, malformed pairs, and non-numeric values.
+        assert!(parse_request("QUERY @frobnicate=1 R(x)").is_err());
+        assert!(parse_request("QUERY @deadline_ms R(x)").is_err());
+        assert!(parse_request("QUERY @deadline_ms=abc R(x)").is_err());
+        assert!(parse_request("QUERY @deadline_ms=-5 R(x)").is_err());
+        // Formulas themselves never start with `@`, so no ambiguity.
+        assert_eq!(
+            parse_request("QUERY R(x, y) & x < y").unwrap(),
+            Request::Query(QueryOpts::none(), "R(x, y) & x < y".into())
+        );
     }
 
     #[test]
@@ -430,5 +594,99 @@ mod tests {
         // The same bytes are not a valid *text* frame.
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    mod adversarial {
+        //! Property tests for [`take_frame`] against adversarial input:
+        //! the exact byte streams the netfault proxy manufactures —
+        //! frames torn at arbitrary boundaries, oversized length
+        //! prefixes, zero-length frames, and raw garbage. The invariant
+        //! is total: for *any* byte string, `take_frame` returns a
+        //! frame, asks for more input, or errors — it never panics,
+        //! never allocates the declared length up front, and a stream
+        //! of well-formed frames is reassembled exactly no matter how
+        //! it is split.
+
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Frames of assorted sizes, including empty (zero-length
+        /// frames are legal on the wire: 4 header bytes, no body).
+        fn frames() -> impl Strategy<Value = Vec<Vec<u8>>> {
+            prop::collection::vec(prop::collection::vec(0u8..=255, 0..200), 0..8)
+        }
+
+        proptest! {
+            /// Well-formed frames survive any split schedule: feed the
+            /// concatenated stream in arbitrary chunks and exactly the
+            /// original frames come back out, in order.
+            #[test]
+            fn reassembles_frames_across_arbitrary_splits(
+                frames in frames(),
+                splits in prop::collection::vec(1usize..64, 0..32),
+            ) {
+                let mut stream = Vec::new();
+                for f in &frames {
+                    stream.extend_from_slice(&frame_bytes(f));
+                }
+                let mut buf = Vec::new();
+                let mut out: Vec<Vec<u8>> = Vec::new();
+                let mut cursor = 0;
+                let mut split_iter = splits.iter().copied().chain(std::iter::repeat(17));
+                while cursor < stream.len() {
+                    let n = split_iter.next().unwrap_or(17).min(stream.len() - cursor);
+                    buf.extend_from_slice(&stream[cursor..cursor + n]);
+                    cursor += n;
+                    while let Some(frame) = take_frame(&mut buf).unwrap() {
+                        out.push(frame);
+                    }
+                }
+                prop_assert_eq!(out, frames);
+                prop_assert!(buf.is_empty(), "no residue after the last frame");
+            }
+
+            /// Total on arbitrary garbage: any byte string yields a
+            /// frame, a need-more-input, or a typed error — never a
+            /// panic. An error must come from an oversized declared
+            /// length, and a need-more-input only when the declared
+            /// length genuinely exceeds the buffered body.
+            #[test]
+            fn never_panics_on_garbage(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+                let mut buf = bytes.clone();
+                match take_frame(&mut buf) {
+                    Ok(Some(frame)) => {
+                        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+                        prop_assert_eq!(frame.len(), len);
+                        prop_assert_eq!(buf.len(), bytes.len() - 4 - len, "drains header + body exactly");
+                    }
+                    Ok(None) => {
+                        if bytes.len() >= 4 {
+                            let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+                            prop_assert!(len <= MAX_FRAME, "in-bounds length or it must error");
+                            prop_assert!(bytes.len() - 4 < len, "asked for more only mid-frame");
+                        }
+                        prop_assert_eq!(&buf, &bytes, "needs-more-input must not consume");
+                    }
+                    Err(_) => {
+                        prop_assert!(bytes.len() >= 4);
+                        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+                        prop_assert!(len > MAX_FRAME, "errors are oversized lengths only");
+                    }
+                }
+            }
+
+            /// An oversized length prefix errors immediately — before
+            /// the body arrives — and zero-length frames round-trip.
+            #[test]
+            fn oversized_prefix_rejected_early(extra in 1u32..(u32::MAX - MAX_FRAME as u32)) {
+                let bad = MAX_FRAME as u32 + extra;
+                let mut buf = bad.to_be_bytes().to_vec();
+                prop_assert!(take_frame(&mut buf).is_err());
+
+                let mut empty = frame_bytes(b"");
+                prop_assert_eq!(take_frame(&mut empty).unwrap().unwrap(), Vec::<u8>::new());
+                prop_assert!(empty.is_empty());
+            }
+        }
     }
 }

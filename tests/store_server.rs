@@ -398,3 +398,187 @@ fn more_clients_than_the_connection_cap_all_complete() {
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Lifecycle-hardening acceptance: at ~4× sustainable load with
+/// propagated deadlines, the server sheds with typed `OVERLOADED` /
+/// `DEADLINE_EXCEEDED` instead of queueing doomed work, never answers
+/// an accepted request meaningfully after its deadline, and the
+/// requests it does accept keep flowing — goodput under overload stays
+/// at or above 80% of the single-client baseline.
+#[test]
+fn overload_sheds_typed_and_keeps_goodput() {
+    use dco::store::wire::QueryOpts;
+    use dco::store::{ClientError, ClientOptions, RetryPolicy};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // Needs genuinely parallel workers for "sustainable load" to mean
+    // anything; on a 1-CPU host everything serializes (same skip as the
+    // store_conc bench family).
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if host < 2 {
+        eprintln!("skipping overload acceptance on a 1-CPU host");
+        return;
+    }
+
+    let dir = tmpdir("overload");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    store.create("r", 1).unwrap();
+    let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr().to_string();
+
+    // One attempt per request: retries would hide the typed sheds this
+    // test exists to observe.
+    let one_shot = ClientOptions {
+        retry: RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        },
+        ..ClientOptions::default()
+    };
+
+    // Every query is made unique by a vacuous upper bound (all data
+    // lives far below it), defeating the prepared-query cache so each
+    // request costs real evaluator time.
+    let query_line = |n: u64| format!("r(x) & r(y) & x < y & x < {}", 1_000_000 + n);
+
+    // Calibrate: grow the relation until one uncached self-join costs
+    // at least ~8 ms, so a worker pool can actually saturate.
+    let mut cal = Client::connect_with(&addr, one_shot).unwrap();
+    let mut tuples = 24i128;
+    let mut uniq = 0u64;
+    for k in 0..tuples {
+        store.insert("r", unit(k)).unwrap();
+    }
+    loop {
+        let t0 = Instant::now();
+        cal.query_with(&query_line(uniq), QueryOpts::none())
+            .unwrap();
+        uniq += 1;
+        if t0.elapsed() >= Duration::from_millis(8) || tuples >= 768 {
+            break;
+        }
+        for k in tuples..tuples * 2 {
+            store.insert("r", unit(k)).unwrap();
+        }
+        tuples *= 2;
+    }
+
+    // Single-client baseline: sequential uncached queries, no deadline,
+    // no contention. This also calibrates the server's EWMAs (job time
+    // and ns-per-cost-unit), which the admission control projects from.
+    const BASELINE_N: u64 = 20;
+    let t0 = Instant::now();
+    for _ in 0..BASELINE_N {
+        cal.query_with(&query_line(uniq), QueryOpts::none())
+            .unwrap();
+        uniq += 1;
+    }
+    let baseline_elapsed = t0.elapsed();
+    let baseline_qps = BASELINE_N as f64 / baseline_elapsed.as_secs_f64();
+    let per_query_ms = (baseline_elapsed.as_millis() as u64 / BASELINE_N).max(1);
+    cal.close().unwrap();
+
+    // 4× sustainable load: four closed-loop clients per worker, each
+    // request carrying a deadline of ~2 service times — tight enough
+    // that queueing behind 2+ workers' worth of jobs is already fatal,
+    // so the server must shed rather than serve everyone late.
+    let workers = eval_config().effective_threads().max(2);
+    let clients = (4 * workers).min(24);
+    let deadline_ms = (2 * per_query_ms).max(15);
+    const RUN: Duration = Duration::from_secs(3);
+    // Grace on the client-observed latency of successful replies: the
+    // guard aborts evaluation at the deadline, but what the client
+    // clocks also includes reply serialization, transit, and its own
+    // thread getting scheduled — so the grace scales with service time.
+    // What it must still catch is the failure this test exists for: a
+    // request quietly served seconds late instead of being shed.
+    let late_cap = Duration::from_millis(deadline_ms + 500.max(4 * per_query_ms));
+
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let expired = Arc::new(AtomicU64::new(0));
+    let late = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let (ok, shed, expired, late) =
+                (ok.clone(), shed.clone(), expired.clone(), late.clone());
+            let line_base = 1_000_000u64 * (c as u64 + 1);
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(&addr, one_shot).expect("connect");
+                let start = Instant::now();
+                let mut i = 0u64;
+                while start.elapsed() < RUN {
+                    let line = format!("r(x) & r(y) & x < y & x < {}", 2_000_000 + line_base + i);
+                    i += 1;
+                    let sent = Instant::now();
+                    match client.query_with(&line, QueryOpts::none().with_deadline_ms(deadline_ms))
+                    {
+                        Ok(_) => {
+                            if sent.elapsed() > late_cap {
+                                late.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Overloaded { retry_after_ms }) => {
+                            assert!(retry_after_ms >= 1, "hint must be actionable");
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            // A well-behaved client honors the hint
+                            // (capped so the closed loop keeps pressure
+                            // on the server for the whole run).
+                            std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                        }
+                        Err(ClientError::DeadlineExceeded(_)) => {
+                            expired.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("untyped failure under overload: {e}"),
+                    }
+                }
+                client.close().expect("close");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("overload client");
+    }
+
+    let (ok, shed, expired, late) = (
+        ok.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+        expired.load(Ordering::Relaxed),
+        late.load(Ordering::Relaxed),
+    );
+    let goodput_qps = ok as f64 / RUN.as_secs_f64();
+    eprintln!(
+        "overload: workers={workers} clients={clients} deadline={deadline_ms}ms \
+         baseline={baseline_qps:.1}qps goodput={goodput_qps:.1}qps ok={ok} shed={shed} expired={expired}"
+    );
+
+    assert!(
+        shed > 0,
+        "4x load never triggered a typed OVERLOADED shed (ok={ok} expired={expired})"
+    );
+    assert_eq!(
+        late, 0,
+        "{late} accepted requests answered after deadline + grace"
+    );
+    assert!(
+        goodput_qps >= 0.8 * baseline_qps,
+        "goodput collapsed under overload: {goodput_qps:.1} qps vs baseline {baseline_qps:.1} qps"
+    );
+
+    // The server's own ledger agrees: sheds and expiries are counted.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"shed_overload\""),
+        "STATS must expose shed counters: {stats}"
+    );
+    c.close().unwrap();
+
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
