@@ -111,6 +111,13 @@ impl QueryPlan {
     pub fn render(&self) -> String {
         format!("plan: {}\n{}", self.planned, self.root.render())
     }
+
+    /// Record the measured root cardinality on an estimates-only plan.
+    /// Used by the slow-query log, which knows the final result width
+    /// but did not re-run the evaluator to measure interior nodes.
+    pub fn set_root_actual(&mut self, actual: u64) {
+        self.root.actual = Some(actual);
+    }
 }
 
 /// Build the estimates-only plan of `formula` under `stats` — no

@@ -822,7 +822,9 @@ fn repl_lag_record(size: usize) -> PerfRecord {
 /// * `store_conc{C}` — sustained request rounds over C simultaneous
 ///   reactor connections (see [`store_conc_record`]);
 /// * `repl_lag` — fresh-replica catch-up over the replication stream
-///   (see [`repl_lag_record`]).
+///   (see [`repl_lag_record`]);
+/// * `obs_overhead` — the `store_qc4` burst with the obs layer on vs
+///   globally disabled (see [`obs_overhead_records`]).
 pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
     let sizes: &[usize] = if quick { &[32, 128] } else { &[64, 256] };
     let clients: usize = 4;
@@ -834,60 +836,21 @@ pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
         out.push(store_load_record(n));
         out.push(store_load_mt_record(n, 4));
         out.push(store_open_record(n));
-
         // Concurrent prepared-query burst over TCP.
-        let dir = fresh_store_dir(&format!("serve-{n}"));
-        let store = load_store(&dir, n);
-        let handle = serve(store.clone(), "127.0.0.1:0").expect("bind bench server");
-        let addr = handle.addr();
-        let mut tuples = 0;
-        let mut atoms = 0;
-        let wall_ms = time_ms(|| {
-            let threads: Vec<_> = (0..clients)
-                .map(|_| {
-                    std::thread::spawn(move || {
-                        let mut client = Client::connect(addr).expect("connect");
-                        let mut sizes = (0, 0);
-                        for _ in 0..queries_each {
-                            let q = client.query("s(x)").expect("query");
-                            sizes = (q.relation.len(), q.relation.size());
-                        }
-                        client.close().expect("close");
-                        sizes
-                    })
-                })
-                .collect();
-            for t in threads {
-                let (tu, at) = t.join().expect("bench client");
-                tuples = tu;
-                atoms = at;
-            }
-        });
-        let stats = store.stats();
-        handle.shutdown();
-        drop(store);
-        let _ = std::fs::remove_dir_all(&dir);
-        out.push(PerfRecord {
-            experiment: "store_throughput".to_string(),
-            size: n,
-            config: format!("store_qc{clients}"),
-            wall_ms,
-            tuples,
-            atoms,
-            cache_hits: stats.cache_hits,
-            cache_misses: stats.cache_misses,
-            cache_evictions: 0,
-            cache_hit_rate: if stats.cache_hits + stats.cache_misses > 0 {
-                stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
-            } else {
-                0.0
-            },
-            aborted: 0,
-            worker_retries: 0,
-            fsyncs: stats.fsyncs,
-            commit_batch_max: stats.commit_batch_max,
-        });
+        out.push(store_qc_record(
+            n,
+            clients,
+            queries_each,
+            "store_throughput",
+            &format!("store_qc{clients}"),
+        ));
     }
+
+    // Observability overhead: the same prepared-query burst with the
+    // whole obs layer recording (the default) vs globally disabled.
+    // The paired rows carry the subsystem's overhead claim — see
+    // [`obs_overhead_records`] and the gate in [`bench_compare`].
+    out.extend(obs_overhead_records(quick));
 
     // Durable group commit: one writer (every commit pays an fsync) vs
     // four concurrent writers (followers ride the leader's fsync).
@@ -913,6 +876,110 @@ pub fn store_perf(quick: bool) -> Vec<PerfRecord> {
     // Replication catch-up over TCP.
     out.push(repl_lag_record(if quick { 16 } else { 128 }));
     out
+}
+
+/// One `store_qc{C}` row: C concurrent TCP clients each firing a burst
+/// of `queries_each` copies of the same prepared query against a
+/// `size`-tuple store. The first evaluation is cold; the rest are
+/// answered by the fingerprint × touched-shard epoch cache, so the row
+/// measures the serving path end to end.
+fn store_qc_record(
+    size: usize,
+    clients: usize,
+    queries_each: usize,
+    experiment: &str,
+    config: &str,
+) -> PerfRecord {
+    let dir = fresh_store_dir(&format!("serve-{config}-{size}"));
+    let store = load_store(&dir, size);
+    let handle = serve(store.clone(), "127.0.0.1:0").expect("bind bench server");
+    let addr = handle.addr();
+    let mut tuples = 0;
+    let mut atoms = 0;
+    let wall_ms = time_ms(|| {
+        let threads: Vec<_> = (0..clients)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut sizes = (0, 0);
+                    for _ in 0..queries_each {
+                        let q = client.query("s(x)").expect("query");
+                        sizes = (q.relation.len(), q.relation.size());
+                    }
+                    client.close().expect("close");
+                    sizes
+                })
+            })
+            .collect();
+        for t in threads {
+            let (tu, at) = t.join().expect("bench client");
+            tuples = tu;
+            atoms = at;
+        }
+    });
+    let stats = store.stats();
+    handle.shutdown();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    PerfRecord {
+        experiment: experiment.to_string(),
+        size,
+        config: config.to_string(),
+        wall_ms,
+        tuples,
+        atoms,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: 0,
+        cache_hit_rate: if stats.cache_hits + stats.cache_misses > 0 {
+            stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+        } else {
+            0.0
+        },
+        aborted: 0,
+        worker_retries: 0,
+        fsyncs: stats.fsyncs,
+        commit_batch_max: stats.commit_batch_max,
+    }
+}
+
+/// One interleaved repetition of the observability-overhead pair: the
+/// `store_qc4` burst with [`dco::obs::set_enabled`] globally off, then
+/// with the obs layer recording (the shipped default — counters,
+/// gauges, histograms, per-query tracing). Always leaves the process
+/// with obs re-enabled.
+fn obs_overhead_pair(size: usize, queries_each: usize) -> (PerfRecord, PerfRecord) {
+    dco::obs::set_enabled(false);
+    let off = store_qc_record(size, 4, queries_each, "obs_overhead", "obs_off");
+    dco::obs::set_enabled(true);
+    let on = store_qc_record(size, 4, queries_each, "obs_overhead", "obs_on");
+    (off, on)
+}
+
+/// The baseline's `obs_overhead` rows: three interleaved repetitions
+/// of [`obs_overhead_pair`], each side keeping its minimum wall time.
+/// Scheduler and TCP noise only ever add time, so min-of-reps is the
+/// estimator that best isolates the obs layer's cost from host jitter
+/// on a burst that finishes in tens of milliseconds. The design budget
+/// is <3% (see DESIGN.md §17), enforced by [`bench_compare`].
+fn obs_overhead_records(quick: bool) -> Vec<PerfRecord> {
+    let size = if quick { 32 } else { 64 };
+    let queries_each = if quick { 8 } else { 16 };
+    let mut off: Option<PerfRecord> = None;
+    let mut on: Option<PerfRecord> = None;
+    for _ in 0..3 {
+        let (o, n) = obs_overhead_pair(size, queries_each);
+        if off.as_ref().is_none_or(|best| o.wall_ms < best.wall_ms) {
+            off = Some(o);
+        }
+        if on.as_ref().is_none_or(|best| n.wall_ms < best.wall_ms) {
+            on = Some(n);
+        }
+    }
+    vec![
+        off.expect("three repetitions ran"),
+        on.expect("three repetitions ran"),
+    ]
 }
 
 /// Fault-free guarded row: unguarded-identical result, plus the guard's
@@ -1090,7 +1157,9 @@ fn parse_baseline_records(json: &str) -> Vec<BaselineRecord> {
 /// CI regression gate: re-measure the baseline's gated rows on this
 /// host (`tc_chain`/`engine_delta`, `store_open`, `store_load`,
 /// `store_load_mt*`, `store_conc*`, `repl_lag`, the planned star join)
-/// and fail when any regresses more than 30% in wall time. Thread-
+/// and fail when any regresses more than 30% in wall time. The
+/// `obs_overhead` row is gated differently: its freshly measured
+/// `obs_on`/`obs_off` pair must stay within the obs layer's 3% budget. Thread-
 /// scaling rows (`par*`, `store_load_mt*`, and the multi-connection
 /// `store_conc*` serving rows) are skipped on 1-CPU hosts, where their
 /// timings are meaningless; `repl_lag` is a single stream and gates
@@ -1125,6 +1194,40 @@ pub fn bench_compare(baseline_json: &str) -> Result<Vec<String>, String> {
                 "skip  {}/{}/{}: {} aborted run(s), cancellation not regression",
                 rec.experiment, rec.size, rec.config, rec.aborted
             ));
+            continue;
+        }
+        // Observability overhead is gated against its *paired* row, not
+        // the baseline wall time, and with a paired-minimum test: on a
+        // small host, loopback-TCP scheduler jitter on a tens-of-ms
+        // burst is ±10% — no single measurement can resolve a 3%
+        // budget. But the jitter is symmetric while a genuine obs
+        // regression shifts *every* pair, so the gate interleaves five
+        // on/off repetitions and fails only when even the best pair is
+        // over the <3% budget (DESIGN.md §17). The sub-millisecond
+        // floor additionally keeps pure timer noise out. The `obs_off`
+        // baseline row is the pair's other half — informational.
+        if rec.experiment == "obs_overhead" {
+            if rec.config != "obs_on" {
+                continue;
+            }
+            compared += 1;
+            let mut best: Option<(f64, PerfRecord, PerfRecord)> = None;
+            for _ in 0..5 {
+                let (off, on) = obs_overhead_pair(rec.size, 16);
+                let ratio = on.wall_ms / off.wall_ms.max(f64::EPSILON);
+                if best.as_ref().is_none_or(|(b, _, _)| ratio < *b) {
+                    best = Some((ratio, off, on));
+                }
+            }
+            let (ratio, off, on) = best.expect("five repetitions ran");
+            let line = format!(
+                "check obs_overhead/{}: best pair obs_off {:.3} ms, obs_on {:.3} ms ({:.2}x)",
+                rec.size, off.wall_ms, on.wall_ms, ratio
+            );
+            if ratio > 1.03 && on.wall_ms - off.wall_ms > 0.5 {
+                failures.push(format!("{line} — obs layer over its 3% budget"));
+            }
+            report.push(line);
             continue;
         }
         // Gated row families: the engine's semi-naive fixpoint, the

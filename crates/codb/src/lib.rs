@@ -18,6 +18,7 @@
 //! | Standard encodings, integer homeomorphism | [`encoding`] | §3–§4 |
 //! | Regions, topology, region connectivity | [`geo`] | §2, Thm 4.3 |
 //! | Static query analysis & lint pass | [`analysis`] | — |
+//! | Metrics, per-query tracing, slow-query log | [`obs`] | — |
 //! | Durable store: WAL, snapshots, query server | [`store`] | §3 |
 //!
 //! ## Quickstart
@@ -106,6 +107,7 @@ pub use dco_fo as fo;
 pub use dco_geo as geo;
 pub use dco_linear as linear;
 pub use dco_logic as logic;
+pub use dco_obs as obs;
 pub use dco_store as store;
 
 /// One-stop import surface for applications.

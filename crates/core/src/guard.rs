@@ -84,6 +84,26 @@ pub enum ProbeSite {
     ShardPublish,
 }
 
+impl ProbeSite {
+    /// Index of this site in [`dco_obs::PROBE_SITES`] — the contract
+    /// between the guard's probe fan-out and the tracing layer's
+    /// per-site aggregates (a unit test pins the two orderings).
+    pub fn obs_index(self) -> usize {
+        match self {
+            ProbeSite::DnfInsert => 0,
+            ProbeSite::QuantifierElim => 1,
+            ProbeSite::CellSplit => 2,
+            ProbeSite::FourierMotzkin => 3,
+            ProbeSite::FixpointStage => 4,
+            ProbeSite::WalAppend => 5,
+            ProbeSite::WalFsync => 6,
+            ProbeSite::SnapshotWrite => 7,
+            ProbeSite::GroupCommitFsync => 8,
+            ProbeSite::ShardPublish => 9,
+        }
+    }
+}
+
 impl fmt::Display for ProbeSite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -541,6 +561,10 @@ fn probe_slow(site: ProbeSite, tuples: u64, atoms: u64) {
     } else {
         s.atoms.load(Ordering::Relaxed)
     };
+    // Trace fan-out: charge the active query trace's per-site aggregates
+    // (one thread-local read when no trace is active). Before the fault
+    // checks on purpose — a probe that trips still shows in the trace.
+    dco_obs::trace::probe_hit(site.obs_index(), tuples, atoms);
     // Deterministic fault injection first, so an armed fault fires even
     // when real limits would trip at the same probe.
     if let Some(plan) = &s.limits.fault_plan {
@@ -778,6 +802,34 @@ mod tests {
         probe_charge(ProbeSite::DnfInsert, 10, 100);
         stage_completed();
         assert!(current().is_none());
+    }
+
+    /// Pins the contract between [`ProbeSite::obs_index`] and
+    /// [`dco_obs::PROBE_SITES`]: every variant maps to a distinct,
+    /// in-range index whose registered name matches the variant.
+    #[test]
+    fn obs_index_matches_probe_site_names() {
+        let expected = [
+            (ProbeSite::DnfInsert, "dnf_insert"),
+            (ProbeSite::QuantifierElim, "quantifier_elim"),
+            (ProbeSite::CellSplit, "cell_split"),
+            (ProbeSite::FourierMotzkin, "fourier_motzkin"),
+            (ProbeSite::FixpointStage, "fixpoint_stage"),
+            (ProbeSite::WalAppend, "wal_append"),
+            (ProbeSite::WalFsync, "wal_fsync"),
+            (ProbeSite::SnapshotWrite, "snapshot_write"),
+            (ProbeSite::GroupCommitFsync, "group_commit_fsync"),
+            (ProbeSite::ShardPublish, "shard_publish"),
+        ];
+        assert_eq!(expected.len(), dco_obs::PROBE_SITES.len());
+        let mut seen = [false; 10];
+        for (site, name) in expected {
+            let idx = site.obs_index();
+            assert!(idx < dco_obs::PROBE_SITES.len(), "{name} out of range");
+            assert!(!seen[idx], "duplicate obs index {idx}");
+            seen[idx] = true;
+            assert_eq!(dco_obs::PROBE_SITES[idx], name);
+        }
     }
 
     #[test]

@@ -252,10 +252,12 @@ pub fn par_map_when<T: Sync, R: Send>(
             .chunks(chunk)
             .map(|c| {
                 let g = active_guard.clone();
+                let sink = dco_obs::trace::probe_sink();
                 let handle = s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
                     OVERRIDE.with(|o| o.set(Some(cfg)));
                     guard::install_for_worker(g);
+                    dco_obs::trace::adopt_probe_sink(sink);
                     c.iter().map(f).collect::<Vec<R>>()
                 });
                 (c, handle)
@@ -343,9 +345,11 @@ pub fn par_map_coarse<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync)
             .chunks(chunk)
             .map(|c| {
                 let g = active_guard.clone();
+                let sink = dco_obs::trace::probe_sink();
                 let handle = s.spawn(move || {
                     OVERRIDE.with(|o| o.set(Some(cfg)));
                     guard::install_for_worker(g);
+                    dco_obs::trace::adopt_probe_sink(sink);
                     c.iter().map(f).collect::<Vec<R>>()
                 });
                 (c, handle)

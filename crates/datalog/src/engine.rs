@@ -347,6 +347,15 @@ pub fn run_with(
         .iter()
         .map(|p| store.get(p).expect("idb in schema").size())
         .sum();
+    // Absorb the run into the process-global metrics registry: the
+    // engine has no owner carrying a per-store registry, so fixpoint
+    // counters aggregate globally under `dco_datalog_*`.
+    let global = dco_obs::global();
+    global.counter("datalog.runs").inc();
+    global.counter("datalog.stages").add(stats.stages as u64);
+    global
+        .counter("datalog.body_evals")
+        .add(stats.body_evals as u64);
     let database = if use_deltas {
         strip_shadows(&store, program, &arities)
     } else {

@@ -51,6 +51,8 @@ pub type Result<T> = std::result::Result<T, JsonError>;
 /// An in-memory JSON value (the subset this module emits and accepts).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// The `null` literal.
+    Null,
     /// A string.
     Str(String),
     /// A number (stored as f64; integers round-trip exactly up to 2^53).
@@ -68,6 +70,11 @@ impl Json {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
+    }
+
+    /// True if this is the `null` literal.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
     }
 
     /// The string value, if this is a string.
@@ -98,6 +105,7 @@ impl Json {
         let pad = "  ".repeat(indent);
         let pad1 = "  ".repeat(indent + 1);
         match self {
+            Json::Null => out.push_str("null"),
             Json::Str(s) => write_json_string(out, s),
             Json::Num(n) => write_number(out, *n),
             Json::Arr(items) if items.is_empty() => out.push_str("[]"),
@@ -142,6 +150,7 @@ impl Json {
 
     fn write_compact(&self, out: &mut String) {
         match self {
+            Json::Null => out.push_str("null"),
             Json::Str(s) => write_json_string(out, s),
             Json::Num(n) => write_number(out, *n),
             Json::Arr(items) => {
@@ -258,6 +267,12 @@ impl JsonParser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'n') => {
+                for b in *b"null" {
+                    self.expect(b)?;
+                }
+                Ok(Json::Null)
+            }
             _ => self.err("expected a JSON value"),
         }
     }
@@ -795,6 +810,19 @@ mod tests {
         assert!(parse_json("{} trailing").is_err());
         let err = parse_json("[1, #]").unwrap_err();
         assert!(err.position > 0);
+    }
+
+    #[test]
+    fn null_roundtrips_in_both_writers() {
+        let doc = Json::Obj(vec![
+            ("a".to_string(), Json::Null),
+            ("b".to_string(), Json::Arr(vec![Json::Null, Json::Num(1.0)])),
+        ]);
+        assert_eq!(doc.compact(), "{\"a\":null,\"b\":[null,1]}");
+        assert_eq!(parse_json(&doc.compact()).unwrap(), doc);
+        assert_eq!(parse_json(&doc.pretty()).unwrap(), doc);
+        assert!(parse_json("nul").is_err());
+        assert!(parse_json("nullx").is_err());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property tests for the histogram math: merge is associative and
+//! commutative, quantile estimates are within one bucket bound of the
+//! true value, and snapshots never regress under concurrent recording.
+
+use dco_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // The in-tree proptest shim has no u64 range strategy: widen u32
+    // samples with a value-derived shift to cover every bucket scale.
+    prop::collection::vec((0u32..u32::MAX, 0usize..16), 0..64)
+        .prop_map(|vs| vs.into_iter().map(|(v, s)| (v as u64) << s).collect())
+}
+
+proptest! {
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c): bucket-wise addition associates.
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (sa, sb, sc) = (
+            HistogramSnapshot::of(&a),
+            HistogramSnapshot::of(&b),
+            HistogramSnapshot::of(&c),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊔ b == b ⊔ a, and both equal recording everything into one.
+    #[test]
+    fn merge_is_commutative_and_lossless(a in values(), b in values()) {
+        let mut ab = HistogramSnapshot::of(&a);
+        ab.merge(&HistogramSnapshot::of(&b));
+        let mut ba = HistogramSnapshot::of(&b);
+        ba.merge(&HistogramSnapshot::of(&a));
+        prop_assert_eq!(ab.clone(), ba);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ab, HistogramSnapshot::of(&all));
+    }
+
+    /// The q-quantile estimate of any sample is within one power-of-two
+    /// bucket of the true rank statistic: estimate ∈ [v, 2·max(v, 1)].
+    #[test]
+    fn quantile_is_within_one_bucket_bound(mut vs in values(), q in 0u32..=100) {
+        if vs.is_empty() {
+            vs.push(0);
+        }
+        let q = q as f64 / 100.0;
+        let snap = HistogramSnapshot::of(&vs);
+        vs.sort_unstable();
+        let rank = ((q * vs.len() as f64).ceil() as usize).max(1).min(vs.len());
+        let v = vs[rank - 1];
+        let est = snap.quantile(q);
+        prop_assert!(est >= v, "estimate {est} below true quantile {v}");
+        prop_assert!(
+            est <= v.max(1).saturating_mul(2),
+            "estimate {est} beyond one bucket bound of {v}"
+        );
+    }
+}
+
+/// Bucket counts and sums only grow, and a snapshot reads each bucket
+/// once — so while writer threads record concurrently, a sequence of
+/// snapshots is monotone in every cumulative count: later snapshots
+/// never report fewer observations than earlier ones.
+#[test]
+fn snapshots_never_regress_under_concurrent_recording() {
+    let h = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut v = 1u64 << w;
+                while !stop.load(Ordering::Relaxed) {
+                    h.record(v);
+                    v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 16;
+                }
+            })
+        })
+        .collect();
+
+    let mut prev = h.snapshot();
+    for _ in 0..200 {
+        let next = h.snapshot();
+        assert!(next.count() >= prev.count(), "total count regressed");
+        assert!(next.sum() >= prev.sum(), "sum regressed");
+        for i in 0..dco_obs::metrics::BUCKETS {
+            assert!(
+                next.count_le(i) >= prev.count_le(i),
+                "cumulative bucket {i} regressed"
+            );
+        }
+        prev = next;
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("writer");
+    }
+}

@@ -514,6 +514,25 @@ impl Client {
         self.call("STATS")
     }
 
+    /// Fetch the Prometheus-style text exposition of every metric the
+    /// store and its serving stack registered.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.call("METRICS")
+    }
+
+    /// Fetch build information (crate version, protocol version, WAL
+    /// codec version, uptime) as compact JSON.
+    pub fn version(&mut self) -> Result<String, ClientError> {
+        self.call("VERSION")
+    }
+
+    /// Fetch the server's slow-query log as a compact JSON array,
+    /// oldest first; each entry carries the query text, total latency,
+    /// rendered span tree, and EXPLAIN plan.
+    pub fn slowlog(&mut self) -> Result<String, ClientError> {
+        self.call("SLOWLOG")
+    }
+
     /// Polite hangup.
     pub fn close(mut self) -> Result<(), ClientError> {
         self.call("CLOSE").map(drop)

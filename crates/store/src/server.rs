@@ -139,8 +139,9 @@ fn os_fd<T>(_t: &T) -> reactor::OsFd {
 }
 
 /// Serving/replication counters, shared between the reactor, the worker
-/// pool, and `STATS` rendering.
-#[derive(Default)]
+/// pool, and `STATS` rendering. The metric handles register into the
+/// served store's registry, so a `METRICS` scrape covers the serving
+/// layer alongside the store's own instruments.
 pub(crate) struct ServeCounters {
     conns_open: AtomicU64,
     conns_total: AtomicU64,
@@ -162,6 +163,57 @@ pub(crate) struct ServeCounters {
     /// EWMA of evaluation ns per planner cost unit (calibration for the
     /// cost-aware shed decision); 0 = not yet calibrated.
     ewma_cost_ns: AtomicU64,
+    /// Server start instant, for `VERSION` uptime.
+    started: Instant,
+    /// `server.requests` — jobs dequeued by the worker pool. Recorded at
+    /// the same site as `h_queue_wait`, so the counter always equals the
+    /// queue-wait histogram's total count.
+    requests: Arc<dco_obs::Counter>,
+    /// `server.queue_wait` — ns each job waited before a worker took it.
+    h_queue_wait: Arc<dco_obs::Histogram>,
+    /// `server.eval` — ns a worker spent computing each reply.
+    h_eval: Arc<dco_obs::Histogram>,
+    /// `server.repl.lag` — commit seqs the slowest replica trails by,
+    /// sampled once per reactor tick while any stream is attached (a
+    /// *seq* histogram, not a latency one).
+    h_repl_lag: Arc<dco_obs::Histogram>,
+    /// `server.backpressure.stall` — ns each gated connection spent
+    /// stalled before dispatch resumed.
+    h_stall: Arc<dco_obs::Histogram>,
+}
+
+impl ServeCounters {
+    fn new(registry: &dco_obs::Registry) -> ServeCounters {
+        ServeCounters {
+            conns_open: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            backpressure_stalls: AtomicU64::new(0),
+            repl_streams: AtomicU64::new(0),
+            repl_lag: AtomicU64::new(0),
+            repl_bytes: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            expired_deadline: AtomicU64::new(0),
+            served_late: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            ewma_job_ns: AtomicU64::new(0),
+            ewma_cost_ns: AtomicU64::new(0),
+            started: Instant::now(),
+            requests: registry.counter("server.requests"),
+            h_queue_wait: registry.histogram("server.queue_wait"),
+            h_eval: registry.histogram("server.eval"),
+            h_repl_lag: registry.histogram("server.repl.lag"),
+            h_stall: registry.histogram("server.backpressure.stall"),
+        }
+    }
+}
+
+impl Default for ServeCounters {
+    /// Counters wired to a private throwaway registry — for tests and
+    /// in-process callers that never scrape `METRICS`.
+    fn default() -> ServeCounters {
+        ServeCounters::new(&dco_obs::Registry::new())
+    }
 }
 
 /// Decaying average with 1/8 gain; the first sample seeds it outright.
@@ -273,7 +325,11 @@ struct Conn {
     in_flight: bool,
     closed_read: bool,
     close_after_flush: bool,
-    stalled: bool,
+    /// When dispatch last gated on backpressure: set the moment a
+    /// pending request could not be queued because the write buffer was
+    /// over its cap, cleared (and its duration recorded) when the
+    /// reactor unstalls the connection.
+    stalled_since: Option<Instant>,
     last_active: Instant,
     repl: Option<ReplConn>,
 }
@@ -289,7 +345,7 @@ impl Conn {
             in_flight: false,
             closed_read: false,
             close_after_flush: false,
-            stalled: false,
+            stalled_since: None,
             last_active: Instant::now(),
             repl: None,
         }
@@ -465,10 +521,21 @@ fn spawn_workers(
             let wake = wake.clone();
             std::thread::spawn(move || {
                 while let Some((conn_id, line, enqueued)) = jobs.pop() {
+                    // One dequeue = one request served: the counter and
+                    // the queue-wait sample move together, so scrapes
+                    // can assert `requests == queue_wait count`. The
+                    // wait is also handed to the tracing layer, where
+                    // the store turns it into the leading span.
+                    let waited = enqueued.elapsed();
+                    counters.requests.inc();
+                    counters.h_queue_wait.record_duration(waited);
+                    dco_obs::trace::note_queue_wait(waited);
                     let started = Instant::now();
                     let (reply, close) =
                         respond_timed(&store, &line, Some(&counters), Some(enqueued));
-                    ewma_update(&counters.ewma_job_ns, started.elapsed().as_nanos() as u64);
+                    let served = started.elapsed();
+                    counters.h_eval.record_duration(served);
+                    ewma_update(&counters.ewma_job_ns, served.as_nanos() as u64);
                     jobs.complete((conn_id, reply, close));
                     wake.notify();
                 }
@@ -486,7 +553,7 @@ fn reactor_loop(
     wake: Arc<WakeToken>,
     mut wake_reader: WakeReader,
 ) {
-    let counters = Arc::new(ServeCounters::default());
+    let counters = Arc::new(ServeCounters::new(&store.registry()));
     let jobs = Arc::new(JobQueue {
         jobs: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -617,9 +684,12 @@ fn reactor_loop(
                 dead.push(id);
                 continue;
             }
-            if conn.stalled && !conn.gated() {
-                conn.stalled = false;
-                dispatch(&store, conn, id, &jobs, &counters);
+            if let Some(since) = conn.stalled_since {
+                if !conn.gated() {
+                    counters.h_stall.record_duration(since.elapsed());
+                    conn.stalled_since = None;
+                    dispatch(&store, conn, id, &jobs, &counters);
+                }
             }
             let idle = conn.repl.is_none()
                 && !conn.in_flight
@@ -703,8 +773,8 @@ fn dispatch(
 ) {
     while !conn.in_flight && !conn.close_after_flush && conn.repl.is_none() {
         if conn.gated() {
-            if !conn.stalled && !conn.pending.is_empty() {
-                conn.stalled = true;
+            if conn.stalled_since.is_none() && !conn.pending.is_empty() {
+                conn.stalled_since = Some(Instant::now());
                 counters.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
             }
             return;
@@ -801,6 +871,12 @@ fn pump_replication(
         0
     };
     counters.repl_lag.store(lag, Ordering::Relaxed);
+    if have_repl {
+        // One lag sample per reactor tick with streams attached: the
+        // histogram shows the lag *distribution* over time, while the
+        // gauge above keeps only the latest value.
+        counters.h_repl_lag.record(lag);
+    }
 }
 
 /// Push frames at one replication connection until it is caught up or
@@ -1005,6 +1081,9 @@ fn respond_timed(
         Request::Replace(name, body) => with_relation(&body, |rel| store.replace(&name, rel)),
         Request::Snapshot => store.snapshot().map(|bytes| bytes.to_string()),
         Request::Stats => Ok(stats_json(store, serve)),
+        Request::Metrics => Ok(metrics_text(store, serve)),
+        Request::Version => Ok(version_json(serve)),
+        Request::Slowlog => Ok(slowlog_json(store)),
         Request::Repl(_) => Err(StoreError::Invalid(
             "REPL requires a streaming server connection".into(),
         )),
@@ -1060,6 +1139,74 @@ fn stats_json(store: &Store, serve: Option<&ServeCounters>) -> String {
     Json::Obj(fields).compact()
 }
 
+/// The `METRICS` exposition: mirror the serving/replication counters
+/// into gauges on the store's registry (the counters predate the
+/// registry and stay authoritative for `STATS`), then render the whole
+/// registry — store write path, query path, WAL, and serving layer in
+/// one scrape. Frames tolerate newlines, so the multi-line text rides
+/// an ordinary `OK ` reply.
+fn metrics_text(store: &Store, serve: Option<&ServeCounters>) -> String {
+    if let Some(c) = serve {
+        let r = store.registry();
+        let g = |name: &str, v: &AtomicU64| r.set_gauge(name, v.load(Ordering::Relaxed));
+        g("server.conns.open", &c.conns_open);
+        g("server.conns.total", &c.conns_total);
+        g("server.queued", &c.queued);
+        g("server.backpressure.stalls", &c.backpressure_stalls);
+        g("server.shed.overload", &c.shed_overload);
+        g("server.expired.deadline", &c.expired_deadline);
+        g("server.served.late", &c.served_late);
+        g("server.repl.streams", &c.repl_streams);
+        g("server.repl.lag_now", &c.repl_lag);
+        g("server.repl.bytes", &c.repl_bytes);
+        g("server.workers", &c.workers);
+    }
+    store.metrics_text()
+}
+
+/// The `VERSION` reply: what this server was built as and how long it
+/// has been up. Uptime is 0 outside a serving context (in-process
+/// `respond` calls have no server start instant).
+fn version_json(serve: Option<&ServeCounters>) -> String {
+    use dco_encoding::Json;
+    let uptime_ms = serve.map_or(0, |c| c.started.elapsed().as_millis() as u64);
+    Json::Obj(vec![
+        (
+            "version".into(),
+            Json::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
+        ("protocol".into(), Json::Num(wire::PROTOCOL_VERSION as f64)),
+        (
+            "format".into(),
+            Json::Num(crate::codec::FORMAT_VERSION as f64),
+        ),
+        ("uptime_ms".into(), Json::Num(uptime_ms as f64)),
+    ])
+    .compact()
+}
+
+/// The `SLOWLOG` reply: the store's slow-query log as a JSON array,
+/// oldest first, each entry carrying the rendered span tree and EXPLAIN
+/// plan (multi-line strings, JSON-escaped).
+fn slowlog_json(store: &Store) -> String {
+    use dco_encoding::Json;
+    Json::Arr(
+        store
+            .slow_queries()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("ms".into(), Json::Num(e.total_ms())),
+                    ("query".into(), Json::Str(e.query.clone())),
+                    ("trace".into(), Json::Str(e.trace.clone())),
+                    ("plan".into(), Json::Str(e.plan.clone())),
+                ])
+            })
+            .collect(),
+    )
+    .compact()
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -1111,8 +1258,90 @@ mod tests {
         assert!(r.contains("\"commits\":2"), "got {r}");
         assert!(r.contains("\"fsyncs\":"), "got {r}");
         assert!(r.contains("\"commit_batch_max\":1"), "got {r}");
+        let (r, _) = respond(&store, "METRICS");
+        assert!(
+            r.starts_with("OK # TYPE") || r.starts_with("OK dco_"),
+            "got {r}"
+        );
+        assert!(r.contains("dco_store_query_total_count"), "got {r}");
+        let (r, _) = respond(&store, "VERSION");
+        assert!(r.contains("\"protocol\":4"), "got {r}");
+        assert!(r.contains("\"version\":"), "got {r}");
+        assert!(r.contains("\"uptime_ms\":"), "got {r}");
+        let (r, _) = respond(&store, "SLOWLOG");
+        assert!(r.starts_with("OK ["), "got {r}");
         let (r, close) = respond(&store, "CLOSE");
         assert_eq!((r.as_str(), close), ("OK bye", true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A deliberately slow query (threshold forced to zero) lands in the
+    /// slow-query log carrying both the span tree and the EXPLAIN plan
+    /// with estimated and measured-root cardinalities.
+    #[test]
+    fn slow_queries_are_logged_with_span_tree_and_plan() {
+        let dir = tmpdir("slowlog");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.set_slow_query_threshold(Duration::ZERO);
+        respond(&store, "CREATE r 2");
+        let rel = GeneralizedRelation::from_raw(
+            2,
+            vec![RawAtom::new(Term::var(0), RawOp::Lt, Term::var(1))],
+        );
+        respond(
+            &store,
+            &format!("INSERT r {}", dco_encoding::relation_to_json_str(&rel)),
+        );
+        let (r, _) = respond(&store, "QUERY exists y . (r(x, y) & x < y)");
+        assert!(r.starts_with("OK {"), "got {r}");
+
+        let entries = store.slow_queries();
+        assert!(!entries.is_empty(), "threshold 0 logs every query");
+        let e = entries.last().unwrap();
+        assert!(e.query.contains("r(x, y)"), "got {}", e.query);
+        assert!(e.trace.contains("preflight"), "span tree: {}", e.trace);
+        assert!(e.trace.contains("plan"), "span tree: {}", e.trace);
+        assert!(e.trace.contains("eval"), "span tree: {}", e.trace);
+        assert!(
+            e.trace.contains("probe "),
+            "guard probes fan into the trace: {}",
+            e.trace
+        );
+        assert!(e.plan.contains("est="), "plan: {}", e.plan);
+        assert!(e.plan.contains("act=1"), "root actual: {}", e.plan);
+        assert!(e.plan.contains("exists"), "plan tree: {}", e.plan);
+
+        // The wire verb carries the same entries as JSON.
+        let (r, _) = respond(&store, "SLOWLOG");
+        assert!(r.contains("\"trace\":"), "got {r}");
+        assert!(r.contains("\"plan\":"), "got {r}");
+        assert!(r.contains("est="), "got {r}");
+
+        // The trace ring holds the span records too.
+        let traces = store.recent_traces();
+        assert!(!traces.is_empty());
+        assert!(traces
+            .iter()
+            .any(|t| t.spans.iter().any(|s| s.name == "eval")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Tracing off (per-store switch or global kill switch) still
+    /// answers queries identically and records nothing.
+    #[test]
+    fn tracing_switch_disables_trace_and_slowlog_capture() {
+        let dir = tmpdir("traceoff");
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.set_slow_query_threshold(Duration::ZERO);
+        store.set_tracing(false);
+        respond(&store, "CREATE r 1");
+        let (r, _) = respond(&store, "QUERY r(x)");
+        assert!(r.starts_with("OK {"), "got {r}");
+        assert!(store.slow_queries().is_empty(), "no trace, no slow entry");
+        assert!(store.recent_traces().is_empty());
+        // Histograms still record (they are gated only globally).
+        let text = store.metrics_text();
+        assert!(text.contains("dco_store_query_total_count 1"), "got {text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

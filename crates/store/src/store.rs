@@ -68,6 +68,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a store.
 #[derive(Debug, Clone)]
@@ -497,6 +498,41 @@ type StagedShard = (
     u64,
 );
 
+/// Per-store observability state: the metrics registry every layer of
+/// this store (WAL, query path, and the serving stack via
+/// [`Store::registry`]) records into, plus the per-query tracing ring
+/// and the slow-query log. Per-store — not global — so concurrent
+/// stores in one process never mix counters.
+struct StoreObs {
+    registry: Arc<dco_obs::Registry>,
+    /// Per-store tracing switch (on by default; independent of the
+    /// global `dco_obs` kill switch, which gates everything).
+    tracing: AtomicBool,
+    slowlog: dco_obs::SlowLog,
+    traces: dco_obs::TraceRing,
+    /// `store.query.total` — whole query-path latency, ns.
+    h_total: Arc<dco_obs::Histogram>,
+    /// `store.query.eval` — guarded evaluation latency, ns.
+    h_eval: Arc<dco_obs::Histogram>,
+    /// `store.query.slow` — queries that crossed the slow threshold.
+    c_slow: Arc<dco_obs::Counter>,
+}
+
+impl StoreObs {
+    fn new() -> StoreObs {
+        let registry = Arc::new(dco_obs::Registry::new());
+        StoreObs {
+            tracing: AtomicBool::new(true),
+            slowlog: dco_obs::SlowLog::new(128),
+            traces: dco_obs::TraceRing::new(256),
+            h_total: registry.histogram("store.query.total"),
+            h_eval: registry.histogram("store.query.eval"),
+            c_slow: registry.counter("store.query.slow"),
+            registry,
+        }
+    }
+}
+
 struct Inner {
     dir: PathBuf,
     opts: StoreOptions,
@@ -518,6 +554,7 @@ struct Inner {
     batches: AtomicU64,
     fsyncs: AtomicU64,
     batch_max: AtomicU64,
+    obs: StoreObs,
 }
 
 /// Handle to an open store. Cheap to clone; all clones share the same
@@ -593,6 +630,8 @@ impl Store {
 
         let slices = snapshot::load_slices(&dir)?;
         let (mut wal, scan) = Wal::open(&dir.join("wal.log"), opts.fsync)?;
+        let obs = StoreObs::new();
+        wal.set_fsync_histogram(obs.registry.histogram("store.wal.fsync"));
 
         // Per-relation resolution: newest owning slice wins; a newer
         // owning slice that omits the relation records a drop.
@@ -689,6 +728,7 @@ impl Store {
             batches: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             batch_max: AtomicU64::new(0),
+            obs,
         };
         Ok(Store {
             inner: Arc::new(inner),
@@ -1429,12 +1469,26 @@ impl Store {
         formula: &Formula,
         extra: GuardLimits,
     ) -> Result<QueryOutput, StoreError> {
+        let obs = &self.inner.obs;
+        // The store owns the per-query trace; the serving layer hands
+        // over the request's queue wait via `trace::note_queue_wait`
+        // just before calling in, and `begin` turns it into the leading
+        // span. `traced` is false when tracing is off or an enclosing
+        // trace is active — every exit below must then skip `finish`.
+        let traced =
+            obs.tracing.load(Ordering::Relaxed) && dco_obs::trace::begin(&formula.to_string());
+        let started = Instant::now();
+
         let generation = self.read();
         let fp = formula_fingerprint(formula);
         let key = (fp, self.cache_epoch(formula, &generation));
 
         if let Some(hit) = plock(&self.inner.prepared).get(key) {
             self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if traced {
+                dco_obs::trace::child("cache_hit", started.elapsed());
+            }
+            self.finish_query_trace(traced, started, None);
             return Ok(QueryOutput {
                 generation: generation.seq,
                 columns: hit.0.clone(),
@@ -1444,12 +1498,19 @@ impl Store {
             });
         }
         // Static preflight: reject before spending evaluation budget.
-        preflight_formula(
+        let phase = Instant::now();
+        let preflight = preflight_formula(
             formula,
             Some(generation.db.schema()),
             &AnalysisOptions::default(),
-        )
-        .map_err(StoreError::Rejected)?;
+        );
+        if traced {
+            dco_obs::trace::child("preflight", phase.elapsed());
+        }
+        if let Err(d) = preflight {
+            self.finish_query_trace(traced, started, None);
+            return Err(StoreError::Rejected(d));
+        }
 
         // Guarded evaluation under estimate-derived budgets, of the
         // statistics-planned formula (an equivalence-preserving reorder,
@@ -1457,6 +1518,7 @@ impl Store {
         // identifies the answer). Only queries that reach evaluation
         // count as cache misses.
         self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let phase = Instant::now();
         let limits = cost::suggested_limits_with_stats(
             formula,
             &generation.stats,
@@ -1464,24 +1526,47 @@ impl Store {
         )
         .tightened(&extra);
         let planned = plan_formula(formula, &generation.stats);
-        let guarded = try_eval_with(&generation.db, &planned, limits).map_err(|e| match e {
-            TryEvalError::Parse(p) => StoreError::Parse(p.to_string()),
-            TryEvalError::Invalid(i) => StoreError::Invalid(i.to_string()),
-            TryEvalError::Fault(f) => match f.kind {
-                EvalErrorKind::DeadlineExceeded {
-                    elapsed_ms,
-                    limit_ms,
-                } => StoreError::DeadlineExceeded {
-                    elapsed_ms,
-                    limit_ms,
-                },
-                _ => StoreError::Fault(f.to_string()),
-            },
-        })?;
+        if traced {
+            dco_obs::trace::child("plan", phase.elapsed());
+        }
+        let phase = Instant::now();
+        let guarded = try_eval_with(&generation.db, &planned, limits);
+        let eval_elapsed = phase.elapsed();
+        obs.h_eval.record_duration(eval_elapsed);
+        if traced {
+            dco_obs::trace::child("eval", eval_elapsed);
+        }
+        let guarded = match guarded {
+            Ok(g) => g,
+            Err(e) => {
+                // A failed evaluation is still worth a slow-log entry
+                // (deadline trips are the classic slow query).
+                self.finish_query_trace(traced, started, Some((&planned, &generation, None)));
+                return Err(match e {
+                    TryEvalError::Parse(p) => StoreError::Parse(p.to_string()),
+                    TryEvalError::Invalid(i) => StoreError::Invalid(i.to_string()),
+                    TryEvalError::Fault(f) => match f.kind {
+                        EvalErrorKind::DeadlineExceeded {
+                            elapsed_ms,
+                            limit_ms,
+                        } => StoreError::DeadlineExceeded {
+                            elapsed_ms,
+                            limit_ms,
+                        },
+                        _ => StoreError::Fault(f.to_string()),
+                    },
+                });
+            }
+        };
 
         let columns = guarded.value.columns;
         let relation = guarded.value.relation;
         plock(&self.inner.prepared).put(key, Arc::new((columns.clone(), relation.clone())));
+        self.finish_query_trace(
+            traced,
+            started,
+            Some((&planned, &generation, Some(relation.len() as u64))),
+        );
         Ok(QueryOutput {
             generation: generation.seq,
             columns,
@@ -1489,6 +1574,49 @@ impl Store {
             cached: false,
             stats: Some(guarded.stats),
         })
+    }
+
+    /// Close out one instrumented query: record the total latency,
+    /// finish the trace (if this call began one), archive it, and — when
+    /// the total (queue wait included) crosses the slow threshold —
+    /// write a slow-log entry carrying the rendered span tree plus the
+    /// estimates-side EXPLAIN plan with the measured root cardinality.
+    /// The plan is rebuilt from [`explain_formula`] against the same
+    /// stats snapshot the planner used — a static analysis, so a slow
+    /// query is never re-evaluated just to explain itself.
+    fn finish_query_trace(
+        &self,
+        traced: bool,
+        started: Instant,
+        planned: Option<(&Formula, &Generation, Option<u64>)>,
+    ) {
+        let obs = &self.inner.obs;
+        obs.h_total.record_duration(started.elapsed());
+        if !traced {
+            return;
+        }
+        let Some(record) = dco_obs::trace::finish() else {
+            return;
+        };
+        if obs.slowlog.is_slow(record.total_ns) {
+            obs.c_slow.inc();
+            let plan = planned
+                .map(|(f, generation, actual)| {
+                    let mut plan = dco_analysis::explain::explain_formula(f, &generation.stats);
+                    if let Some(n) = actual {
+                        plan.set_root_actual(n);
+                    }
+                    plan.render()
+                })
+                .unwrap_or_default();
+            obs.slowlog.record(dco_obs::SlowQueryEntry {
+                query: record.label.clone(),
+                total_ns: record.total_ns,
+                trace: record.render(),
+                plan,
+            });
+        }
+        obs.traces.push(record);
     }
 
     /// Plan and evaluate a query, returning the measured plan instead of
@@ -1536,6 +1664,57 @@ impl Store {
     /// the store is reopened).
     pub fn is_healthy(&self) -> bool {
         self.inner.healthy.load(Ordering::SeqCst)
+    }
+
+    /// The metrics registry every layer of this store records into.
+    /// The serving layer registers its instruments here too, so one
+    /// `METRICS` scrape covers the whole stack.
+    pub fn registry(&self) -> Arc<dco_obs::Registry> {
+        self.inner.obs.registry.clone()
+    }
+
+    /// Enable or disable per-query tracing (on by default). With
+    /// tracing off the query path's observability cost drops to two
+    /// histogram updates per query.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.obs.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Change the slow-query threshold
+    /// ([`dco_obs::SlowLog::DEFAULT_THRESHOLD`] initially;
+    /// `Duration::ZERO` logs every query, `Duration::MAX` disables).
+    pub fn set_slow_query_threshold(&self, d: Duration) {
+        self.inner.obs.slowlog.set_threshold(d);
+    }
+
+    /// Contents of the slow-query log, oldest first.
+    pub fn slow_queries(&self) -> Vec<dco_obs::SlowQueryEntry> {
+        self.inner.obs.slowlog.entries()
+    }
+
+    /// Recent per-query traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<dco_obs::TraceRecord> {
+        self.inner.obs.traces.snapshot()
+    }
+
+    /// Prometheus-style text exposition of this store's registry. The
+    /// point-in-time [`Store::stats`] counters are mirrored into gauges
+    /// first, so a scrape sees the write path, the query path, and the
+    /// serving layer under one consistent `dco_` namespace.
+    pub fn metrics_text(&self) -> String {
+        let s = self.stats();
+        let r = &self.inner.obs.registry;
+        r.set_gauge("store.generation", s.generation);
+        r.set_gauge("store.relations", s.relations as u64);
+        r.set_gauge("store.shards", s.shards as u64);
+        r.set_gauge("store.commits", s.commits);
+        r.set_gauge("store.batches", s.batches);
+        r.set_gauge("store.fsyncs", s.fsyncs);
+        r.set_gauge("store.commit.batch_max", s.commit_batch_max);
+        r.set_gauge("store.cache.hits", s.cache_hits);
+        r.set_gauge("store.cache.misses", s.cache_misses);
+        r.set_gauge("store.cache.entries", s.cache_entries as u64);
+        r.render()
     }
 }
 

@@ -273,6 +273,10 @@ pub struct Wal {
     file: File,
     next_seq: u64,
     fsync: bool,
+    /// When set, every batch fsync's wall time is recorded here
+    /// (`store.wal.fsync`, nanoseconds). Optional so the WAL stays
+    /// usable in contexts with no metrics registry (recovery tools).
+    fsync_hist: Option<Arc<dco_obs::Histogram>>,
 }
 
 /// Outcome of scanning a log file on open.
@@ -331,6 +335,7 @@ impl Wal {
                 file,
                 next_seq,
                 fsync,
+                fsync_hist: None,
             },
             scan,
         ))
@@ -371,6 +376,11 @@ impl Wal {
     /// Sequence number the next append will get.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Route batch-fsync latencies into `hist` (nanoseconds per fsync).
+    pub fn set_fsync_histogram(&mut self, hist: Arc<dco_obs::Histogram>) {
+        self.fsync_hist = Some(hist);
     }
 
     /// Force the next append to use `seq` (used after snapshot-only
@@ -430,7 +440,11 @@ impl Wal {
         guard::probe(ProbeSite::GroupCommitFsync);
         guard::probe(ProbeSite::WalFsync);
         if self.fsync {
+            let t0 = std::time::Instant::now();
             self.file.sync_data()?;
+            if let Some(h) = &self.fsync_hist {
+                h.record_duration(t0.elapsed());
+            }
         }
         Ok(())
     }

@@ -18,6 +18,9 @@
 //! | `REPLACE <name> <json rel>` | `OK <seq>`                        |
 //! | `SNAPSHOT`                  | `OK <bytes>`                      |
 //! | `STATS`                     | `OK {json counters}`              |
+//! | `METRICS`                   | `OK <prometheus text exposition>` |
+//! | `VERSION`                   | `OK {json build info}`            |
+//! | `SLOWLOG`                   | `OK [json slow-query entries]`    |
 //! | `REPL <last_seq>`           | `OK repl <seq>`, then streaming   |
 //! | `CLOSE`                     | `OK bye`, then the peer hangs up  |
 //!
@@ -94,9 +97,12 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// is the pre-handshake dialect (no `HELLO`, no `REPL`); version 2
 /// added both; version 3 added the optional `@deadline_ms=…` option
 /// token on `QUERY`/`EXPLAIN` and the typed `DEADLINE_EXCEEDED` /
-/// `OVERLOADED` error replies. Bump on any framing or verb-semantics
-/// change.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// `OVERLOADED` error replies; version 4 added the observability verbs
+/// `METRICS`/`VERSION`/`SLOWLOG` and switched an unmeasured `act` in
+/// EXPLAIN output from the `-1` sentinel to JSON `null` (readers should
+/// use [`plan_actual_from_json`], which accepts both encodings). Bump
+/// on any framing or verb-semantics change.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Tag byte of a binary replication frame carrying concatenated sealed
 /// WAL records (a forwarded group-commit batch).
@@ -318,6 +324,14 @@ pub enum Request {
     Snapshot,
     /// Fetch store counters.
     Stats,
+    /// Fetch the Prometheus-style text exposition of every metric the
+    /// store and its serving stack registered.
+    Metrics,
+    /// Fetch build information: crate version, wire protocol version,
+    /// WAL codec version, server uptime.
+    Version,
+    /// Fetch the slow-query log (JSON array, oldest first).
+    Slowlog,
     /// Upgrade this connection to a replication stream, resuming after
     /// the given last-applied seq.
     Repl(u64),
@@ -380,6 +394,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "REPLACE" => name_and_body(rest).map(|(n, b)| Request::Replace(n, b)),
         "SNAPSHOT" => Ok(Request::Snapshot),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
+        "VERSION" => Ok(Request::Version),
+        "SLOWLOG" => Ok(Request::Slowlog),
         "REPL" => {
             let seq: u64 = rest
                 .parse()
@@ -410,8 +427,8 @@ pub fn query_output_to_json(out: &QueryOutput) -> String {
 
 /// Render an EXPLAIN output as the wire's JSON object: generation, the
 /// planned formula text, output columns, and the recursive plan tree.
-/// Every node carries `est` and `act`; an unmeasured `act` encodes as -1
-/// (this wire JSON has no null).
+/// Every node carries `est` and `act`; an unmeasured `act` encodes as
+/// JSON `null` (before protocol 4 it was the sentinel `-1`).
 pub fn explain_output_to_json(out: &ExplainOutput) -> String {
     Json::Obj(vec![
         ("generation".into(), Json::Num(out.generation as f64)),
@@ -430,12 +447,27 @@ fn plan_node_to_json(n: &PlanNode) -> Json {
         ("label".into(), Json::Str(n.label.clone())),
         ("detail".into(), Json::Str(n.detail.clone())),
         ("est".into(), Json::Num(n.estimated)),
-        ("act".into(), Json::Num(n.actual.map_or(-1.0, |a| a as f64))),
+        (
+            "act".into(),
+            n.actual.map_or(Json::Null, |a| Json::Num(a as f64)),
+        ),
         (
             "children".into(),
             Json::Arr(n.children.iter().map(plan_node_to_json).collect()),
         ),
     ])
+}
+
+/// Decode a plan node's measured cardinality from its wire JSON object
+/// — the compatibility shim across the protocol-4 `act` change. Every
+/// historical encoding of "unmeasured" maps to `None`: JSON `null`
+/// (protocol ≥ 4), a missing field, and any negative number (the old
+/// `-1` sentinel). A non-negative number is the measurement.
+pub fn plan_actual_from_json(node: &Json) -> Option<u64> {
+    match node.get("act") {
+        None | Some(Json::Null) => None,
+        Some(v) => v.as_num().filter(|n| *n >= 0.0).map(|n| n as u64),
+    }
 }
 
 /// Parse the wire's JSON object back into a [`QueryOutput`] (with
@@ -526,6 +558,20 @@ mod tests {
         assert_eq!(parse_request("REPL 42").unwrap(), Request::Repl(42));
         assert!(parse_request("REPL").is_err());
         assert!(parse_request("REPL -1").is_err());
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("version").unwrap(), Request::Version);
+        assert_eq!(parse_request("SLOWLOG").unwrap(), Request::Slowlog);
+    }
+
+    #[test]
+    fn plan_actual_accepts_null_absent_and_legacy_sentinel() {
+        let parse = |s: &str| dco_encoding::parse_json(s).unwrap();
+        // Protocol 4: unmeasured is null, measured is a number.
+        assert_eq!(plan_actual_from_json(&parse("{\"act\":null}")), None);
+        assert_eq!(plan_actual_from_json(&parse("{\"act\":7}")), Some(7));
+        // Compat: pre-4 peers sent -1, and some omit the field.
+        assert_eq!(plan_actual_from_json(&parse("{\"act\":-1}")), None);
+        assert_eq!(plan_actual_from_json(&parse("{\"est\":2}")), None);
     }
 
     #[test]

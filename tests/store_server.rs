@@ -282,6 +282,12 @@ fn prepared_cache_hits_are_structurally_identical_across_clients() {
 /// the scale the thread-per-connection server could not hold open (it
 /// gated admissions at the evaluator thread budget); the reactor keeps
 /// all 1k established while the same small worker pool evaluates.
+///
+/// The soak doubles as the observability acceptance run: a probe client
+/// scrapes `METRICS` between rounds and asserts the exposition parses,
+/// counters only ever move forward, and the queue-wait histogram counts
+/// exactly one sample per served request. A live replica rides along so
+/// the replication-lag histogram fills too.
 #[test]
 fn soak_one_thousand_connections_each_request_gets_exactly_one_reply() {
     use dco::store::wire;
@@ -295,6 +301,12 @@ fn soak_one_thousand_connections_each_request_gets_exactly_one_reply() {
     store.insert("r", unit(0)).unwrap();
     let handle = serve(store.clone(), "127.0.0.1:0").unwrap();
     let addr = handle.addr();
+
+    // A real replica keeps a replication stream attached for the whole
+    // soak, so the reactor has a lag series to sample.
+    let replica_dir = tmpdir("soak-replica");
+    let replica_store = Store::open(&replica_dir, StoreOptions::default()).unwrap();
+    let replica = dco::store::replicate(replica_store, addr.to_string());
 
     let mut socks: Vec<std::net::TcpStream> = Vec::with_capacity(CONNS);
     for i in 0..CONNS {
@@ -311,6 +323,8 @@ fn soak_one_thousand_connections_each_request_gets_exactly_one_reply() {
         1 => "QUERY r(x)",
         _ => "STATS",
     };
+    let mut probe = Client::connect(addr).unwrap();
+    let mut last_requests = 0.0f64;
     for round in 0..ROUNDS {
         // Write phase: every connection sends before any reply is read,
         // so the server is holding ~1k outstanding requests at once.
@@ -339,22 +353,82 @@ fn soak_one_thousand_connections_each_request_gets_exactly_one_reply() {
                 }
             }
         }
+
+        // Mid-run scrape: the exposition parses, the request counter is
+        // monotone across rounds, and the queue-wait histogram counted
+        // exactly one sample per request the workers dequeued — the two
+        // are recorded at the same dequeue site, so any drift means a
+        // request was dropped or double-counted.
+        let text = probe
+            .metrics()
+            .unwrap_or_else(|e| panic!("round {round}: METRICS: {e}"));
+        let requests = metric(&text, "dco_server_requests_total")
+            .unwrap_or_else(|| panic!("round {round}: no dco_server_requests_total in scrape"));
+        let waited = metric(&text, "dco_server_queue_wait_count").expect("queue_wait count");
+        assert_eq!(
+            requests, waited,
+            "round {round}: queue-wait samples must equal served requests"
+        );
+        assert!(
+            requests > last_requests,
+            "round {round}: request counter regressed: {last_requests} -> {requests}"
+        );
+        // The herd's QUERY third of the round landed in the eval and
+        // store-side query histograms too. The eval histogram records
+        // *after* a request completes, so the in-flight scrape itself is
+        // the one sample it may trail the request counter by.
+        assert!(metric(&text, "dco_server_eval_count").unwrap_or(0.0) >= requests - 1.0);
+        assert!(metric(&text, "dco_store_query_total_count").unwrap_or(0.0) > 0.0);
+        last_requests = requests;
     }
 
     // No request was dropped or double-answered: an extra probe client
     // still gets a clean, in-sync connection.
-    let mut probe = Client::connect(addr).unwrap();
     let stats = probe.stats().unwrap();
     let open = json_u64(&format!("OK {stats}"), "conns_open").expect("conns_open");
-    assert!(open >= CONNS as u64 + 1, "probe sees the herd: {open}");
+    assert!(open > CONNS as u64, "probe sees the herd: {open}");
     let total = json_u64(&format!("OK {stats}"), "conns_total").expect("conns_total");
-    assert!(total >= CONNS as u64 + 1);
+    assert!(total > CONNS as u64);
+
+    // The replica has been streaming all along: wait for it to catch up
+    // to the primary's committed seq, then check the lag histogram saw
+    // at least one sample (the reactor records it every tick a stream
+    // is attached).
+    let committed = store.read().seq;
+    assert!(
+        replica.wait_for_seq(committed, std::time::Duration::from_secs(30)),
+        "replica never caught up to seq {committed}"
+    );
+    let text = probe.metrics().expect("final scrape");
+    assert!(
+        metric(&text, "dco_server_repl_lag_count").unwrap_or(0.0) > 0.0,
+        "replication-lag histogram stayed empty with a live replica:\n{text}"
+    );
+    // Durability instrumentation: the WAL fsync histogram is non-empty
+    // (the pre-soak CREATE/INSERT commits fsync with default options).
+    assert!(
+        metric(&text, "dco_store_wal_fsync_count").unwrap_or(0.0) > 0.0,
+        "fsync histogram stayed empty under default (fsync on) options"
+    );
     probe.close().unwrap();
 
     drop(socks);
+    replica.shutdown();
     handle.shutdown();
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+/// Pull one sample value out of a Prometheus text exposition: the line
+/// `"<name> <value>"` with an exact name match (so `foo` never matches
+/// `foo_count` or `foo_bucket{...}`).
+fn metric(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
 }
 
 /// Pull an integer counter out of a compact-JSON reply.
